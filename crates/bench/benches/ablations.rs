@@ -1,0 +1,199 @@
+//! Ablations of the paper's design choices called out in DESIGN.md:
+//!
+//! * midpoint vs median splits on skewed data (Section 4.3 extension 1),
+//! * complement folding vs a naive `col mod n` for non-power-of-two disk
+//!   counts (Section 4.3 arbitrary-disks extension),
+//! * direct-only vs direct+indirect neighbor coloring (Definition 3/4).
+//!
+//! These measure *page counts per query* (the paper's metric), exposed
+//! here as iteration outputs so criterion tracks them as throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use parsim_bench::experiments::common::{build_engine, Method};
+use parsim_datagen::{ClusteredGenerator, DataGenerator, UniformGenerator};
+use parsim_decluster::quantile::median_splits;
+use parsim_decluster::{BucketBased, BucketDecluster, NearOptimal};
+use parsim_geometry::quadrant::BucketId;
+use parsim_parallel::{EngineConfig, ParallelKnnEngine, SplitStrategy};
+
+fn bench_split_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile_ablation");
+    group.sample_size(12);
+    let dim = 10;
+    let data = ClusteredGenerator::new(dim, 4, 0.05).generate(15_000, 7);
+    let queries = ClusteredGenerator::new(dim, 4, 0.05).generate(15_032, 7)[15_000..].to_vec();
+    for (name, splits) in [
+        ("midpoint", SplitStrategy::Midpoint),
+        ("median", SplitStrategy::DataMedian),
+    ] {
+        let mut config = EngineConfig::paper_defaults(dim);
+        config.splits = splits;
+        let engine = build_engine(Method::NearOptimal, &data, 16, config);
+        group.bench_with_input(BenchmarkId::new("clustered_knn10", name), &name, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                engine.knn(black_box(&queries[i]), 10).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A deliberately naive fold: `col(b) mod n` instead of complement folding.
+struct NaiveMod {
+    dim: usize,
+    disks: usize,
+}
+
+impl BucketDecluster for NaiveMod {
+    fn name(&self) -> &'static str {
+        "naive-mod"
+    }
+    fn disks(&self) -> usize {
+        self.disks
+    }
+    fn disk_of_bucket(&self, bucket: BucketId, dim: usize) -> usize {
+        (parsim_decluster::near_optimal::col(bucket, self.dim.max(dim)) as usize) % self.disks
+    }
+}
+
+fn bench_folding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("folding_ablation");
+    group.sample_size(12);
+    let dim = 12; // colors_required = 16; fold to 12 disks (non power of 2)
+    let disks = 12;
+    let data = UniformGenerator::new(dim).generate(15_000, 9);
+    let queries = UniformGenerator::new(dim).generate(64, 10);
+    let config = EngineConfig::paper_defaults(dim);
+    let splitter = || median_splits(&data).unwrap();
+
+    let folded = ParallelKnnEngine::build(
+        &data,
+        Arc::new(BucketBased::new(
+            NearOptimal::new(dim, disks).unwrap(),
+            splitter(),
+        )),
+        config,
+    )
+    .unwrap();
+    let naive = ParallelKnnEngine::build(
+        &data,
+        Arc::new(BucketBased::new(NaiveMod { dim, disks }, splitter())),
+        config,
+    )
+    .unwrap();
+
+    for (name, engine) in [("complement_fold", &folded), ("naive_mod", &naive)] {
+        group.bench_with_input(BenchmarkId::new("knn10_12disks", name), &name, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                engine.knn(black_box(&queries[i]), 10).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Direct-only coloring: colors = bucket popcount parity classes mod d+1 —
+/// separates direct neighbors only (a (d+1)-coloring of the hypercube by
+/// "sum of coordinates mod (d+1)" — here via DiskModulo with d+1 disks).
+fn bench_neighbor_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_level_ablation");
+    group.sample_size(12);
+    let dim = 12;
+    let data = UniformGenerator::new(dim).generate(15_000, 11);
+    let queries = UniformGenerator::new(dim).generate(64, 12);
+    let config = EngineConfig::paper_defaults(dim);
+
+    // Direct-only: disk modulo with d+1 = 13 disks separates all direct
+    // neighbors (popcount changes by 1) but collides indirect ones.
+    let direct_only = ParallelKnnEngine::build(
+        &data,
+        Arc::new(BucketBased::new(
+            parsim_decluster::DiskModulo::new(dim + 1).unwrap(),
+            median_splits(&data).unwrap(),
+        )),
+        config,
+    )
+    .unwrap();
+    // Full: col with 16 disks separates direct AND indirect neighbors.
+    let full = ParallelKnnEngine::build(
+        &data,
+        Arc::new(BucketBased::new(
+            NearOptimal::with_optimal_disks(dim).unwrap(),
+            median_splits(&data).unwrap(),
+        )),
+        config,
+    )
+    .unwrap();
+
+    for (name, engine) in [
+        ("direct_only_13", &direct_only),
+        ("direct_indirect_16", &full),
+    ] {
+        group.bench_with_input(BenchmarkId::new("knn10", name), &name, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                engine.knn(black_box(&queries[i]), 10).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Page-cache ablation: the same query workload against caches of
+/// increasing size per tree (0 = the paper's data-page setting; large =
+/// everything RAM-resident after warm-up).
+fn bench_cache_sizes(c: &mut Criterion) {
+    use parsim_index::{CachingSink, DiskSink, KnnAlgorithm, SpatialTree, TreeParams, TreeVariant};
+    use parsim_storage::SimDisk;
+
+    let mut group = c.benchmark_group("cache_ablation");
+    group.sample_size(12);
+    let dim = 10;
+    let items: Vec<(parsim_geometry::Point, u64)> = UniformGenerator::new(dim)
+        .generate(15_000, 13)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (p, i as u64))
+        .collect();
+    let queries = UniformGenerator::new(dim).generate(64, 14);
+    for capacity in [0usize, 64, 1024] {
+        let disk = Arc::new(SimDisk::new(0));
+        let sink = Arc::new(CachingSink::new(
+            Arc::new(DiskSink(Arc::clone(&disk))),
+            capacity,
+        ));
+        let params = TreeParams::for_dim(dim, TreeVariant::xtree_default()).unwrap();
+        let tree = SpatialTree::bulk_load(params, items.clone())
+            .unwrap()
+            .with_sink(sink as Arc<dyn parsim_index::NodeSink>);
+        group.bench_with_input(
+            BenchmarkId::new("knn10_cached", capacity),
+            &capacity,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % queries.len();
+                    tree.knn(black_box(&queries[i]), 10, KnnAlgorithm::Rkv)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_split_strategy,
+    bench_folding,
+    bench_neighbor_levels,
+    bench_cache_sizes
+);
+criterion_main!(benches);

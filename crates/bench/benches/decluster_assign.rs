@@ -1,0 +1,55 @@
+//! Microbenchmark: disk-assignment throughput of every declustering
+//! method. The paper's `col` runs in O(d) bit operations and must beat the
+//! Hilbert mapping by a wide margin.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_decluster::near_optimal::col;
+use parsim_decluster::{
+    BucketBased, BucketDecluster, Declusterer, DiskModulo, HilbertDecluster, NearOptimal,
+};
+use parsim_geometry::QuadrantSplitter;
+
+fn bench_bucket_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucket_assign");
+    for dim in [8usize, 16, 32] {
+        let near = NearOptimal::with_optimal_disks(dim).unwrap();
+        let hil = HilbertDecluster::new(dim, 16).unwrap();
+        let dm = DiskModulo::new(16).unwrap();
+        let bucket = 0b1011_0110_1011u64 & ((1 << dim) - 1);
+        group.bench_with_input(BenchmarkId::new("col_raw", dim), &dim, |b, _| {
+            b.iter(|| col(black_box(bucket), dim))
+        });
+        group.bench_with_input(BenchmarkId::new("near_optimal", dim), &dim, |b, _| {
+            b.iter(|| near.disk_of_bucket(black_box(bucket), dim))
+        });
+        group.bench_with_input(BenchmarkId::new("hilbert", dim), &dim, |b, _| {
+            b.iter(|| hil.disk_of_bucket(black_box(bucket), dim))
+        });
+        group.bench_with_input(BenchmarkId::new("disk_modulo", dim), &dim, |b, _| {
+            b.iter(|| dm.disk_of_bucket(black_box(bucket), dim))
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_assignment(c: &mut Criterion) {
+    let dim = 16;
+    let pts = UniformGenerator::new(dim).generate(1024, 1);
+    let lifted = BucketBased::new(
+        NearOptimal::new(dim, 16).unwrap(),
+        QuadrantSplitter::midpoint(dim).unwrap(),
+    );
+    c.bench_function("point_assign_near_optimal_16d", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % pts.len();
+            lifted.assign(i as u64, black_box(&pts[i]))
+        })
+    });
+}
+
+criterion_group!(benches, bench_bucket_methods, bench_point_assignment);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Microbenchmark: d-dimensional Hilbert encode/decode throughput — the
+//! inner loop of the Hilbert declustering baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsim_hilbert::{HilbertCurve, ZOrderCurve};
+
+fn bench_curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hilbert_curve");
+    for dim in [2usize, 8, 16, 32] {
+        let h = HilbertCurve::new(dim, 1).unwrap();
+        let z = ZOrderCurve::new(dim, 1).unwrap();
+        let coords: Vec<u64> = (0..dim).map(|i| (i % 2) as u64).collect();
+        group.bench_with_input(BenchmarkId::new("hilbert_encode", dim), &dim, |b, _| {
+            b.iter(|| h.encode(black_box(&coords)))
+        });
+        group.bench_with_input(BenchmarkId::new("hilbert_decode", dim), &dim, |b, _| {
+            b.iter(|| h.decode(black_box(3)))
+        });
+        group.bench_with_input(BenchmarkId::new("zorder_encode", dim), &dim, |b, _| {
+            b.iter(|| z.encode(black_box(&coords)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_curves);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation: RKV (the paper's k-NN algorithm) vs HS (best-first) on the
+//! same X-tree — latency and, implicitly, page accesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsim_datagen::{DataGenerator, FourierGenerator, UniformGenerator};
+use parsim_index::{KnnAlgorithm, SpatialTree, TreeParams, TreeVariant};
+
+fn bench_knn_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_algo");
+    group.sample_size(20);
+    let dim = 12;
+    for (name, data) in [
+        ("uniform", UniformGenerator::new(dim).generate(10_000, 1)),
+        ("fourier", FourierGenerator::new(dim).generate(10_000, 1)),
+    ] {
+        let items: Vec<_> = data
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i as u64))
+            .collect();
+        let params = TreeParams::for_dim(dim, TreeVariant::xtree_default()).unwrap();
+        let tree = SpatialTree::bulk_load(params, items).unwrap();
+        let queries = UniformGenerator::new(dim).generate(64, 2);
+        for (algo_name, algo) in [("rkv", KnnAlgorithm::Rkv), ("hs", KnnAlgorithm::Hs)] {
+            group.bench_with_input(BenchmarkId::new(algo_name, name), &algo, |b, &algo| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % queries.len();
+                    tree.knn(black_box(&queries[i]), 10, algo)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn_algorithms);
+criterion_main!(benches);

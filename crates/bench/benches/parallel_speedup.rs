@@ -1,0 +1,37 @@
+//! End-to-end bench: parallel 10-NN query latency by declustering method
+//! (wall-clock companion to figures 12–14, whose primary metric is page
+//! counts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsim_bench::experiments::common::{build_engine, Method};
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_parallel::EngineConfig;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_speedup");
+    group.sample_size(15);
+    let dim = 15;
+    let data = UniformGenerator::new(dim).generate(20_000, 5);
+    let queries = UniformGenerator::new(dim).generate(32, 6);
+    let config = EngineConfig::paper_defaults(dim);
+    for method in [Method::RoundRobin, Method::Hilbert, Method::NearOptimal] {
+        let engine = build_engine(method, &data, 16, config);
+        group.bench_with_input(
+            BenchmarkId::new("knn10_16disks", format!("{method:?}")),
+            &method,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % queries.len();
+                    engine.knn(black_box(&queries[i]), 10).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 1 as a wall-clock bench: sequential X-tree 10-NN latency vs
+//! dimension. (The figures binary reports the page-count version.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_index::{KnnAlgorithm, SpatialTree, TreeParams, TreeVariant};
+
+fn bench_seq_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_knn_dim");
+    group.sample_size(20);
+    for dim in [4usize, 8, 16] {
+        let data: Vec<_> = UniformGenerator::new(dim)
+            .generate(10_000, 1)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u64))
+            .collect();
+        let params = TreeParams::for_dim(dim, TreeVariant::xtree_default()).unwrap();
+        let tree = SpatialTree::bulk_load(params, data).unwrap();
+        let queries = UniformGenerator::new(dim).generate(64, 2);
+        group.bench_with_input(BenchmarkId::new("xtree_10nn", dim), &dim, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                tree.knn(black_box(&queries[i]), 10, KnnAlgorithm::Rkv)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_knn);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Throughput extension bench (the paper's future work): saturated batch
+//! queries per second by declustering method, plus the per-query-latency
+//! vs throughput trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsim_bench::experiments::common::{build_declustered, Method};
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_parallel::throughput::run_batch;
+use parsim_parallel::EngineConfig;
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    let dim = 12;
+    let data = UniformGenerator::new(dim).generate(20_000, 5);
+    let queries = UniformGenerator::new(dim).generate(32, 6);
+    let config = EngineConfig::paper_defaults(dim);
+    for method in [Method::RoundRobin, Method::Hilbert, Method::NearOptimal] {
+        let engine = build_declustered(method, &data, 16, config);
+        group.bench_with_input(
+            BenchmarkId::new("batch32_knn10", format!("{method:?}")),
+            &method,
+            |b, _| b.iter(|| run_batch(&engine, black_box(&queries), 10).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

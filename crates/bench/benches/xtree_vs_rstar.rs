@@ -1,0 +1,47 @@
+//! Ablation: X-tree (supernodes) vs plain R*-tree in high dimensions —
+//! the design choice the X-tree paper motivates and ours inherits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_index::{KnnAlgorithm, SpatialTree, TreeParams, TreeVariant};
+
+fn build(dim: usize, variant: TreeVariant, n: usize) -> SpatialTree {
+    let params = TreeParams::for_dim(dim, variant).unwrap();
+    let mut tree = SpatialTree::new(params);
+    for (i, p) in UniformGenerator::new(dim)
+        .generate(n, 3)
+        .into_iter()
+        .enumerate()
+    {
+        tree.insert(p, i as u64).unwrap();
+    }
+    tree
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xtree_vs_rstar");
+    group.sample_size(15);
+    let n = 8_000;
+    for dim in [8usize, 14] {
+        let queries = UniformGenerator::new(dim).generate(32, 4);
+        for (name, variant) in [
+            ("rstar", TreeVariant::RStar),
+            ("xtree", TreeVariant::xtree_default()),
+        ] {
+            let tree = build(dim, variant, n);
+            group.bench_with_input(BenchmarkId::new(name, dim), &dim, |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % queries.len();
+                    tree.knn(black_box(&queries[i]), 10, KnnAlgorithm::Rkv)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

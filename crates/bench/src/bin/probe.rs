@@ -1,0 +1,80 @@
+//! Scratch probe for calibrating experiment regimes (not part of the
+//! published figure set).
+
+use std::sync::Arc;
+
+use parsim_bench::experiments::common::uniform_queries;
+use parsim_datagen::{DataGenerator, FourierGenerator, QueryWorkload, UniformGenerator};
+use parsim_decluster::quantile::median_splits;
+use parsim_decluster::{BucketDecluster, DiskModulo, FxXor, HilbertDecluster, NearOptimal};
+use parsim_parallel::{DeclusteredXTree, EngineConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dim: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(15);
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let k: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let fourier = args.get(3).map(|s| s == "fourier").unwrap_or(false);
+    let disks = 16;
+    let (data, queries) = if fourier {
+        let gen = FourierGenerator::new(dim);
+        let data = gen.generate(n, 1);
+        let queries = QueryWorkload::DataLike { data_count: n }.generate(&gen, 10, 1);
+        (data, queries)
+    } else {
+        (
+            UniformGenerator::new(dim).generate(n, 1),
+            uniform_queries(dim, 10, 2),
+        )
+    };
+    let config = EngineConfig::paper_defaults(dim);
+    println!("dim={dim} n={n} k={k} disks={disks} fourier={fourier}");
+
+    let methods: Vec<(&str, Arc<dyn BucketDecluster>)> = vec![
+        ("disk-modulo", Arc::new(DiskModulo::new(disks).unwrap())),
+        ("fx", Arc::new(FxXor::new(disks).unwrap())),
+        (
+            "hilbert",
+            Arc::new(HilbertDecluster::new(dim, disks).unwrap()),
+        ),
+        (
+            "near-optimal",
+            Arc::new(NearOptimal::new(dim, disks.min(16)).unwrap()),
+        ),
+    ];
+    // Round-robin over items and pages first.
+    let rri = DeclusteredXTree::build(
+        &data,
+        std::sync::Arc::new(parsim_decluster::RoundRobin::new(disks).unwrap()),
+        config,
+    )
+    .unwrap();
+    report("rr-items", &rri, &queries, k);
+    let rr = DeclusteredXTree::build_round_robin_pages(&data, disks, config).unwrap();
+    report("rr-pages", &rr, &queries, k);
+    for (name, m) in methods {
+        let splitter = median_splits(&data).unwrap();
+        let e = DeclusteredXTree::build_bucket(&data, m, splitter, config).unwrap();
+        report(name, &e, &queries, k);
+    }
+}
+
+fn report(name: &str, e: &DeclusteredXTree, queries: &[parsim_geometry::Point], k: usize) {
+    let mut max = 0u64;
+    let mut tot = 0u64;
+    let mut dir = 0u64;
+    for q in queries {
+        let (_, c, d) = e.knn_detailed(q, k).unwrap();
+        max += c.max_reads;
+        tot += c.total_reads;
+        dir += d;
+    }
+    let nq = queries.len() as f64;
+    println!(
+        "{name:>12}: max={:>7.1} tot={:>8.1} dir={:>6.1} speedup={:.2}",
+        max as f64 / nq,
+        tot as f64 / nq,
+        dir as f64 / nq,
+        tot as f64 / max as f64
+    );
+}

@@ -1,0 +1,76 @@
+//! Extension experiment 4: X-tree structure vs dimension.
+//!
+//! The X-tree's founding claim \[BKK 96\] is that in high dimensions
+//! directory splits become overlap-doomed, so the tree must extend nodes
+//! (supernodes) instead of splitting them — degenerating gracefully
+//! towards a sequential file rather than thrashing through an overlapping
+//! directory. This experiment builds insertion-built X-trees and R\*-trees
+//! across dimensions and reports the structural evidence: supernode
+//! counts and extra pages appear and grow with the dimension for the
+//! X-tree, while the R\*-tree by construction has none.
+
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_index::{SpatialTree, TreeParams, TreeVariant};
+
+use crate::report::{fmt, ExperimentReport};
+
+use super::common::scaled;
+
+/// Runs the experiment: insertion-built trees, 8 ≤ d ≤ 16.
+pub fn run(scale: f64) -> ExperimentReport {
+    let n = scaled(20_000, scale);
+    let mut rows = Vec::new();
+    let mut supernode_counts = Vec::new();
+    for dim in [2usize, 4, 8, 12, 16] {
+        let pts = UniformGenerator::new(dim).generate(n, 221);
+        let mut xtree = SpatialTree::new(
+            TreeParams::for_dim(dim, TreeVariant::xtree_default())
+                .expect("valid dim")
+                .with_capacities(20, 20)
+                .expect("valid capacities"),
+        );
+        for (i, p) in pts.iter().enumerate() {
+            xtree.insert(p.clone(), i as u64).expect("insert");
+        }
+        let xstats = xtree.stats();
+        let mut rstar = SpatialTree::new(
+            TreeParams::for_dim(dim, TreeVariant::RStar)
+                .expect("valid dim")
+                .with_capacities(20, 20)
+                .expect("valid capacities"),
+        );
+        for (i, p) in pts.iter().enumerate() {
+            rstar.insert(p.clone(), i as u64).expect("insert");
+        }
+        let rstats = rstar.stats();
+        supernode_counts.push(xstats.supernodes);
+        rows.push(vec![
+            dim.to_string(),
+            xstats.supernodes.to_string(),
+            xtree.supernode_extra_pages().to_string(),
+            xstats.height.to_string(),
+            rstats.height.to_string(),
+            fmt(xstats.leaf_fill, 2),
+        ]);
+    }
+    let grew = supernode_counts.windows(2).filter(|w| w[1] >= w[0]).count();
+    ExperimentReport {
+        id: "ext4",
+        title: "EXTENSION — X-tree structure vs dimension (supernodes)",
+        paper: "[BKK 96]: overlap-doomed directory splits force supernodes in high dimensions; the directory flattens instead of degenerating",
+        headers: vec![
+            "dim".into(),
+            "supernodes".into(),
+            "extra pages".into(),
+            "x-tree height".into(),
+            "r*-tree height".into(),
+            "leaf fill".into(),
+        ],
+        rows,
+        notes: vec![format!(
+            "supernodes appear and persist as the dimension grows (non-decreasing in {grew}/{} \
+             steps); the R*-tree never forms any by construction",
+            supernode_counts.len() - 1
+        )],
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 1: nearest-neighbor queries on a sequential X-tree degenerate
+//! with growing dimension.
+
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_parallel::EngineConfig;
+
+use crate::report::{fmt, ExperimentReport};
+
+use super::common::{scaled, sequential_cost, uniform_queries};
+
+/// Runs the experiment: 10-NN queries on a sequential X-tree over uniform
+/// data of increasing dimensionality.
+pub fn run(scale: f64) -> ExperimentReport {
+    let n = scaled(20_000, scale);
+    let queries_n = 10;
+    let k = 10;
+    let mut rows = Vec::new();
+    let mut first = f64::NAN;
+    let mut last = f64::NAN;
+    for dim in [2usize, 4, 6, 8, 10, 12, 14, 16] {
+        let data = UniformGenerator::new(dim).generate(n, 11);
+        let queries = uniform_queries(dim, queries_n, 101);
+        let config = EngineConfig::paper_defaults(dim);
+        let cost = sequential_cost(&data, &queries, k, config);
+        if dim == 2 {
+            first = cost.avg_parallel_ms;
+        }
+        last = cost.avg_parallel_ms;
+        rows.push(vec![
+            dim.to_string(),
+            fmt(cost.avg_total_reads, 1),
+            fmt(cost.avg_parallel_ms / 1e3, 2),
+        ]);
+    }
+    let growth = last / first;
+    ExperimentReport {
+        id: "fig1",
+        title: "sequential X-tree 10-NN search time vs dimension",
+        paper: "total search time grows steeply with the dimension (seconds by d=16 on 30 MB)",
+        headers: vec![
+            "dim".into(),
+            "pages/query".into(),
+            "time (s)".into(),
+        ],
+        rows,
+        notes: vec![format!(
+            "search time grows {growth:.0}x from d=2 to d=16 — the degeneration motivating parallelism"
+        )],
+    }
+}

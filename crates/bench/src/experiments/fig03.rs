@@ -1,0 +1,64 @@
+//! Figure 3: the improvement of Hilbert declustering over round robin —
+//! growing with the number of disks and with the amount of data.
+
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_parallel::EngineConfig;
+
+use crate::report::{fmt, ExperimentReport};
+
+use super::common::{build_declustered, declustered_cost, scaled, uniform_queries, Method};
+
+/// Runs both panels: improvement vs disks (fixed data) and improvement vs
+/// data volume (fixed 16 disks). Improvement = round-robin parallel time /
+/// Hilbert parallel time for a 10-NN workload.
+pub fn run(scale: f64) -> ExperimentReport {
+    let dim = 15;
+    let k = 10;
+    let config = EngineConfig::paper_defaults(dim);
+    let mut rows = Vec::new();
+
+    // Panel (a): vs number of disks. The quadrant structure only pays off
+    // once pages are small relative to the NN sphere, so this figure runs
+    // at a larger scale than the others (the paper makes the same point:
+    // the improvement grows with the amount of data).
+    let n = scaled(400_000, scale);
+    let data = UniformGenerator::new(dim).generate(n, 31);
+    let queries = uniform_queries(dim, 8, 301);
+    for disks in [2usize, 4, 8, 16] {
+        let rr = build_declustered(Method::RoundRobin, &data, disks, config);
+        let hi = build_declustered(Method::Hilbert, &data, disks, config);
+        let imp = declustered_cost(&rr, &queries, k).avg_parallel_ms
+            / declustered_cost(&hi, &queries, k).avg_parallel_ms;
+        rows.push(vec![
+            format!("disks={disks}"),
+            format!("{n} pts"),
+            fmt(imp, 2),
+        ]);
+    }
+
+    // Panel (b): vs amount of data at 16 disks.
+    for base in [50_000usize, 100_000, 200_000, 400_000] {
+        let n = scaled(base, scale);
+        let data = UniformGenerator::new(dim).generate(n, 32);
+        let queries = uniform_queries(dim, 8, 302);
+        let rr = build_declustered(Method::RoundRobin, &data, 16, config);
+        let hi = build_declustered(Method::Hilbert, &data, 16, config);
+        let imp = declustered_cost(&rr, &queries, k).avg_parallel_ms
+            / declustered_cost(&hi, &queries, k).avg_parallel_ms;
+        rows.push(vec!["disks=16".into(), format!("{n} pts"), fmt(imp, 2)]);
+    }
+
+    ExperimentReport {
+        id: "fig3",
+        title: "improvement of Hilbert declustering over round robin",
+        paper: "improvement factor grows both with the number of disks and with the data volume",
+        headers: vec!["sweep".into(), "data".into(), "improvement (RR/HI)".into()],
+        rows,
+        notes: vec![
+            "the improvement factor grows with the data volume and crosses 1 at paper-scale data \
+             (hundreds of thousands of vectors); in high dimensions small databases leave all \
+             methods reading nearly every page, as Section 3.1 predicts"
+                .into(),
+        ],
+    }
+}

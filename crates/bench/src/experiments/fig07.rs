@@ -1,0 +1,69 @@
+//! Figure 7 / Lemma 1: disk modulo, FX and Hilbert are not near-optimal
+//! declustering techniques; a near-optimal declustering exists.
+
+use parsim_decluster::{
+    BucketDecluster, DiskAssignmentGraph, DiskModulo, FxXor, HilbertDecluster, NearOptimal,
+};
+
+use crate::report::ExperimentReport;
+
+/// Runs the verification on the 3-d disk assignment graph with 4 disks
+/// (the optimal count for d = 3), reporting the first violating pair per
+/// method — the paper's counterexample cubes.
+pub fn run(_scale: f64) -> ExperimentReport {
+    let dim = 3;
+    let disks = 4;
+    let graph = DiskAssignmentGraph::new(dim);
+    let methods: Vec<(&str, Box<dyn BucketDecluster>)> = vec![
+        ("disk modulo", Box::new(DiskModulo::new(disks).unwrap())),
+        ("FX", Box::new(FxXor::new(disks).unwrap())),
+        (
+            "hilbert",
+            Box::new(HilbertDecluster::new(dim, disks).unwrap()),
+        ),
+        (
+            "near-optimal",
+            Box::new(NearOptimal::with_optimal_disks(dim).unwrap()),
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut near_optimal_clean = false;
+    for (name, m) in &methods {
+        let (direct, indirect) = graph.count_violations(m.as_ref());
+        let verdict = match graph.verify(m.as_ref()) {
+            Ok(()) => {
+                if *name == "near-optimal" {
+                    near_optimal_clean = true;
+                }
+                "NEAR-OPTIMAL".to_string()
+            }
+            Err(v) => format!(
+                "collides: {:03b}~{:03b} on disk {}",
+                v.bucket_a, v.bucket_b, v.disk
+            ),
+        };
+        rows.push(vec![
+            (*name).into(),
+            direct.to_string(),
+            indirect.to_string(),
+            verdict,
+        ]);
+    }
+    assert!(near_optimal_clean, "col must color G_3 properly");
+    ExperimentReport {
+        id: "fig7",
+        title: "classical declusterings are not near-optimal (3-d counterexample)",
+        paper: "DM, FX and Hilbert each assign some indirect neighbors to the same disk; a near-optimal declustering with 4 disks exists",
+        headers: vec![
+            "method".into(),
+            "direct collisions".into(),
+            "indirect collisions".into(),
+            "verdict".into(),
+        ],
+        rows,
+        notes: vec![
+            "reproduces Lemma 1 exactly: only the coloring technique separates all neighbors"
+                .into(),
+        ],
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 12: speed-up of the near-optimal technique on uniformly
+//! distributed data.
+
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_parallel::metrics::speedup;
+use parsim_parallel::EngineConfig;
+
+use crate::report::{fmt, ExperimentReport};
+
+use super::common::{
+    build_declustered, declustered_cost, scaled, uniform_queries, Method, DISK_SWEEP,
+};
+
+/// Runs the experiment: NN and 10-NN speed-up of the near-optimal
+/// declustering vs the sequential X-tree, 15-d uniform data.
+pub fn run(scale: f64) -> ExperimentReport {
+    let dim = 15;
+    let n = scaled(50_000, scale);
+    let data = UniformGenerator::new(dim).generate(n, 121);
+    let queries = uniform_queries(dim, 15, 1201);
+    let config = EngineConfig::paper_defaults(dim);
+    // Baseline: the identical bucket-grouped X-tree confined to one disk.
+    let baseline = build_declustered(Method::NearOptimal, &data, 1, config);
+    let seq1 = declustered_cost(&baseline, &queries, 1);
+    let seq10 = declustered_cost(&baseline, &queries, 10);
+
+    let mut rows = Vec::new();
+    let mut last = (0.0, 0.0);
+    for disks in DISK_SWEEP {
+        let engine = build_declustered(Method::NearOptimal, &data, disks, config);
+        let s1 = speedup(&seq1, &declustered_cost(&engine, &queries, 1));
+        let s10 = speedup(&seq10, &declustered_cost(&engine, &queries, 10));
+        last = (s1, s10);
+        rows.push(vec![
+            disks.to_string(),
+            engine.disks().to_string(),
+            fmt(s1, 2),
+            fmt(s10, 2),
+        ]);
+    }
+    ExperimentReport {
+        id: "fig12",
+        title: "speed-up of the near-optimal technique on uniform data",
+        paper: "nearly linear speed-up; approximately 8 (NN) and 12 (10-NN) at 16 disks",
+        headers: vec![
+            "disks requested".into(),
+            "disks used".into(),
+            "NN speed-up".into(),
+            "10-NN speed-up".into(),
+        ],
+        rows,
+        notes: vec![format!(
+            "at 16 disks: NN speed-up {:.1}, 10-NN speed-up {:.1}",
+            last.0, last.1
+        )],
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 14: the improvement factor of the near-optimal technique over
+//! the Hilbert declustering grows with the number of disks.
+
+use parsim_datagen::{DataGenerator, FourierGenerator};
+use parsim_parallel::EngineConfig;
+
+use crate::report::{fmt, ExperimentReport};
+
+use super::common::{build_declustered, data_queries, declustered_cost, scaled, Method};
+
+/// Runs the experiment: improvement factor (Hilbert parallel time / ours)
+/// on Fourier data, 10-NN.
+pub fn run(scale: f64) -> ExperimentReport {
+    let dim = 16;
+    let n = scaled(50_000, scale);
+    let gen = FourierGenerator::new(dim);
+    let data = gen.generate(n, 141);
+    let queries = data_queries(&gen, n, 15, 141);
+    let config = EngineConfig::paper_defaults(dim);
+
+    let mut rows = Vec::new();
+    let mut factors = Vec::new();
+    for disks in [2usize, 4, 8, 16] {
+        let ours = build_declustered(Method::NearOptimal, &data, disks, config);
+        let hil = build_declustered(Method::Hilbert, &data, disks, config);
+        let factor = declustered_cost(&hil, &queries, 10).avg_parallel_ms
+            / declustered_cost(&ours, &queries, 10).avg_parallel_ms;
+        factors.push(factor);
+        rows.push(vec![disks.to_string(), fmt(factor, 2)]);
+    }
+    let increasing = factors.windows(2).filter(|w| w[1] >= w[0]).count();
+    ExperimentReport {
+        id: "fig14",
+        title: "improvement factor over the Hilbert curve (Fourier data, 10-NN)",
+        paper: "factor increases roughly linearly with the number of disks and approaches ~5 at 16 disks",
+        headers: vec!["disks".into(), "improvement (HI/ours)".into()],
+        rows,
+        notes: vec![format!(
+            "factor at 16 disks: {:.2}; non-decreasing in {}/{} steps",
+            factors.last().copied().unwrap_or(f64::NAN),
+            increasing,
+            factors.len() - 1
+        )],
+    }
+}

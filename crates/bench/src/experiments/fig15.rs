@@ -1,0 +1,59 @@
+//! Figure 15 (printed as Figure 5 in some copies): scale-up — the number
+//! of disks and the amount of data grow proportionally; the search time
+//! should stay constant.
+
+use parsim_datagen::{DataGenerator, FourierGenerator};
+use parsim_parallel::EngineConfig;
+
+use crate::report::{fmt, ExperimentReport};
+
+use super::common::{build_declustered, data_queries, declustered_cost, scaled, Method};
+
+/// Runs the experiment: (disks, data) grow together ×2 per step; reported
+/// are NN and 10-NN parallel search times of the near-optimal technique.
+pub fn run(scale: f64) -> ExperimentReport {
+    let dim = 16;
+    let gen = FourierGenerator::new(dim);
+    let config = EngineConfig::paper_defaults(dim);
+
+    let mut rows = Vec::new();
+    let mut times = Vec::new();
+    for (disks, base) in [
+        (2usize, 12_500usize),
+        (4, 25_000),
+        (8, 50_000),
+        (16, 100_000),
+    ] {
+        let n = scaled(base, scale);
+        let data = gen.generate(n, 151);
+        let queries = data_queries(&gen, n, 10, 151);
+        let engine = build_declustered(Method::NearOptimal, &data, disks, config);
+        let c1 = declustered_cost(&engine, &queries, 1);
+        let c10 = declustered_cost(&engine, &queries, 10);
+        times.push(c10.avg_parallel_ms);
+        rows.push(vec![
+            disks.to_string(),
+            n.to_string(),
+            fmt(c1.avg_parallel_ms, 1),
+            fmt(c10.avg_parallel_ms, 1),
+        ]);
+    }
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = times.iter().copied().fold(0.0_f64, f64::max);
+    ExperimentReport {
+        id: "fig15",
+        title: "scale-up: disks and data grow proportionally",
+        paper: "total search time stays nearly constant for NN and 10-NN queries",
+        headers: vec![
+            "disks".into(),
+            "points".into(),
+            "NN time (ms)".into(),
+            "10-NN time (ms)".into(),
+        ],
+        rows,
+        notes: vec![format!(
+            "10-NN time varies only {:.2}x across an 8x problem-size growth (1.0 = perfectly constant)",
+            max / min
+        )],
+    }
+}

@@ -1,0 +1,53 @@
+//! Smoke tests of the experiment harness: the cheap experiments run at a
+//! tiny scale and produce well-formed reports with the expected shape.
+//! (The expensive figures are exercised end-to-end by the `figures`
+//! binary; these tests keep the harness itself from regressing.)
+
+use super::*;
+
+#[test]
+fn dispatcher_covers_all_and_rejects_unknown() {
+    assert_eq!(ALL.len(), 17);
+    assert!(run("nonsense", 1.0).is_none());
+    assert!(run("fig99", 1.0).is_none());
+}
+
+#[test]
+fn analytic_experiments_produce_reports() {
+    for id in ["fig5", "fig7", "fig10"] {
+        let report = run(id, 0.05).expect("known id");
+        assert_eq!(report.id, id);
+        assert!(!report.rows.is_empty(), "{id}: empty rows");
+        let width = report.headers.len();
+        assert!(report.rows.iter().all(|r| r.len() == width), "{id}: ragged");
+        let md = report.to_markdown();
+        assert!(md.contains(report.title));
+    }
+}
+
+#[test]
+fn fig16_runs_at_tiny_scale() {
+    let report = run("fig16", 0.2).expect("fig16");
+    assert_eq!(report.rows.len(), 2);
+    // The improvement note must be present.
+    assert!(report.notes[0].contains("improvement factor"));
+}
+
+#[test]
+fn ext2_runs_at_tiny_scale() {
+    let report = run("ext2", 0.1).expect("ext2");
+    assert_eq!(report.rows.len(), 6);
+    // Model and measured columns are positive numbers.
+    for row in &report.rows {
+        let model: f64 = row[2].parse().unwrap();
+        assert!(model > 0.0);
+    }
+}
+
+#[test]
+fn scaled_clamps_to_minimum() {
+    use super::common::scaled;
+    assert_eq!(scaled(100, 1.0), 100);
+    assert_eq!(scaled(100, 2.0), 200);
+    assert_eq!(scaled(100, 0.0), 16);
+}

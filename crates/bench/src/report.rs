@@ -1,0 +1,113 @@
+//! Experiment report formatting.
+
+/// The result of one regenerated figure: a table plus the paper's expected
+/// shape, printable as text or as a Markdown section for EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. "fig13".
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// What the paper reports for this figure (the shape we must match).
+    pub paper: &'static str,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations comparing measured vs paper.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Pretty-prints the report to stdout.
+    pub fn print(&self) {
+        println!("\n== {} — {} ==", self.id, self.title);
+        println!("paper: {}", self.paper);
+        println!();
+        let widths = self.column_widths();
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        println!("  {}", header_line.join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("  {}", line.join("  "));
+        }
+        for note in &self.notes {
+            println!("  note: {note}");
+        }
+    }
+
+    /// Renders the report as a Markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("**Paper:** {}\n\n", self.paper));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for note in &self.notes {
+                out.push_str(&format!("**Measured:** {note}\n\n"));
+            }
+        }
+        out
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        widths
+    }
+}
+
+/// Formats a float with a fixed number of decimals.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        ExperimentReport {
+            id: "figX",
+            title: "sample",
+            paper: "goes up",
+            headers: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "2.50".into()]],
+            notes: vec!["it went up".into()],
+        }
+    }
+
+    #[test]
+    fn markdown_contains_table() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2.50 |"));
+        assert!(md.contains("**Measured:** it went up"));
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.2345, 2), "1.23");
+        assert_eq!(fmt(10.0, 1), "10.0");
+    }
+}

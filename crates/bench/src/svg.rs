@@ -1,0 +1,273 @@
+//! Minimal hand-rolled SVG line charts for the regenerated figures.
+//!
+//! Zero dependencies: the `figures` binary's `--svg DIR` option renders
+//! each experiment whose table is numeric as a line chart resembling the
+//! paper's plots (x = first column, one series per further numeric
+//! column).
+
+use std::fmt::Write as _;
+
+use crate::ExperimentReport;
+
+/// Chart canvas size.
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+/// Margins: left, right, top, bottom.
+const MARGINS: (f64, f64, f64, f64) = (70.0, 30.0, 56.0, 60.0);
+
+/// Series color cycle (color-blind-safe-ish hues).
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+/// One renderable series extracted from a report.
+struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+/// Attempts to interpret the report as numeric columns; returns `None`
+/// when the table isn't chartable (fewer than two numeric columns or
+/// fewer than two rows).
+fn extract_series(report: &ExperimentReport) -> Option<(String, Vec<Series>)> {
+    if report.rows.len() < 2 {
+        return None;
+    }
+    let cols = report.headers.len();
+    let numeric = |s: &str| -> Option<f64> { s.trim().parse::<f64>().ok() };
+    // x column = first column; must be numeric in every row.
+    let xs: Option<Vec<f64>> = report.rows.iter().map(|r| numeric(&r[0])).collect();
+    let xs = xs?;
+    let mut series = Vec::new();
+    for c in 1..cols {
+        let ys: Option<Vec<f64>> = report
+            .rows
+            .iter()
+            .map(|r| r.get(c).map(|v| numeric(v)).unwrap_or(None))
+            .collect();
+        if let Some(ys) = ys {
+            series.push(Series {
+                name: report.headers[c].clone(),
+                points: xs.iter().copied().zip(ys).collect(),
+            });
+        }
+    }
+    if series.is_empty() {
+        return None;
+    }
+    Some((report.headers[0].clone(), series))
+}
+
+/// Renders the report as an SVG line chart; `None` if not chartable.
+pub fn render(report: &ExperimentReport) -> Option<String> {
+    let (x_label, series) = extract_series(report)?;
+
+    let (ml, mr, mt, mb) = MARGINS;
+    let plot_w = WIDTH - ml - mr;
+    let plot_h = HEIGHT - mt - mb;
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (0.0f64, f64::NEG_INFINITY);
+    for s in &series {
+        for &(x, y) in &s.points {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if !(x_min.is_finite() && x_max.is_finite() && y_max.is_finite()) || x_min == x_max {
+        return None;
+    }
+    if y_max <= y_min {
+        y_max = y_min + 1.0;
+    }
+    y_max *= 1.08; // headroom
+
+    let sx = |x: f64| ml + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = |y: f64| mt + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = write!(
+        svg,
+        r##"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"##
+    );
+    // Title.
+    let _ = write!(
+        svg,
+        r##"<text x="{}" y="24" text-anchor="middle" font-size="15" font-weight="bold">{} — {}</text>"##,
+        WIDTH / 2.0,
+        report.id,
+        xml_escape(report.title)
+    );
+
+    // Gridlines + y ticks (5 divisions).
+    for i in 0..=5 {
+        let yv = y_min + (y_max - y_min) * i as f64 / 5.0;
+        let y = sy(yv);
+        let _ = write!(
+            svg,
+            r##"<line x1="{ml}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            ml + plot_w
+        );
+        let _ = write!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" text-anchor="end" font-size="11">{}</text>"##,
+            ml - 6.0,
+            y + 4.0,
+            tick_label(yv)
+        );
+    }
+    // X ticks at the data points of the first series.
+    for &(x, _) in &series[0].points {
+        let px = sx(x);
+        let _ = write!(
+            svg,
+            r##"<line x1="{px:.1}" y1="{:.1}" x2="{px:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+            mt,
+            mt + plot_h
+        );
+        let _ = write!(
+            svg,
+            r##"<text x="{px:.1}" y="{:.1}" text-anchor="middle" font-size="11">{}</text>"##,
+            mt + plot_h + 16.0,
+            tick_label(x)
+        );
+    }
+    // Axes.
+    let _ = write!(
+        svg,
+        r##"<rect x="{ml}" y="{mt}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333"/>"##
+    );
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r##"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="12">{}</text>"##,
+        ml + plot_w / 2.0,
+        HEIGHT - 16.0,
+        xml_escape(&x_label)
+    );
+
+    // Series lines, markers and legend.
+    for (si, s) in series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+            .collect();
+        let _ = write!(
+            svg,
+            r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"##,
+            path.join(" ")
+        );
+        for &(x, y) in &s.points {
+            let _ = write!(
+                svg,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"##,
+                sx(x),
+                sy(y)
+            );
+        }
+        // Legend entry.
+        let lx = ml + 10.0;
+        let ly = mt + 14.0 + si as f64 * 16.0;
+        let _ = write!(
+            svg,
+            r##"<line x1="{lx}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"##,
+            lx + 18.0
+        );
+        let _ = write!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"##,
+            lx + 24.0,
+            ly + 4.0,
+            xml_escape(&s.name)
+        );
+    }
+    svg.push_str("</svg>");
+    Some(svg)
+}
+
+fn tick_label(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_report() -> ExperimentReport {
+        ExperimentReport {
+            id: "figX",
+            title: "demo",
+            paper: "goes up",
+            headers: vec!["disks".into(), "ours".into(), "hilbert".into()],
+            rows: vec![
+                vec!["1".into(), "1.0".into(), "1.0".into()],
+                vec!["2".into(), "1.9".into(), "1.5".into()],
+                vec!["4".into(), "3.7".into(), "2.1".into()],
+            ],
+            notes: vec![],
+        }
+    }
+
+    #[test]
+    fn renders_numeric_tables() {
+        let svg = render(&numeric_report()).expect("chartable");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("hilbert"));
+        // Two series, one polyline each.
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn rejects_non_numeric_tables() {
+        let report = ExperimentReport {
+            id: "fig7",
+            title: "verdicts",
+            paper: "",
+            headers: vec!["method".into(), "verdict".into()],
+            rows: vec![vec!["dm".into(), "violates".into()]; 3],
+            notes: vec![],
+        };
+        assert!(render(&report).is_none());
+    }
+
+    #[test]
+    fn skips_non_numeric_columns_only() {
+        let mut report = numeric_report();
+        report.headers.push("comment".into());
+        for r in &mut report.rows {
+            r.push("n/a".into());
+        }
+        let svg = render(&report).expect("still chartable");
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn escapes_markup() {
+        let mut report = numeric_report();
+        report.title = "a < b & c";
+        let svg = render(&report).unwrap();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Seeded workload generators for the similarity-search experiments.
+//!
+//! The paper evaluates on three kinds of data:
+//!
+//! * **uniformly distributed points** (d = 8..16) — [`UniformGenerator`];
+//! * **Fourier points** corresponding to contours of industrial (CAD)
+//!   parts — [`fourier::FourierGenerator`] synthesizes closed part contours
+//!   from parameterized families and takes their real Fourier descriptors,
+//!   so the vectors have the same provenance and the same clustered,
+//!   correlated character as the paper's data set of CAD part variants;
+//! * **text descriptors** characterizing substrings of large document sets
+//!   — [`text::TextDescriptorGenerator`] builds a synthetic corpus with a
+//!   word-list Markov chain and extracts letter-bigram histogram features
+//!   of sliding-window substrings.
+//!
+//! [`ClusteredGenerator`] (Gaussian mixtures) and [`CorrelatedGenerator`]
+//! (points near a low-dimensional subspace) provide the skewed
+//! distributions the paper's Section 4.3 extensions target.
+//!
+//! Every generator is deterministic given its seed — all experiments in
+//! this repository are reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustered;
+pub mod correlated;
+pub mod fourier;
+pub mod queries;
+pub mod rng;
+pub mod text;
+pub mod uniform;
+
+pub use clustered::ClusteredGenerator;
+pub use correlated::CorrelatedGenerator;
+pub use fourier::FourierGenerator;
+pub use queries::QueryWorkload;
+pub use text::TextDescriptorGenerator;
+pub use uniform::UniformGenerator;
+
+use parsim_geometry::Point;
+
+/// A deterministic generator of d-dimensional feature vectors.
+pub trait DataGenerator {
+    /// Dimensionality of the generated points.
+    fn dim(&self) -> usize;
+
+    /// Generates `n` points using the given seed. The same `(n, seed)`
+    /// always yields the same points.
+    fn generate(&self, n: usize, seed: u64) -> Vec<Point>;
+
+    /// A short human-readable name for experiment logs.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,88 @@
+//! Query-point workloads.
+//!
+//! The paper's experiments use "uniformly distributed query points" for the
+//! uniform data sets and data-distributed queries for the real ones (a
+//! similarity query is usually issued for an object like the stored ones).
+
+use parsim_geometry::Point;
+
+use crate::uniform::UniformGenerator;
+use crate::DataGenerator;
+
+/// A workload of query points.
+#[derive(Debug, Clone)]
+pub enum QueryWorkload {
+    /// Query points drawn uniformly from the data space.
+    Uniform {
+        /// Dimensionality of the queries.
+        dim: usize,
+    },
+    /// Query points drawn from the same distribution as the stored data:
+    /// the data generator's stream is extended past the stored prefix, so
+    /// queries share the data's structure (e.g. the same cluster centers)
+    /// without coinciding with any stored point.
+    DataLike {
+        /// Number of points the database stores — the length of the stream
+        /// prefix the queries must skip.
+        data_count: usize,
+    },
+}
+
+impl QueryWorkload {
+    /// Generates `n` query points.
+    ///
+    /// For [`QueryWorkload::DataLike`] the `source` generator is run with
+    /// the *same* seed for `data_count + n` points and the last `n` are
+    /// returned, so queries follow exactly the data distribution.
+    pub fn generate(&self, source: &dyn DataGenerator, n: usize, seed: u64) -> Vec<Point> {
+        match self {
+            QueryWorkload::Uniform { dim } => UniformGenerator::new(*dim).generate(n, seed),
+            QueryWorkload::DataLike { data_count } => {
+                let mut stream = source.generate(data_count + n, seed);
+                stream.split_off(*data_count)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustered::ClusteredGenerator;
+
+    #[test]
+    fn uniform_queries_ignore_source() {
+        let src = ClusteredGenerator::new(4, 2, 0.01);
+        let q = QueryWorkload::Uniform { dim: 4 };
+        let pts = q.generate(&src, 100, 1);
+        assert_eq!(pts.len(), 100);
+        assert!(pts.iter().all(|p| p.dim() == 4));
+        // Uniform queries should spread over many quadrants even though the
+        // source is clustered.
+        use parsim_geometry::QuadrantSplitter;
+        let qs = QuadrantSplitter::midpoint(4).unwrap();
+        let quadrants: std::collections::HashSet<_> = pts.iter().map(|p| qs.bucket_of(p)).collect();
+        assert!(quadrants.len() > 8);
+    }
+
+    #[test]
+    fn datalike_queries_follow_source_distribution() {
+        let src = ClusteredGenerator::new(4, 1, 0.005);
+        let data = src.generate(200, 7);
+        let q = QueryWorkload::DataLike { data_count: 200 };
+        let queries = q.generate(&src, 50, 7);
+        // Every data-like query must be near the single tight cluster.
+        let centroid = {
+            let mut c = vec![0.0; 4];
+            for p in &data {
+                for (ci, pi) in c.iter_mut().zip(p.iter()) {
+                    *ci += pi;
+                }
+            }
+            Point::from_vec(c.into_iter().map(|x| x / data.len() as f64).collect())
+        };
+        assert!(queries.iter().all(|p| p.dist(&centroid) < 0.2));
+        // And queries differ from the stored points (distinct seed).
+        assert!(queries.iter().all(|q| !data.contains(q)));
+    }
+}

@@ -1,0 +1,204 @@
+//! Text descriptors of substrings of a synthetic corpus.
+//!
+//! The paper's third workload is "text data corresponding to substrings of
+//! a large set of texts" (d = 15) — feature vectors characterizing
+//! substrings of ASCII documents, in the spirit of the automatic-correction
+//! features surveyed by Kukich \[Kuk 92\]. We rebuild the pipeline:
+//!
+//! 1. A synthetic corpus is produced by a first-order Markov chain over an
+//!    embedded vocabulary of common English words (Zipf-weighted start
+//!    distribution, bigram transitions keyed on the last letter).
+//! 2. Sliding-window substrings are extracted from the corpus.
+//! 3. Each substring is mapped to a d-dimensional descriptor: a histogram
+//!    of its letter bigrams folded into `d` buckets, normalized by window
+//!    length.
+//!
+//! The resulting vectors are sparse, skewed by English letter statistics,
+//! and clustered — the same character as the paper's text descriptors.
+
+use rand::Rng;
+
+use parsim_geometry::Point;
+
+use crate::rng::seeded;
+use crate::DataGenerator;
+
+/// Embedded vocabulary: 128 common English words.
+const VOCABULARY: [&str; 128] = [
+    "where", "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was", "for",
+    "on", "are", "as", "with", "his", "they", "i", "at", "be", "this", "have", "from", "or", "one",
+    "had", "by", "word", "but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
+    "there", "use", "an", "each", "which", "she", "do", "how", "their", "if", "will", "up",
+    "other", "about", "out", "many", "then", "them", "these", "so", "some", "her", "would", "make",
+    "like", "him", "into", "time", "has", "look", "two", "more", "write", "go", "see", "number",
+    "no", "way", "could", "people", "my", "than", "first", "water", "been", "call", "who", "oil",
+    "its", "now", "find", "long", "down", "day", "did", "get", "come", "made", "may", "part",
+    "over", "new", "sound", "take", "only", "little", "work", "know", "place", "year", "live",
+    "me", "back", "give", "most", "very", "after", "thing", "our", "just", "name", "good",
+    "sentence", "man", "think", "say", "great",
+];
+
+/// Length of the sliding substring window in characters.
+const WINDOW: usize = 32;
+
+/// Generates text-descriptor feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextDescriptorGenerator {
+    dim: usize,
+}
+
+impl TextDescriptorGenerator {
+    /// Creates a generator of d-dimensional text descriptors. The paper
+    /// uses `d = 15`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        TextDescriptorGenerator { dim }
+    }
+
+    /// Synthesizes a corpus of roughly `chars` characters.
+    fn synthesize_corpus<R: Rng>(&self, rng: &mut R, chars: usize) -> String {
+        let mut corpus = String::with_capacity(chars + 16);
+        // Zipf-weighted word choice: rank r has weight 1/(r+1).
+        let weights: Vec<f64> = (0..VOCABULARY.len())
+            .map(|r| 1.0 / (r + 1) as f64)
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut last_letter: Option<u8> = None;
+        while corpus.len() < chars {
+            // Markov flavor: with probability 1/2 prefer a word starting
+            // with a letter "adjacent" to the last letter of the previous
+            // word, otherwise draw Zipf.
+            let word = if let (Some(l), true) = (last_letter, rng.random::<bool>()) {
+                let candidates: Vec<&&str> = VOCABULARY
+                    .iter()
+                    .filter(|w| {
+                        let f = w.as_bytes()[0];
+                        f == l || f == l.wrapping_add(1)
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    self.zipf_word(rng, &weights, total)
+                } else {
+                    candidates[rng.random_range(0..candidates.len())]
+                }
+            } else {
+                self.zipf_word(rng, &weights, total)
+            };
+            corpus.push_str(word);
+            corpus.push(' ');
+            last_letter = word.as_bytes().last().copied();
+        }
+        corpus
+    }
+
+    fn zipf_word<'a, R: Rng>(&self, rng: &mut R, weights: &[f64], total: f64) -> &'a &'static str {
+        let mut x = rng.random::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return &VOCABULARY[i];
+            }
+        }
+        &VOCABULARY[0]
+    }
+
+    /// Maps one substring window to its descriptor: letter-bigram counts
+    /// folded into `dim` buckets, normalized by window length.
+    fn descriptor(&self, window: &[u8]) -> Point {
+        let mut hist = vec![0u32; self.dim];
+        for pair in window.windows(2) {
+            let a = pair[0] as usize;
+            let b = pair[1] as usize;
+            // A small multiplicative hash folds the 2-byte bigram into a
+            // descriptor bucket.
+            let bucket = (a.wrapping_mul(31).wrapping_add(b)).wrapping_mul(0x9E37_79B1) >> 16;
+            hist[bucket % self.dim] += 1;
+        }
+        let scale = 4.0 / WINDOW as f64; // typical count per bucket ≈ WINDOW/dim
+        Point::from_vec(
+            hist.into_iter()
+                .map(|c| (c as f64 * scale).min(1.0))
+                .collect(),
+        )
+    }
+}
+
+impl DataGenerator for TextDescriptorGenerator {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = seeded(seed);
+        // Enough corpus for n windows with stride 8.
+        let stride = 8;
+        let corpus = self.synthesize_corpus(&mut rng, n * stride + WINDOW + 1);
+        let bytes = corpus.as_bytes();
+        (0..n)
+            .map(|i| self.descriptor(&bytes[i * stride..i * stride + WINDOW]))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "text"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_unit_cube_points() {
+        let g = TextDescriptorGenerator::new(15);
+        let pts = g.generate(300, 17);
+        assert_eq!(pts.len(), 300);
+        assert!(pts.iter().all(|p| p.dim() == 15 && p.in_unit_cube()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = TextDescriptorGenerator::new(15);
+        assert_eq!(g.generate(64, 3), g.generate(64, 3));
+    }
+
+    #[test]
+    fn descriptors_are_not_all_identical() {
+        let g = TextDescriptorGenerator::new(15);
+        let pts = g.generate(100, 5);
+        let first = &pts[0];
+        assert!(pts.iter().any(|p| p != first));
+    }
+
+    #[test]
+    fn overlapping_windows_are_similar() {
+        // Consecutive sliding windows share most of their bigrams, so their
+        // descriptors must be closer than two random windows on average.
+        let g = TextDescriptorGenerator::new(15);
+        let pts = g.generate(1000, 8);
+        let adjacent: f64 = pts.windows(2).map(|w| w[0].dist(&w[1])).sum::<f64>() / 999.0;
+        let distant: f64 = pts
+            .iter()
+            .zip(pts.iter().skip(500))
+            .map(|(a, b)| a.dist(b))
+            .sum::<f64>()
+            / 500.0;
+        assert!(
+            adjacent < distant,
+            "adjacent {adjacent} vs distant {distant}"
+        );
+    }
+
+    #[test]
+    fn corpus_is_ascii_words() {
+        let g = TextDescriptorGenerator::new(8);
+        let mut rng = seeded(1);
+        let corpus = g.synthesize_corpus(&mut rng, 500);
+        assert!(corpus.is_ascii());
+        assert!(corpus.split_whitespace().all(|w| VOCABULARY.contains(&w)));
+    }
+}

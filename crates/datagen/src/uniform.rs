@@ -1,0 +1,74 @@
+//! Uniformly distributed points — the paper's synthetic workload.
+
+use rand::Rng;
+
+use parsim_geometry::Point;
+
+use crate::rng::seeded;
+use crate::DataGenerator;
+
+/// Generates points uniformly distributed over `[0,1]^d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformGenerator {
+    dim: usize,
+}
+
+impl UniformGenerator {
+    /// Creates a generator for d-dimensional uniform data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        UniformGenerator { dim }
+    }
+}
+
+impl DataGenerator for UniformGenerator {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = seeded(seed);
+        (0..n)
+            .map(|_| Point::from_vec((0..self.dim).map(|_| rng.random::<f64>()).collect()))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let g = UniformGenerator::new(7);
+        let pts = g.generate(100, 1);
+        assert_eq!(pts.len(), 100);
+        assert!(pts.iter().all(|p| p.dim() == 7));
+        assert!(pts.iter().all(|p| p.in_unit_cube()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = UniformGenerator::new(4);
+        assert_eq!(g.generate(50, 9), g.generate(50, 9));
+        assert_ne!(g.generate(50, 9), g.generate(50, 10));
+    }
+
+    #[test]
+    fn roughly_uniform_marginals() {
+        let g = UniformGenerator::new(2);
+        let pts = g.generate(50_000, 3);
+        let mean_x = pts.iter().map(|p| p[0]).sum::<f64>() / pts.len() as f64;
+        let below_half = pts.iter().filter(|p| p[1] < 0.5).count() as f64 / pts.len() as f64;
+        assert!((mean_x - 0.5).abs() < 0.01);
+        assert!((below_half - 0.5).abs() < 0.01);
+    }
+}

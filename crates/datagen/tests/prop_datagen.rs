@@ -1,0 +1,81 @@
+//! Property tests of the workload generators.
+
+use proptest::prelude::*;
+
+use parsim_datagen::{
+    ClusteredGenerator, CorrelatedGenerator, DataGenerator, FourierGenerator, QueryWorkload,
+    TextDescriptorGenerator, UniformGenerator,
+};
+
+fn generators(dim: usize) -> Vec<Box<dyn DataGenerator>> {
+    vec![
+        Box::new(UniformGenerator::new(dim)),
+        Box::new(ClusteredGenerator::new(dim, 3, 0.05)),
+        Box::new(CorrelatedGenerator::new(dim, 0.03)),
+        Box::new(FourierGenerator::new(dim)),
+        Box::new(TextDescriptorGenerator::new(dim)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generator produces exactly `n` unit-cube points of the right
+    /// dimensionality, deterministically per seed.
+    #[test]
+    fn generators_are_total_and_deterministic(
+        dim in 2usize..=16,
+        n in 1usize..=200,
+        seed in any::<u64>(),
+    ) {
+        for gen in generators(dim) {
+            let a = gen.generate(n, seed);
+            prop_assert_eq!(a.len(), n, "{}", gen.name());
+            for p in &a {
+                prop_assert_eq!(p.dim(), dim, "{}", gen.name());
+                prop_assert!(p.in_unit_cube(), "{}", gen.name());
+            }
+            let b = gen.generate(n, seed);
+            prop_assert_eq!(a, b, "{} not deterministic", gen.name());
+        }
+    }
+
+    /// Different seeds produce different streams. Restricted to realistic
+    /// dimensionalities: at d = 2 a text descriptor has only two histogram
+    /// buckets and saturates to the same vector regardless of seed.
+    #[test]
+    fn seeds_differentiate_streams(dim in 6usize..=16, seed in any::<u64>()) {
+        for gen in generators(dim) {
+            let a = gen.generate(64, seed);
+            let b = gen.generate(64, seed.wrapping_add(1));
+            prop_assert_ne!(a, b, "{} ignored the seed", gen.name());
+        }
+    }
+
+    /// Prefix stability: generating more points extends the stream without
+    /// changing the prefix — the property `QueryWorkload::DataLike` relies
+    /// on to produce data-distributed queries disjoint from the stored set.
+    #[test]
+    fn streams_are_prefix_stable(dim in 2usize..=10, n in 8usize..=64, seed in any::<u64>()) {
+        for gen in generators(dim) {
+            let short = gen.generate(n, seed);
+            let long = gen.generate(n + 16, seed);
+            prop_assert_eq!(&long[..n], &short[..], "{} not prefix-stable", gen.name());
+        }
+    }
+
+    /// Data-like query workloads are exactly the continuation of the data
+    /// stream past the stored prefix (by construction they are distinct
+    /// stream positions; low-dimensional generators may still emit
+    /// value-equal points, e.g. 2-d Fourier descriptors on the unit
+    /// circle, so the contract is positional, not value inequality).
+    #[test]
+    fn datalike_queries_continue_the_stream(dim in 2usize..=10, seed in any::<u64>()) {
+        for gen in generators(dim) {
+            let queries =
+                QueryWorkload::DataLike { data_count: 50 }.generate(gen.as_ref(), 10, seed);
+            let stream = gen.generate(60, seed);
+            prop_assert_eq!(&queries[..], &stream[50..], "{}", gen.name());
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The disk assignment graph and near-optimality verification.
+//!
+//! Definition 5 of the paper: the **disk assignment graph** `G_d = (V, E)`
+//! has the bucket numbers `V = {0, …, 2^d − 1}` as vertices and an edge for
+//! every direct or indirect neighborhood. A declustering is *near-optimal*
+//! (Definition 4) iff it is a proper coloring of this graph. This module
+//! verifies arbitrary [`BucketDecluster`] implementations against that
+//! definition — it is how we reproduce Lemma 1 (disk modulo, FX and
+//! Hilbert are **not** near-optimal, Figure 7) — and contains an exhaustive
+//! backtracking search used to confirm that the staircase color count of
+//! Lemma 6 is truly minimal for small dimensions.
+
+use parsim_geometry::quadrant::{
+    all_neighbors, are_direct_neighbors, direct_neighbors, indirect_neighbors, BucketId,
+};
+
+use crate::methods::BucketDecluster;
+
+/// The kind of neighborhood an edge represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The colliding buckets differ in exactly one bit.
+    Direct,
+    /// The colliding buckets differ in exactly two bits.
+    Indirect,
+}
+
+/// A single near-optimality violation: two neighboring buckets on the same
+/// disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// First bucket of the colliding pair.
+    pub bucket_a: BucketId,
+    /// Second bucket of the colliding pair.
+    pub bucket_b: BucketId,
+    /// The shared disk.
+    pub disk: usize,
+    /// Whether the pair is a direct or indirect neighborhood.
+    pub kind: ViolationKind,
+}
+
+/// The disk assignment graph of a d-dimensional data space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskAssignmentGraph {
+    dim: usize,
+}
+
+impl DiskAssignmentGraph {
+    /// Creates the graph `G_d`. Verification enumerates all `2^d` vertices,
+    /// so `dim` is limited to 24 (16.7M vertices) to keep exhaustive checks
+    /// tractable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is 0 or greater than 24.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0 && dim <= 24, "graph dimension must be in 1..=24");
+        DiskAssignmentGraph { dim }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vertices, `2^d`.
+    pub fn vertex_count(&self) -> u64 {
+        1u64 << self.dim
+    }
+
+    /// Number of edges: `2^d · (d + C(d,2)) / 2`.
+    pub fn edge_count(&self) -> u64 {
+        let d = self.dim as u64;
+        (1u64 << self.dim) * (d + d * (d - 1) / 2) / 2
+    }
+
+    /// Checks whether `method` properly colors the graph, i.e. is a
+    /// near-optimal declustering per Definition 4. Returns the first
+    /// violation found, or `Ok(())`.
+    pub fn verify(&self, method: &dyn BucketDecluster) -> Result<(), Violation> {
+        for b in 0..self.vertex_count() {
+            let disk_b = method.disk_of_bucket(b, self.dim);
+            for c in all_neighbors(b, self.dim) {
+                if c < b {
+                    continue; // each undirected edge once
+                }
+                if method.disk_of_bucket(c, self.dim) == disk_b {
+                    return Err(Violation {
+                        bucket_a: b,
+                        bucket_b: c,
+                        disk: disk_b,
+                        kind: if are_direct_neighbors(b, c) {
+                            ViolationKind::Direct
+                        } else {
+                            ViolationKind::Indirect
+                        },
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts all violations, split into (direct, indirect) collisions —
+    /// the quantitative version of [`DiskAssignmentGraph::verify`] used to
+    /// compare how badly each classical method misses near-optimality.
+    pub fn count_violations(&self, method: &dyn BucketDecluster) -> (u64, u64) {
+        let mut direct = 0;
+        let mut indirect = 0;
+        for b in 0..self.vertex_count() {
+            let disk_b = method.disk_of_bucket(b, self.dim);
+            for c in direct_neighbors(b, self.dim) {
+                if c > b && method.disk_of_bucket(c, self.dim) == disk_b {
+                    direct += 1;
+                }
+            }
+            for c in indirect_neighbors(b, self.dim) {
+                if c > b && method.disk_of_bucket(c, self.dim) == disk_b {
+                    indirect += 1;
+                }
+            }
+        }
+        (direct, indirect)
+    }
+
+    /// Exhaustively decides whether the graph admits a proper coloring with
+    /// `colors` colors, by backtracking in bucket-number order with
+    /// symmetry breaking (vertex 0 is pinned to color 0).
+    ///
+    /// Exponential in the worst case — intended for `dim ≤ 4`, where it
+    /// confirms that the paper's staircase (Lemma 6) is optimal: no
+    /// coloring with fewer than `nextpow2(d+1)` colors exists.
+    pub fn colorable_with(&self, colors: usize) -> bool {
+        let n = self.vertex_count() as usize;
+        let mut assignment: Vec<Option<usize>> = vec![None; n];
+        assignment[0] = Some(0);
+        self.backtrack(&mut assignment, 1, colors)
+    }
+
+    fn backtrack(&self, assignment: &mut Vec<Option<usize>>, vertex: usize, colors: usize) -> bool {
+        if vertex == assignment.len() {
+            return true;
+        }
+        'next_color: for color in 0..colors {
+            for nb in all_neighbors(vertex as BucketId, self.dim) {
+                if let Some(c) = assignment[nb as usize] {
+                    if c == color {
+                        continue 'next_color;
+                    }
+                }
+            }
+            assignment[vertex] = Some(color);
+            if self.backtrack(assignment, vertex + 1, colors) {
+                return true;
+            }
+            assignment[vertex] = None;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{DiskModulo, FxXor, HilbertDecluster};
+    use crate::near_optimal::{colors_required, NearOptimal};
+
+    #[test]
+    fn graph_counts() {
+        let g = DiskAssignmentGraph::new(3);
+        assert_eq!(g.vertex_count(), 8);
+        // d + C(d,2) = 3 + 3 = 6 incident edges per vertex, 8*6/2 = 24.
+        assert_eq!(g.edge_count(), 24);
+    }
+
+    #[test]
+    fn lemma_1_classical_methods_are_not_near_optimal() {
+        // The paper's Figure 7: the 3-d counterexample.
+        let g = DiskAssignmentGraph::new(3);
+        let n = 4; // the optimal color count for d = 3
+        assert!(g.verify(&DiskModulo::new(n).unwrap()).is_err());
+        assert!(g.verify(&FxXor::new(n).unwrap()).is_err());
+        assert!(g.verify(&HilbertDecluster::new(3, n).unwrap()).is_err());
+        // … and a near-optimal declustering exists (right part of Fig. 7).
+        assert!(g
+            .verify(&NearOptimal::with_optimal_disks(3).unwrap())
+            .is_ok());
+    }
+
+    #[test]
+    fn lemma_1_holds_for_more_disks_too() {
+        // Giving the classical methods even more disks than the
+        // near-optimal technique needs does not save them.
+        for d in [3usize, 4, 5] {
+            let g = DiskAssignmentGraph::new(d);
+            for n in [4usize, 6, 8] {
+                assert!(
+                    g.verify(&DiskModulo::new(n).unwrap()).is_err(),
+                    "DM d={d} n={n}"
+                );
+                assert!(g.verify(&FxXor::new(n).unwrap()).is_err(), "FX d={d} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn near_optimal_verifies_up_to_d12() {
+        for d in 1..=12 {
+            let g = DiskAssignmentGraph::new(d);
+            let m = NearOptimal::with_optimal_disks(d).unwrap();
+            assert!(g.verify(&m).is_ok(), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn violation_counts_rank_the_baselines() {
+        // Hilbert is the best classical method: it must have fewer
+        // violations than FX (which degenerates to parity).
+        let d = 6;
+        let n = 8;
+        let g = DiskAssignmentGraph::new(d);
+        let (fx_d, fx_i) = g.count_violations(&FxXor::new(n).unwrap());
+        let (hi_d, hi_i) = g.count_violations(&HilbertDecluster::new(d, n).unwrap());
+        let (no_d, no_i) = g.count_violations(&NearOptimal::with_optimal_disks(d).unwrap());
+        assert_eq!((no_d, no_i), (0, 0));
+        assert!(hi_d + hi_i < fx_d + fx_i);
+        assert!(hi_d + hi_i > 0);
+    }
+
+    #[test]
+    fn violation_reports_are_accurate() {
+        let g = DiskAssignmentGraph::new(3);
+        let v = g.verify(&FxXor::new(2).unwrap()).unwrap_err();
+        // The reported pair really collides and really is a neighborhood.
+        let fx = FxXor::new(2).unwrap();
+        assert_eq!(
+            fx.disk_of_bucket(v.bucket_a, 3),
+            fx.disk_of_bucket(v.bucket_b, 3)
+        );
+        let bits = (v.bucket_a ^ v.bucket_b).count_ones();
+        match v.kind {
+            ViolationKind::Direct => assert_eq!(bits, 1),
+            ViolationKind::Indirect => assert_eq!(bits, 2),
+        }
+    }
+
+    #[test]
+    fn staircase_is_optimal_for_small_dimensions() {
+        // "For lower dimensions, we have verified by enumerating all
+        // possible color assignments, that there is no method which uses
+        // fewer colors than our staircase function."
+        for d in [2usize, 3, 4] {
+            let g = DiskAssignmentGraph::new(d);
+            let required = colors_required(d) as usize;
+            assert!(g.colorable_with(required), "d={d} required={required}");
+            assert!(
+                !g.colorable_with(required - 1),
+                "d={d}: {} colors should not suffice",
+                required - 1
+            );
+        }
+    }
+
+    #[test]
+    fn d2_graph_is_complete() {
+        // In 2-d all four quadrants are mutual neighbors (K4): 3 colors
+        // cannot work, 4 can.
+        let g = DiskAssignmentGraph::new(2);
+        assert_eq!(g.edge_count(), 6);
+        assert!(!g.colorable_with(3));
+        assert!(g.colorable_with(4));
+    }
+}

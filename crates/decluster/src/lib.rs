@@ -1,0 +1,83 @@
+//! Declustering methods for parallel nearest-neighbor search.
+//!
+//! The core problem of parallel NN search is the **declustering problem**:
+//! distribute the data over `n` disks such that the pages any query reads
+//! are spread over as many disks as possible. This crate implements every
+//! method the paper discusses:
+//!
+//! * [`RoundRobin`] — data item `v_j` goes to disk `j mod n` (the naive
+//!   baseline of Section 3).
+//! * [`DiskModulo`] — Du and Sobolewski \[DS 82\]:
+//!   `DM(c) = (Σ c_l) mod n`.
+//! * [`FxXor`] — Kim and Pramanik \[KP 88\]:
+//!   `FX(c) = (XOR c_l) mod n`.
+//! * [`HilbertDecluster`] — Faloutsos and Bhagwat \[FB 93\]:
+//!   `HI(c) = hilbert(c) mod n`, the strongest classical baseline.
+//! * [`NearOptimal`] — **the paper's contribution** (Section 4): the
+//!   vertex-coloring function [`near_optimal::col`] guarantees that all
+//!   buckets corresponding to directly or indirectly neighboring quadrants
+//!   are assigned to different disks, using the optimal-up-to-rounding
+//!   number of `nextpow2(d+1)` disks, with the complement-folding
+//!   extension for arbitrary disk counts.
+//!
+//! The [`graph`] module contains the disk-assignment-graph machinery used
+//! to *verify* near-optimality (Definition 4) and the exhaustive coloring
+//! search used to confirm the staircase of Lemma 6 is optimal for small
+//! dimensions. The [`quantile`] and [`recursive`] modules implement the
+//! Section 4.3 extensions for skewed and correlated data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod methods;
+pub mod near_optimal;
+pub mod quantile;
+pub mod recursive;
+pub mod striped;
+
+pub use graph::{DiskAssignmentGraph, Violation, ViolationKind};
+pub use methods::{
+    BucketBased, BucketDecluster, Declusterer, DiskModulo, FxXor, HilbertDecluster, RoundRobin,
+};
+pub use near_optimal::NearOptimal;
+pub use quantile::{median_splits, AdaptiveQuantile};
+pub use recursive::RecursiveDeclusterer;
+pub use striped::StripedNearOptimal;
+
+/// Errors produced by declustering constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeclusterError {
+    /// A method was constructed with zero disks.
+    ZeroDisks,
+    /// The dimensionality is outside the supported range.
+    BadDimension {
+        /// The offending dimensionality.
+        dim: usize,
+    },
+    /// More disks were requested than the method can use for this
+    /// dimensionality.
+    TooManyDisks {
+        /// The requested disk count.
+        requested: usize,
+        /// The maximum useful disk count.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for DeclusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeclusterError::ZeroDisks => write!(f, "need at least one disk"),
+            DeclusterError::BadDimension { dim } => write!(f, "unsupported dimensionality {dim}"),
+            DeclusterError::TooManyDisks { requested, max } => {
+                write!(
+                    f,
+                    "{requested} disks requested but at most {max} are usable"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeclusterError {}

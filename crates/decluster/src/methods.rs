@@ -1,0 +1,291 @@
+//! The declustering method traits and the classical baselines.
+
+use std::sync::Arc;
+
+use parsim_geometry::quadrant::BucketId;
+use parsim_geometry::{Point, QuadrantSplitter};
+use parsim_hilbert::HilbertCurve;
+
+use crate::DeclusterError;
+
+/// A **bucket-level** declustering method: a pure mapping from quadrant
+/// bucket numbers to disk numbers (the paper's "declustering algorithm
+/// DA"). Bucket-level methods can be analyzed on the disk assignment graph
+/// (near-optimality verification) and lifted to point level with
+/// [`BucketBased`].
+pub trait BucketDecluster: Send + Sync {
+    /// Short name for experiment logs ("disk-modulo", "hilbert", …).
+    fn name(&self) -> &'static str;
+
+    /// Number of disks the method distributes over.
+    fn disks(&self) -> usize;
+
+    /// The disk assigned to `bucket` in a `dim`-dimensional space.
+    fn disk_of_bucket(&self, bucket: BucketId, dim: usize) -> usize;
+}
+
+/// A **point-level** declusterer as consumed by the parallel engine: given
+/// the insertion sequence number and the point itself, produce the disk.
+pub trait Declusterer: Send + Sync {
+    /// Name for experiment logs.
+    fn name(&self) -> String;
+
+    /// Number of disks.
+    fn disks(&self) -> usize;
+
+    /// Assigns the `seq`-th inserted point `p` to a disk.
+    fn assign(&self, seq: u64, p: &Point) -> usize;
+}
+
+/// Round robin: data item `v_j` goes to disk `j mod n`. Ignores the data
+/// distribution entirely; the simplest possible declustering and the
+/// baseline of the paper's Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRobin {
+    disks: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin declusterer over `disks` disks.
+    pub fn new(disks: usize) -> Result<Self, DeclusterError> {
+        if disks == 0 {
+            return Err(DeclusterError::ZeroDisks);
+        }
+        Ok(RoundRobin { disks })
+    }
+}
+
+impl Declusterer for RoundRobin {
+    fn name(&self) -> String {
+        "round-robin".to_owned()
+    }
+
+    fn disks(&self) -> usize {
+        self.disks
+    }
+
+    fn assign(&self, seq: u64, _p: &Point) -> usize {
+        (seq % self.disks as u64) as usize
+    }
+}
+
+/// Disk modulo \[DS 82\]: `DM(c_0,…,c_{d−1}) = (Σ c_l) mod n`. On binary
+/// quadrant coordinates the sum is the popcount of the bucket number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskModulo {
+    disks: usize,
+}
+
+impl DiskModulo {
+    /// Creates a disk-modulo declusterer over `disks` disks.
+    pub fn new(disks: usize) -> Result<Self, DeclusterError> {
+        if disks == 0 {
+            return Err(DeclusterError::ZeroDisks);
+        }
+        Ok(DiskModulo { disks })
+    }
+}
+
+impl BucketDecluster for DiskModulo {
+    fn name(&self) -> &'static str {
+        "disk-modulo"
+    }
+
+    fn disks(&self) -> usize {
+        self.disks
+    }
+
+    fn disk_of_bucket(&self, bucket: BucketId, _dim: usize) -> usize {
+        (bucket.count_ones() as usize) % self.disks
+    }
+}
+
+/// The FX distribution \[KP 88\]: `FX(c_0,…,c_{d−1}) = (XOR c_l) mod n`.
+/// On binary quadrant coordinates the XOR of the 1-bit coordinates is their
+/// parity, so FX degenerates to two distinct disks — one of the reasons it
+/// performs poorly for high-dimensional NN queries (Lemma 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FxXor {
+    disks: usize,
+}
+
+impl FxXor {
+    /// Creates an FX declusterer over `disks` disks.
+    pub fn new(disks: usize) -> Result<Self, DeclusterError> {
+        if disks == 0 {
+            return Err(DeclusterError::ZeroDisks);
+        }
+        Ok(FxXor { disks })
+    }
+}
+
+impl BucketDecluster for FxXor {
+    fn name(&self) -> &'static str {
+        "fx"
+    }
+
+    fn disks(&self) -> usize {
+        self.disks
+    }
+
+    fn disk_of_bucket(&self, bucket: BucketId, _dim: usize) -> usize {
+        ((bucket.count_ones() & 1) as usize) % self.disks
+    }
+}
+
+/// Hilbert declustering \[FB 93\]: bucket `c` goes to disk
+/// `hilbert(c) mod n`, where `hilbert` is the d-dimensional Hilbert curve
+/// on the quadrant grid (order 1 — one bit per dimension, matching the
+/// binary partition every method shares in high dimensions).
+#[derive(Debug, Clone)]
+pub struct HilbertDecluster {
+    disks: usize,
+    dim: usize,
+    curve: HilbertCurve,
+}
+
+impl HilbertDecluster {
+    /// Creates a Hilbert declusterer for `dim` dimensions over `disks`
+    /// disks.
+    pub fn new(dim: usize, disks: usize) -> Result<Self, DeclusterError> {
+        if disks == 0 {
+            return Err(DeclusterError::ZeroDisks);
+        }
+        let curve = HilbertCurve::new(dim, 1).map_err(|_| DeclusterError::BadDimension { dim })?;
+        Ok(HilbertDecluster { disks, dim, curve })
+    }
+
+    /// The Hilbert value of a bucket (before the modulo).
+    pub fn hilbert_value(&self, bucket: BucketId) -> u128 {
+        let coords: Vec<u64> = (0..self.dim).map(|i| (bucket >> i) & 1).collect();
+        self.curve.encode(&coords)
+    }
+}
+
+impl BucketDecluster for HilbertDecluster {
+    fn name(&self) -> &'static str {
+        "hilbert"
+    }
+
+    fn disks(&self) -> usize {
+        self.disks
+    }
+
+    fn disk_of_bucket(&self, bucket: BucketId, dim: usize) -> usize {
+        debug_assert_eq!(dim, self.dim, "dimension mismatch");
+        (self.hilbert_value(bucket) % self.disks as u128) as usize
+    }
+}
+
+/// Lifts a [`BucketDecluster`] to point level: the point's quadrant is
+/// computed with a [`QuadrantSplitter`] (mid-point or data-quantile splits)
+/// and the bucket method decides the disk.
+#[derive(Clone)]
+pub struct BucketBased<M> {
+    method: M,
+    splitter: Arc<QuadrantSplitter>,
+}
+
+impl<M: BucketDecluster> BucketBased<M> {
+    /// Combines a bucket method with a splitter.
+    pub fn new(method: M, splitter: QuadrantSplitter) -> Self {
+        BucketBased {
+            method,
+            splitter: Arc::new(splitter),
+        }
+    }
+
+    /// The underlying bucket method.
+    pub fn method(&self) -> &M {
+        &self.method
+    }
+
+    /// The splitter in use.
+    pub fn splitter(&self) -> &QuadrantSplitter {
+        &self.splitter
+    }
+}
+
+impl<M: BucketDecluster> Declusterer for BucketBased<M> {
+    fn name(&self) -> String {
+        self.method.name().to_owned()
+    }
+
+    fn disks(&self) -> usize {
+        self.method.disks()
+    }
+
+    fn assign(&self, _seq: u64, p: &Point) -> usize {
+        let bucket = self.splitter.bucket_of(p);
+        self.method.disk_of_bucket(bucket, self.splitter.dim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::near_optimal::NearOptimal;
+
+    #[test]
+    fn round_robin_cycles() {
+        let rr = RoundRobin::new(4).unwrap();
+        let p = Point::origin(2);
+        let disks: Vec<usize> = (0..8).map(|s| rr.assign(s, &p)).collect();
+        assert_eq!(disks, [0, 1, 2, 3, 0, 1, 2, 3]);
+        assert!(RoundRobin::new(0).is_err());
+    }
+
+    #[test]
+    fn disk_modulo_is_popcount_mod_n() {
+        let dm = DiskModulo::new(3).unwrap();
+        assert_eq!(dm.disk_of_bucket(0b0000, 4), 0);
+        assert_eq!(dm.disk_of_bucket(0b0111, 4), 0);
+        assert_eq!(dm.disk_of_bucket(0b0011, 4), 2);
+        assert_eq!(dm.disk_of_bucket(0b1000, 4), 1);
+    }
+
+    #[test]
+    fn fx_is_parity() {
+        let fx = FxXor::new(8).unwrap();
+        for b in 0..16u64 {
+            assert_eq!(fx.disk_of_bucket(b, 4), (b.count_ones() & 1) as usize);
+        }
+    }
+
+    #[test]
+    fn hilbert_uses_all_disks_on_quadrants() {
+        // In 3-d with 4 disks the 8 Hilbert positions 0..7 cover each disk
+        // exactly twice.
+        let hi = HilbertDecluster::new(3, 4).unwrap();
+        let mut counts = [0usize; 4];
+        for b in 0..8u64 {
+            counts[hi.disk_of_bucket(b, 3)] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn hilbert_values_are_a_permutation() {
+        let hi = HilbertDecluster::new(5, 4).unwrap();
+        let mut seen = [false; 32];
+        for b in 0..32u64 {
+            let v = hi.hilbert_value(b) as usize;
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn bucket_based_lifts_to_points() {
+        let m = NearOptimal::with_optimal_disks(3).unwrap();
+        let splitter = QuadrantSplitter::midpoint(3).unwrap();
+        let lifted = BucketBased::new(m, splitter);
+        assert_eq!(lifted.disks(), 4);
+        assert_eq!(lifted.name(), "near-optimal");
+        // The point (0.9, 0.1, 0.9) is in bucket 0b101 = 5, color 2.
+        let p = Point::new(vec![0.9, 0.1, 0.9]).unwrap();
+        assert_eq!(lifted.assign(0, &p), 2);
+        // Sequence number is irrelevant for bucket methods.
+        assert_eq!(lifted.assign(99, &p), 2);
+    }
+}

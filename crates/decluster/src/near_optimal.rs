@@ -1,0 +1,394 @@
+//! The paper's near-optimal declustering technique (Section 4).
+//!
+//! Declustering the 2^d quadrants is transformed into coloring the **disk
+//! assignment graph** `G_d`, whose vertices are bucket numbers and whose
+//! edges connect direct (1-bit) and indirect (2-bit) neighbors. The vertex
+//! coloring function (Definition 6)
+//!
+//! ```text
+//! col(c) = XOR over every set bit position i of c of the value (i + 1)
+//! ```
+//!
+//! assigns different colors to any two connected vertices (Lemmas 3 and 4,
+//! both consequences of the distributivity `col(b) XOR col(c) =
+//! col(b XOR c)` of Lemma 2) and uses exactly `nextpow2(d+1)` colors
+//! (Lemma 6) — a staircase between the lower bound `d+1` and the upper
+//! bound `2d`, optimal up to rounding.
+//!
+//! Positions are incremented before XOR-ing because otherwise dimension 0
+//! would not contribute to the color at all (footnote 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use parsim_geometry::quadrant::BucketId;
+
+use crate::methods::BucketDecluster;
+use crate::DeclusterError;
+
+/// The vertex coloring function `col` of Definition 6.
+///
+/// Runs in `O(d)`; the color of bucket `c` is the XOR of `(i+1)` over all
+/// set bit positions `i < dim`.
+///
+/// # Example (the paper's worked example, Section 4.2)
+///
+/// ```
+/// use parsim_decluster::near_optimal::col;
+/// // Vertex 5 = 0b101 in a 3-d space: bits 0 and 2 are set, so the color
+/// // is (0+1) XOR (2+1) = 1 XOR 3 = 2.
+/// assert_eq!(col(5, 3), 2);
+/// ```
+#[inline]
+pub fn col(c: BucketId, dim: usize) -> u32 {
+    debug_assert!(dim <= 63, "bucket bitstrings are limited to 63 bits");
+    debug_assert!(c < (1u64 << dim), "bucket out of range for dimension");
+    let mut color = 0u32;
+    let mut bits = c;
+    while bits != 0 {
+        let i = bits.trailing_zeros();
+        color ^= i + 1;
+        bits &= bits - 1;
+    }
+    color
+}
+
+/// Number of colors (disks) the coloring function requires for a
+/// d-dimensional space: `⌈d+1⌉₂`, the next power of two at or above `d+1`
+/// (Lemma 6).
+pub fn colors_required(dim: usize) -> u32 {
+    (dim as u32 + 1).next_power_of_two()
+}
+
+/// The linear lower bound of the staircase: each vertex has `d` direct
+/// neighbors, all of which must differ from it pairwise, hence `d+1`.
+pub fn color_lower_bound(dim: usize) -> u32 {
+    dim as u32 + 1
+}
+
+/// The linear upper bound of the staircase: a power of two always lies
+/// between `d` and `2d`, hence `⌈d+1⌉₂ ≤ 2d` for `d ≥ 1` (Lemma 6).
+pub fn color_upper_bound(dim: usize) -> u32 {
+    2 * dim.max(1) as u32
+}
+
+/// Builds the complement-folding table that adapts the coloring to an
+/// arbitrary number of disks (Section 4.3, first extension).
+///
+/// Starting from `c_total = nextpow2(d+1)` colors, colors in the upper half
+/// are repeatedly mapped to their binary complement (complementary colors
+/// have maximal Hamming distance, so most directly neighboring buckets stay
+/// on different disks) until at most `2n` colors remain; a final partial
+/// fold maps the highest `C_k − n` colors to their complements, leaving
+/// exactly `n` distinct disks `0..n`.
+pub fn fold_table(c_total: u32, n: usize) -> Vec<u32> {
+    assert!(
+        c_total.is_power_of_two(),
+        "color count must be a power of two"
+    );
+    assert!(n >= 1, "need at least one disk");
+    assert!(n as u32 <= c_total, "cannot expand colors by folding");
+    let mut table: Vec<u32> = (0..c_total).collect();
+    let mut width = c_total;
+    // Full folds: map the upper half onto the complement of the lower half.
+    while width / 2 >= n as u32 {
+        let half = width / 2;
+        for t in table.iter_mut() {
+            if *t >= half {
+                *t = width - 1 - *t;
+            }
+        }
+        width = half;
+        if width == 1 {
+            break;
+        }
+    }
+    // Partial fold down to exactly n colors.
+    if width > n as u32 {
+        for t in table.iter_mut() {
+            if *t >= n as u32 {
+                *t = width - 1 - *t;
+            }
+        }
+    }
+    table
+}
+
+/// The paper's near-optimal declustering method.
+///
+/// With `disks == colors_required(dim)` the assignment is provably
+/// near-optimal: all direct and indirect neighbors land on different disks
+/// (Lemma 5). With fewer disks the complement-folding extension is applied;
+/// direct neighbors are still separated in most cases, but indirect
+/// collisions become unavoidable (no near-optimal declustering with fewer
+/// colors exists — the staircase is a lower bound).
+///
+/// ```
+/// use parsim_decluster::{BucketDecluster, NearOptimal};
+///
+/// let m = NearOptimal::with_optimal_disks(8).unwrap();
+/// assert_eq!(m.disks(), 16); // nextpow2(8 + 1)
+/// // Direct neighbors (1-bit difference) always land on different disks.
+/// let bucket = 0b1011_0010;
+/// for i in 0..8 {
+///     assert_ne!(
+///         m.disk_of_bucket(bucket, 8),
+///         m.disk_of_bucket(bucket ^ (1 << i), 8),
+///     );
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NearOptimal {
+    dim: usize,
+    disks: usize,
+    /// Lookup from raw color to physical disk. Identity when
+    /// `disks == colors_required(dim)`.
+    table: Vec<u32>,
+}
+
+impl NearOptimal {
+    /// Creates the near-optimal declusterer for `dim` dimensions on the
+    /// optimal number of disks, `colors_required(dim)`.
+    pub fn with_optimal_disks(dim: usize) -> Result<Self, DeclusterError> {
+        Self::new(dim, colors_required(dim) as usize)
+    }
+
+    /// Creates the near-optimal declusterer for an arbitrary number of
+    /// disks `1 ≤ disks ≤ colors_required(dim)` via complement folding.
+    pub fn new(dim: usize, disks: usize) -> Result<Self, DeclusterError> {
+        if dim == 0 || dim > 63 {
+            return Err(DeclusterError::BadDimension { dim });
+        }
+        if disks == 0 {
+            return Err(DeclusterError::ZeroDisks);
+        }
+        let c_total = colors_required(dim);
+        if disks as u32 > c_total {
+            return Err(DeclusterError::TooManyDisks {
+                requested: disks,
+                max: c_total as usize,
+            });
+        }
+        Ok(NearOptimal {
+            dim,
+            disks,
+            table: fold_table(c_total, disks),
+        })
+    }
+
+    /// The dimensionality this instance declusters.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// True if this instance runs on the provably near-optimal disk count.
+    pub fn is_exact(&self) -> bool {
+        self.disks as u32 == colors_required(self.dim)
+    }
+
+    /// The raw (unfolded) color of a bucket.
+    pub fn color(&self, bucket: BucketId) -> u32 {
+        col(bucket, self.dim)
+    }
+}
+
+impl BucketDecluster for NearOptimal {
+    fn name(&self) -> &'static str {
+        "near-optimal"
+    }
+
+    fn disks(&self) -> usize {
+        self.disks
+    }
+
+    fn disk_of_bucket(&self, bucket: BucketId, dim: usize) -> usize {
+        debug_assert_eq!(dim, self.dim, "dimension mismatch");
+        self.table[col(bucket, self.dim) as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_geometry::quadrant::{direct_neighbors, indirect_neighbors};
+
+    #[test]
+    fn paper_worked_example() {
+        // Section 4.2: vertex 5 in G_3 has color 2.
+        assert_eq!(col(5, 3), 2);
+        // The origin always has color 0 (proof of Lemma 6).
+        for d in 1..=20 {
+            assert_eq!(col(0, d), 0);
+        }
+    }
+
+    #[test]
+    fn distributivity_lemma_2() {
+        // col(b) XOR col(c) == col(b XOR c), exhaustively for d = 6.
+        let d = 6;
+        for b in 0..(1u64 << d) {
+            for c in 0..(1u64 << d) {
+                assert_eq!(col(b, d) ^ col(c, d), col(b ^ c, d));
+            }
+        }
+    }
+
+    #[test]
+    fn direct_neighbors_differ_lemma_3() {
+        for d in 1..=12 {
+            for b in 0..(1u64 << d) {
+                for c in direct_neighbors(b, d) {
+                    assert_ne!(col(b, d), col(c, d), "d={d} b={b} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indirect_neighbors_differ_lemma_4() {
+        for d in 2..=12 {
+            for b in 0..(1u64 << d) {
+                for c in indirect_neighbors(b, d) {
+                    assert_ne!(col(b, d), col(c, d), "d={d} b={b} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn staircase_lemma_6() {
+        // colors_required is the next power of two of d+1 …
+        let expected = [
+            (1, 2),
+            (2, 4),
+            (3, 4),
+            (4, 8),
+            (7, 8),
+            (8, 16),
+            (15, 16),
+            (16, 32),
+            (31, 32),
+            (32, 64),
+        ];
+        for (d, c) in expected {
+            assert_eq!(colors_required(d), c, "d = {d}");
+        }
+        // … bounded by d+1 below and 2d above.
+        for d in 1..=63 {
+            assert!(colors_required(d) >= color_lower_bound(d));
+            assert!(colors_required(d) <= color_upper_bound(d));
+        }
+    }
+
+    #[test]
+    fn exactly_the_staircase_colors_are_used() {
+        // Lemma 6 also proves every color 0..nextpow2(d+1) is generated.
+        for d in 1..=16 {
+            let mut seen = vec![false; colors_required(d) as usize];
+            for b in 0..(1u64 << d) {
+                seen[col(b, d) as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "d = {d}: not all colors used");
+        }
+    }
+
+    #[test]
+    fn constructive_color_witness() {
+        // The constructive half of Lemma 6: for any color c, the bucket
+        // with bit j-1 set for every set bit j of c has color c.
+        for d in [5usize, 9, 17] {
+            for c in 0..colors_required(d) {
+                let mut bucket: u64 = 0;
+                for j in 0..32 {
+                    if c & (1 << j) != 0 {
+                        // Bit position (2^j) - 1.
+                        bucket |= 1u64 << ((1u64 << j) - 1);
+                    }
+                }
+                if bucket < (1u64 << d) {
+                    assert_eq!(col(bucket, d), c, "d={d} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_table_identity_when_n_equals_c() {
+        let t = fold_table(16, 16);
+        assert_eq!(t, (0..16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn fold_table_halving_matches_paper_example() {
+        // Section 4.3: for an 8-d space (C = 16), colors 8..15 map to 7..0.
+        let t = fold_table(16, 8);
+        for c in 0..8u32 {
+            assert_eq!(t[c as usize], c);
+        }
+        for c in 8..16u32 {
+            assert_eq!(t[c as usize], 15 - c);
+        }
+    }
+
+    #[test]
+    fn fold_table_arbitrary_n() {
+        for c_total in [4u32, 8, 16, 32] {
+            for n in 1..=c_total as usize {
+                let t = fold_table(c_total, n);
+                // Exactly the disks 0..n are used.
+                let mut seen = vec![false; n];
+                for &d in &t {
+                    assert!((d as usize) < n, "C={c_total} n={n}: disk {d} out of range");
+                    seen[d as usize] = true;
+                }
+                assert!(seen.iter().all(|&s| s), "C={c_total} n={n}: unused disk");
+            }
+        }
+    }
+
+    #[test]
+    fn near_optimal_constructor_validation() {
+        assert!(matches!(
+            NearOptimal::new(0, 4),
+            Err(DeclusterError::BadDimension { dim: 0 })
+        ));
+        assert!(matches!(
+            NearOptimal::new(3, 0),
+            Err(DeclusterError::ZeroDisks)
+        ));
+        assert!(matches!(
+            NearOptimal::new(3, 5),
+            Err(DeclusterError::TooManyDisks {
+                requested: 5,
+                max: 4
+            })
+        ));
+        let m = NearOptimal::with_optimal_disks(8).unwrap();
+        assert_eq!(m.disks(), 16);
+        assert!(m.is_exact());
+        assert!(!NearOptimal::new(8, 10).unwrap().is_exact());
+    }
+
+    #[test]
+    fn folding_preserves_most_direct_separations() {
+        // The paper's claim for the halving fold: "most directly
+        // neighboring buckets are still assigned to different disks".
+        let d = 8;
+        let m = NearOptimal::new(d, 8).unwrap(); // folded from C = 16
+        let mut edges = 0u64;
+        let mut collisions = 0u64;
+        for b in 0..(1u64 << d) {
+            for c in direct_neighbors(b, d) {
+                if b < c {
+                    edges += 1;
+                    if m.disk_of_bucket(b, d) == m.disk_of_bucket(c, d) {
+                        collisions += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            (collisions as f64) < 0.2 * edges as f64,
+            "{collisions} of {edges} direct edges collide"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Quantile-based split adaptation for skewed data (Section 4.3).
+//!
+//! With mid-point splits, clustered data can put most points into few
+//! quadrants and hence onto few disks. The paper's first counter-measure:
+//! split each dimension at its **0.5-quantile** instead of at 0.5, and
+//! track the distribution online so the split can be re-estimated when the
+//! ratio of points below/above drifts past a threshold.
+
+use serde::{Deserialize, Serialize};
+
+use parsim_geometry::{GeometryError, Point, QuadrantSplitter};
+
+/// Computes the per-dimension 0.5-quantiles (medians) of a data set and
+/// returns the corresponding [`QuadrantSplitter`].
+///
+/// # Panics
+///
+/// Panics if `points` is empty or contains mixed dimensionalities.
+pub fn median_splits(points: &[Point]) -> Result<QuadrantSplitter, GeometryError> {
+    assert!(!points.is_empty(), "cannot take quantiles of an empty set");
+    let dim = points[0].dim();
+    let mut splits = Vec::with_capacity(dim);
+    let mut column: Vec<f64> = Vec::with_capacity(points.len());
+    for axis in 0..dim {
+        column.clear();
+        column.extend(points.iter().map(|p| {
+            assert_eq!(p.dim(), dim, "mixed dimensionalities");
+            p[axis]
+        }));
+        let mid = column.len() / 2;
+        let (below, median, above) =
+            column.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite"));
+        let mut split = *median;
+        // Sparse/discrete data degenerate: when the median ties the
+        // minimum (e.g. text descriptors where most coordinates are 0),
+        // `bucket_of`'s `>=` comparison would put *every* point in the
+        // upper half and the dimension would stop contributing. Nudge the
+        // split to the smallest value strictly above the median so the tie
+        // class lands below it.
+        let is_min = below.iter().all(|&v| v >= split);
+        if is_min {
+            if let Some(next) = above
+                .iter()
+                .copied()
+                .filter(|&v| v > split)
+                .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.min(v))))
+            {
+                split = split + (next - split) * 0.5;
+            }
+        }
+        splits.push(split);
+    }
+    QuadrantSplitter::with_splits(splits)
+}
+
+/// Online tracker of the per-dimension balance around the current splits
+/// (the paper's dynamic adaptation: "we dynamically adapt the 0.5-quantile
+/// by recording the distribution according to the previous 0.5-quantile,
+/// i.e. counting the number of data points below and above the split
+/// value").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveQuantile {
+    splits: Vec<f64>,
+    below: Vec<u64>,
+    above: Vec<u64>,
+    /// Reorganization threshold on `max(below,above) / min(below,above)`.
+    threshold: f64,
+}
+
+impl AdaptiveQuantile {
+    /// Creates a tracker around the given initial splitter with the given
+    /// imbalance threshold (e.g. 2.0 = reorganize when one side holds twice
+    /// as many points as the other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold <= 1.0`.
+    pub fn new(splitter: &QuadrantSplitter, threshold: f64) -> Self {
+        assert!(threshold > 1.0, "threshold must exceed 1.0");
+        let dim = splitter.dim();
+        AdaptiveQuantile {
+            splits: (0..dim).map(|i| splitter.split(i)).collect(),
+            below: vec![0; dim],
+            above: vec![0; dim],
+            threshold,
+        }
+    }
+
+    /// Records one inserted point.
+    pub fn observe(&mut self, p: &Point) {
+        debug_assert_eq!(p.dim(), self.splits.len());
+        for (axis, &c) in p.iter().enumerate() {
+            if c < self.splits[axis] {
+                self.below[axis] += 1;
+            } else {
+                self.above[axis] += 1;
+            }
+        }
+    }
+
+    /// The per-axis imbalance ratio `max(below,above) / min(below,above)`
+    /// (∞ when one side is empty, 1.0 before any observation).
+    pub fn imbalance(&self, axis: usize) -> f64 {
+        let (b, a) = (self.below[axis], self.above[axis]);
+        if b == 0 && a == 0 {
+            return 1.0;
+        }
+        let max = b.max(a) as f64;
+        let min = b.min(a) as f64;
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// True if any axis has drifted past the threshold, i.e. the splits
+    /// should be recomputed from the current data (reorganization).
+    pub fn needs_reorganization(&self) -> bool {
+        (0..self.splits.len()).any(|axis| self.imbalance(axis) > self.threshold)
+    }
+
+    /// Installs new splits (after a reorganization) and resets the
+    /// counters.
+    pub fn reset(&mut self, splitter: &QuadrantSplitter) {
+        assert_eq!(splitter.dim(), self.splits.len(), "dimension mismatch");
+        for (axis, s) in self.splits.iter_mut().enumerate() {
+            *s = splitter.split(axis);
+        }
+        self.below.fill(0);
+        self.above.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_datagen::{ClusteredGenerator, DataGenerator, UniformGenerator};
+
+    #[test]
+    fn median_splits_balance_every_axis() {
+        let pts = ClusteredGenerator::new(6, 3, 0.05).generate(5001, 13);
+        let splitter = median_splits(&pts).unwrap();
+        for axis in 0..6 {
+            let below = pts
+                .iter()
+                .filter(|p| p[axis] < splitter.split(axis))
+                .count();
+            let frac = below as f64 / pts.len() as f64;
+            assert!((frac - 0.5).abs() < 0.02, "axis {axis}: {frac}");
+        }
+    }
+
+    #[test]
+    fn median_of_uniform_is_near_half() {
+        let pts = UniformGenerator::new(4).generate(20_000, 2);
+        let splitter = median_splits(&pts).unwrap();
+        for axis in 0..4 {
+            assert!((splitter.split(axis) - 0.5).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn median_splits_spread_clustered_data_over_buckets() {
+        // With mid-point splits, single-quadrant data occupies one bucket;
+        // with median splits it spreads over many.
+        let gen = ClusteredGenerator::new(5, 4, 0.03).in_single_quadrant();
+        let pts = gen.generate(4000, 3);
+        let mid = QuadrantSplitter::midpoint(5).unwrap();
+        let med = median_splits(&pts).unwrap();
+        let occupied = |s: &QuadrantSplitter| {
+            let mut seen = std::collections::HashSet::new();
+            for p in &pts {
+                seen.insert(s.bucket_of(p));
+            }
+            seen.len()
+        };
+        let mid_buckets = occupied(&mid);
+        let med_buckets = occupied(&med);
+        assert!(
+            med_buckets >= 4 * mid_buckets.max(1),
+            "midpoint {mid_buckets} vs median {med_buckets}"
+        );
+    }
+
+    #[test]
+    fn sparse_data_keeps_dimensions_effective() {
+        // Text-descriptor-like data: most coordinates are exactly 0. The
+        // naive median (0.0) combined with `bucket_of`'s `>=` would push
+        // every point into the upper half of every axis, collapsing the
+        // partition to one bucket.
+        use parsim_datagen::TextDescriptorGenerator;
+        let pts = TextDescriptorGenerator::new(10).generate(5000, 3);
+        let splitter = median_splits(&pts).unwrap();
+        let mut buckets = std::collections::HashSet::new();
+        for p in &pts {
+            buckets.insert(splitter.bucket_of(p));
+        }
+        assert!(
+            buckets.len() > 16,
+            "only {} buckets occupied",
+            buckets.len()
+        );
+        // Each axis separates a non-trivial fraction of the data.
+        for axis in 0..10 {
+            let below = pts
+                .iter()
+                .filter(|p| p[axis] < splitter.split(axis))
+                .count();
+            let frac = below as f64 / pts.len() as f64;
+            assert!(
+                (0.05..=0.95).contains(&frac),
+                "axis {axis} separates only {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_tracker_detects_drift() {
+        let splitter = QuadrantSplitter::midpoint(2).unwrap();
+        let mut tracker = AdaptiveQuantile::new(&splitter, 2.0);
+        assert!(!tracker.needs_reorganization());
+        // Feed points that are all in the lower-left region.
+        for i in 0..100 {
+            let v = 0.1 + (i as f64 % 10.0) / 50.0;
+            tracker.observe(&Point::new(vec![v, v]).unwrap());
+        }
+        assert!(tracker.needs_reorganization());
+        assert_eq!(tracker.imbalance(0), f64::INFINITY);
+        // Reorganize with proper medians; the tracker resets.
+        let new_splits = QuadrantSplitter::with_splits(vec![0.2, 0.2]).unwrap();
+        tracker.reset(&new_splits);
+        assert!(!tracker.needs_reorganization());
+        assert_eq!(tracker.imbalance(0), 1.0);
+    }
+
+    #[test]
+    fn balanced_stream_never_triggers() {
+        let splitter = QuadrantSplitter::midpoint(3).unwrap();
+        let mut tracker = AdaptiveQuantile::new(&splitter, 2.0);
+        for p in UniformGenerator::new(3).generate(5000, 4) {
+            tracker.observe(&p);
+        }
+        assert!(!tracker.needs_reorganization());
+    }
+}

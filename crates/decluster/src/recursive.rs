@@ -1,0 +1,360 @@
+//! Recursive declustering of overloaded buckets (Section 4.3).
+//!
+//! For highly *correlated* data even per-dimension quantile splits cannot
+//! balance the disks: every 1-d marginal is balanced, yet only a few
+//! quadrants carry data. The paper's answer: detect the overloaded disk and
+//! **recursively decluster all of its buckets in one step** with the `col`
+//! function, permuting the colors with a simple heuristic when descending a
+//! level. Declustering *all* overloaded buckets would need `O(2^d)` state
+//! per level; refining only the buckets of the single most loaded disk
+//! keeps the rule table small, and the step can be repeated until the load
+//! is balanced.
+
+use std::collections::HashMap;
+
+use parsim_geometry::quadrant::BucketId;
+use parsim_geometry::{Point, QuadrantSplitter};
+
+use crate::methods::Declusterer;
+use crate::near_optimal::NearOptimal;
+use crate::quantile::median_splits;
+use crate::DeclusterError;
+
+/// Tuning knobs of [`RecursiveDeclusterer::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecursiveConfig {
+    /// Maximum number of refinement passes (the paper needed one pass for
+    /// its clustered Fourier data, Figure 16).
+    pub max_levels: usize,
+    /// Stop refining once `max_disk_load / avg_disk_load` drops to this.
+    pub imbalance_threshold: f64,
+    /// Buckets with fewer points than this are never refined.
+    pub min_bucket_points: usize,
+    /// Split buckets at the median of their content (true) or at the
+    /// region mid-point (false).
+    pub median_splits: bool,
+}
+
+impl Default for RecursiveConfig {
+    fn default() -> Self {
+        RecursiveConfig {
+            max_levels: 4,
+            imbalance_threshold: 1.5,
+            min_bucket_points: 32,
+            median_splits: true,
+        }
+    }
+}
+
+/// One node of the refinement tree: a quadrant partition of (a region of)
+/// the data space whose buckets map to disks via the folded `col`
+/// coloring, except where a child node refines a bucket further.
+#[derive(Debug, Clone)]
+struct Node {
+    splitter: QuadrantSplitter,
+    base: NearOptimal,
+    /// Color rotation at this level — the paper's "permuting the colors
+    /// using a simple heuristic when going to the next level of recursion".
+    rotation: usize,
+    children: HashMap<BucketId, Node>,
+}
+
+impl Node {
+    fn disk_of_bucket(&self, bucket: BucketId, disks: usize) -> usize {
+        use crate::methods::BucketDecluster;
+        (self.base.disk_of_bucket(bucket, self.splitter.dim()) + self.rotation) % disks
+    }
+
+    fn assign(&self, p: &Point, disks: usize) -> usize {
+        let bucket = self.splitter.bucket_of(p);
+        match self.children.get(&bucket) {
+            Some(child) => child.assign(p, disks),
+            None => self.disk_of_bucket(bucket, disks),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.values().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+/// The recursive declusterer: a near-optimal quadrant declustering whose
+/// overloaded buckets are recursively re-declustered until the per-disk
+/// load is balanced.
+#[derive(Debug, Clone)]
+pub struct RecursiveDeclusterer {
+    disks: usize,
+    dim: usize,
+    root: Node,
+}
+
+impl RecursiveDeclusterer {
+    /// Builds the declusterer for `points` over `disks` disks.
+    ///
+    /// The root partition uses median (or mid-point) splits; refinement
+    /// passes then repeatedly pick the most loaded disk and re-decluster
+    /// all of its sufficiently large buckets one level deeper, rotating
+    /// the colors per level.
+    pub fn build(
+        points: &[Point],
+        disks: usize,
+        config: RecursiveConfig,
+    ) -> Result<Self, DeclusterError> {
+        if disks == 0 {
+            return Err(DeclusterError::ZeroDisks);
+        }
+        if points.is_empty() {
+            return Err(DeclusterError::BadDimension { dim: 0 });
+        }
+        let dim = points[0].dim();
+        let effective_disks = disks.min(crate::near_optimal::colors_required(dim) as usize);
+        let splitter = Self::make_splitter(points, dim, config.median_splits)?;
+        let base = NearOptimal::new(dim, effective_disks)?;
+        let mut this = RecursiveDeclusterer {
+            disks: effective_disks,
+            dim,
+            root: Node {
+                splitter,
+                base,
+                rotation: 0,
+                children: HashMap::new(),
+            },
+        };
+
+        for level in 1..=config.max_levels {
+            let loads = this.load_histogram(points);
+            let total: u64 = loads.iter().sum();
+            let max = loads.iter().copied().max().unwrap_or(0);
+            let avg = total as f64 / this.disks as f64;
+            if avg == 0.0 || (max as f64) <= config.imbalance_threshold * avg {
+                break;
+            }
+            let target = loads
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &l)| l)
+                .map(|(i, _)| i)
+                .expect("non-empty loads");
+            let point_refs: Vec<&Point> = points.iter().collect();
+            let disks_n = this.disks;
+            let changed =
+                Self::refine(&mut this.root, &point_refs, target, disks_n, level, &config)?;
+            if !changed {
+                break; // nothing left to refine — avoid spinning
+            }
+        }
+        Ok(this)
+    }
+
+    fn make_splitter<P: std::borrow::Borrow<Point>>(
+        points: &[P],
+        dim: usize,
+        medians: bool,
+    ) -> Result<QuadrantSplitter, DeclusterError> {
+        if medians {
+            let owned: Vec<Point> = points.iter().map(|p| p.borrow().clone()).collect();
+            median_splits(&owned).map_err(|_| DeclusterError::BadDimension { dim })
+        } else {
+            QuadrantSplitter::midpoint(dim).map_err(|_| DeclusterError::BadDimension { dim })
+        }
+    }
+
+    /// One refinement pass: descend the tree and give every sufficiently
+    /// large leaf bucket of `target_disk` a child node.
+    fn refine(
+        node: &mut Node,
+        points: &[&Point],
+        target_disk: usize,
+        disks: usize,
+        level: usize,
+        config: &RecursiveConfig,
+    ) -> Result<bool, DeclusterError> {
+        // Partition this node's points by bucket.
+        let mut by_bucket: HashMap<BucketId, Vec<&Point>> = HashMap::new();
+        for &p in points {
+            by_bucket
+                .entry(node.splitter.bucket_of(p))
+                .or_default()
+                .push(p);
+        }
+        let mut changed = false;
+        for (bucket, bucket_points) in by_bucket {
+            if let Some(child) = node.children.get_mut(&bucket) {
+                changed |= Self::refine(child, &bucket_points, target_disk, disks, level, config)?;
+                continue;
+            }
+            if node.disk_of_bucket(bucket, disks) != target_disk
+                || bucket_points.len() < config.min_bucket_points
+            {
+                continue;
+            }
+            // All points identical? Splitting cannot separate them.
+            if bucket_points.windows(2).all(|w| w[0] == w[1]) {
+                continue;
+            }
+            let dim = node.splitter.dim();
+            let splitter = Self::make_splitter(&bucket_points, dim, config.median_splits)?;
+            let base = NearOptimal::new(
+                dim,
+                disks.min(crate::near_optimal::colors_required(dim) as usize),
+            )?;
+            node.children.insert(
+                bucket,
+                Node {
+                    splitter,
+                    base,
+                    rotation: level,
+                    children: HashMap::new(),
+                },
+            );
+            changed = true;
+        }
+        Ok(changed)
+    }
+
+    /// Number of partition levels (1 = no refinement happened).
+    pub fn levels(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Per-disk point counts under the current assignment.
+    pub fn load_histogram(&self, points: &[Point]) -> Vec<u64> {
+        let mut loads = vec![0u64; self.disks];
+        for p in points {
+            loads[self.root.assign(p, self.disks)] += 1;
+        }
+        loads
+    }
+
+    /// Load imbalance `max / avg` over the given points (1.0 = perfect).
+    pub fn imbalance(&self, points: &[Point]) -> f64 {
+        let loads = self.load_histogram(points);
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = loads.iter().copied().max().unwrap_or(0) as f64;
+        max / (total as f64 / self.disks as f64)
+    }
+}
+
+impl Declusterer for RecursiveDeclusterer {
+    fn name(&self) -> String {
+        format!("near-optimal+recursive(x{})", self.levels())
+    }
+
+    fn disks(&self) -> usize {
+        self.disks
+    }
+
+    fn assign(&self, _seq: u64, p: &Point) -> usize {
+        debug_assert_eq!(p.dim(), self.dim);
+        self.root.assign(p, self.disks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::BucketBased;
+    use parsim_datagen::{
+        ClusteredGenerator, CorrelatedGenerator, DataGenerator, UniformGenerator,
+    };
+
+    fn flat_imbalance(method: &dyn Declusterer, points: &[Point]) -> f64 {
+        let mut loads = vec![0u64; method.disks()];
+        for (i, p) in points.iter().enumerate() {
+            loads[method.assign(i as u64, p)] += 1;
+        }
+        let total: u64 = loads.iter().sum();
+        let max = loads.iter().copied().max().unwrap() as f64;
+        max / (total as f64 / method.disks() as f64)
+    }
+
+    #[test]
+    fn uniform_data_needs_no_refinement() {
+        let pts = UniformGenerator::new(6).generate(4000, 1);
+        let r = RecursiveDeclusterer::build(&pts, 8, RecursiveConfig::default()).unwrap();
+        assert_eq!(r.levels(), 1);
+        assert!(r.imbalance(&pts) < 1.5);
+    }
+
+    #[test]
+    fn correlated_data_gets_refined_and_balanced() {
+        let pts = CorrelatedGenerator::new(8, 0.01).generate(8000, 5);
+        // Without recursion: the flat near-optimal declustering with
+        // median splits is badly imbalanced on correlated data.
+        let flat = BucketBased::new(
+            NearOptimal::new(8, 8).unwrap(),
+            median_splits(&pts).unwrap(),
+        );
+        let flat_imb = flat_imbalance(&flat, &pts);
+        // With recursion the imbalance must improve substantially.
+        let r = RecursiveDeclusterer::build(&pts, 8, RecursiveConfig::default()).unwrap();
+        let rec_imb = r.imbalance(&pts);
+        assert!(r.levels() > 1, "no refinement happened");
+        assert!(
+            rec_imb < 0.6 * flat_imb,
+            "flat {flat_imb:.2} vs recursive {rec_imb:.2}"
+        );
+    }
+
+    #[test]
+    fn single_quadrant_clusters_are_spread() {
+        // The pathological case of Section 4.3: most points in one quadrant.
+        let pts = ClusteredGenerator::new(6, 2, 0.02)
+            .in_single_quadrant()
+            .generate(6000, 9);
+        let r = RecursiveDeclusterer::build(&pts, 8, RecursiveConfig::default()).unwrap();
+        let loads = r.load_histogram(&pts);
+        // Every disk must receive a meaningful share.
+        let min = *loads.iter().min().unwrap();
+        assert!(min > 0, "some disk got nothing: {loads:?}");
+        assert!(r.imbalance(&pts) < 2.0, "imbalance {}", r.imbalance(&pts));
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_total() {
+        let pts = CorrelatedGenerator::new(5, 0.02).generate(2000, 3);
+        let r = RecursiveDeclusterer::build(&pts, 8, RecursiveConfig::default()).unwrap();
+        for (i, p) in pts.iter().enumerate() {
+            let d = r.assign(i as u64, p);
+            assert!(d < r.disks());
+            assert_eq!(d, r.assign(i as u64, p));
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(matches!(
+            RecursiveDeclusterer::build(&[], 4, RecursiveConfig::default()),
+            Err(DeclusterError::BadDimension { .. })
+        ));
+        let pts = UniformGenerator::new(3).generate(10, 0);
+        assert!(matches!(
+            RecursiveDeclusterer::build(&pts, 0, RecursiveConfig::default()),
+            Err(DeclusterError::ZeroDisks)
+        ));
+    }
+
+    #[test]
+    fn identical_points_terminate() {
+        // All points equal: nothing can be balanced, but build must not
+        // loop forever or panic.
+        let p = Point::new(vec![0.3, 0.3, 0.3]).unwrap();
+        let pts = vec![p; 500];
+        let r = RecursiveDeclusterer::build(&pts, 4, RecursiveConfig::default()).unwrap();
+        assert!(r.levels() <= 2);
+        let loads = r.load_histogram(&pts);
+        assert_eq!(loads.iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn disks_capped_at_colors_required() {
+        // Asking for more disks than colors exist quietly caps, mirroring
+        // the paper's premise that col needs at most nextpow2(d+1) disks.
+        let pts = UniformGenerator::new(3).generate(100, 1);
+        let r = RecursiveDeclusterer::build(&pts, 16, RecursiveConfig::default()).unwrap();
+        assert_eq!(r.disks(), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Striped near-optimal declustering: more disks than colors.
+//!
+//! The coloring function `col` can use at most `nextpow2(d+1)` disks —
+//! Section 4.3 shows how to use *fewer* (complement folding), but the
+//! paper has no answer for *more*. This extension provides one: with
+//! `n = C · s` disks, each color class gets its own **stripe group** of
+//! `s` disks, and the points (hence pages) of each bucket are round-robin
+//! striped within their group:
+//!
+//! ```text
+//! disk(p, seq) = col(bucket(p)) · s + (seq mod s)
+//! ```
+//!
+//! The near-optimality guarantee is preserved — neighboring buckets map to
+//! *disjoint disk groups* — and within a bucket the stripe spreads its
+//! pages, so a query that reads many pages of one quadrant also engages
+//! several disks. This also improves saturated-batch throughput (see the
+//! `ext1` experiment).
+//!
+//! Regime note: striping pays off when buckets hold many pages relative to
+//! the query sphere (high dimensions, large databases). In low dimensions
+//! the thinner per-disk point sets inflate the total page count — the same
+//! boundary effect that penalizes item-level round robin — and can cancel
+//! the gain.
+
+use parsim_geometry::{Point, QuadrantSplitter};
+
+use crate::methods::Declusterer;
+use crate::near_optimal::{colors_required, NearOptimal};
+use crate::{BucketDecluster, DeclusterError};
+
+/// Near-optimal declustering over `colors × stripe` disks.
+#[derive(Debug, Clone)]
+pub struct StripedNearOptimal {
+    base: NearOptimal,
+    splitter: QuadrantSplitter,
+    stripe: usize,
+}
+
+impl StripedNearOptimal {
+    /// Creates a striped declusterer: the full color count of `dim` times
+    /// a stripe factor of `stripe` disks per color.
+    pub fn new(splitter: QuadrantSplitter, stripe: usize) -> Result<Self, DeclusterError> {
+        if stripe == 0 {
+            return Err(DeclusterError::ZeroDisks);
+        }
+        let dim = splitter.dim();
+        let base = NearOptimal::with_optimal_disks(dim)?;
+        Ok(StripedNearOptimal {
+            base,
+            splitter,
+            stripe,
+        })
+    }
+
+    /// The stripe width (disks per color group).
+    pub fn stripe(&self) -> usize {
+        self.stripe
+    }
+
+    /// The disk group (first disk, width) a bucket's pages live on.
+    pub fn group_of_bucket(&self, bucket: u64) -> (usize, usize) {
+        let color = self.base.disk_of_bucket(bucket, self.splitter.dim());
+        (color * self.stripe, self.stripe)
+    }
+}
+
+impl Declusterer for StripedNearOptimal {
+    fn name(&self) -> String {
+        format!("near-optimal-striped(x{})", self.stripe)
+    }
+
+    fn disks(&self) -> usize {
+        colors_required(self.splitter.dim()) as usize * self.stripe
+    }
+
+    fn assign(&self, seq: u64, p: &Point) -> usize {
+        let (first, width) = self.group_of_bucket(self.splitter.bucket_of(p));
+        first + (seq as usize % width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_datagen::{DataGenerator, UniformGenerator};
+    use parsim_geometry::quadrant::all_neighbors;
+
+    fn splitter(dim: usize) -> QuadrantSplitter {
+        QuadrantSplitter::midpoint(dim).unwrap()
+    }
+
+    #[test]
+    fn disk_count_is_colors_times_stripe() {
+        let s = StripedNearOptimal::new(splitter(7), 4).unwrap();
+        assert_eq!(s.disks(), 8 * 4);
+        assert_eq!(s.stripe(), 4);
+        assert!(StripedNearOptimal::new(splitter(7), 0).is_err());
+    }
+
+    #[test]
+    fn neighboring_buckets_get_disjoint_groups() {
+        let dim = 8;
+        let s = StripedNearOptimal::new(splitter(dim), 3).unwrap();
+        for b in 0..(1u64 << dim) {
+            let (first_b, w) = s.group_of_bucket(b);
+            for c in all_neighbors(b, dim) {
+                let (first_c, _) = s.group_of_bucket(c);
+                // Groups of neighbors must not overlap: they are aligned
+                // blocks of width w, so distinct starts suffice.
+                assert_ne!(first_b, first_c, "buckets {b:#b} and {c:#b}");
+                assert!(first_b.abs_diff(first_c) >= w);
+            }
+        }
+    }
+
+    #[test]
+    fn stripe_spreads_within_bucket() {
+        let dim = 5;
+        let s = StripedNearOptimal::new(splitter(dim), 4).unwrap();
+        // Many points in one quadrant must cover the whole stripe group.
+        let p = Point::new(vec![0.1; dim]).unwrap();
+        let mut disks = std::collections::HashSet::new();
+        for seq in 0..16 {
+            disks.insert(s.assign(seq, &p));
+        }
+        assert_eq!(disks.len(), 4);
+        let (first, width) = s.group_of_bucket(0);
+        assert!(disks.iter().all(|&d| d >= first && d < first + width));
+    }
+
+    #[test]
+    fn uniform_load_balances_across_all_disks() {
+        let dim = 7; // 8 colors
+        let stripe = 2;
+        let s = StripedNearOptimal::new(splitter(dim), stripe).unwrap();
+        let pts = UniformGenerator::new(dim).generate(16_000, 3);
+        let mut loads = vec![0u64; s.disks()];
+        for (i, p) in pts.iter().enumerate() {
+            loads[s.assign(i as u64, p)] += 1;
+        }
+        let avg = 16_000.0 / s.disks() as f64;
+        let max = *loads.iter().max().unwrap() as f64;
+        assert!(max / avg < 1.5, "loads {loads:?}");
+        assert!(loads.iter().all(|&l| l > 0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests of the declustering methods.
+
+use proptest::prelude::*;
+
+use parsim_decluster::graph::DiskAssignmentGraph;
+use parsim_decluster::methods::BucketDecluster;
+use parsim_decluster::near_optimal::{col, colors_required, NearOptimal};
+use parsim_decluster::{DiskModulo, FxXor, HilbertDecluster};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// col(0) = 0 and col is its own inverse family under XOR: applying a
+    /// bucket twice cancels (col(b ^ b) = 0).
+    #[test]
+    fn col_xor_group_structure(dim in 1usize..=48, a in any::<u64>(), b in any::<u64>()) {
+        let mask = (1u64 << dim) - 1;
+        let (a, b) = (a & mask, b & mask);
+        prop_assert_eq!(col(0, dim), 0);
+        prop_assert_eq!(col(a ^ a, dim), 0);
+        // Associativity through distributivity.
+        prop_assert_eq!(
+            col(a, dim) ^ col(b, dim) ^ col(a ^ b, dim),
+            0
+        );
+    }
+
+    /// The NearOptimal assignment at the optimal disk count is proper on a
+    /// random sample of edges even at dimensions too large for exhaustive
+    /// verification.
+    #[test]
+    fn near_optimal_proper_on_sampled_edges(dim in 2usize..=48, bucket in any::<u64>()) {
+        let mask = (1u64 << dim) - 1;
+        let b = bucket & mask;
+        let m = NearOptimal::with_optimal_disks(dim).unwrap();
+        let disk = m.disk_of_bucket(b, dim);
+        for i in 0..dim {
+            prop_assert_ne!(disk, m.disk_of_bucket(b ^ (1 << i), dim));
+            for j in (i + 1)..dim {
+                prop_assert_ne!(disk, m.disk_of_bucket(b ^ (1 << i) ^ (1 << j), dim));
+            }
+        }
+    }
+
+    /// Every method's assignment is total, deterministic and in range.
+    #[test]
+    fn assignments_total_and_in_range(dim in 2usize..=16, disks in 1usize..=16, bucket in any::<u64>()) {
+        let mask = (1u64 << dim) - 1;
+        let b = bucket & mask;
+        let methods: Vec<Box<dyn BucketDecluster>> = vec![
+            Box::new(DiskModulo::new(disks).unwrap()),
+            Box::new(FxXor::new(disks).unwrap()),
+            Box::new(HilbertDecluster::new(dim, disks).unwrap()),
+            Box::new(NearOptimal::new(dim, disks.min(colors_required(dim) as usize)).unwrap()),
+        ];
+        for m in &methods {
+            let d = m.disk_of_bucket(b, dim);
+            prop_assert!(d < m.disks(), "{}", m.name());
+            prop_assert_eq!(d, m.disk_of_bucket(b, dim));
+        }
+    }
+
+    /// Violation counts never increase when disks are added to the Hilbert
+    /// method beyond the bucket count (sanity of count_violations).
+    #[test]
+    fn hilbert_with_enough_disks_is_proper(dim in 2usize..=6) {
+        let graph = DiskAssignmentGraph::new(dim);
+        let enough = 1usize << dim;
+        let m = HilbertDecluster::new(dim, enough).unwrap();
+        let (d, i) = graph.count_violations(&m);
+        prop_assert_eq!((d, i), (0, 0));
+    }
+}

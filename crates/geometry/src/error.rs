@@ -1,0 +1,60 @@
+//! Error type shared by the geometric primitives.
+
+use std::fmt;
+
+/// Errors produced by geometric constructors and operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometryError {
+    /// Two objects that must live in the same space have different
+    /// dimensionalities.
+    DimensionMismatch {
+        /// Dimensionality of the left-hand operand.
+        left: usize,
+        /// Dimensionality of the right-hand operand.
+        right: usize,
+    },
+    /// A point or rectangle was constructed with zero dimensions.
+    ZeroDimensional,
+    /// A coordinate was not a finite number.
+    NonFiniteCoordinate {
+        /// Index of the offending coordinate.
+        axis: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A rectangle was constructed with `lo > hi` on some axis.
+    InvertedBounds {
+        /// Index of the offending axis.
+        axis: usize,
+    },
+    /// The requested dimensionality exceeds what bucket numbers can encode
+    /// (quadrant bitstrings are stored in a `u64`).
+    DimensionTooLarge {
+        /// The requested dimensionality.
+        requested: usize,
+        /// The largest supported dimensionality.
+        max: usize,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            GeometryError::ZeroDimensional => write!(f, "zero-dimensional object"),
+            GeometryError::NonFiniteCoordinate { axis, value } => {
+                write!(f, "non-finite coordinate {value} on axis {axis}")
+            }
+            GeometryError::InvertedBounds { axis } => {
+                write!(f, "inverted bounds (lo > hi) on axis {axis}")
+            }
+            GeometryError::DimensionTooLarge { requested, max } => {
+                write!(f, "dimension {requested} exceeds supported maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}

@@ -1,0 +1,207 @@
+//! Closed-form models of high-dimensional data-space effects.
+//!
+//! Section 3.1 of the paper derives the requirements for an optimal
+//! declustering from two effects, both reproduced here:
+//!
+//! 1. The radius of the NN-sphere grows rapidly with dimension, so a query
+//!    touches many partitions ([`expected_nn_distance`], after the cost
+//!    model of Berchtold, Böhm, Keim and Kriegel \[BBKK 97\]).
+//! 2. Almost all data lies near the (d−1)-dimensional surface of the data
+//!    space ([`surface_probability`], Equation 1 / Figure 5).
+
+/// Probability that a uniformly distributed point of `[0,1]^d` lies within
+/// `eps` of the surface of the data space (Equation 1 of the paper with
+/// `eps = 0.1`):
+///
+/// `p_surface(d) = 1 − (1 − 2·eps)^d`
+///
+/// For `eps = 0.1` this exceeds 97 % at `d = 16`.
+pub fn surface_probability(dim: usize, eps: f64) -> f64 {
+    assert!((0.0..=0.5).contains(&eps), "eps must be in [0, 0.5]");
+    1.0 - (1.0 - 2.0 * eps).powi(dim as i32)
+}
+
+/// Natural logarithm of the gamma function (Lanczos approximation, accurate
+/// to ~15 significant digits for positive arguments).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    // Lanczos coefficients for g = 7, n = 9.
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy near zero.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Volume of the d-dimensional hypersphere of radius `r`:
+/// `V = π^{d/2} / Γ(d/2 + 1) · r^d`.
+pub fn sphere_volume(dim: usize, radius: f64) -> f64 {
+    assert!(dim > 0, "zero-dimensional sphere");
+    assert!(radius >= 0.0, "negative radius");
+    if radius == 0.0 {
+        return 0.0;
+    }
+    let d = dim as f64;
+    let ln_vol = 0.5 * d * std::f64::consts::PI.ln() - ln_gamma(0.5 * d + 1.0) + d * radius.ln();
+    ln_vol.exp()
+}
+
+/// Radius of the d-dimensional hypersphere of a given volume (inverse of
+/// [`sphere_volume`]).
+pub fn sphere_radius(dim: usize, volume: f64) -> f64 {
+    assert!(dim > 0, "zero-dimensional sphere");
+    assert!(volume >= 0.0, "negative volume");
+    if volume == 0.0 {
+        return 0.0;
+    }
+    let d = dim as f64;
+    let ln_r = (volume.ln() + ln_gamma(0.5 * d + 1.0) - 0.5 * d * std::f64::consts::PI.ln()) / d;
+    ln_r.exp()
+}
+
+/// Expected nearest-neighbor distance for `n` uniformly distributed points
+/// in `[0,1]^d`, following the simplified cost model of \[BBKK 97\]: the
+/// expected NN-sphere around a random query point contains one data point,
+/// i.e. its volume is `1/n` (boundary effects ignored, which the paper shows
+/// only *increase* the radius).
+///
+/// This is the radius of the "NN-sphere" of Figure 4 — the region whose
+/// intersecting data pages every NN algorithm must read.
+pub fn expected_nn_distance(dim: usize, n: usize) -> f64 {
+    assert!(n > 0, "empty data set");
+    sphere_radius(dim, 1.0 / n as f64)
+}
+
+/// Expected distance of the k-th nearest neighbor: sphere volume `k/n`.
+pub fn expected_knn_distance(dim: usize, n: usize, k: usize) -> f64 {
+    assert!(n > 0 && k > 0 && k <= n, "require 0 < k <= n");
+    sphere_radius(dim, k as f64 / n as f64)
+}
+
+/// Expected fraction of the 2^d quadrants intersected by the NN-sphere of a
+/// random query: a Monte-Carlo-free heuristic used in the docs and sanity
+/// tests. A quadrant is counted if the sphere radius exceeds the distance
+/// from the query to the quadrant (0, 1 or 2 split planes away for direct /
+/// indirect neighbors).
+pub fn touched_neighbor_levels(dim: usize, n: usize) -> usize {
+    let r = expected_nn_distance(dim, n);
+    // With mid-point splits, a query at a random position is on average
+    // 0.25 away from each split plane; reaching an indirect neighbor needs
+    // crossing two planes (distance sqrt(2)*0.25 in the worst corner case).
+    let step = 0.25;
+    if r <= step {
+        0
+    } else if r * r <= 2.0 * step * step {
+        1
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_probability_matches_paper() {
+        // Figure 5: for eps = 0.1 the probability exceeds 97 % at d = 16.
+        let p16 = surface_probability(16, 0.1);
+        assert!(p16 > 0.97, "p16 = {p16}");
+        // And it grows monotonically with dimension.
+        let mut prev = 0.0;
+        for d in 1..=32 {
+            let p = surface_probability(d, 0.1);
+            assert!(p > prev);
+            prev = p;
+        }
+        // Closed form check at d = 1: 1 - 0.8 = 0.2.
+        assert!((surface_probability(1, 0.1) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(1/2) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sphere_volume_known_values() {
+        let pi = std::f64::consts::PI;
+        // 1-d "sphere" of radius r is the interval of length 2r.
+        assert!((sphere_volume(1, 0.5) - 1.0).abs() < 1e-12);
+        // 2-d: pi r^2.
+        assert!((sphere_volume(2, 1.0) - pi).abs() < 1e-12);
+        // 3-d: 4/3 pi r^3.
+        assert!((sphere_volume(3, 1.0) - 4.0 / 3.0 * pi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sphere_radius_inverts_volume() {
+        for dim in [1, 2, 3, 8, 16, 64] {
+            for vol in [1e-6, 0.01, 0.5, 1.0, 10.0] {
+                let r = sphere_radius(dim, vol);
+                let v = sphere_volume(dim, r);
+                assert!((v - vol).abs() / vol < 1e-10, "dim={dim} vol={vol}");
+            }
+        }
+    }
+
+    #[test]
+    fn nn_distance_grows_with_dimension() {
+        // Section 3.1: the NN-sphere radius increases rapidly with the
+        // dimension; by d≈10 it exceeds a quadrant's half-extent (0.5) for
+        // a 100k point database.
+        let n = 100_000;
+        let mut prev = 0.0;
+        for d in 2..=32 {
+            let r = expected_nn_distance(d, n);
+            assert!(r > prev, "d={d}");
+            prev = r;
+        }
+        assert!(expected_nn_distance(2, n) < 0.01);
+        assert!(expected_nn_distance(16, n) > 0.5);
+    }
+
+    #[test]
+    fn knn_distance_grows_with_k() {
+        let d = 8;
+        let n = 10_000;
+        let d1 = expected_knn_distance(d, n, 1);
+        let d10 = expected_knn_distance(d, n, 10);
+        assert!(d10 > d1);
+        assert!((expected_knn_distance(d, n, 1) - expected_nn_distance(d, n)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn touched_levels_increase_with_dim() {
+        let n = 1_000_000;
+        assert_eq!(touched_neighbor_levels(2, n), 0);
+        assert!(touched_neighbor_levels(20, n) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+}

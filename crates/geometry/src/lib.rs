@@ -1,0 +1,35 @@
+//! Geometric primitives for high-dimensional similarity search.
+//!
+//! This crate provides the geometric substrate used by every other crate in
+//! the workspace:
+//!
+//! * [`Point`] — a d-dimensional feature vector in the unit data space
+//!   `[0,1]^d` (the paper assumes this extent w.l.o.g., Definition 1).
+//! * [`HyperRect`] — axis-parallel hyper-rectangles (minimum bounding
+//!   rectangles of index pages) with the `MINDIST` / `MINMAXDIST` bounds
+//!   used by branch-and-bound nearest-neighbor search.
+//! * [`Metric`] implementations — Euclidean, Manhattan and maximum metrics.
+//! * [`quadrant`] — the binary quadrant partition of the data space and the
+//!   direct / indirect neighborhood relations of the paper (Definition 3).
+//! * [`highdim`] — closed-form models of the "strange" effects of
+//!   high-dimensional spaces that motivate the paper's declustering design
+//!   (surface concentration, NN-sphere radius).
+//!
+//! All distance computations are exact `f64` arithmetic; squared distances
+//! are used internally wherever ordering alone matters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod highdim;
+pub mod metric;
+pub mod point;
+pub mod quadrant;
+pub mod rect;
+
+pub use error::GeometryError;
+pub use metric::{Chebyshev, Euclidean, Manhattan, Metric};
+pub use point::Point;
+pub use quadrant::{BucketId, QuadrantSplitter};
+pub use rect::HyperRect;

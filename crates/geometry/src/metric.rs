@@ -1,0 +1,208 @@
+//! Distance metrics over feature vectors.
+//!
+//! Similarity of two multimedia objects is defined as proximity of their
+//! feature vectors under some metric; the paper (like most of the feature
+//! vector literature it cites) uses the Euclidean metric, but the index and
+//! engine are generic over [`Metric`] so that Manhattan and maximum metrics
+//! can be used where a domain calls for them.
+
+use crate::point::Point;
+use crate::rect::HyperRect;
+
+/// A metric on the d-dimensional data space.
+///
+/// Implementations must satisfy the usual metric axioms and must make
+/// [`Metric::min_dist_rect`] a *lower bound* of the distance from the query
+/// point to any point contained in the rectangle — the property that makes
+/// branch-and-bound nearest-neighbor search correct.
+pub trait Metric: Send + Sync {
+    /// Distance between two points.
+    fn dist(&self, a: &Point, b: &Point) -> f64;
+
+    /// Distance raised to a power that preserves ordering (e.g. the squared
+    /// Euclidean distance). Cheaper than [`Metric::dist`] and sufficient for
+    /// comparisons. The default squares the true distance.
+    fn dist_cmp(&self, a: &Point, b: &Point) -> f64 {
+        let d = self.dist(a, b);
+        d * d
+    }
+
+    /// Converts a comparison distance back to a true distance.
+    fn cmp_to_dist(&self, cmp: f64) -> f64 {
+        cmp.sqrt()
+    }
+
+    /// Converts a true distance to a comparison distance.
+    fn dist_to_cmp(&self, dist: f64) -> f64 {
+        dist * dist
+    }
+
+    /// `MINDIST(q, R)` in comparison units: a lower bound of
+    /// `dist_cmp(q, p)` over all points `p ∈ R`.
+    fn min_dist_rect(&self, q: &Point, rect: &HyperRect) -> f64;
+}
+
+/// The Euclidean (L2) metric — the paper's metric of choice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    #[inline]
+    fn dist(&self, a: &Point, b: &Point) -> f64 {
+        a.dist(b)
+    }
+
+    #[inline]
+    fn dist_cmp(&self, a: &Point, b: &Point) -> f64 {
+        a.dist2(b)
+    }
+
+    #[inline]
+    fn min_dist_rect(&self, q: &Point, rect: &HyperRect) -> f64 {
+        rect.min_dist2(q)
+    }
+}
+
+/// The Manhattan (L1) metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    #[inline]
+    fn dist(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim());
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    #[inline]
+    fn dist_cmp(&self, a: &Point, b: &Point) -> f64 {
+        self.dist(a, b)
+    }
+
+    fn cmp_to_dist(&self, cmp: f64) -> f64 {
+        cmp
+    }
+
+    fn dist_to_cmp(&self, dist: f64) -> f64 {
+        dist
+    }
+
+    fn min_dist_rect(&self, q: &Point, rect: &HyperRect) -> f64 {
+        q.iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let lo = rect.lo(i);
+                let hi = rect.hi(i);
+                if c < lo {
+                    lo - c
+                } else if c > hi {
+                    c - hi
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+}
+
+/// The maximum (L∞ / Chebyshev) metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    #[inline]
+    fn dist(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim());
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[inline]
+    fn dist_cmp(&self, a: &Point, b: &Point) -> f64 {
+        self.dist(a, b)
+    }
+
+    fn cmp_to_dist(&self, cmp: f64) -> f64 {
+        cmp
+    }
+
+    fn dist_to_cmp(&self, dist: f64) -> f64 {
+        dist
+    }
+
+    fn min_dist_rect(&self, q: &Point, rect: &HyperRect) -> f64 {
+        q.iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let lo = rect.lo(i);
+                let hi = rect.hi(i);
+                if c < lo {
+                    lo - c
+                } else if c > hi {
+                    c - hi
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coords: &[f64]) -> Point {
+        Point::new(coords.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn euclidean_matches_point_methods() {
+        let a = p(&[0.1, 0.2, 0.3]);
+        let b = p(&[0.4, 0.0, 0.9]);
+        assert_eq!(Euclidean.dist(&a, &b), a.dist(&b));
+        assert_eq!(Euclidean.dist_cmp(&a, &b), a.dist2(&b));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = p(&[0.0, 0.0]);
+        let b = p(&[0.3, 0.4]);
+        assert!((Manhattan.dist(&a, &b) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_distance() {
+        let a = p(&[0.0, 0.0]);
+        let b = p(&[0.3, 0.4]);
+        assert!((Chebyshev.dist(&a, &b) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mindist_lower_bounds_all_metrics() {
+        // For a point inside the rectangle the bound must be zero; outside
+        // it must lower-bound the distance to the nearest corner.
+        let rect = HyperRect::new(vec![0.2, 0.2], vec![0.6, 0.6]).unwrap();
+        let inside = p(&[0.3, 0.5]);
+        let outside = p(&[0.0, 0.0]);
+        let corner = p(&[0.2, 0.2]);
+
+        assert_eq!(Euclidean.min_dist_rect(&inside, &rect), 0.0);
+        assert_eq!(Manhattan.min_dist_rect(&inside, &rect), 0.0);
+        assert_eq!(Chebyshev.min_dist_rect(&inside, &rect), 0.0);
+
+        assert!(Euclidean.min_dist_rect(&outside, &rect) <= Euclidean.dist_cmp(&outside, &corner));
+        assert!(Manhattan.min_dist_rect(&outside, &rect) <= Manhattan.dist_cmp(&outside, &corner));
+        assert!(Chebyshev.min_dist_rect(&outside, &rect) <= Chebyshev.dist_cmp(&outside, &corner));
+    }
+
+    #[test]
+    fn cmp_round_trips() {
+        let d = 0.37;
+        assert!((Euclidean.cmp_to_dist(Euclidean.dist_to_cmp(d)) - d).abs() < 1e-12);
+        assert_eq!(Manhattan.cmp_to_dist(Manhattan.dist_to_cmp(d)), d);
+        assert_eq!(Chebyshev.cmp_to_dist(Chebyshev.dist_to_cmp(d)), d);
+    }
+}

@@ -1,0 +1,204 @@
+//! Feature vectors (points) in the d-dimensional data space.
+
+use std::fmt;
+use std::ops::{Deref, Index};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GeometryError;
+
+/// A d-dimensional feature vector.
+///
+/// The paper maps multimedia objects (images, CAD parts, text substrings)
+/// into points of a feature space; similarity search becomes
+/// nearest-neighbor search over these points (Definition 1). The data space
+/// is assumed to be `[0,1]^d` without loss of generality; [`Point::new`]
+/// enforces finite coordinates but not the unit range, because intermediate
+/// computations (e.g. raw Fourier coefficients before normalization) may
+/// leave it. Use [`Point::clamped_unit`] to force a point into the unit cube.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    coords: Box<[f64]>,
+}
+
+impl Point {
+    /// Creates a point from a coordinate vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::ZeroDimensional`] for an empty vector and
+    /// [`GeometryError::NonFiniteCoordinate`] if any coordinate is NaN or
+    /// infinite.
+    pub fn new(coords: Vec<f64>) -> Result<Self, GeometryError> {
+        if coords.is_empty() {
+            return Err(GeometryError::ZeroDimensional);
+        }
+        for (axis, &value) in coords.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(GeometryError::NonFiniteCoordinate { axis, value });
+            }
+        }
+        Ok(Point {
+            coords: coords.into_boxed_slice(),
+        })
+    }
+
+    /// Creates a point without validation.
+    ///
+    /// Intended for generators that construct coordinates from arithmetic
+    /// that is finite by construction. Panics in debug builds if the
+    /// invariants are violated.
+    pub fn from_vec(coords: Vec<f64>) -> Self {
+        debug_assert!(!coords.is_empty(), "zero-dimensional point");
+        debug_assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "non-finite coordinate"
+        );
+        Point {
+            coords: coords.into_boxed_slice(),
+        }
+    }
+
+    /// The origin of a d-dimensional space.
+    pub fn origin(dim: usize) -> Self {
+        assert!(dim > 0, "zero-dimensional point");
+        Point {
+            coords: vec![0.0; dim].into_boxed_slice(),
+        }
+    }
+
+    /// Dimensionality of the point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinates as a slice.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Returns a copy with every coordinate clamped into `[0,1]`.
+    pub fn clamped_unit(&self) -> Self {
+        Point {
+            coords: self.coords.iter().map(|c| c.clamp(0.0, 1.0)).collect(),
+        }
+    }
+
+    /// True if every coordinate lies in `[0,1]`.
+    pub fn in_unit_cube(&self) -> bool {
+        self.coords.iter().all(|&c| (0.0..=1.0).contains(&c))
+    }
+
+    /// Squared Euclidean distance to another point.
+    ///
+    /// Kept on `Point` (in addition to the [`crate::Metric`] trait) because
+    /// it is the single hottest operation of every nearest-neighbor search.
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+}
+
+impl Deref for Point {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        &self.coords
+    }
+}
+
+impl Index<usize> for Point {
+    type Output = f64;
+
+    fn index(&self, axis: usize) -> &f64 {
+        &self.coords[axis]
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{:?}", &self.coords)
+    }
+}
+
+impl From<Point> for Vec<f64> {
+    fn from(p: Point) -> Vec<f64> {
+        p.coords.into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_empty() {
+        assert_eq!(Point::new(vec![]), Err(GeometryError::ZeroDimensional));
+    }
+
+    #[test]
+    fn new_rejects_nan() {
+        let err = Point::new(vec![0.0, f64::NAN]).unwrap_err();
+        assert!(matches!(
+            err,
+            GeometryError::NonFiniteCoordinate { axis: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn new_rejects_infinity() {
+        let err = Point::new(vec![f64::INFINITY]).unwrap_err();
+        assert!(matches!(
+            err,
+            GeometryError::NonFiniteCoordinate { axis: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(vec![0.0, 0.0]).unwrap();
+        let b = Point::new(vec![3.0, 4.0]).unwrap();
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn clamp_into_unit_cube() {
+        let p = Point::new(vec![-0.5, 0.5, 1.5]).unwrap();
+        assert!(!p.in_unit_cube());
+        let c = p.clamped_unit();
+        assert!(c.in_unit_cube());
+        assert_eq!(c.coords(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn origin_is_zero() {
+        let o = Point::origin(4);
+        assert_eq!(o.dim(), 4);
+        assert!(o.coords().iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn deref_and_index() {
+        let p = Point::new(vec![0.25, 0.75]).unwrap();
+        assert_eq!(p[1], 0.75);
+        assert_eq!(p.iter().sum::<f64>(), 1.0);
+    }
+}

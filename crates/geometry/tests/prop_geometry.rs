@@ -1,0 +1,113 @@
+//! Property tests of the geometric primitives.
+
+use proptest::prelude::*;
+
+use parsim_geometry::highdim::{sphere_radius, sphere_volume};
+use parsim_geometry::quadrant::{are_direct_neighbors, are_indirect_neighbors};
+use parsim_geometry::{HyperRect, Point, QuadrantSplitter};
+
+fn arb_point(dim: usize) -> impl Strategy<Value = Point> {
+    prop::collection::vec(0.0f64..1.0, dim).prop_map(Point::from_vec)
+}
+
+fn arb_rect(dim: usize) -> impl Strategy<Value = HyperRect> {
+    (
+        prop::collection::vec(0.0f64..1.0, dim),
+        prop::collection::vec(0.0f64..1.0, dim),
+    )
+        .prop_map(|(a, b)| {
+            let lo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x.min(*y)).collect();
+            let hi: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x.max(*y)).collect();
+            HyperRect::new(lo, hi).expect("ordered bounds")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Union is commutative, contains both operands, and enlargement is
+    /// non-negative.
+    #[test]
+    fn union_properties(a in arb_rect(5), b in arb_rect(5)) {
+        let u1 = a.union(&b);
+        let u2 = b.union(&a);
+        prop_assert_eq!(&u1, &u2);
+        prop_assert!(u1.contains_rect(&a));
+        prop_assert!(u1.contains_rect(&b));
+        prop_assert!(a.enlargement(&b) >= -1e-12);
+        prop_assert!(u1.volume() + 1e-12 >= a.volume().max(b.volume()));
+    }
+
+    /// Overlap is symmetric, bounded by either volume, and zero iff the
+    /// interiors are disjoint.
+    #[test]
+    fn overlap_properties(a in arb_rect(4), b in arb_rect(4)) {
+        let o1 = a.overlap_volume(&b);
+        prop_assert!((o1 - b.overlap_volume(&a)).abs() < 1e-12);
+        prop_assert!(o1 <= a.volume() + 1e-12);
+        prop_assert!(o1 <= b.volume() + 1e-12);
+        if !a.intersects(&b) {
+            prop_assert_eq!(o1, 0.0);
+        }
+    }
+
+    /// Expanding a rectangle to a point makes it contain the point and
+    /// grow minimally on each axis.
+    #[test]
+    fn expansion_covers_point(mut r in arb_rect(4), p in arb_point(4)) {
+        let before = r.clone();
+        r.expand_to_point(&p);
+        prop_assert!(r.contains_point(&p));
+        prop_assert!(r.contains_rect(&before));
+        // Minimality per axis: bounds only moved to the point.
+        for i in 0..4 {
+            prop_assert!(r.lo(i) == before.lo(i) || r.lo(i) == p[i]);
+            prop_assert!(r.hi(i) == before.hi(i) || r.hi(i) == p[i]);
+        }
+    }
+
+    /// MINDIST² of a contained point is 0; of an outside point it equals
+    /// the squared distance to the clamped projection.
+    #[test]
+    fn mindist_is_projection_distance(r in arb_rect(6), q in arb_point(6)) {
+        let projection = Point::from_vec(
+            (0..6).map(|i| q[i].clamp(r.lo(i), r.hi(i))).collect(),
+        );
+        prop_assert!((r.min_dist2(&q) - q.dist2(&projection)).abs() < 1e-12);
+    }
+
+    /// Splitting preserves total volume and both halves stay within the
+    /// original bounds.
+    #[test]
+    fn split_preserves_volume(r in arb_rect(3), axis in 0usize..3, t in 0.0f64..1.0) {
+        let value = r.lo(axis) + t * (r.hi(axis) - r.lo(axis));
+        let (a, b) = r.split_at(axis, value);
+        prop_assert!((a.volume() + b.volume() - r.volume()).abs() < 1e-12);
+        prop_assert!(r.contains_rect(&a));
+        prop_assert!(r.contains_rect(&b));
+    }
+
+    /// Quadrant bucket numbers are stable under region round trips, and
+    /// neighbor predicates agree with XOR popcounts.
+    #[test]
+    fn quadrant_consistency(p in arb_point(8), other in any::<u64>()) {
+        let splitter = QuadrantSplitter::midpoint(8).unwrap();
+        let bucket = splitter.bucket_of(&p);
+        prop_assert!(splitter.bucket_region(bucket).contains_point(&p));
+        let other = other & 0xFF;
+        let bits = (bucket ^ other).count_ones();
+        prop_assert_eq!(are_direct_neighbors(bucket, other), bits == 1);
+        prop_assert_eq!(are_indirect_neighbors(bucket, other), bits == 2);
+    }
+
+    /// Sphere volume/radius are inverse and monotone in both arguments.
+    #[test]
+    fn sphere_volume_radius_inverse(dim in 1usize..=32, r in 0.01f64..2.0) {
+        let v = sphere_volume(dim, r);
+        prop_assert!(v > 0.0);
+        let r_back = sphere_radius(dim, v);
+        prop_assert!((r_back - r).abs() / r < 1e-9);
+        // Monotone in radius.
+        prop_assert!(sphere_volume(dim, r * 1.1) > v);
+    }
+}

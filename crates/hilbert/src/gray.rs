@@ -1,0 +1,50 @@
+//! Gray-code helpers used by the space-filling curves.
+
+/// The binary reflected Gray code of `v`.
+#[inline]
+pub fn gray(v: u128) -> u128 {
+    v ^ (v >> 1)
+}
+
+/// Inverse of [`gray`]: recovers `v` from its Gray code.
+#[inline]
+pub fn gray_inverse(mut g: u128) -> u128 {
+    let mut shift = 1;
+    while shift < 128 {
+        g ^= g >> shift;
+        shift <<= 1;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_first_values() {
+        let expected = [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100];
+        for (v, &g) in expected.iter().enumerate() {
+            assert_eq!(gray(v as u128), g);
+        }
+    }
+
+    #[test]
+    fn gray_adjacent_values_differ_in_one_bit() {
+        for v in 0u128..1024 {
+            let diff = gray(v) ^ gray(v + 1);
+            assert_eq!(diff.count_ones(), 1, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn gray_round_trip() {
+        for v in 0u128..4096 {
+            assert_eq!(gray_inverse(gray(v)), v);
+        }
+        // And some large values.
+        for v in [u128::MAX, u128::MAX / 3, 1u128 << 127, 0xdead_beef_cafe] {
+            assert_eq!(gray_inverse(gray(v)), v);
+        }
+    }
+}

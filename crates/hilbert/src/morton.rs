@@ -1,0 +1,136 @@
+//! The Morton (Z-order) curve.
+
+use crate::CurveError;
+
+/// The d-dimensional Z-order (Morton) curve on a `2^order`-per-side grid.
+///
+/// The curve position is obtained by bit-interleaving the coordinates,
+/// most-significant bits first. Z-order preserves locality less well than
+/// the Hilbert curve (consecutive positions can be far apart at the "seams")
+/// but is far cheaper to compute; it serves as a comparison curve in tests
+/// and ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZOrderCurve {
+    dim: usize,
+    order: u32,
+}
+
+impl ZOrderCurve {
+    /// Creates a Z-order curve over a d-dimensional grid with `2^order`
+    /// cells per side.
+    pub fn new(dim: usize, order: u32) -> Result<Self, CurveError> {
+        if dim == 0 {
+            return Err(CurveError::ZeroDimensional);
+        }
+        if order == 0 {
+            return Err(CurveError::ZeroOrder);
+        }
+        let bits = dim as u32 * order;
+        if bits > 128 {
+            return Err(CurveError::TooManyBits { requested: bits });
+        }
+        Ok(ZOrderCurve { dim, order })
+    }
+
+    /// Dimensionality of the grid.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Grid order (bits per coordinate).
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Number of cells along each axis, `2^order`.
+    pub fn side(&self) -> u64 {
+        1u64 << self.order
+    }
+
+    /// Total number of cells, `2^(dim*order)`.
+    pub fn cell_count(&self) -> u128 {
+        1u128 << (self.dim as u32 * self.order)
+    }
+
+    /// Maps grid coordinates to the curve position by bit interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != dim` or any coordinate is out of range.
+    pub fn encode(&self, coords: &[u64]) -> u128 {
+        assert_eq!(coords.len(), self.dim, "coordinate count mismatch");
+        for &c in coords {
+            assert!(c < self.side(), "coordinate {c} out of range");
+        }
+        let mut index: u128 = 0;
+        for bit in (0..self.order).rev() {
+            // Interleave with the last coordinate most significant, which
+            // yields the conventional "Z" visit order in two dimensions.
+            for &c in coords.iter().rev() {
+                index = (index << 1) | ((c >> bit) & 1) as u128;
+            }
+        }
+        index
+    }
+
+    /// Inverse of [`ZOrderCurve::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn decode(&self, index: u128) -> Vec<u64> {
+        assert!(index < self.cell_count(), "index out of range");
+        let mut coords = vec![0u64; self.dim];
+        let total_bits = self.dim as u32 * self.order;
+        for pos in 0..total_bits {
+            // Bits were emitted MSB-first, dimensions in reverse order
+            // within each row (see `encode`).
+            let row = pos / self.dim as u32;
+            let col = self.dim - 1 - (pos % self.dim as u32) as usize;
+            let bit = (index >> (total_bits - 1 - pos)) & 1;
+            coords[col] |= (bit as u64) << (self.order - 1 - row);
+        }
+        coords
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_order_2d_order1() {
+        // The classic "Z" visit order: (0,0) (1,0) (0,1) (1,1).
+        let z = ZOrderCurve::new(2, 1).unwrap();
+        assert_eq!(z.encode(&[0, 0]), 0);
+        assert_eq!(z.encode(&[1, 0]), 1);
+        assert_eq!(z.encode(&[0, 1]), 2);
+        assert_eq!(z.encode(&[1, 1]), 3);
+    }
+
+    #[test]
+    fn z_order_round_trip_exhaustive() {
+        for (dim, order) in [(1, 6), (2, 4), (3, 3), (4, 2)] {
+            let z = ZOrderCurve::new(dim, order).unwrap();
+            for idx in 0..z.cell_count() {
+                assert_eq!(z.encode(&z.decode(idx)), idx, "dim={dim} order={order}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(ZOrderCurve::new(0, 1), Err(CurveError::ZeroDimensional));
+        assert_eq!(ZOrderCurve::new(1, 0), Err(CurveError::ZeroOrder));
+        assert!(matches!(
+            ZOrderCurve::new(65, 2),
+            Err(CurveError::TooManyBits { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_rejects_large_coordinate() {
+        ZOrderCurve::new(2, 2).unwrap().encode(&[4, 0]);
+    }
+}

@@ -1,0 +1,155 @@
+//! A page-cache layer for visit accounting.
+//!
+//! Wraps any [`NodeSink`] with an exact-LRU page cache: hits are absorbed
+//! (no disk charge), misses pass through. This lets experiments answer
+//! "how much RAM per disk does it take to change the figures?" — the
+//! paper's machines cached at least the small X-tree directory, and the
+//! cache-size ablation bench quantifies how much further caching matters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use parsim_storage::LruTracker;
+
+use crate::node::{Node, NodeId};
+use crate::tree::NodeSink;
+
+/// An LRU cache in front of another sink.
+pub struct CachingSink {
+    inner: Arc<dyn NodeSink>,
+    cache: Mutex<LruTracker>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CachingSink {
+    /// Wraps `inner` with a cache of `capacity` pages.
+    pub fn new(inner: Arc<dyn NodeSink>, capacity: usize) -> Self {
+        CachingSink {
+            inner,
+            cache: Mutex::new(LruTracker::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far (these reached the inner sink).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate in `[0,1]`; 0 before any access.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Empties the cache (keeps the counters).
+    pub fn clear(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+}
+
+impl NodeSink for CachingSink {
+    fn visit(&self, id: NodeId, node: &Node) {
+        let hit = self.cache.lock().expect("cache lock").touch(id.0 as u64);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.inner.visit(id, node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KnnAlgorithm;
+    use crate::params::{TreeParams, TreeVariant};
+    use crate::tree::{DiskSink, SpatialTree};
+    use parsim_datagen::{DataGenerator, UniformGenerator};
+    use parsim_geometry::Point;
+    use parsim_storage::SimDisk;
+
+    fn build_cached(capacity: usize) -> (SpatialTree, Arc<CachingSink>, Arc<SimDisk>) {
+        let dim = 6;
+        let items: Vec<(Point, u64)> = UniformGenerator::new(dim)
+            .generate(3_000, 1)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u64))
+            .collect();
+        let disk = Arc::new(SimDisk::new(0));
+        let sink = Arc::new(CachingSink::new(
+            Arc::new(DiskSink(Arc::clone(&disk))),
+            capacity,
+        ));
+        let params = TreeParams::for_dim(dim, TreeVariant::xtree_default()).unwrap();
+        let tree = SpatialTree::bulk_load(params, items)
+            .unwrap()
+            .with_sink(Arc::clone(&sink) as Arc<dyn crate::tree::NodeSink>);
+        (tree, sink, disk)
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let (tree, sink, disk) = build_cached(100_000); // effectively infinite
+        let q = Point::new(vec![0.5; 6]).unwrap();
+        tree.knn(&q, 10, KnnAlgorithm::Hs);
+        let cold = disk.read_count();
+        assert!(cold > 0);
+        tree.knn(&q, 10, KnnAlgorithm::Hs);
+        // The second identical query is fully cached.
+        assert_eq!(disk.read_count(), cold);
+        assert!(sink.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn zero_cache_charges_everything() {
+        let (tree, sink, disk) = build_cached(0);
+        let q = Point::new(vec![0.2; 6]).unwrap();
+        tree.knn(&q, 10, KnnAlgorithm::Hs);
+        tree.knn(&q, 10, KnnAlgorithm::Hs);
+        assert_eq!(sink.hits(), 0);
+        assert_eq!(sink.misses(), disk.read_count());
+    }
+
+    #[test]
+    fn bigger_caches_charge_less() {
+        let mut charged = Vec::new();
+        for capacity in [0usize, 8, 64, 100_000] {
+            let (tree, _, disk) = build_cached(capacity);
+            for q in UniformGenerator::new(6).generate(20, 9) {
+                tree.knn(&q, 10, KnnAlgorithm::Hs);
+            }
+            charged.push(disk.read_count());
+        }
+        assert!(
+            charged.windows(2).all(|w| w[1] <= w[0]),
+            "charges not monotone: {charged:?}"
+        );
+        assert!(charged[3] < charged[0]);
+    }
+
+    #[test]
+    fn clear_forgets_pages() {
+        let (tree, sink, disk) = build_cached(100_000);
+        let q = Point::new(vec![0.8; 6]).unwrap();
+        tree.knn(&q, 5, KnnAlgorithm::Hs);
+        let cold = disk.read_count();
+        sink.clear();
+        tree.knn(&q, 5, KnnAlgorithm::Hs);
+        assert_eq!(disk.read_count(), 2 * cold);
+    }
+}

@@ -1,0 +1,287 @@
+//! Graph-based nearest-neighbor search — the second family of Section 2.
+//!
+//! "Graph-based algorithms precalculate some nearest-neighbors of points,
+//! store the distances in a graph, and use the precalculated information
+//! for a more efficient search" (the paper cites the RNG* algorithm
+//! \[Ary 95\] and Voronoi-diagram methods \[PS 85\]). This module
+//! implements the modern distillation of that idea: a **k-NN graph** with
+//! greedy best-first descent from several seed vertices.
+//!
+//! Unlike every other searcher in this crate the graph search is
+//! *approximate*: it can stop in a local minimum, which is why the paper's
+//! partitioning-based methods (and their parallelization) won out for
+//! exact multimedia retrieval. The [`GraphIndex::recall`] helper measures
+//! exactly that gap.
+
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
+
+use parsim_geometry::Point;
+use parsim_storage::SimDisk;
+
+use crate::knn::{brute_force_knn, Neighbor};
+
+/// A k-NN graph over a point set with greedy best-first search.
+pub struct GraphIndex {
+    dim: usize,
+    points: Vec<(Point, u64)>,
+    /// `edges[v]` = indexes of the `degree` nearest neighbors of `v`.
+    edges: Vec<Vec<u32>>,
+    degree: usize,
+    disk: Option<Arc<SimDisk>>,
+}
+
+impl GraphIndex {
+    /// Builds the exact k-NN graph with `degree` edges per vertex.
+    ///
+    /// Construction is `O(n²)` distance computations (the paper's era
+    /// precomputed such graphs offline); intended for data sets up to a
+    /// few tens of thousands of points.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty set, mixed dimensionalities, or `degree == 0`.
+    pub fn build(points: Vec<(Point, u64)>, degree: usize) -> Self {
+        assert!(!points.is_empty(), "empty data set");
+        assert!(degree > 0, "degree must be positive");
+        let dim = points[0].0.dim();
+        assert!(
+            points.iter().all(|(p, _)| p.dim() == dim),
+            "mixed dimensionalities"
+        );
+        let n = points.len();
+        let degree = degree.min(n - 1).max(1);
+        let mut edges = Vec::with_capacity(n);
+        for (i, (p, _)) in points.iter().enumerate() {
+            let mut dists: Vec<(f64, u32)> = points
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(j, (q, _))| (p.dist2(q), j as u32))
+                .collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            edges.push(dists.into_iter().take(degree).map(|(_, j)| j).collect());
+        }
+        GraphIndex {
+            dim,
+            points,
+            edges,
+            degree,
+            disk: None,
+        }
+    }
+
+    /// Attaches a simulated disk; each *expanded vertex* charges one page
+    /// (its adjacency list plus point must be fetched).
+    pub fn with_disk(mut self, disk: Arc<SimDisk>) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points are indexed (never after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Out-degree of the graph.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Approximate k-NN: beam (best-first) search over the graph from
+    /// `seeds` deterministic entry vertices with a candidate beam of width
+    /// `ef ≥ k` — wider beams trade pages for recall.
+    pub fn knn_approx(&self, query: &Point, k: usize, seeds: usize, ef: usize) -> Vec<Neighbor> {
+        assert_eq!(query.dim(), self.dim, "query dimension mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        #[derive(PartialEq)]
+        struct Cand(f64, u32);
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other.0.partial_cmp(&self.0).expect("finite distances")
+            }
+        }
+
+        let n = self.points.len();
+        let mut visited: HashSet<u32> = HashSet::new();
+        let mut frontier: BinaryHeap<Cand> = BinaryHeap::new();
+        // Deterministic spread of entry points.
+        let seeds = seeds.clamp(1, n);
+        for s in 0..seeds {
+            let v = (s * n / seeds) as u32;
+            if visited.insert(v) {
+                frontier.push(Cand(self.points[v as usize].0.dist2(query), v));
+            }
+        }
+
+        // Beam of the `ef` best candidates seen; the search continues while
+        // the frontier still holds something closer than the beam's worst.
+        let ef = ef.max(k);
+        let mut beam: Vec<(f64, u32)> = Vec::new();
+        let worst = |beam: &Vec<(f64, u32)>| -> f64 {
+            if beam.len() < ef {
+                f64::INFINITY
+            } else {
+                beam.iter().map(|b| b.0).fold(0.0, f64::max)
+            }
+        };
+        while let Some(Cand(d, v)) = frontier.pop() {
+            if d > worst(&beam) {
+                break;
+            }
+            if let Some(disk) = &self.disk {
+                disk.touch_read(1);
+            }
+            // Record v in the beam.
+            if beam.len() < ef {
+                beam.push((d, v));
+            } else {
+                let wi = beam
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                if d < beam[wi].0 {
+                    beam[wi] = (d, v);
+                }
+            }
+            for &u in &self.edges[v as usize] {
+                if visited.insert(u) {
+                    frontier.push(Cand(self.points[u as usize].0.dist2(query), u));
+                }
+            }
+        }
+
+        beam.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        beam.truncate(k);
+        beam.into_iter()
+            .map(|(d2, v)| {
+                let (p, item) = &self.points[v as usize];
+                Neighbor {
+                    item: *item,
+                    point: p.clone(),
+                    dist: d2.sqrt(),
+                }
+            })
+            .collect()
+    }
+
+    /// Fraction of the true `k` nearest neighbors the approximate search
+    /// returns, averaged over `queries`.
+    pub fn recall(&self, queries: &[Point], k: usize, seeds: usize, ef: usize) -> f64 {
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for q in queries {
+            let truth: HashSet<u64> = brute_force_knn(&self.points, q, k)
+                .into_iter()
+                .map(|nb| nb.item)
+                .collect();
+            let got = self.knn_approx(q, k, seeds, ef);
+            hits += got.iter().filter(|nb| truth.contains(&nb.item)).count();
+            total += truth.len();
+        }
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_datagen::{DataGenerator, UniformGenerator};
+
+    fn items(dim: usize, n: usize, seed: u64) -> Vec<(Point, u64)> {
+        UniformGenerator::new(dim)
+            .generate(n, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn graph_edges_are_true_nearest_neighbors() {
+        let data = items(4, 200, 1);
+        let g = GraphIndex::build(data.clone(), 5);
+        assert_eq!(g.degree(), 5);
+        for (i, (p, _)) in data.iter().enumerate().take(10) {
+            let truth: Vec<u64> = brute_force_knn(&data, p, 6)
+                .into_iter()
+                .skip(1) // the point itself
+                .map(|nb| nb.item)
+                .collect();
+            for &e in &g.edges[i] {
+                assert!(truth.contains(&(e as u64)), "vertex {i} edge {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_recall_with_generous_budget() {
+        let data = items(6, 2_000, 2);
+        let g = GraphIndex::build(data, 12);
+        let queries = UniformGenerator::new(6).generate(20, 3);
+        let r = g.recall(&queries, 10, 8, 400);
+        assert!(r > 0.9, "recall {r}");
+    }
+
+    #[test]
+    fn recall_improves_with_beam_width() {
+        let data = items(8, 1_500, 4);
+        let g = GraphIndex::build(data, 10);
+        let queries = UniformGenerator::new(8).generate(15, 5);
+        let tight = g.recall(&queries, 10, 4, 10);
+        let generous = g.recall(&queries, 10, 4, 200);
+        assert!(generous >= tight, "tight {tight} vs generous {generous}");
+        assert!(generous > 0.9, "generous recall {generous}");
+    }
+
+    #[test]
+    fn search_is_approximate_not_exact() {
+        // With a starved budget the greedy search misses neighbors — the
+        // paper's reason to prefer exact partitioning methods.
+        let data = items(10, 2_000, 6);
+        let g = GraphIndex::build(data, 6);
+        let queries = UniformGenerator::new(10).generate(25, 7);
+        let r = g.recall(&queries, 10, 1, 10);
+        assert!(r < 1.0, "starved search should not be perfect");
+    }
+
+    #[test]
+    fn page_accounting_counts_expansions() {
+        let data = items(5, 500, 8);
+        let disk = Arc::new(SimDisk::new(0));
+        let g = GraphIndex::build(data, 8).with_disk(Arc::clone(&disk));
+        let q = Point::new(vec![0.5; 5]).unwrap();
+        g.knn_approx(&q, 5, 4, 20);
+        let expanded = disk.read_count();
+        assert!(expanded > 0);
+        // Expansions are bounded by the visited set, which the beam keeps
+        // near ef plus its frontier fringe.
+        assert!(expanded <= 500, "expanded {expanded}");
+    }
+
+    #[test]
+    fn small_sets_and_edge_parameters() {
+        let data = items(3, 5, 9);
+        let g = GraphIndex::build(data, 100); // degree capped at n-1
+        assert_eq!(g.degree(), 4);
+        let q = Point::new(vec![0.1; 3]).unwrap();
+        assert!(g.knn_approx(&q, 0, 1, 10).is_empty());
+        let all = g.knn_approx(&q, 10, 5, 100);
+        assert_eq!(all.len(), 5);
+    }
+}

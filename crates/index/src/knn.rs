@@ -1,0 +1,497 @@
+//! k-nearest-neighbor search.
+//!
+//! Two classical algorithms, both exact:
+//!
+//! * **RKV** — Roussopoulos, Kelley & Vincent \[RKV 95\]: depth-first
+//!   branch-and-bound. Partitions are visited in MINDIST order; branches
+//!   whose MINDIST exceeds the current k-th best distance are pruned, and
+//!   for `k = 1` the MINMAXDIST bound additionally prunes partitions that
+//!   provably cannot contain the nearest neighbor. This is the algorithm
+//!   the paper runs on the X-tree.
+//! * **HS** — Hjaltason & Samet \[HS 95\]: best-first incremental search
+//!   with a global priority queue ordered by MINDIST. Optimal in the
+//!   number of pages visited; applicable to any recursive partitioning.
+//!
+//! Both charge one page visit per node they read (supernodes charge their
+//! page count), via [`SpatialTree::charge_visit`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use parsim_geometry::Point;
+
+use crate::node::{Node, NodeId};
+use crate::tree::SpatialTree;
+
+/// Which k-NN algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KnnAlgorithm {
+    /// Depth-first branch-and-bound \[RKV 95\] (the paper's choice).
+    #[default]
+    Rkv,
+    /// Best-first incremental search \[HS 95\].
+    Hs,
+}
+
+/// One answer of a k-NN query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    /// The caller-supplied item id of the matching point.
+    pub item: u64,
+    /// The matching point.
+    pub point: Point,
+    /// Euclidean distance to the query.
+    pub dist: f64,
+}
+
+impl SpatialTree {
+    /// Finds the `k` nearest neighbors of `query`, sorted by ascending
+    /// distance. Returns fewer than `k` results only if the tree holds
+    /// fewer than `k` points.
+    pub fn knn(&self, query: &Point, k: usize, algorithm: KnnAlgorithm) -> Vec<Neighbor> {
+        assert_eq!(query.dim(), self.params().dim, "query dimension mismatch");
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        match algorithm {
+            KnnAlgorithm::Rkv => self.knn_rkv(query, k),
+            KnnAlgorithm::Hs => self.knn_hs(query, k),
+        }
+    }
+
+    // ----- RKV ------------------------------------------------------------
+
+    fn knn_rkv(&self, query: &Point, k: usize) -> Vec<Neighbor> {
+        let mut best: BoundedMaxHeap = BoundedMaxHeap::new(k);
+        self.rkv_visit(self.root_id(), query, k, &mut best);
+        best.into_sorted()
+    }
+
+    fn rkv_visit(&self, id: NodeId, query: &Point, k: usize, best: &mut BoundedMaxHeap) {
+        self.charge_visit(id);
+        match self.node(id) {
+            Node::Leaf { entries, .. } => {
+                for e in entries {
+                    let d2 = e.point.dist2(query);
+                    best.offer(d2, e);
+                }
+            }
+            Node::Inner { entries, .. } => {
+                // Build the active branch list ordered by MINDIST.
+                let mut branches: Vec<(f64, f64, NodeId)> = entries
+                    .iter()
+                    .map(|e| (e.mbr.min_dist2(query), e.mbr.min_max_dist2(query), e.child))
+                    .collect();
+                branches.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+                // MINMAXDIST pruning (valid for k = 1): no partition whose
+                // MINDIST exceeds the smallest MINMAXDIST can contain the
+                // nearest neighbor.
+                if k == 1 {
+                    let min_minmax = branches.iter().map(|b| b.1).fold(f64::INFINITY, f64::min);
+                    branches.retain(|b| b.0 <= min_minmax);
+                }
+                for (min_dist, _, child) in branches {
+                    if best.is_full() && min_dist > best.worst() {
+                        break; // sorted order: everything further is pruned
+                    }
+                    self.rkv_visit(child, query, k, best);
+                }
+            }
+        }
+    }
+
+    // ----- HS -------------------------------------------------------------
+
+    fn knn_hs(&self, query: &Point, k: usize) -> Vec<Neighbor> {
+        forest_knn(&[self], query, k, KnnAlgorithm::Hs)
+    }
+}
+
+/// k-NN search over a **forest** of trees with a single shared pruning
+/// bound — the parallel X-tree's logical search. Each tree charges its own
+/// disk, so the per-disk page counts are exactly the pages a
+/// globally-pruned parallel algorithm must read (never more, as would
+/// happen if every disk ran an independent local search to completion).
+pub fn forest_knn(
+    trees: &[&SpatialTree],
+    query: &Point,
+    k: usize,
+    algorithm: KnnAlgorithm,
+) -> Vec<Neighbor> {
+    if k == 0 {
+        return Vec::new();
+    }
+    match algorithm {
+        KnnAlgorithm::Rkv => forest_knn_rkv(trees, query, k),
+        KnnAlgorithm::Hs => forest_knn_hs(trees, query, k),
+    }
+}
+
+/// RKV over a forest: the tree roots form a virtual root's branch list,
+/// sorted by MINDIST and pruned against the shared best-k bound.
+fn forest_knn_rkv(trees: &[&SpatialTree], query: &Point, k: usize) -> Vec<Neighbor> {
+    let mut best = BoundedMaxHeap::new(k);
+    let mut roots: Vec<(f64, &SpatialTree)> = trees
+        .iter()
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            let d = t
+                .bounds()
+                .map(|b| b.min_dist2(query))
+                .unwrap_or(f64::INFINITY);
+            (d, *t)
+        })
+        .collect();
+    roots.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    for (min_dist, tree) in roots {
+        if best.is_full() && min_dist > best.worst() {
+            break;
+        }
+        tree.rkv_visit(tree.root_id(), query, k, &mut best);
+    }
+    best.into_sorted()
+}
+
+/// HS over a forest: one shared priority queue seeded with all roots —
+/// page-optimal for the whole forest.
+fn forest_knn_hs(trees: &[&SpatialTree], query: &Point, k: usize) -> Vec<Neighbor> {
+    let mut queue: BinaryHeap<HsEntry> = BinaryHeap::new();
+    for (ti, tree) in trees.iter().enumerate() {
+        if !tree.is_empty() {
+            let d = tree
+                .bounds()
+                .map(|b| b.min_dist2(query))
+                .unwrap_or(f64::INFINITY);
+            queue.push(HsEntry {
+                dist2: d,
+                kind: HsKind::Node(ti, tree.root_id()),
+            });
+        }
+    }
+    let mut result = Vec::with_capacity(k);
+    while let Some(entry) = queue.pop() {
+        match entry.kind {
+            HsKind::Node(ti, id) => {
+                let tree = trees[ti];
+                tree.charge_visit(id);
+                match tree.node(id) {
+                    Node::Leaf { entries, .. } => {
+                        for (i, e) in entries.iter().enumerate() {
+                            queue.push(HsEntry {
+                                dist2: e.point.dist2(query),
+                                kind: HsKind::Point(ti, id, i),
+                            });
+                        }
+                    }
+                    Node::Inner { entries, .. } => {
+                        for e in entries {
+                            queue.push(HsEntry {
+                                dist2: e.mbr.min_dist2(query),
+                                kind: HsKind::Node(ti, e.child),
+                            });
+                        }
+                    }
+                }
+            }
+            HsKind::Point(ti, leaf, idx) => {
+                // When a point reaches the queue front, it is the next
+                // nearest neighbor.
+                if let Node::Leaf { entries, .. } = trees[ti].node(leaf) {
+                    let e = &entries[idx];
+                    result.push(Neighbor {
+                        item: e.item,
+                        point: e.point.clone(),
+                        dist: entry.dist2.sqrt(),
+                    });
+                    if result.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Exhaustive scan — the ground truth used by tests and the tiny-database
+/// fallback.
+pub fn brute_force_knn(data: &[(Point, u64)], query: &Point, k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = data
+        .iter()
+        .map(|(p, item)| Neighbor {
+            item: *item,
+            point: p.clone(),
+            dist: p.dist(query),
+        })
+        .collect();
+    all.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .expect("finite distances")
+            .then(a.item.cmp(&b.item))
+    });
+    all.truncate(k);
+    all
+}
+
+// ----- helpers -------------------------------------------------------------
+
+/// Max-heap of the k best candidates seen so far (by squared distance).
+struct BoundedMaxHeap {
+    k: usize,
+    heap: BinaryHeap<HeapNeighbor>,
+}
+
+struct HeapNeighbor {
+    dist2: f64,
+    item: u64,
+    point: Point,
+}
+
+impl PartialEq for HeapNeighbor {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2 == other.dist2 && self.item == other.item
+    }
+}
+impl Eq for HeapNeighbor {}
+impl PartialOrd for HeapNeighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNeighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist2
+            .partial_cmp(&other.dist2)
+            .expect("finite distances")
+            .then(self.item.cmp(&other.item))
+    }
+}
+
+impl BoundedMaxHeap {
+    fn new(k: usize) -> Self {
+        BoundedMaxHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    fn offer(&mut self, dist2: f64, e: &crate::node::LeafEntry) {
+        if self.heap.len() < self.k {
+            self.heap.push(HeapNeighbor {
+                dist2,
+                item: e.item,
+                point: e.point.clone(),
+            });
+        } else if dist2 < self.worst() {
+            self.heap.push(HeapNeighbor {
+                dist2,
+                item: e.item,
+                point: e.point.clone(),
+            });
+            self.heap.pop();
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.heap.len() == self.k
+    }
+
+    /// The current k-th best squared distance (∞ until full).
+    fn worst(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map(|n| n.dist2).unwrap_or(f64::INFINITY)
+        }
+    }
+
+    fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v: Vec<HeapNeighbor> = self.heap.into_vec();
+        v.sort();
+        v.into_iter()
+            .map(|n| Neighbor {
+                item: n.item,
+                point: n.point,
+                dist: n.dist2.sqrt(),
+            })
+            .collect()
+    }
+}
+
+/// Priority-queue entry of the HS algorithm (min-heap via reversed Ord).
+struct HsEntry {
+    dist2: f64,
+    kind: HsKind,
+}
+
+enum HsKind {
+    Node(usize, NodeId),
+    Point(usize, NodeId, usize),
+}
+
+impl PartialEq for HsEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2 == other.dist2
+    }
+}
+impl Eq for HsEntry {}
+impl PartialOrd for HsEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HsEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the smallest dist2
+        // first. Points win ties against nodes so results surface eagerly.
+        other
+            .dist2
+            .partial_cmp(&self.dist2)
+            .expect("finite distances")
+            .then_with(|| {
+                let rank = |k: &HsKind| match k {
+                    HsKind::Point(..) => 0,
+                    HsKind::Node(..) => 1,
+                };
+                rank(&other.kind).cmp(&rank(&self.kind))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{TreeParams, TreeVariant};
+    use parsim_datagen::{ClusteredGenerator, DataGenerator, UniformGenerator};
+
+    fn build_tree(pts: &[Point], dim: usize, variant: TreeVariant) -> SpatialTree {
+        let params = TreeParams::for_dim(dim, variant)
+            .unwrap()
+            .with_capacities(8, 8)
+            .unwrap();
+        let mut t = SpatialTree::new(params);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i as u64).unwrap();
+        }
+        t
+    }
+
+    fn check_matches_brute_force(pts: &[Point], dim: usize, k: usize, algo: KnnAlgorithm) {
+        let tree = build_tree(pts, dim, TreeVariant::xtree_default());
+        let data: Vec<(Point, u64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i as u64))
+            .collect();
+        let queries = UniformGenerator::new(dim).generate(20, 999);
+        for q in &queries {
+            let got = tree.knn(q, k, algo);
+            let want = brute_force_knn(&data, q, k);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want.iter()) {
+                // Distances must agree exactly (same arithmetic); items may
+                // differ only between equidistant points.
+                assert!(
+                    (g.dist - w.dist).abs() < 1e-12,
+                    "k={k} algo={algo:?}: {} vs {}",
+                    g.dist,
+                    w.dist
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rkv_matches_brute_force_uniform() {
+        let pts = UniformGenerator::new(6).generate(600, 1);
+        check_matches_brute_force(&pts, 6, 1, KnnAlgorithm::Rkv);
+        check_matches_brute_force(&pts, 6, 10, KnnAlgorithm::Rkv);
+    }
+
+    #[test]
+    fn hs_matches_brute_force_uniform() {
+        let pts = UniformGenerator::new(6).generate(600, 2);
+        check_matches_brute_force(&pts, 6, 1, KnnAlgorithm::Hs);
+        check_matches_brute_force(&pts, 6, 10, KnnAlgorithm::Hs);
+    }
+
+    #[test]
+    fn knn_on_clustered_data() {
+        let pts = ClusteredGenerator::new(8, 4, 0.03).generate(500, 3);
+        check_matches_brute_force(&pts, 8, 5, KnnAlgorithm::Rkv);
+        check_matches_brute_force(&pts, 8, 5, KnnAlgorithm::Hs);
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let pts = UniformGenerator::new(3).generate(5, 4);
+        let tree = build_tree(&pts, 3, TreeVariant::RStar);
+        let q = Point::new(vec![0.5, 0.5, 0.5]).unwrap();
+        // k = 0.
+        assert!(tree.knn(&q, 0, KnnAlgorithm::Rkv).is_empty());
+        // k > len returns everything.
+        assert_eq!(tree.knn(&q, 50, KnnAlgorithm::Rkv).len(), 5);
+        assert_eq!(tree.knn(&q, 50, KnnAlgorithm::Hs).len(), 5);
+        // Empty tree.
+        let empty = SpatialTree::new(TreeParams::for_dim(3, TreeVariant::RStar).unwrap());
+        assert!(empty.knn(&q, 3, KnnAlgorithm::Hs).is_empty());
+    }
+
+    #[test]
+    fn results_are_sorted_ascending() {
+        let pts = UniformGenerator::new(4).generate(300, 5);
+        let tree = build_tree(&pts, 4, TreeVariant::xtree_default());
+        let q = Point::new(vec![0.2, 0.8, 0.5, 0.1]).unwrap();
+        for algo in [KnnAlgorithm::Rkv, KnnAlgorithm::Hs] {
+            let res = tree.knn(&q, 20, algo);
+            assert!(res.windows(2).all(|w| w[0].dist <= w[1].dist));
+        }
+    }
+
+    #[test]
+    fn exact_point_query_returns_distance_zero() {
+        let pts = UniformGenerator::new(5).generate(200, 6);
+        let tree = build_tree(&pts, 5, TreeVariant::RStar);
+        let res = tree.knn(&pts[77], 1, KnnAlgorithm::Rkv);
+        assert_eq!(res[0].dist, 0.0);
+        assert_eq!(res[0].item, 77);
+    }
+
+    #[test]
+    fn hs_visits_no_more_pages_than_rkv() {
+        // HS is page-optimal; over a workload it must not read more pages
+        // than RKV.
+        use parsim_storage::SimDisk;
+        use std::sync::Arc;
+        let dim = 8;
+        let pts = UniformGenerator::new(dim).generate(2000, 7);
+        let queries = UniformGenerator::new(dim).generate(20, 8);
+
+        let count_pages = |algo: KnnAlgorithm| -> u64 {
+            let disk = Arc::new(SimDisk::new(0));
+            let params = TreeParams::for_dim(dim, TreeVariant::xtree_default()).unwrap();
+            let mut t = SpatialTree::new(params).with_disk(Arc::clone(&disk));
+            for (i, p) in pts.iter().enumerate() {
+                t.insert(p.clone(), i as u64).unwrap();
+            }
+            let before = disk.read_count();
+            for q in &queries {
+                t.knn(q, 10, algo);
+            }
+            disk.read_count() - before
+        };
+        let hs = count_pages(KnnAlgorithm::Hs);
+        let rkv = count_pages(KnnAlgorithm::Rkv);
+        assert!(hs <= rkv, "HS read {hs} pages, RKV {rkv}");
+    }
+
+    #[test]
+    fn brute_force_is_deterministic_on_ties() {
+        let p = Point::new(vec![0.5]).unwrap();
+        let data = vec![(p.clone(), 3), (p.clone(), 1), (p.clone(), 2)];
+        let res = brute_force_knn(&data, &p, 2);
+        assert_eq!(res[0].item, 1);
+        assert_eq!(res[1].item, 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Tree nodes and the node arena.
+
+use parsim_geometry::{HyperRect, Point};
+
+/// Index of a node in the tree's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+/// An entry of a leaf node: one indexed point and its caller-supplied item
+/// id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafEntry {
+    /// The indexed feature vector.
+    pub point: Point,
+    /// Caller-supplied identifier of the multimedia object.
+    pub item: u64,
+}
+
+/// An entry of a directory node: the bounding rectangle of a child
+/// subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InnerEntry {
+    /// Minimum bounding rectangle of everything below `child`.
+    pub mbr: HyperRect,
+    /// The child node.
+    pub child: NodeId,
+}
+
+/// A tree node. `pages > 1` marks an X-tree supernode, which occupies
+/// several contiguous disk pages and has proportionally enlarged capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A leaf holding data points.
+    Leaf {
+        /// The stored points.
+        entries: Vec<LeafEntry>,
+        /// Number of disk pages this node occupies.
+        pages: u32,
+    },
+    /// A directory node holding child MBRs.
+    Inner {
+        /// The child entries.
+        entries: Vec<InnerEntry>,
+        /// Number of disk pages this node occupies (supernodes: > 1).
+        pages: u32,
+        /// X-tree split history: bitmask of the dimensions along which the
+        /// entries of this node have been separated by past splits.
+        split_dims: u64,
+    },
+}
+
+impl Node {
+    /// Creates an empty single-page leaf.
+    pub fn empty_leaf() -> Self {
+        Node::Leaf {
+            entries: Vec::new(),
+            pages: 1,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Inner { entries, .. } => entries.len(),
+        }
+    }
+
+    /// True if the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of disk pages the node occupies.
+    pub fn pages(&self) -> u32 {
+        match self {
+            Node::Leaf { pages, .. } | Node::Inner { pages, .. } => *pages,
+        }
+    }
+
+    /// The tight bounding rectangle of the node's entries, or `None` for an
+    /// empty node.
+    pub fn mbr(&self) -> Option<HyperRect> {
+        match self {
+            Node::Leaf { entries, .. } => {
+                let mut it = entries.iter();
+                let first = it.next()?;
+                let mut mbr = HyperRect::from_point(&first.point);
+                for e in it {
+                    mbr.expand_to_point(&e.point);
+                }
+                Some(mbr)
+            }
+            Node::Inner { entries, .. } => {
+                let mut it = entries.iter();
+                let first = it.next()?;
+                let mut mbr = first.mbr.clone();
+                for e in it {
+                    mbr.expand_to_rect(&e.mbr);
+                }
+                Some(mbr)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coords: &[f64]) -> Point {
+        Point::new(coords.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn empty_leaf_has_no_mbr() {
+        let n = Node::empty_leaf();
+        assert!(n.is_leaf());
+        assert!(n.is_empty());
+        assert_eq!(n.pages(), 1);
+        assert!(n.mbr().is_none());
+    }
+
+    #[test]
+    fn leaf_mbr_covers_points() {
+        let n = Node::Leaf {
+            entries: vec![
+                LeafEntry {
+                    point: p(&[0.1, 0.9]),
+                    item: 0,
+                },
+                LeafEntry {
+                    point: p(&[0.5, 0.2]),
+                    item: 1,
+                },
+            ],
+            pages: 1,
+        };
+        let mbr = n.mbr().unwrap();
+        assert_eq!(mbr.lo_coords(), &[0.1, 0.2]);
+        assert_eq!(mbr.hi_coords(), &[0.5, 0.9]);
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn inner_mbr_covers_children() {
+        let a = HyperRect::new(vec![0.0, 0.0], vec![0.3, 0.3]).unwrap();
+        let b = HyperRect::new(vec![0.5, 0.5], vec![1.0, 0.8]).unwrap();
+        let n = Node::Inner {
+            entries: vec![
+                InnerEntry {
+                    mbr: a,
+                    child: NodeId(1),
+                },
+                InnerEntry {
+                    mbr: b,
+                    child: NodeId(2),
+                },
+            ],
+            pages: 2,
+            split_dims: 0b1,
+        };
+        let mbr = n.mbr().unwrap();
+        assert_eq!(mbr.lo_coords(), &[0.0, 0.0]);
+        assert_eq!(mbr.hi_coords(), &[1.0, 0.8]);
+        assert_eq!(n.pages(), 2);
+        assert!(!n.is_leaf());
+    }
+}

@@ -1,0 +1,107 @@
+//! Tree statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::Node;
+use crate::tree::SpatialTree;
+
+/// A structural summary of a tree — used by experiments and docs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// Number of indexed points.
+    pub points: usize,
+    /// Tree height (1 = root is a leaf).
+    pub height: usize,
+    /// Number of leaf nodes.
+    pub leaves: usize,
+    /// Number of directory nodes.
+    pub inner: usize,
+    /// Number of directory supernodes (X-tree only).
+    pub supernodes: usize,
+    /// Total pages occupied by all nodes.
+    pub pages: u64,
+    /// Average leaf fill factor (entries / capacity).
+    pub leaf_fill: f64,
+}
+
+impl SpatialTree {
+    /// Computes structural statistics by scanning all live nodes.
+    pub fn stats(&self) -> TreeStats {
+        let mut leaves = 0usize;
+        let mut inner = 0usize;
+        let mut supernodes = 0usize;
+        let mut pages = 0u64;
+        let mut leaf_entries = 0usize;
+        for node in self.iter_nodes() {
+            pages += node.pages() as u64;
+            match node {
+                Node::Leaf { entries, .. } => {
+                    leaves += 1;
+                    leaf_entries += entries.len();
+                }
+                Node::Inner { pages: p, .. } => {
+                    inner += 1;
+                    if *p > 1 {
+                        supernodes += 1;
+                    }
+                }
+            }
+        }
+        let leaf_capacity = self.params().leaf_capacity;
+        TreeStats {
+            points: self.len(),
+            height: self.height(),
+            leaves,
+            inner,
+            supernodes,
+            pages,
+            leaf_fill: if leaves == 0 {
+                0.0
+            } else {
+                leaf_entries as f64 / (leaves * leaf_capacity) as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::params::{TreeParams, TreeVariant};
+    use crate::tree::SpatialTree;
+    use parsim_datagen::{DataGenerator, UniformGenerator};
+
+    #[test]
+    fn stats_reflect_structure() {
+        let params = TreeParams::for_dim(4, TreeVariant::RStar)
+            .unwrap()
+            .with_capacities(8, 8)
+            .unwrap();
+        let mut t = SpatialTree::new(params);
+        for (i, p) in UniformGenerator::new(4).generate(400, 1).iter().enumerate() {
+            t.insert(p.clone(), i as u64).unwrap();
+        }
+        let s = t.stats();
+        assert_eq!(s.points, 400);
+        assert_eq!(s.height, t.height());
+        assert!(s.leaves >= 400 / 8);
+        assert!(s.inner >= 1);
+        assert_eq!(s.supernodes, 0);
+        assert!(s.pages >= (s.leaves + s.inner) as u64);
+        assert!(
+            s.leaf_fill > 0.3 && s.leaf_fill <= 1.0,
+            "fill {}",
+            s.leaf_fill
+        );
+    }
+
+    #[test]
+    fn empty_tree_stats() {
+        let params = TreeParams::for_dim(2, TreeVariant::RStar).unwrap();
+        let t = SpatialTree::new(params);
+        let s = t.stats();
+        assert_eq!(s.points, 0);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.inner, 0);
+        assert_eq!(s.leaf_fill, 0.0);
+    }
+}

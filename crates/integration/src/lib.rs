@@ -1,0 +1,2 @@
+//! Anchor crate for the repository-root `tests/` directory; all test
+//! sources live there (see `Cargo.toml` `[[test]]` entries).

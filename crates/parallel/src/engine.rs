@@ -1,0 +1,369 @@
+//! The parallel k-NN engine.
+
+use std::sync::Arc;
+
+use parsim_decluster::quantile::median_splits;
+use parsim_decluster::{BucketBased, Declusterer, NearOptimal};
+use parsim_geometry::{Point, QuadrantSplitter};
+use parsim_index::knn::Neighbor;
+use parsim_index::{SpatialTree, TreeParams};
+use parsim_storage::{DiskArray, QueryCost};
+
+use crate::config::{EngineConfig, SplitStrategy};
+use crate::EngineError;
+
+/// The paper's parallel similarity-search system: a declusterer assigns
+/// every feature vector to one of `n` simulated disks, each disk carries a
+/// local X-tree, and k-NN queries execute on all disks concurrently.
+pub struct ParallelKnnEngine {
+    config: EngineConfig,
+    array: DiskArray,
+    trees: Vec<SpatialTree>,
+    declusterer: Arc<dyn Declusterer>,
+    next_seq: u64,
+}
+
+impl ParallelKnnEngine {
+    /// Builds an engine over `points` with an explicit declusterer.
+    ///
+    /// The per-disk trees are bulk-loaded. Item ids are the indexes into
+    /// `points`.
+    pub fn build(
+        points: &[Point],
+        declusterer: Arc<dyn Declusterer>,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        if points.is_empty() {
+            return Err(EngineError::EmptyDataSet);
+        }
+        for p in points {
+            if p.dim() != config.dim {
+                return Err(EngineError::DimensionMismatch {
+                    expected: config.dim,
+                    got: p.dim(),
+                });
+            }
+        }
+        let disks = declusterer.disks();
+        let array = DiskArray::new(disks, config.disk_model)
+            .map_err(|e| EngineError::Internal(e.to_string()))?;
+
+        // Partition the points over the disks.
+        let mut partitions: Vec<Vec<(Point, u64)>> = vec![Vec::new(); disks];
+        for (i, p) in points.iter().enumerate() {
+            let disk = declusterer.assign(i as u64, p);
+            partitions[disk].push((p.clone(), i as u64));
+        }
+
+        // One bulk-loaded tree per disk, charging that disk.
+        let mut trees = Vec::with_capacity(disks);
+        for (i, part) in partitions.into_iter().enumerate() {
+            let params = TreeParams::for_dim(config.dim, config.variant)
+                .map_err(|e| EngineError::Internal(e.to_string()))?;
+            let tree = SpatialTree::bulk_load(params, part)
+                .map_err(|e| EngineError::Internal(e.to_string()))?
+                .with_disk(Arc::clone(array.disk(i)));
+            trees.push(tree);
+        }
+
+        Ok(ParallelKnnEngine {
+            config,
+            array,
+            trees,
+            declusterer,
+            next_seq: points.len() as u64,
+        })
+    }
+
+    /// Builds an engine with the paper's **near-optimal declustering**
+    /// (folded to `disks` disks) and the configured split strategy.
+    pub fn build_near_optimal(
+        points: &[Point],
+        disks: usize,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        if points.is_empty() {
+            return Err(EngineError::EmptyDataSet);
+        }
+        let splitter = Self::make_splitter(points, &config)?;
+        // `col` can use at most nextpow2(d+1) disks; extra disks could never
+        // receive data, so the engine is capped to the usable count.
+        let capped =
+            disks.min(parsim_decluster::near_optimal::colors_required(config.dim) as usize);
+        let method = NearOptimal::new(config.dim, capped)
+            .map_err(|e| EngineError::Internal(e.to_string()))?;
+        Self::build(points, Arc::new(BucketBased::new(method, splitter)), config)
+    }
+
+    fn make_splitter(
+        points: &[Point],
+        config: &EngineConfig,
+    ) -> Result<QuadrantSplitter, EngineError> {
+        match config.splits {
+            SplitStrategy::Midpoint => QuadrantSplitter::midpoint(config.dim)
+                .map_err(|e| EngineError::Internal(e.to_string())),
+            SplitStrategy::DataMedian => {
+                median_splits(points).map_err(|e| EngineError::Internal(e.to_string()))
+            }
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of disks.
+    pub fn disks(&self) -> usize {
+        self.array.len()
+    }
+
+    /// The declusterer in use.
+    pub fn declusterer(&self) -> &Arc<dyn Declusterer> {
+        &self.declusterer
+    }
+
+    /// Total number of indexed points.
+    pub fn len(&self) -> usize {
+        self.trees.iter().map(SpatialTree::len).sum()
+    }
+
+    /// True if no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-disk point counts — the load-balance view.
+    pub fn load_distribution(&self) -> Vec<usize> {
+        self.trees.iter().map(SpatialTree::len).collect()
+    }
+
+    /// Inserts a point dynamically (the system "is completely dynamical",
+    /// Section 4.3).
+    pub fn insert(&mut self, point: Point) -> Result<u64, EngineError> {
+        if point.dim() != self.config.dim {
+            return Err(EngineError::DimensionMismatch {
+                expected: self.config.dim,
+                got: point.dim(),
+            });
+        }
+        let item = self.next_seq;
+        self.next_seq += 1;
+        let disk = self.declusterer.assign(item, &point);
+        self.trees[disk]
+            .insert(point, item)
+            .map_err(|e| EngineError::Internal(e.to_string()))?;
+        Ok(item)
+    }
+
+    /// Deletes a previously inserted point.
+    pub fn delete(&mut self, point: &Point, item: u64) -> Result<(), EngineError> {
+        let disk = self.declusterer.assign(item, point);
+        self.trees[disk]
+            .delete(point, item)
+            .map_err(|e| EngineError::Internal(e.to_string()))
+    }
+
+    /// Runs a k-NN query against the declustered data and returns the `k`
+    /// nearest neighbors plus the per-disk page cost of the query.
+    ///
+    /// The search is the **parallel X-tree's logical search**: one
+    /// branch-and-bound (RKV) or best-first (HS) traversal with a single
+    /// shared pruning bound over the forest of per-disk trees, where every
+    /// visited node charges the disk that stores it. The per-disk page
+    /// counts are therefore exactly the pages a globally-pruned parallel
+    /// execution must fetch from each disk; the cost's `parallel_time` is
+    /// the service time of the most-loaded disk (the paper's metric — all
+    /// disks fetch their pages concurrently, the busiest one gates).
+    pub fn knn(&self, query: &Point, k: usize) -> Result<(Vec<Neighbor>, QueryCost), EngineError> {
+        if query.dim() != self.config.dim {
+            return Err(EngineError::DimensionMismatch {
+                expected: self.config.dim,
+                got: query.dim(),
+            });
+        }
+        let scope = self.array.begin_query();
+        let refs: Vec<&SpatialTree> = self.trees.iter().collect();
+        let merged = parsim_index::knn::forest_knn(&refs, query, k, self.config.algorithm);
+        Ok((merged, scope.finish(&self.array)))
+    }
+
+    /// Runs a k-NN query with **independent** per-disk searches: every
+    /// disk finds its local top-`k` to completion (no shared bound) and
+    /// the candidates are merged. This models a share-nothing cluster
+    /// without inter-node pruning traffic; it reads more pages than
+    /// [`ParallelKnnEngine::knn`] and is kept for the ablation benches.
+    pub fn knn_independent(
+        &self,
+        query: &Point,
+        k: usize,
+    ) -> Result<(Vec<Neighbor>, QueryCost), EngineError> {
+        if query.dim() != self.config.dim {
+            return Err(EngineError::DimensionMismatch {
+                expected: self.config.dim,
+                got: query.dim(),
+            });
+        }
+        let scope = self.array.begin_query();
+        let algorithm = self.config.algorithm;
+
+        let mut locals: Vec<Vec<Neighbor>> = Vec::with_capacity(self.trees.len());
+        crossbeam::scope(|s| {
+            let handles: Vec<_> = self
+                .trees
+                .iter()
+                .map(|tree| s.spawn(move |_| tree.knn(query, k, algorithm)))
+                .collect();
+            for h in handles {
+                locals.push(h.join().expect("local knn does not panic"));
+            }
+        })
+        .expect("scoped threads do not panic");
+
+        // Merge the per-disk candidate lists.
+        let mut merged: Vec<Neighbor> = locals.into_iter().flatten().collect();
+        merged.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite distances")
+                .then(a.item.cmp(&b.item))
+        });
+        merged.truncate(k);
+
+        Ok((merged, scope.finish(&self.array)))
+    }
+
+    /// Reorganizes the engine for the current data: recomputes the
+    /// declustering (median splits from the stored points) and rebuilds
+    /// the per-disk trees. Returns the rebuilt engine.
+    ///
+    /// This is the paper's reorganization step for data whose distribution
+    /// drifted after many insertions.
+    pub fn reorganize(self) -> Result<Self, EngineError> {
+        let mut points: Vec<(u64, Point)> = Vec::with_capacity(self.len());
+        for tree in &self.trees {
+            for node in tree.iter_nodes() {
+                if let parsim_index::node::Node::Leaf { entries, .. } = node {
+                    for e in entries {
+                        points.push((e.item, e.point.clone()));
+                    }
+                }
+            }
+        }
+        points.sort_by_key(|(item, _)| *item);
+        let pts: Vec<Point> = points.into_iter().map(|(_, p)| p).collect();
+        Self::build_near_optimal(&pts, self.disks(), self.config)
+    }
+
+    /// Immutable access to the disk array (for experiment accounting).
+    pub fn array(&self) -> &DiskArray {
+        &self.array
+    }
+
+    /// Immutable access to the per-disk trees (for statistics).
+    pub fn trees(&self) -> &[SpatialTree] {
+        &self.trees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_datagen::{DataGenerator, UniformGenerator};
+    use parsim_index::knn::brute_force_knn;
+
+    fn engine(disks: usize, n: usize, dim: usize) -> (ParallelKnnEngine, Vec<Point>) {
+        let pts = UniformGenerator::new(dim).generate(n, 7);
+        let config = EngineConfig::paper_defaults(dim);
+        let e = ParallelKnnEngine::build_near_optimal(&pts, disks, config).unwrap();
+        (e, pts)
+    }
+
+    #[test]
+    fn parallel_knn_is_exact() {
+        let (e, pts) = engine(8, 3000, 8);
+        let data: Vec<(Point, u64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i as u64))
+            .collect();
+        for q in UniformGenerator::new(8).generate(10, 100) {
+            let (got, cost) = e.knn(&q, 10).unwrap();
+            let want = brute_force_knn(&data, &q, 10);
+            assert_eq!(got.len(), 10);
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert!((g.dist - w.dist).abs() < 1e-12);
+            }
+            assert!(cost.total_reads > 0);
+            assert_eq!(cost.per_disk_reads.len(), 8);
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced_on_uniform_data() {
+        let (e, _) = engine(8, 8000, 8);
+        let loads = e.load_distribution();
+        assert_eq!(loads.iter().sum::<usize>(), 8000);
+        let max = *loads.iter().max().unwrap() as f64;
+        let avg = 8000.0 / 8.0;
+        assert!(max / avg < 1.7, "loads: {loads:?}");
+    }
+
+    #[test]
+    fn dynamic_insert_and_delete() {
+        let (mut e, pts) = engine(4, 500, 5);
+        let extra = UniformGenerator::new(5).generate(100, 42);
+        let mut ids = Vec::new();
+        for p in &extra {
+            ids.push(e.insert(p.clone()).unwrap());
+        }
+        assert_eq!(e.len(), 600);
+        for (p, id) in extra.iter().zip(&ids) {
+            e.delete(p, *id).unwrap();
+        }
+        assert_eq!(e.len(), 500);
+        // Original points still answer queries.
+        let (res, _) = e.knn(&pts[0], 1).unwrap();
+        assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let config = EngineConfig::paper_defaults(4);
+        assert!(matches!(
+            ParallelKnnEngine::build_near_optimal(&[], 4, config),
+            Err(EngineError::EmptyDataSet)
+        ));
+        let (e, _) = engine(4, 100, 5);
+        let wrong = Point::new(vec![0.5; 3]).unwrap();
+        assert!(matches!(
+            e.knn(&wrong, 1),
+            Err(EngineError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_cost_beats_sequential_cost() {
+        let (e, _) = engine(8, 5000, 10);
+        let queries = UniformGenerator::new(10).generate(20, 11);
+        let mut par = 0u64;
+        let mut tot = 0u64;
+        for q in &queries {
+            let (_, cost) = e.knn(q, 10).unwrap();
+            par += cost.max_reads;
+            tot += cost.total_reads;
+        }
+        // With 8 disks the busiest disk must read far less than everything.
+        assert!(par * 2 < tot, "max {par} vs total {tot}");
+    }
+
+    #[test]
+    fn reorganize_preserves_contents() {
+        let (e, pts) = engine(4, 800, 6);
+        let before = e.len();
+        let e = e.reorganize().unwrap();
+        assert_eq!(e.len(), before);
+        let (res, _) = e.knn(&pts[5], 1).unwrap();
+        assert_eq!(res[0].dist, 0.0);
+    }
+}

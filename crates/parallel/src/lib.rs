@@ -1,0 +1,75 @@
+//! Parallel similarity search over declustered disks — the paper's system.
+//!
+//! A [`ParallelKnnEngine`] distributes feature vectors over `n` simulated
+//! disks with a pluggable [`parsim_decluster::Declusterer`] and builds one
+//! local X-tree per disk. A k-NN query runs on all disks concurrently; the
+//! per-disk candidate lists are merged, and the reported cost is the
+//! service time of the **most-loaded disk** — the paper's measurement
+//! ("we determined the disk which accesses most pages during query
+//! processing \[and\] used the search time of this disk as the search time
+//! of the whole parallel X-tree").
+//!
+//! The [`SequentialEngine`] is the single-disk baseline used to compute
+//! speed-ups, and [`metrics`] contains the workload runners used by every
+//! experiment in the benchmark crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod declustered;
+pub mod engine;
+pub mod metrics;
+pub mod sequential;
+pub mod throughput;
+
+pub use config::{EngineConfig, SplitStrategy};
+pub use declustered::DeclusteredXTree;
+pub use engine::ParallelKnnEngine;
+pub use metrics::{run_knn_workload, WorkloadCost};
+pub use sequential::SequentialEngine;
+pub use throughput::{run_batch, ThroughputReport};
+
+/// Errors produced when building or querying an engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The data set was empty where a non-empty one is required.
+    EmptyDataSet,
+    /// A point of the wrong dimensionality was supplied.
+    DimensionMismatch {
+        /// Expected (engine) dimensionality.
+        expected: usize,
+        /// Supplied dimensionality.
+        got: usize,
+    },
+    /// The declusterer's disk count does not match the engine's.
+    DiskCountMismatch {
+        /// Disks of the engine.
+        engine: usize,
+        /// Disks of the declusterer.
+        declusterer: usize,
+    },
+    /// An underlying component failed.
+    Internal(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::EmptyDataSet => write!(f, "data set is empty"),
+            EngineError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: engine is {expected}-d, got {got}-d")
+            }
+            EngineError::DiskCountMismatch {
+                engine,
+                declusterer,
+            } => write!(
+                f,
+                "declusterer targets {declusterer} disks but the engine has {engine}"
+            ),
+            EngineError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

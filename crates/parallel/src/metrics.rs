@@ -1,0 +1,147 @@
+//! Workload runners and the speed-up / scale-up metrics of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use parsim_geometry::Point;
+use parsim_storage::QueryCost;
+
+use crate::declustered::DeclusteredXTree;
+use crate::engine::ParallelKnnEngine;
+use crate::sequential::SequentialEngine;
+use crate::EngineError;
+
+/// Aggregate cost of a query workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadCost {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Average pages read by the most-loaded disk per query.
+    pub avg_max_reads: f64,
+    /// Average total pages read per query.
+    pub avg_total_reads: f64,
+    /// Average modeled parallel search time per query, in milliseconds.
+    pub avg_parallel_ms: f64,
+    /// Average modeled sequential search time per query, in milliseconds
+    /// (the same page accesses issued to one disk).
+    pub avg_sequential_ms: f64,
+    /// Sum of per-disk reads over the whole workload.
+    pub per_disk_reads: Vec<u64>,
+}
+
+impl WorkloadCost {
+    fn from_costs(costs: &[QueryCost]) -> WorkloadCost {
+        assert!(!costs.is_empty(), "workload must contain queries");
+        let n = costs.len() as f64;
+        let mut per_disk = vec![0u64; costs[0].per_disk_reads.len()];
+        for c in costs {
+            for (acc, r) in per_disk.iter_mut().zip(&c.per_disk_reads) {
+                *acc += r;
+            }
+        }
+        WorkloadCost {
+            queries: costs.len(),
+            avg_max_reads: costs.iter().map(|c| c.max_reads as f64).sum::<f64>() / n,
+            avg_total_reads: costs.iter().map(|c| c.total_reads as f64).sum::<f64>() / n,
+            avg_parallel_ms: costs
+                .iter()
+                .map(|c| c.parallel_time.as_secs_f64() * 1e3)
+                .sum::<f64>()
+                / n,
+            avg_sequential_ms: costs
+                .iter()
+                .map(|c| c.sequential_time.as_secs_f64() * 1e3)
+                .sum::<f64>()
+                / n,
+            per_disk_reads: per_disk,
+        }
+    }
+
+    /// Average intra-query speed-up (`total / max` page reads).
+    pub fn internal_speedup(&self) -> f64 {
+        if self.avg_max_reads == 0.0 {
+            1.0
+        } else {
+            self.avg_total_reads / self.avg_max_reads
+        }
+    }
+}
+
+/// Runs a k-NN workload against a parallel engine and aggregates the cost.
+pub fn run_knn_workload(
+    engine: &ParallelKnnEngine,
+    queries: &[Point],
+    k: usize,
+) -> Result<WorkloadCost, EngineError> {
+    let mut costs = Vec::with_capacity(queries.len());
+    for q in queries {
+        let (_, cost) = engine.knn(q, k)?;
+        costs.push(cost);
+    }
+    Ok(WorkloadCost::from_costs(&costs))
+}
+
+/// Runs a k-NN workload against a page-declustered global tree.
+pub fn run_declustered_workload(
+    engine: &DeclusteredXTree,
+    queries: &[Point],
+    k: usize,
+) -> Result<WorkloadCost, EngineError> {
+    let mut costs = Vec::with_capacity(queries.len());
+    for q in queries {
+        let (_, cost) = engine.knn(q, k)?;
+        costs.push(cost);
+    }
+    Ok(WorkloadCost::from_costs(&costs))
+}
+
+/// Runs a k-NN workload against the sequential baseline.
+pub fn run_sequential_workload(
+    engine: &SequentialEngine,
+    queries: &[Point],
+    k: usize,
+) -> Result<WorkloadCost, EngineError> {
+    let mut costs = Vec::with_capacity(queries.len());
+    for q in queries {
+        let (_, cost) = engine.knn(q, k)?;
+        costs.push(cost);
+    }
+    Ok(WorkloadCost::from_costs(&costs))
+}
+
+/// The paper's **speed-up** metric: sequential search time of the
+/// single-disk X-tree divided by the parallel search time (service time of
+/// the most-loaded disk).
+pub fn speedup(sequential: &WorkloadCost, parallel: &WorkloadCost) -> f64 {
+    if parallel.avg_parallel_ms == 0.0 {
+        return 1.0;
+    }
+    sequential.avg_parallel_ms / parallel.avg_parallel_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use parsim_datagen::{DataGenerator, UniformGenerator};
+
+    #[test]
+    fn workload_aggregation() {
+        let pts = UniformGenerator::new(6).generate(3000, 1);
+        let queries = UniformGenerator::new(6).generate(10, 2);
+        let config = EngineConfig::paper_defaults(6);
+        let par = ParallelKnnEngine::build_near_optimal(&pts, 8, config).unwrap();
+        let seq = SequentialEngine::build(&pts, config).unwrap();
+
+        let pc = run_knn_workload(&par, &queries, 10).unwrap();
+        let sc = run_sequential_workload(&seq, &queries, 10).unwrap();
+        assert_eq!(pc.queries, 10);
+        assert!(pc.avg_max_reads > 0.0);
+        assert!(pc.avg_max_reads <= pc.avg_total_reads);
+        assert!(pc.internal_speedup() > 1.0);
+        // Parallel must beat the sequential baseline.
+        let s = speedup(&sc, &pc);
+        assert!(s > 1.5, "speed-up {s}");
+        // And the sequential engine's max == total (one disk).
+        assert_eq!(sc.avg_max_reads, sc.avg_total_reads);
+    }
+}

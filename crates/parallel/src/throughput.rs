@@ -1,0 +1,132 @@
+//! Throughput-oriented batch execution — the paper's future work.
+//!
+//! The paper closes with: "Another topic which we will address in the
+//! future are declustering techniques which optimize the **throughput**
+//! instead of the search time for a single query." This module provides
+//! the measurement side of that question: a batch of concurrent queries is
+//! executed against a declustered tree, the pages of *all* queries
+//! accumulate per disk, and the batch completes when the busiest disk has
+//! served its aggregate queue (queries overlap, so per-query balance
+//! matters less than aggregate balance and total work).
+//!
+//! The resulting trade-off is real: the near-optimal coloring minimizes
+//! the *per-query* maximum, while for saturated batch workloads the total
+//! page count and the aggregate balance dominate — a declustering with
+//! slightly worse per-query spread but fewer total pages can win on
+//! queries/second.
+
+use serde::{Deserialize, Serialize};
+
+use parsim_geometry::Point;
+
+use crate::declustered::DeclusteredXTree;
+use crate::EngineError;
+
+/// Result of a saturated batch execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Number of queries in the batch.
+    pub queries: usize,
+    /// Aggregate pages served per disk over the whole batch.
+    pub pages_per_disk: Vec<u64>,
+    /// Total pages served by all disks.
+    pub total_pages: u64,
+    /// Batch completion time (busiest disk's aggregate service time) in
+    /// milliseconds.
+    pub makespan_ms: f64,
+    /// Sustained throughput in queries per second.
+    pub throughput_qps: f64,
+    /// Mean single-query latency (most-loaded disk per query) in
+    /// milliseconds — what an *unloaded* system would deliver.
+    pub unloaded_latency_ms: f64,
+}
+
+impl ThroughputReport {
+    /// Aggregate imbalance of the batch: busiest disk / average disk
+    /// (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        if self.total_pages == 0 {
+            return 1.0;
+        }
+        let max = self.pages_per_disk.iter().copied().max().unwrap_or(0) as f64;
+        max / (self.total_pages as f64 / self.pages_per_disk.len() as f64)
+    }
+}
+
+/// Executes `queries` as one saturated batch of k-NN searches.
+pub fn run_batch(
+    engine: &DeclusteredXTree,
+    queries: &[Point],
+    k: usize,
+) -> Result<ThroughputReport, EngineError> {
+    assert!(!queries.is_empty(), "batch must contain queries");
+    let mut pages_per_disk = vec![0u64; engine.disks()];
+    let mut latency_sum = 0.0;
+    for q in queries {
+        let (_, cost) = engine.knn(q, k)?;
+        for (acc, r) in pages_per_disk.iter_mut().zip(&cost.per_disk_reads) {
+            *acc += r;
+        }
+        latency_sum += cost.parallel_time.as_secs_f64() * 1e3;
+    }
+    let total_pages: u64 = pages_per_disk.iter().sum();
+    let max_pages = pages_per_disk.iter().copied().max().unwrap_or(0);
+    let model = engine.disk_model();
+    let makespan_ms = model.service_time(max_pages).as_secs_f64() * 1e3;
+    Ok(ThroughputReport {
+        queries: queries.len(),
+        pages_per_disk,
+        total_pages,
+        makespan_ms,
+        throughput_qps: if makespan_ms > 0.0 {
+            queries.len() as f64 / (makespan_ms / 1e3)
+        } else {
+            f64::INFINITY
+        },
+        unloaded_latency_ms: latency_sum / queries.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use parsim_datagen::{DataGenerator, UniformGenerator};
+
+    #[test]
+    fn batch_report_is_consistent() {
+        let dim = 8;
+        let data = UniformGenerator::new(dim).generate(5_000, 1);
+        let queries = UniformGenerator::new(dim).generate(20, 2);
+        let config = EngineConfig::paper_defaults(dim);
+        let engine = DeclusteredXTree::build_near_optimal(&data, 8, config).unwrap();
+        let report = run_batch(&engine, &queries, 10).unwrap();
+        assert_eq!(report.queries, 20);
+        assert_eq!(report.pages_per_disk.len(), 8);
+        assert_eq!(
+            report.total_pages,
+            report.pages_per_disk.iter().sum::<u64>()
+        );
+        assert!(report.makespan_ms > 0.0);
+        assert!(report.throughput_qps > 0.0);
+        assert!(report.imbalance() >= 1.0);
+        // Batch aggregation smooths per-query imbalance.
+        assert!(report.imbalance() < 2.5, "imbalance {}", report.imbalance());
+    }
+
+    #[test]
+    fn more_disks_increase_throughput() {
+        let dim = 10;
+        let data = UniformGenerator::new(dim).generate(10_000, 3);
+        let queries = UniformGenerator::new(dim).generate(15, 4);
+        let config = EngineConfig::paper_defaults(dim);
+        let few = DeclusteredXTree::build_near_optimal(&data, 2, config).unwrap();
+        let many = DeclusteredXTree::build_near_optimal(&data, 16, config).unwrap();
+        let few_qps = run_batch(&few, &queries, 10).unwrap().throughput_qps;
+        let many_qps = run_batch(&many, &queries, 10).unwrap().throughput_qps;
+        assert!(
+            many_qps > 2.0 * few_qps,
+            "few {few_qps:.1} qps vs many {many_qps:.1} qps"
+        );
+    }
+}

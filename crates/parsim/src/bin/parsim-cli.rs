@@ -1,0 +1,305 @@
+//! `parsim-cli` — command-line front end for the parallel similarity
+//! search engine.
+//!
+//! ```text
+//! parsim-cli generate --kind fourier --dim 16 --n 20000 --seed 1 --out parts.csv
+//! parsim-cli query --data parts.csv --disks 16 --method near-optimal --k 10
+//! parsim-cli verify --max-dim 12
+//! parsim-cli staircase --max-dim 32
+//! ```
+//!
+//! CSV format: one feature vector per line, coordinates separated by
+//! commas; an optional leading `id,` column is detected automatically.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::sync::Arc;
+
+use parsim::decluster::near_optimal::{color_lower_bound, colors_required};
+use parsim::decluster::quantile::median_splits;
+use parsim::parallel::DeclusteredXTree;
+use parsim::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("staircase") => cmd_staircase(&args[1..]),
+        _ => {
+            eprintln!("usage: parsim-cli <generate|query|verify|staircase> [options]");
+            eprintln!("  generate  --kind <uniform|clustered|correlated|fourier|text>");
+            eprintln!("            --dim D --n N [--seed S] --out FILE.csv");
+            eprintln!("  query     --data FILE.csv [--disks N] [--method M] [--k K]");
+            eprintln!(
+                "            [--queries Q]   M in round-robin|disk-modulo|fx|hilbert|near-optimal"
+            );
+            eprintln!("  verify    [--max-dim D]   near-optimality of every method per dimension");
+            eprintln!("  staircase [--max-dim D]   colors required by col (paper Fig. 10)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+// ----- option parsing --------------------------------------------------------
+
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn opt_usize(args: &[String], name: &str, default: usize) -> usize {
+    opt(args, name)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("{name} needs a number")))
+        })
+        .unwrap_or(default)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+// ----- generate --------------------------------------------------------------
+
+fn make_generator(kind: &str, dim: usize) -> Box<dyn DataGenerator> {
+    match kind {
+        "uniform" => Box::new(UniformGenerator::new(dim)),
+        "clustered" => Box::new(ClusteredGenerator::new(dim, 8, 0.05)),
+        "correlated" => Box::new(CorrelatedGenerator::new(dim, 0.05)),
+        "fourier" => Box::new(FourierGenerator::new(dim)),
+        "text" => Box::new(TextDescriptorGenerator::new(dim)),
+        other => die(&format!("unknown generator kind '{other}'")),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> i32 {
+    let kind = opt(args, "--kind").unwrap_or("uniform");
+    let dim = opt_usize(args, "--dim", 16);
+    let n = opt_usize(args, "--n", 10_000);
+    let seed = opt_usize(args, "--seed", 42) as u64;
+    let out = opt(args, "--out").unwrap_or_else(|| die("--out FILE.csv is required"));
+
+    let generator = make_generator(kind, dim);
+    let points = generator.generate(n, seed);
+    let file =
+        std::fs::File::create(out).unwrap_or_else(|e| die(&format!("cannot create {out}: {e}")));
+    let mut w = BufWriter::new(file);
+    for (i, p) in points.iter().enumerate() {
+        let coords: Vec<String> = p.iter().map(|c| format!("{c:.9}")).collect();
+        writeln!(w, "{i},{}", coords.join(",")).unwrap_or_else(|e| die(&e.to_string()));
+    }
+    w.flush().unwrap_or_else(|e| die(&e.to_string()));
+    println!("wrote {n} {kind} vectors (d = {dim}) to {out}");
+    0
+}
+
+// ----- query -------------------------------------------------------------------
+
+/// Parses one CSV line into `(id, coords)`. A leading integer column is
+/// treated as the id; otherwise the row index is used.
+fn parse_line(line: &str, row: usize) -> Result<(u64, Vec<f64>), String> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.is_empty() || (fields.len() == 1 && fields[0].is_empty()) {
+        return Err("empty line".into());
+    }
+    // Heuristic: a first field that parses as u64 but not as a fraction in
+    // [0,1] with a '.' is an id column.
+    let (id, start) = match fields[0].parse::<u64>() {
+        Ok(v) if !fields[0].contains('.') && fields.len() > 1 => (v, 1),
+        _ => (row as u64, 0),
+    };
+    let mut coords = Vec::with_capacity(fields.len() - start);
+    for f in &fields[start..] {
+        coords.push(f.parse::<f64>().map_err(|_| format!("bad number '{f}'"))?);
+    }
+    Ok((id, coords))
+}
+
+fn load_csv(path: &str) -> (Vec<Point>, Vec<u64>) {
+    let file =
+        std::fs::File::open(path).unwrap_or_else(|e| die(&format!("cannot open {path}: {e}")));
+    let reader = std::io::BufReader::new(file);
+    let mut points = Vec::new();
+    let mut ids = Vec::new();
+    for (row, line) in reader.lines().enumerate() {
+        let line = line.unwrap_or_else(|e| die(&e.to_string()));
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (id, coords) =
+            parse_line(&line, row).unwrap_or_else(|e| die(&format!("line {}: {e}", row + 1)));
+        let point = Point::new(coords).unwrap_or_else(|e| die(&format!("line {}: {e}", row + 1)));
+        points.push(point);
+        ids.push(id);
+    }
+    if points.is_empty() {
+        die("no vectors in input");
+    }
+    let dim = points[0].dim();
+    if points.iter().any(|p| p.dim() != dim) {
+        die("mixed dimensionalities in input");
+    }
+    (points, ids)
+}
+
+fn cmd_query(args: &[String]) -> i32 {
+    let path = opt(args, "--data").unwrap_or_else(|| die("--data FILE.csv is required"));
+    let disks = opt_usize(args, "--disks", 16);
+    let k = opt_usize(args, "--k", 10);
+    let queries_n = opt_usize(args, "--queries", 3);
+    let method = opt(args, "--method").unwrap_or("near-optimal");
+
+    let (points, ids) = load_csv(path);
+    let dim = points[0].dim();
+    println!("loaded {} vectors (d = {dim}) from {path}", points.len());
+
+    let config = EngineConfig::paper_defaults(dim);
+    let engine = match method {
+        "round-robin" => DeclusteredXTree::build(
+            &points,
+            Arc::new(RoundRobin::new(disks).unwrap_or_else(|e| die(&e.to_string()))),
+            config,
+        ),
+        "disk-modulo" => DeclusteredXTree::build_bucket(
+            &points,
+            Arc::new(DiskModulo::new(disks).unwrap_or_else(|e| die(&e.to_string()))),
+            median_splits(&points).unwrap_or_else(|e| die(&e.to_string())),
+            config,
+        ),
+        "fx" => DeclusteredXTree::build_bucket(
+            &points,
+            Arc::new(FxXor::new(disks).unwrap_or_else(|e| die(&e.to_string()))),
+            median_splits(&points).unwrap_or_else(|e| die(&e.to_string())),
+            config,
+        ),
+        "hilbert" => DeclusteredXTree::build_bucket(
+            &points,
+            Arc::new(HilbertDecluster::new(dim, disks).unwrap_or_else(|e| die(&e.to_string()))),
+            median_splits(&points).unwrap_or_else(|e| die(&e.to_string())),
+            config,
+        ),
+        "near-optimal" => DeclusteredXTree::build_near_optimal(&points, disks, config),
+        other => die(&format!("unknown method '{other}'")),
+    }
+    .unwrap_or_else(|e| die(&e.to_string()));
+
+    println!(
+        "engine: {} on {} disks\n",
+        engine.declusterer_name(),
+        engine.disks()
+    );
+    // Query with the first few stored vectors (self-similarity queries).
+    for qi in 0..queries_n.min(points.len()) {
+        let (result, cost) = engine
+            .knn(&points[qi], k)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        println!(
+            "query #{qi} (vector id {}): {k}-NN, {} pages busiest disk / {} total, {:.1} ms modeled",
+            ids[qi],
+            cost.max_reads,
+            cost.total_reads,
+            cost.parallel_time.as_secs_f64() * 1e3
+        );
+        for nb in result {
+            println!(
+                "    id {:>8}  distance {:.6}",
+                ids[nb.item as usize], nb.dist
+            );
+        }
+    }
+    0
+}
+
+// ----- verify / staircase ------------------------------------------------------
+
+fn cmd_verify(args: &[String]) -> i32 {
+    let max_dim = opt_usize(args, "--max-dim", 12).min(20);
+    println!("near-optimality (all direct+indirect neighbors on different disks):\n");
+    println!(
+        "  {:>4} {:>7} {:>12} {:>6} {:>9} {:>13}",
+        "dim", "disks", "disk-modulo", "fx", "hilbert", "near-optimal"
+    );
+    for dim in 2..=max_dim {
+        let graph = DiskAssignmentGraph::new(dim);
+        let disks = colors_required(dim) as usize;
+        let verdict = |ok: bool| if ok { "OK" } else { "violates" };
+        let dm = graph
+            .verify(&DiskModulo::new(disks).expect("disks > 0"))
+            .is_ok();
+        let fx = graph.verify(&FxXor::new(disks).expect("disks > 0")).is_ok();
+        let hi = graph
+            .verify(&HilbertDecluster::new(dim, disks).expect("valid dim"))
+            .is_ok();
+        let no = graph
+            .verify(&NearOptimal::with_optimal_disks(dim).expect("valid dim"))
+            .is_ok();
+        println!(
+            "  {:>4} {:>7} {:>12} {:>6} {:>9} {:>13}",
+            dim,
+            disks,
+            verdict(dm),
+            verdict(fx),
+            verdict(hi),
+            verdict(no)
+        );
+    }
+    0
+}
+
+fn cmd_staircase(args: &[String]) -> i32 {
+    let max_dim = opt_usize(args, "--max-dim", 32).min(63);
+    println!("colors required by col (paper Figure 10):\n");
+    println!(
+        "  {:>4} {:>10} {:>10} {:>9}",
+        "dim", "lower d+1", "col", "upper 2d"
+    );
+    for dim in 1..=max_dim {
+        println!(
+            "  {:>4} {:>10} {:>10} {:>9}",
+            dim,
+            color_lower_bound(dim),
+            colors_required(dim),
+            2 * dim
+        );
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_line;
+
+    #[test]
+    fn parses_plain_coordinates() {
+        let (id, coords) = parse_line("0.5, 0.25, 1.0", 7).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(coords, vec![0.5, 0.25, 1.0]);
+    }
+
+    #[test]
+    fn parses_leading_id_column() {
+        let (id, coords) = parse_line("42,0.5,0.25", 0).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(coords, vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn single_integer_field_is_a_coordinate() {
+        // "1" alone cannot be an id column (there would be no coordinates).
+        let (id, coords) = parse_line("1", 3).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(coords, vec![1.0]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_line("a,b,c", 0).is_err());
+        assert!(parse_line("", 0).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! # parsim — fast parallel similarity search in multimedia databases
+//!
+//! A complete Rust implementation of the parallel nearest-neighbor search
+//! system of Berchtold, Böhm, Braunmüller, Keim and Kriegel (*Fast
+//! Parallel Similarity Search in Multimedia Databases*, SIGMOD 1997):
+//! high-dimensional feature vectors are distributed over an array of disks
+//! by a **near-optimal declustering** (a graph coloring of the quadrant
+//! neighborhood graph), indexed per disk with an **X-tree**, and queried
+//! with parallel k-nearest-neighbor search whose cost is gated by the
+//! most-loaded disk.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use parsim::prelude::*;
+//!
+//! // 1. Some feature vectors (8-d uniform here; see parsim::datagen for
+//! //    CAD Fourier descriptors and text descriptors).
+//! let data = UniformGenerator::new(8).generate(2_000, 42);
+//!
+//! // 2. Build the parallel engine on 8 simulated disks with the paper's
+//! //    near-optimal declustering.
+//! let config = EngineConfig::paper_defaults(8);
+//! let engine = ParallelKnnEngine::build_near_optimal(&data, 8, config).unwrap();
+//!
+//! // 3. Ask for the 10 most similar objects.
+//! let query = UniformGenerator::new(8).generate(1, 7).pop().unwrap();
+//! let (neighbors, cost) = engine.knn(&query, 10).unwrap();
+//! assert_eq!(neighbors.len(), 10);
+//! assert!(neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
+//!
+//! // The cost records the paper's metric: pages read per disk, with the
+//! // busiest disk gating the parallel search time.
+//! assert!(cost.max_reads <= cost.total_reads);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`geometry`] | points, hyper-rectangles, metrics, quadrants, high-dim math |
+//! | [`datagen`] | seeded generators: uniform, clustered, correlated, Fourier, text |
+//! | [`storage`] | simulated disks, disk arrays, service-time model |
+//! | [`hilbert`] | d-dimensional Hilbert and Z-order curves |
+//! | [`index`] | R\*-tree / X-tree with RKV and HS k-NN |
+//! | [`decluster`] | round robin, disk modulo, FX, Hilbert, **near-optimal** |
+//! | [`parallel`] | the parallel engine, sequential baseline and metrics |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+
+pub use parsim_datagen as datagen;
+pub use parsim_decluster as decluster;
+pub use parsim_geometry as geometry;
+pub use parsim_hilbert as hilbert;
+pub use parsim_index as index;
+pub use parsim_parallel as parallel;
+pub use parsim_storage as storage;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use parsim_datagen::{
+        ClusteredGenerator, CorrelatedGenerator, DataGenerator, FourierGenerator, QueryWorkload,
+        TextDescriptorGenerator, UniformGenerator,
+    };
+    pub use parsim_decluster::{
+        BucketBased, BucketDecluster, Declusterer, DiskAssignmentGraph, DiskModulo, FxXor,
+        HilbertDecluster, NearOptimal, RecursiveDeclusterer, RoundRobin,
+    };
+    pub use parsim_geometry::{Euclidean, HyperRect, Metric, Point, QuadrantSplitter};
+    pub use parsim_index::{
+        CachingSink, KnnAlgorithm, Neighbor, NnIterator, SpatialTree, TreeParams, TreeVariant,
+    };
+    pub use parsim_parallel::{
+        run_knn_workload, DeclusteredXTree, EngineConfig, ParallelKnnEngine, SequentialEngine,
+        SplitStrategy, ThroughputReport, WorkloadCost,
+    };
+    pub use parsim_storage::{DiskArray, DiskModel, LruTracker, QueryCost, SimDisk};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_a_working_pipeline() {
+        let data = UniformGenerator::new(6).generate(500, 1);
+        let engine =
+            ParallelKnnEngine::build_near_optimal(&data, 4, EngineConfig::paper_defaults(6))
+                .unwrap();
+        let (res, _) = engine.knn(&data[0], 3).unwrap();
+        assert_eq!(res[0].dist, 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Arrays of simulated disks with per-query cost accounting.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::disk::SimDisk;
+use crate::model::DiskModel;
+use crate::StorageError;
+
+/// An array of `n` independent simulated disks.
+///
+/// The array owns the service-time model and provides scoped accounting:
+/// [`DiskArray::begin_query`] snapshots all counters, and the returned
+/// [`QueryScope`] converts the counter deltas at the end of the query into
+/// a [`QueryCost`]. This mirrors the paper's measurement procedure, where
+/// the reported search time of the parallel X-tree is the service time of
+/// its most-loaded disk.
+#[derive(Debug, Clone)]
+pub struct DiskArray {
+    disks: Vec<Arc<SimDisk>>,
+    model: DiskModel,
+}
+
+impl DiskArray {
+    /// Creates an array of `n` empty disks.
+    pub fn new(n: usize, model: DiskModel) -> Result<Self, StorageError> {
+        if n == 0 {
+            return Err(StorageError::EmptyArray);
+        }
+        Ok(DiskArray {
+            disks: (0..n).map(|i| Arc::new(SimDisk::new(i))).collect(),
+            model,
+        })
+    }
+
+    /// Number of disks.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Always false: arrays have at least one disk.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The service-time model shared by all disks.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// Returns disk `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn disk(&self, i: usize) -> &Arc<SimDisk> {
+        &self.disks[i]
+    }
+
+    /// Iterates over the disks.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<SimDisk>> {
+        self.disks.iter()
+    }
+
+    /// Total pages allocated across all disks.
+    pub fn total_pages(&self) -> u64 {
+        self.disks.iter().map(|d| d.page_count()).sum()
+    }
+
+    /// Per-disk allocated page counts — the load-balance view used by the
+    /// recursive-declustering experiments.
+    pub fn page_distribution(&self) -> Vec<u64> {
+        self.disks.iter().map(|d| d.page_count()).collect()
+    }
+
+    /// Starts a measured scope: all reads performed until
+    /// [`QueryScope::finish`] are attributed to the returned scope.
+    pub fn begin_query(&self) -> QueryScope {
+        QueryScope {
+            base_reads: self.disks.iter().map(|d| d.read_count()).collect(),
+            model: self.model,
+        }
+    }
+}
+
+/// An open accounting scope over a [`DiskArray`].
+///
+/// Scopes snapshot the *global* disk counters: reads performed by any
+/// thread between `begin_query` and `finish` are attributed to the scope.
+/// Run measured queries one at a time; concurrent queries still return
+/// exact results, but their costs blend into whichever scopes are open.
+#[derive(Debug, Clone)]
+pub struct QueryScope {
+    base_reads: Vec<u64>,
+    model: DiskModel,
+}
+
+impl QueryScope {
+    /// Closes the scope and returns the cost of everything read inside it.
+    pub fn finish(self, array: &DiskArray) -> QueryCost {
+        assert_eq!(
+            array.len(),
+            self.base_reads.len(),
+            "scope finished against a different array"
+        );
+        let per_disk_reads: Vec<u64> = array
+            .iter()
+            .zip(self.base_reads.iter())
+            .map(|(d, &base)| d.read_count() - base)
+            .collect();
+        QueryCost::from_reads(per_disk_reads, &self.model)
+    }
+}
+
+/// The cost of one (or several) queries against a disk array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryCost {
+    /// Pages read on each disk inside the scope.
+    pub per_disk_reads: Vec<u64>,
+    /// The largest per-disk page count — the paper's cost metric for a
+    /// parallel search (all disks work concurrently, the slowest gates).
+    pub max_reads: u64,
+    /// The total page count — the cost metric for a sequential search.
+    pub total_reads: u64,
+    /// Model service time of the parallel execution (`max_reads` pages).
+    pub parallel_time: Duration,
+    /// Model service time of a sequential execution (`total_reads` pages).
+    pub sequential_time: Duration,
+}
+
+impl QueryCost {
+    /// Builds a cost record from per-disk read counts.
+    pub fn from_reads(per_disk_reads: Vec<u64>, model: &DiskModel) -> Self {
+        let max_reads = per_disk_reads.iter().copied().max().unwrap_or(0);
+        let total_reads = per_disk_reads.iter().copied().sum();
+        QueryCost {
+            max_reads,
+            total_reads,
+            parallel_time: model.service_time(max_reads),
+            sequential_time: model.service_time(total_reads),
+            per_disk_reads,
+        }
+    }
+
+    /// The speed-up this parallel execution achieves over running the same
+    /// page accesses on a single disk: `total / max`.
+    ///
+    /// Returns 1.0 for an empty query (no pages read).
+    pub fn speedup(&self) -> f64 {
+        if self.max_reads == 0 {
+            1.0
+        } else {
+            self.total_reads as f64 / self.max_reads as f64
+        }
+    }
+
+    /// Imbalance between the busiest and the average disk: 1.0 is a
+    /// perfectly even distribution.
+    pub fn imbalance(&self) -> f64 {
+        if self.total_reads == 0 {
+            return 1.0;
+        }
+        let avg = self.total_reads as f64 / self.per_disk_reads.len() as f64;
+        self.max_reads as f64 / avg
+    }
+
+    /// Accumulates another cost record (per-disk element-wise), e.g. to
+    /// average over a query workload.
+    pub fn merge(&mut self, other: &QueryCost, model: &DiskModel) {
+        assert_eq!(
+            self.per_disk_reads.len(),
+            other.per_disk_reads.len(),
+            "cannot merge costs from different array sizes"
+        );
+        for (a, b) in self.per_disk_reads.iter_mut().zip(&other.per_disk_reads) {
+            *a += b;
+        }
+        *self = QueryCost::from_reads(std::mem::take(&mut self.per_disk_reads), model);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn rejects_empty_array() {
+        assert_eq!(
+            DiskArray::new(0, DiskModel::unit()).unwrap_err(),
+            StorageError::EmptyArray
+        );
+    }
+
+    #[test]
+    fn scope_counts_only_inside() {
+        let array = DiskArray::new(4, DiskModel::unit()).unwrap();
+        let p = array.disk(0).allocate(Bytes::from_static(b"x")).unwrap();
+        array.disk(0).read(p).unwrap(); // outside the scope
+
+        let scope = array.begin_query();
+        array.disk(0).read(p).unwrap();
+        array.disk(0).read(p).unwrap();
+        array.disk(2).touch_read(5);
+        let cost = scope.finish(&array);
+
+        assert_eq!(cost.per_disk_reads, vec![2, 0, 5, 0]);
+        assert_eq!(cost.max_reads, 5);
+        assert_eq!(cost.total_reads, 7);
+    }
+
+    #[test]
+    fn cost_speedup_and_imbalance() {
+        let model = DiskModel::unit();
+        let even = QueryCost::from_reads(vec![3, 3, 3, 3], &model);
+        assert_eq!(even.speedup(), 4.0);
+        assert_eq!(even.imbalance(), 1.0);
+
+        let skewed = QueryCost::from_reads(vec![12, 0, 0, 0], &model);
+        assert_eq!(skewed.speedup(), 1.0);
+        assert_eq!(skewed.imbalance(), 4.0);
+
+        let empty = QueryCost::from_reads(vec![0, 0], &model);
+        assert_eq!(empty.speedup(), 1.0);
+        assert_eq!(empty.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn parallel_time_tracks_max_disk() {
+        let model = DiskModel::hp_workstation_1997();
+        let cost = QueryCost::from_reads(vec![10, 2, 7], &model);
+        assert_eq!(cost.parallel_time, model.service_time(10));
+        assert_eq!(cost.sequential_time, model.service_time(19));
+        assert!(cost.parallel_time < cost.sequential_time);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let model = DiskModel::unit();
+        let mut a = QueryCost::from_reads(vec![1, 2], &model);
+        let b = QueryCost::from_reads(vec![3, 0], &model);
+        a.merge(&b, &model);
+        assert_eq!(a.per_disk_reads, vec![4, 2]);
+        assert_eq!(a.max_reads, 4);
+        assert_eq!(a.total_reads, 6);
+    }
+
+    #[test]
+    fn page_distribution_reports_per_disk_pages() {
+        let array = DiskArray::new(3, DiskModel::unit()).unwrap();
+        array.disk(1).allocate(Bytes::new()).unwrap();
+        array.disk(1).allocate(Bytes::new()).unwrap();
+        array.disk(2).allocate(Bytes::new()).unwrap();
+        assert_eq!(array.page_distribution(), vec![0, 2, 1]);
+        assert_eq!(array.total_pages(), 3);
+    }
+}

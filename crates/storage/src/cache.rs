@@ -1,0 +1,212 @@
+//! An LRU page-cache tracker.
+//!
+//! The paper's workstations had main memory worth thousands of pages; hot
+//! directory pages and recently used data pages are served from RAM. The
+//! tracker implements exact LRU over opaque page keys in O(1) per access
+//! (hash map + intrusive doubly-linked list over a slab), so experiments
+//! can ask "how do the figures change with a page cache of size C per
+//! disk?".
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+/// An exact LRU set of page keys with fixed capacity.
+#[derive(Debug)]
+pub struct LruTracker {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    free: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    key: u64,
+    prev: usize,
+    next: usize,
+}
+
+impl LruTracker {
+    /// Creates a tracker holding at most `capacity` keys. A capacity of 0
+    /// disables caching (every access misses).
+    pub fn new(capacity: usize) -> Self {
+        LruTracker {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Records an access to `key`. Returns `true` on a cache hit. On a
+    /// miss the key is inserted, evicting the least recently used key if
+    /// the tracker is full.
+    pub fn touch(&mut self, key: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.unlink(slot);
+            self.push_front(slot);
+            return true;
+        }
+        // Miss: insert, evicting if needed.
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            let old_key = self.slots[lru].key;
+            self.unlink(lru);
+            self.map.remove(&old_key);
+            self.free.push(lru);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Slot {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        false
+    }
+
+    /// Empties the cache.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_miss() {
+        let mut lru = LruTracker::new(2);
+        assert!(!lru.touch(1)); // miss
+        assert!(!lru.touch(2)); // miss
+        assert!(lru.touch(1)); // hit
+        assert!(!lru.touch(3)); // miss, evicts 2 (LRU)
+        assert!(!lru.touch(2)); // miss again
+        assert!(lru.touch(3)); // 3 still cached
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut lru = LruTracker::new(0);
+        assert!(!lru.touch(1));
+        assert!(!lru.touch(1));
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn eviction_order_is_lru_not_fifo() {
+        let mut lru = LruTracker::new(3);
+        lru.touch(1);
+        lru.touch(2);
+        lru.touch(3);
+        lru.touch(1); // refresh 1; LRU is now 2
+        lru.touch(4); // evicts 2
+        assert!(lru.touch(1));
+        assert!(lru.touch(3));
+        assert!(lru.touch(4));
+        assert!(!lru.touch(2));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut lru = LruTracker::new(2);
+        lru.touch(1);
+        lru.touch(2);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert!(!lru.touch(1));
+    }
+
+    #[test]
+    fn stress_against_reference_model() {
+        use std::collections::VecDeque;
+        let mut lru = LruTracker::new(8);
+        let mut reference: VecDeque<u64> = VecDeque::new(); // front = MRU
+        let mut state = 0x12345678u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 33) % 24;
+            let expect_hit = reference.contains(&key);
+            let got_hit = lru.touch(key);
+            assert_eq!(got_hit, expect_hit, "key {key}");
+            if expect_hit {
+                let pos = reference.iter().position(|&k| k == key).unwrap();
+                reference.remove(pos);
+            } else if reference.len() == 8 {
+                reference.pop_back();
+            }
+            reference.push_front(key);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! A single simulated disk.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::page::{PageId, PAGE_SIZE};
+use crate::StorageError;
+
+/// Monotonic access counters of one disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskStats {
+    /// Number of page reads since creation.
+    pub reads: u64,
+    /// Number of page writes (including allocations) since creation.
+    pub writes: u64,
+    /// Number of pages currently allocated.
+    pub pages: u64,
+}
+
+/// One simulated disk: a growable table of 4 KB pages plus atomic access
+/// counters.
+///
+/// Reads and writes are thread-safe; the counters use relaxed atomics
+/// because experiments only read them at quiescent points (between
+/// queries). Page payloads are stored as [`Bytes`] so cloning a page out of
+/// the store is a cheap reference-count bump.
+#[derive(Debug)]
+pub struct SimDisk {
+    id: usize,
+    pages: RwLock<Vec<Bytes>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    /// Fault injection: number of successful reads remaining before the
+    /// disk starts failing (-1 = healthy forever).
+    reads_until_failure: AtomicI64,
+}
+
+impl SimDisk {
+    /// Creates an empty disk with the given array-local id.
+    pub fn new(id: usize) -> Self {
+        SimDisk {
+            id,
+            pages: RwLock::new(Vec::new()),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            reads_until_failure: AtomicI64::new(-1),
+        }
+    }
+
+    /// Fault injection: after `reads` further successful page reads, every
+    /// subsequent [`SimDisk::read`] fails with
+    /// [`StorageError::DiskFailure`] until [`SimDisk::heal`] is called.
+    /// Models a failing drive for error-path tests.
+    pub fn fail_after_reads(&self, reads: u64) {
+        self.reads_until_failure
+            .store(reads as i64, Ordering::SeqCst);
+    }
+
+    /// Clears any injected fault.
+    pub fn heal(&self) {
+        self.reads_until_failure.store(-1, Ordering::SeqCst);
+    }
+
+    /// True if the disk is currently failing reads.
+    pub fn is_failing(&self) -> bool {
+        self.reads_until_failure.load(Ordering::SeqCst) == 0
+    }
+
+    fn check_fault(&self) -> Result<(), StorageError> {
+        // Decrement the budget if a fault is armed; fail at zero.
+        let mut current = self.reads_until_failure.load(Ordering::SeqCst);
+        loop {
+            if current < 0 {
+                return Ok(()); // healthy
+            }
+            if current == 0 {
+                return Err(StorageError::DiskFailure { disk: self.id });
+            }
+            match self.reads_until_failure.compare_exchange(
+                current,
+                current - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// The disk's position within its [`crate::DiskArray`].
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Allocates a new page containing `payload` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StorageError::PageOverflow`] if the payload exceeds
+    /// [`PAGE_SIZE`].
+    pub fn allocate(&self, payload: Bytes) -> Result<PageId, StorageError> {
+        if payload.len() > PAGE_SIZE {
+            return Err(StorageError::PageOverflow { len: payload.len() });
+        }
+        let mut pages = self.pages.write();
+        let id = PageId(pages.len() as u64);
+        pages.push(payload);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Overwrites an existing page.
+    pub fn write(&self, page: PageId, payload: Bytes) -> Result<(), StorageError> {
+        if payload.len() > PAGE_SIZE {
+            return Err(StorageError::PageOverflow { len: payload.len() });
+        }
+        let mut pages = self.pages.write();
+        let slot = pages
+            .get_mut(page.index())
+            .ok_or(StorageError::UnknownPage {
+                disk: self.id,
+                page,
+            })?;
+        *slot = payload;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads a page, charging one page access. Fails if a fault has been
+    /// injected with [`SimDisk::fail_after_reads`] and the budget is
+    /// exhausted.
+    pub fn read(&self, page: PageId) -> Result<Bytes, StorageError> {
+        self.check_fault()?;
+        let pages = self.pages.read();
+        let payload = pages.get(page.index()).ok_or(StorageError::UnknownPage {
+            disk: self.id,
+            page,
+        })?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(payload.clone())
+    }
+
+    /// Charges a page read without returning the payload. Index structures
+    /// that keep their nodes cached in memory but must still account for
+    /// the I/O their traversal would cause call this on every node visit.
+    pub fn touch_read(&self, pages: u64) {
+        self.reads.fetch_add(pages, Ordering::Relaxed);
+    }
+
+    /// Number of page reads since creation.
+    pub fn read_count(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of page writes since creation.
+    pub fn write_count(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> u64 {
+        self.pages.read().len() as u64
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            reads: self.read_count(),
+            writes: self.write_count(),
+            pages: self.page_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write_round_trip() {
+        let disk = SimDisk::new(3);
+        assert_eq!(disk.id(), 3);
+        let p = disk.allocate(Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(disk.read(p).unwrap(), Bytes::from_static(b"hello"));
+        disk.write(p, Bytes::from_static(b"world")).unwrap();
+        assert_eq!(disk.read(p).unwrap(), Bytes::from_static(b"world"));
+        assert_eq!(disk.stats().reads, 2);
+        assert_eq!(disk.stats().writes, 2);
+        assert_eq!(disk.stats().pages, 1);
+    }
+
+    #[test]
+    fn rejects_oversized_payload() {
+        let disk = SimDisk::new(0);
+        let big = Bytes::from(vec![0u8; PAGE_SIZE + 1]);
+        assert!(matches!(
+            disk.allocate(big.clone()),
+            Err(StorageError::PageOverflow { .. })
+        ));
+        let p = disk.allocate(Bytes::new()).unwrap();
+        assert!(matches!(
+            disk.write(p, big),
+            Err(StorageError::PageOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_page() {
+        let disk = SimDisk::new(1);
+        assert!(matches!(
+            disk.read(PageId(9)),
+            Err(StorageError::UnknownPage { disk: 1, .. })
+        ));
+        assert!(matches!(
+            disk.write(PageId(9), Bytes::new()),
+            Err(StorageError::UnknownPage { .. })
+        ));
+    }
+
+    #[test]
+    fn touch_read_accounts_without_payload() {
+        let disk = SimDisk::new(0);
+        disk.touch_read(5);
+        disk.touch_read(2);
+        assert_eq!(disk.read_count(), 7);
+    }
+
+    #[test]
+    fn fault_injection_fails_reads_after_budget() {
+        let disk = SimDisk::new(2);
+        let p = disk.allocate(Bytes::from_static(b"x")).unwrap();
+        disk.fail_after_reads(2);
+        assert!(disk.read(p).is_ok());
+        assert!(disk.read(p).is_ok());
+        assert!(matches!(
+            disk.read(p),
+            Err(StorageError::DiskFailure { disk: 2 })
+        ));
+        assert!(disk.is_failing());
+        disk.heal();
+        assert!(disk.read(p).is_ok());
+        // Counters only advanced on successful reads.
+        assert_eq!(disk.read_count(), 3);
+    }
+
+    #[test]
+    fn concurrent_touches_are_counted() {
+        use std::sync::Arc;
+        let disk = Arc::new(SimDisk::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let d = Arc::clone(&disk);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    d.touch_read(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(disk.read_count(), 8000);
+    }
+}

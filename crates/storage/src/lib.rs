@@ -1,0 +1,77 @@
+//! Simulated multi-disk storage for parallel similarity search.
+//!
+//! The paper evaluates its declustering technique on a cluster of 16
+//! workstations with local disks and reports, as the search time of the
+//! whole parallel X-tree, *the search time of the disk that accesses the
+//! most pages*. This crate reproduces exactly that measurement environment
+//! in software:
+//!
+//! * [`SimDisk`] — one simulated disk: a page store (4 KB pages backed by
+//!   [`bytes::Bytes`]) with atomic read/write counters.
+//! * [`DiskArray`] — an array of `n` simulated disks with snapshot-based
+//!   per-query accounting ([`DiskArray::begin_query`] /
+//!   [`QueryCost`]).
+//! * [`DiskModel`] — converts page counts into service time (seek +
+//!   rotational latency + transfer), so experiments can report model
+//!   milliseconds as the paper reports wall-clock milliseconds.
+//!
+//! The simulator is deterministic: identical access sequences produce
+//! identical costs, which keeps every experiment in this repository
+//! reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod cache;
+pub mod disk;
+pub mod model;
+pub mod page;
+
+pub use array::{DiskArray, QueryCost, QueryScope};
+pub use cache::LruTracker;
+pub use disk::{DiskStats, SimDisk};
+pub use model::DiskModel;
+pub use page::{PageId, PAGE_SIZE};
+
+/// Errors produced by the simulated storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id referenced a page that was never allocated on this disk.
+    UnknownPage {
+        /// The disk on which the access was attempted.
+        disk: usize,
+        /// The offending page id.
+        page: PageId,
+    },
+    /// A payload exceeded the fixed page size.
+    PageOverflow {
+        /// Size of the rejected payload in bytes.
+        len: usize,
+    },
+    /// A disk array was constructed with zero disks.
+    EmptyArray,
+    /// An injected fault made the disk fail (see
+    /// [`disk::SimDisk::fail_after_reads`]).
+    DiskFailure {
+        /// The failing disk.
+        disk: usize,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::UnknownPage { disk, page } => {
+                write!(f, "unknown page {page:?} on disk {disk}")
+            }
+            StorageError::PageOverflow { len } => {
+                write!(f, "payload of {len} bytes exceeds page size {PAGE_SIZE}")
+            }
+            StorageError::EmptyArray => write!(f, "disk array must contain at least one disk"),
+            StorageError::DiskFailure { disk } => write!(f, "injected failure on disk {disk}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

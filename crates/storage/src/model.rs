@@ -1,0 +1,133 @@
+//! The disk service-time model.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+use crate::page::PAGE_SIZE;
+
+/// A simple analytical disk model: each random page access pays an average
+/// seek, half a rotation, and the transfer of one page.
+///
+/// The defaults of [`DiskModel::hp_workstation_1997`] approximate the
+/// drives of the paper's HP735 workstation cluster; those of
+/// [`DiskModel::modern_hdd`] a contemporary 7200 rpm SATA drive. The model
+/// only affects the *scale* of reported times — speed-up and improvement
+/// factors are ratios of page counts and are model-independent, which is
+/// why the paper's qualitative results reproduce under any model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskModel {
+    /// Average seek time in microseconds.
+    pub avg_seek_us: f64,
+    /// Average rotational delay in microseconds (half a revolution).
+    pub avg_rotational_us: f64,
+    /// Sustained transfer rate in megabytes per second.
+    pub transfer_mb_per_s: f64,
+    /// Fixed per-request controller / CPU overhead in microseconds.
+    pub overhead_us: f64,
+}
+
+impl DiskModel {
+    /// A drive of the paper's era (≈1997): 10 ms seek, 7200 rpm would be
+    /// generous, so 5400 rpm (5.6 ms half-rotation), 5 MB/s transfer.
+    pub fn hp_workstation_1997() -> Self {
+        DiskModel {
+            avg_seek_us: 10_000.0,
+            avg_rotational_us: 5_600.0,
+            transfer_mb_per_s: 5.0,
+            overhead_us: 500.0,
+        }
+    }
+
+    /// A modern 7200 rpm hard drive: 8 ms seek, 4.2 ms half-rotation,
+    /// 180 MB/s transfer.
+    pub fn modern_hdd() -> Self {
+        DiskModel {
+            avg_seek_us: 8_000.0,
+            avg_rotational_us: 4_200.0,
+            transfer_mb_per_s: 180.0,
+            overhead_us: 100.0,
+        }
+    }
+
+    /// A latency-free model: one page costs exactly one time unit (1 µs).
+    /// Useful when an experiment wants to report pure page counts.
+    pub fn unit() -> Self {
+        DiskModel {
+            avg_seek_us: 1.0,
+            avg_rotational_us: 0.0,
+            transfer_mb_per_s: f64::INFINITY,
+            overhead_us: 0.0,
+        }
+    }
+
+    /// Service time of a single random page read in microseconds.
+    pub fn random_page_us(&self) -> f64 {
+        let transfer_us = if self.transfer_mb_per_s.is_finite() {
+            PAGE_SIZE as f64 / (self.transfer_mb_per_s * 1e6) * 1e6
+        } else {
+            0.0
+        };
+        self.avg_seek_us + self.avg_rotational_us + transfer_us + self.overhead_us
+    }
+
+    /// Service time of `pages` random page reads issued to one disk.
+    pub fn service_time(&self, pages: u64) -> Duration {
+        Duration::from_nanos((pages as f64 * self.random_page_us() * 1e3).round() as u64)
+    }
+
+    /// Service time of `pages` read *sequentially* (one seek + rotation,
+    /// then streaming transfer). Used for bulk loads.
+    pub fn sequential_time(&self, pages: u64) -> Duration {
+        if pages == 0 {
+            return Duration::ZERO;
+        }
+        let transfer_us = if self.transfer_mb_per_s.is_finite() {
+            (pages as usize * PAGE_SIZE) as f64 / (self.transfer_mb_per_s * 1e6) * 1e6
+        } else {
+            0.0
+        };
+        let us = self.avg_seek_us + self.avg_rotational_us + self.overhead_us + transfer_us;
+        Duration::from_nanos((us * 1e3).round() as u64)
+    }
+}
+
+impl Default for DiskModel {
+    /// The default model is the paper-era drive, so that reported numbers
+    /// resemble the paper's milliseconds.
+    fn default() -> Self {
+        DiskModel::hp_workstation_1997()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_era_random_read_is_about_16ms() {
+        let m = DiskModel::hp_workstation_1997();
+        let us = m.random_page_us();
+        assert!((15_000.0..18_000.0).contains(&us), "us = {us}");
+    }
+
+    #[test]
+    fn unit_model_counts_pages() {
+        let m = DiskModel::unit();
+        assert_eq!(m.service_time(1000), Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn service_time_is_linear_in_pages() {
+        let m = DiskModel::modern_hdd();
+        let t1 = m.service_time(10).as_nanos();
+        let t2 = m.service_time(20).as_nanos();
+        assert!((t2 as i128 - 2 * t1 as i128).abs() <= 2);
+    }
+
+    #[test]
+    fn sequential_is_faster_than_random() {
+        let m = DiskModel::modern_hdd();
+        assert!(m.sequential_time(100) < m.service_time(100));
+        assert_eq!(m.sequential_time(0), Duration::ZERO);
+    }
+}

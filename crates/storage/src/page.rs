@@ -1,0 +1,42 @@
+//! Fixed-size disk pages.
+
+use serde::{Deserialize, Serialize};
+
+/// Page size in bytes. The paper's experiments use a block size of 4 KB.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page, local to one [`crate::SimDisk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The page's position in its disk's page table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_display_and_index() {
+        let p = PageId(42);
+        assert_eq!(p.to_string(), "p42");
+        assert_eq!(p.index(), 42);
+    }
+
+    #[test]
+    fn page_ids_order_by_value() {
+        assert!(PageId(1) < PageId(2));
+        assert_eq!(PageId(7), PageId(7));
+    }
+}

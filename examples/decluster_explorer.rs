@@ -1,0 +1,115 @@
+//! Declustering explorer: prints the disk assignments of every method on
+//! small data spaces, verifies near-optimality, and shows the color
+//! staircase of the paper's Lemma 6 (Figures 7, 8 and 10).
+//!
+//! ```sh
+//! cargo run --release -p parsim --example decluster_explorer
+//! ```
+
+use parsim::decluster::near_optimal::{col, color_lower_bound, colors_required};
+use parsim::prelude::*;
+
+fn print_2d_grid(name: &str, method: &dyn BucketDecluster) {
+    // Bucket (c0, c1): c0 = x-half, c1 = y-half. Print y downward.
+    println!("  {name} (2-d quadrants):");
+    for y in (0..2u64).rev() {
+        let row: Vec<String> = (0..2u64)
+            .map(|x| method.disk_of_bucket(x | (y << 1), 2).to_string())
+            .collect();
+        println!("    {}", row.join(" "));
+    }
+}
+
+fn print_3d_cube(name: &str, method: &dyn BucketDecluster) {
+    println!("  {name} (3-d cube, front slab then back slab):");
+    for z in 0..2u64 {
+        for y in (0..2u64).rev() {
+            let row: Vec<String> = (0..2u64)
+                .map(|x| {
+                    method
+                        .disk_of_bucket(x | (y << 1) | (z << 2), 3)
+                        .to_string()
+                })
+                .collect();
+            println!("    {}", row.join(" "));
+        }
+        println!();
+    }
+}
+
+fn main() {
+    println!("== Figure 7: the 3-d counterexample =====================================\n");
+    let n = 4;
+    let methods: Vec<(&str, Box<dyn BucketDecluster>)> = vec![
+        ("disk modulo", Box::new(DiskModulo::new(n).unwrap())),
+        ("FX", Box::new(FxXor::new(n).unwrap())),
+        ("hilbert", Box::new(HilbertDecluster::new(3, n).unwrap())),
+        (
+            "near-optimal",
+            Box::new(NearOptimal::with_optimal_disks(3).unwrap()),
+        ),
+    ];
+    let graph = DiskAssignmentGraph::new(3);
+    for (name, m) in &methods {
+        print_3d_cube(name, m.as_ref());
+        match graph.verify(m.as_ref()) {
+            Ok(()) => {
+                println!("    => NEAR-OPTIMAL: all direct and indirect neighbors separated\n")
+            }
+            Err(v) => println!(
+                "    => violation: buckets {:#05b} and {:#05b} share disk {} ({:?} neighbors)\n",
+                v.bucket_a, v.bucket_b, v.disk, v.kind
+            ),
+        }
+    }
+
+    println!("== Figure 8: coloring the 2-d disk assignment graph =====================\n");
+    print_2d_grid("near-optimal", &NearOptimal::with_optimal_disks(2).unwrap());
+    println!("    (all four quadrants are mutual neighbors — K4 needs 4 colors)\n");
+
+    println!("== Worked example of Section 4.2 ========================================\n");
+    println!(
+        "  col(5 = 0b101, d = 3): bits 0 and 2 set -> (0+1) XOR (2+1) = 1 XOR 3 = {}\n",
+        col(5, 3)
+    );
+
+    println!("== Figure 10: number of colors required by col ==========================\n");
+    println!(
+        "  {:>4} {:>12} {:>12} {:>10}",
+        "dim", "lower bound", "col colors", "upper 2d"
+    );
+    for d in 2..=20 {
+        println!(
+            "  {:>4} {:>12} {:>12} {:>10}",
+            d,
+            color_lower_bound(d),
+            colors_required(d),
+            2 * d
+        );
+    }
+
+    println!("\n== Violation counts on the 6-d graph with 8 disks =======================\n");
+    let d = 6;
+    let graph = DiskAssignmentGraph::new(d);
+    let methods: Vec<(&str, Box<dyn BucketDecluster>)> = vec![
+        ("disk modulo", Box::new(DiskModulo::new(8).unwrap())),
+        ("FX", Box::new(FxXor::new(8).unwrap())),
+        ("hilbert", Box::new(HilbertDecluster::new(d, 8).unwrap())),
+        (
+            "near-optimal",
+            Box::new(NearOptimal::with_optimal_disks(d).unwrap()),
+        ),
+    ];
+    println!(
+        "  graph: {} vertices, {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+    for (name, m) in &methods {
+        let (direct, indirect) = graph.count_violations(m.as_ref());
+        println!(
+            "  {:<12} {:>5} direct + {:>5} indirect collisions",
+            name, direct, indirect
+        );
+    }
+}

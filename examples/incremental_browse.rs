@@ -1,0 +1,82 @@
+//! Distance browsing, ε-range queries, page caching and batch throughput —
+//! the extension APIs beyond the paper's core experiments.
+//!
+//! ```sh
+//! cargo run --release -p parsim --example incremental_browse
+//! ```
+
+use parsim::parallel::throughput::run_batch;
+use parsim::prelude::*;
+
+fn main() {
+    let dim = 12;
+    let n = 30_000;
+    let data = UniformGenerator::new(dim).generate(n, 2026);
+    let config = EngineConfig::paper_defaults(dim);
+    let engine = DeclusteredXTree::build_near_optimal(&data, 16, config).unwrap();
+    let query = UniformGenerator::new(dim).generate(1, 1).pop().unwrap();
+
+    // 1. Distance browsing: neighbors stream in ascending order; stop
+    //    whenever the next candidate is already too far.
+    println!("distance browsing (stop at distance 0.55):");
+    let mut it = engine.nn_iter(&query);
+    while let Some(bound) = it.next_distance_bound() {
+        if bound > 0.55 {
+            break; // nothing closer than the cutoff remains
+        }
+        match it.next() {
+            Some(nb) if nb.dist <= 0.55 => {
+                println!("  item {:>6} at {:.4}", nb.item, nb.dist)
+            }
+            _ => break,
+        }
+    }
+    println!("  ({} neighbors browsed)\n", it.yielded());
+
+    // 2. ε-range similarity query with cost accounting.
+    let (hits, cost) = engine.range_query(&query, 0.6).unwrap();
+    println!(
+        "range query (r = 0.6): {} matches, {} pages on busiest disk",
+        hits.len(),
+        cost.max_reads
+    );
+
+    // 3. Saturated batch throughput (the paper's future-work metric).
+    let queries = UniformGenerator::new(dim).generate(32, 3);
+    let report = run_batch(&engine, &queries, 10).unwrap();
+    println!(
+        "\nbatch of {}: {:.2} q/s sustained, {:.0} ms unloaded latency, imbalance {:.2}",
+        report.queries,
+        report.throughput_qps,
+        report.unloaded_latency_ms,
+        report.imbalance()
+    );
+
+    // 4. Page caching: the same tree behind an LRU cache — repeated
+    //    queries stop costing I/O.
+    use parsim::index::DiskSink;
+    use std::sync::Arc;
+    let disk = Arc::new(SimDisk::new(0));
+    let sink = Arc::new(CachingSink::new(
+        Arc::new(DiskSink(Arc::clone(&disk))),
+        4096,
+    ));
+    let params = TreeParams::for_dim(dim, TreeVariant::xtree_default()).unwrap();
+    let items: Vec<(Point, u64)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+    let tree = SpatialTree::bulk_load(params, items)
+        .unwrap()
+        .with_sink(sink.clone() as Arc<dyn parsim::index::NodeSink>);
+    for round in 0..3 {
+        let before = disk.read_count();
+        tree.knn(&query, 10, KnnAlgorithm::Rkv);
+        println!(
+            "\ncached query round {round}: {} disk pages (hit rate so far {:.0}%)",
+            disk.read_count() - before,
+            sink.hit_rate() * 100.0
+        );
+    }
+}

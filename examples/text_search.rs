@@ -1,0 +1,71 @@
+//! Similar-substring search on text descriptors, demonstrating the
+//! engine's dynamic side: online inserts, drift detection with the
+//! adaptive 0.5-quantile tracker, and reorganization.
+//!
+//! ```sh
+//! cargo run --release -p parsim --example text_search
+//! ```
+
+use parsim::decluster::quantile::median_splits;
+use parsim::decluster::quantile::AdaptiveQuantile;
+use parsim::prelude::*;
+
+fn main() {
+    let dim = 15; // the paper's text descriptors are 15-dimensional
+    let n = 20_000;
+    let gen = TextDescriptorGenerator::new(dim);
+    let descriptors = gen.generate(n, 7);
+    println!("text database: {n} substring descriptors (d = {dim})");
+
+    let config = EngineConfig::paper_defaults(dim);
+    let mut engine = ParallelKnnEngine::build_near_optimal(&descriptors, 16, config).unwrap();
+    println!(
+        "engine: {} disks, load {:?}",
+        engine.disks(),
+        engine.load_distribution()
+    );
+
+    // Similarity query: find substrings most similar to a given one.
+    let queries = QueryWorkload::DataLike { data_count: n }.generate(&gen, 5, 7);
+    for (qi, q) in queries.iter().enumerate() {
+        let (res, cost) = engine.knn(q, 3).unwrap();
+        println!(
+            "query {qi}: top-3 similar substrings = {:?} ({} pages busiest disk)",
+            res.iter().map(|nb| nb.item).collect::<Vec<_>>(),
+            cost.max_reads
+        );
+    }
+
+    // Dynamic phase: a stream of new documents arrives whose letter
+    // statistics drift (different corpus seed). The adaptive quantile
+    // tracker notices the drift; we then reorganize.
+    let splitter = median_splits(&descriptors).unwrap();
+    let mut tracker = AdaptiveQuantile::new(&splitter, 1.8);
+    let stream = TextDescriptorGenerator::new(dim).generate(5_000, 999);
+    for p in &stream {
+        tracker.observe(p);
+        engine.insert(p.clone()).unwrap();
+    }
+    println!(
+        "\nafter inserting {} new substrings: load {:?}",
+        stream.len(),
+        engine.load_distribution()
+    );
+    if tracker.needs_reorganization() {
+        println!("adaptive quantile tracker: distribution drifted -> reorganizing");
+        engine = engine.reorganize().unwrap();
+        println!(
+            "after reorganization: load {:?}",
+            engine.load_distribution()
+        );
+    } else {
+        println!("adaptive quantile tracker: distribution stable, no reorganization needed");
+    }
+
+    // Queries still work after the dynamic phase.
+    let (res, _) = engine.knn(&queries[0], 3).unwrap();
+    println!(
+        "\npost-reorganization query: top-3 = {:?}",
+        res.iter().map(|nb| nb.item).collect::<Vec<_>>()
+    );
+}

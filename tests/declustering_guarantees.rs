@@ -1,0 +1,135 @@
+//! Integration tests of the paper's formal guarantees, exercised through
+//! the public API across crates.
+
+use parsim::decluster::near_optimal::{col, colors_required};
+use parsim::geometry::quadrant::{all_neighbors, direct_neighbors, indirect_neighbors};
+use parsim::prelude::*;
+
+/// Definition 4 / Lemma 5: `col` is near-optimal — verified exhaustively
+/// through the graph machinery for every dimension up to 14.
+#[test]
+fn near_optimal_guarantee_holds_through_dim_14() {
+    for d in 1..=14 {
+        let graph = DiskAssignmentGraph::new(d);
+        let method = NearOptimal::with_optimal_disks(d).unwrap();
+        assert!(graph.verify(&method).is_ok(), "d = {d}");
+    }
+}
+
+/// Lemma 1: none of the classical methods is near-optimal in any dimension
+/// ≥ 3 at realistic disk counts.
+#[test]
+fn classical_methods_fail_everywhere() {
+    for d in 3..=10 {
+        let graph = DiskAssignmentGraph::new(d);
+        for n in [4usize, 8, 16] {
+            assert!(
+                graph.verify(&DiskModulo::new(n).unwrap()).is_err(),
+                "DM d={d} n={n}"
+            );
+            assert!(
+                graph.verify(&FxXor::new(n).unwrap()).is_err(),
+                "FX d={d} n={n}"
+            );
+            // With n >= 2^d every bucket can get its own disk, so any
+            // injective mapping (like Hilbert's) is trivially proper —
+            // only the realistic n < 2^d cases are counterexamples.
+            if n < (1usize << d) {
+                assert!(
+                    graph.verify(&HilbertDecluster::new(d, n).unwrap()).is_err(),
+                    "HI d={d} n={n}"
+                );
+            }
+        }
+    }
+}
+
+/// The lower-bound half of the staircase: fewer disks than
+/// `colors_required(d)` can never be near-optimal, for any method — shown
+/// by pigeonhole on the (d+1)-clique of a vertex and its direct neighbors
+/// plus the exhaustive search for d ≤ 4.
+#[test]
+fn no_method_can_beat_the_staircase_small_dims() {
+    for d in 2..=4 {
+        let graph = DiskAssignmentGraph::new(d);
+        let required = colors_required(d) as usize;
+        assert!(!graph.colorable_with(required - 1), "d = {d}");
+    }
+}
+
+/// The folded variants stay proper on direct neighbors at n = C/2 for most
+/// edges, and collapse gracefully down to a single disk.
+#[test]
+fn folding_degrades_gracefully() {
+    let d = 10;
+    let full = colors_required(d) as usize; // 16
+    let mut prev_violations = 0u64;
+    for n in [full, full / 2, full / 4, 2, 1] {
+        let method = NearOptimal::new(d, n).unwrap();
+        let graph = DiskAssignmentGraph::new(d);
+        let (direct, _) = graph.count_violations(&method);
+        if n == full {
+            assert_eq!(direct, 0);
+        }
+        // Halving the disks can only increase direct collisions.
+        assert!(
+            direct >= prev_violations,
+            "n={n}: {direct} < {prev_violations}"
+        );
+        prev_violations = direct;
+        // The assignment remains total and in range.
+        for b in 0..(1u64 << d) {
+            assert!(method.disk_of_bucket(b, d) < n.max(1));
+        }
+    }
+}
+
+/// Load balance on uniform data: the near-optimal method fills all disks
+/// evenly because every color class contains the same number of quadrants
+/// (for d+1 a power of two) or nearly so.
+#[test]
+fn color_classes_are_balanced() {
+    for d in [7usize, 15] {
+        let c = colors_required(d);
+        let mut counts = vec![0u64; c as usize];
+        for b in 0..(1u64 << d) {
+            counts[col(b, d) as usize] += 1;
+        }
+        let expect = (1u64 << d) / c as u64;
+        for (color, &count) in counts.iter().enumerate() {
+            assert_eq!(count, expect, "d={d} color={color}");
+        }
+    }
+}
+
+/// Neighborhood structure consistency between the geometry and decluster
+/// crates: the graph's edges are exactly the 1- and 2-bit Hamming pairs.
+#[test]
+fn neighborhoods_match_graph_edge_count() {
+    for d in 2..=10 {
+        let graph = DiskAssignmentGraph::new(d);
+        let mut edges = 0u64;
+        for b in 0..(1u64 << d) {
+            edges += all_neighbors(b, d).filter(|&c| c > b).count() as u64;
+            // Cross-check the split into direct and indirect parts.
+            assert_eq!(direct_neighbors(b, d).count(), d);
+            assert_eq!(indirect_neighbors(b, d).count(), d * (d - 1) / 2);
+        }
+        assert_eq!(edges, graph.edge_count(), "d = {d}");
+    }
+}
+
+/// The quadrant-level Hilbert declustering must agree with the raw curve.
+#[test]
+fn hilbert_declustering_matches_curve() {
+    use parsim::hilbert::HilbertCurve;
+    let d = 6;
+    let n = 8;
+    let method = HilbertDecluster::new(d, n).unwrap();
+    let curve = HilbertCurve::new(d, 1).unwrap();
+    for b in 0..(1u64 << d) {
+        let coords: Vec<u64> = (0..d).map(|i| (b >> i) & 1).collect();
+        let expect = (curve.encode(&coords) % n as u128) as usize;
+        assert_eq!(method.disk_of_bucket(b, d), expect);
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration tests of the dynamic side of the system: insertions,
+//! deletions, drift detection and reorganization ("our parallel
+//! nearest-neighbor search is completely dynamical", Section 4.3).
+
+use parsim::decluster::quantile::{median_splits, AdaptiveQuantile};
+use parsim::index::knn::brute_force_knn;
+use parsim::prelude::*;
+
+/// Long random insert/delete sequences keep the forest engine exact.
+#[test]
+fn insert_delete_churn_stays_exact() {
+    let dim = 6;
+    let initial = UniformGenerator::new(dim).generate(1_000, 1);
+    let stream = UniformGenerator::new(dim).generate(600, 2);
+    let config = EngineConfig::paper_defaults(dim);
+    let mut engine = ParallelKnnEngine::build_near_optimal(&initial, 8, config).unwrap();
+
+    // Shadow copy for brute force.
+    let mut shadow: Vec<(Point, u64)> = initial
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+
+    let mut inserted: Vec<(Point, u64)> = Vec::new();
+    for (i, p) in stream.iter().enumerate() {
+        if i % 3 == 2 {
+            // Delete a previously inserted point.
+            if let Some((dp, id)) = inserted.pop() {
+                engine.delete(&dp, id).unwrap();
+                shadow.retain(|(_, sid)| *sid != id);
+            }
+        } else {
+            let id = engine.insert(p.clone()).unwrap();
+            inserted.push((p.clone(), id));
+            shadow.push((p.clone(), id));
+        }
+    }
+    assert_eq!(engine.len(), shadow.len());
+
+    for q in UniformGenerator::new(dim).generate(10, 3) {
+        let want = brute_force_knn(&shadow, &q, 5);
+        let (got, _) = engine.knn(&q, 5).unwrap();
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g.dist - w.dist).abs() < 1e-12);
+        }
+    }
+}
+
+/// Per-disk trees stay structurally valid under churn.
+#[test]
+fn trees_stay_valid_under_churn() {
+    let dim = 5;
+    let initial = UniformGenerator::new(dim).generate(800, 4);
+    let config = EngineConfig::paper_defaults(dim);
+    let mut engine = ParallelKnnEngine::build_near_optimal(&initial, 4, config).unwrap();
+    let stream = UniformGenerator::new(dim).generate(400, 5);
+    let mut ids = Vec::new();
+    for p in &stream {
+        ids.push((p.clone(), engine.insert(p.clone()).unwrap()));
+    }
+    for (p, id) in ids.iter().take(200) {
+        engine.delete(p, *id).unwrap();
+    }
+    for tree in engine.trees() {
+        tree.validate();
+    }
+    assert_eq!(engine.len(), 800 + 400 - 200);
+}
+
+/// The adaptive quantile tracker fires exactly when the distribution
+/// drifts, and reorganization restores balance.
+#[test]
+fn drift_detection_and_reorganization() {
+    let dim = 8;
+    let initial = UniformGenerator::new(dim).generate(4_000, 6);
+    let config = EngineConfig::paper_defaults(dim);
+    let mut engine = ParallelKnnEngine::build_near_optimal(&initial, 8, config).unwrap();
+
+    let splitter = median_splits(&initial).unwrap();
+    let mut tracker = AdaptiveQuantile::new(&splitter, 2.0);
+
+    // Phase 1: more uniform data — no drift.
+    for p in UniformGenerator::new(dim).generate(2_000, 7) {
+        tracker.observe(&p);
+        engine.insert(p).unwrap();
+    }
+    assert!(!tracker.needs_reorganization());
+
+    // Phase 2: a burst of clustered data in one corner — drift.
+    let burst = ClusteredGenerator::new(dim, 1, 0.02)
+        .in_single_quadrant()
+        .generate(4_000, 8);
+    for p in &burst {
+        tracker.observe(p);
+        engine.insert(p.clone()).unwrap();
+    }
+    assert!(tracker.needs_reorganization());
+
+    // Reorganize: loads even out relative to before.
+    let before = engine.load_distribution();
+    let imbalance = |loads: &[usize]| -> f64 {
+        let total: usize = loads.iter().sum();
+        *loads.iter().max().unwrap() as f64 / (total as f64 / loads.len() as f64)
+    };
+    let engine = engine.reorganize().unwrap();
+    let after = engine.load_distribution();
+    assert_eq!(
+        after.iter().sum::<usize>(),
+        before.iter().sum::<usize>(),
+        "reorganization must preserve the data"
+    );
+    assert!(
+        imbalance(&after) <= imbalance(&before) + 1e-9,
+        "before {before:?} after {after:?}"
+    );
+}
+
+/// Duplicate vectors (identical multimedia objects) flow through the whole
+/// stack.
+#[test]
+fn duplicates_are_preserved() {
+    let dim = 4;
+    let p = Point::new(vec![0.25; dim]).unwrap();
+    let mut data = UniformGenerator::new(dim).generate(500, 9);
+    for _ in 0..50 {
+        data.push(p.clone());
+    }
+    let config = EngineConfig::paper_defaults(dim);
+    let engine = ParallelKnnEngine::build_near_optimal(&data, 4, config).unwrap();
+    let (res, _) = engine.knn(&p, 50).unwrap();
+    assert_eq!(res.len(), 50);
+    assert!(res.iter().all(|nb| nb.dist == 0.0));
+}

@@ -1,0 +1,159 @@
+//! End-to-end integration: generators → declustering → disks → index →
+//! parallel query, verified against brute force.
+
+use parsim::index::knn::brute_force_knn;
+use parsim::parallel::DeclusteredXTree;
+use parsim::prelude::*;
+
+fn as_items(pts: &[Point]) -> Vec<(Point, u64)> {
+    pts.iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect()
+}
+
+/// Both engines must return exactly the brute-force answer on every data
+/// distribution the workspace can generate.
+#[test]
+fn every_generator_yields_exact_knn() {
+    let dim = 10;
+    let n = 2_000;
+    let generators: Vec<Box<dyn DataGenerator>> = vec![
+        Box::new(UniformGenerator::new(dim)),
+        Box::new(ClusteredGenerator::new(dim, 4, 0.05)),
+        Box::new(CorrelatedGenerator::new(dim, 0.05)),
+        Box::new(FourierGenerator::new(dim)),
+        Box::new(TextDescriptorGenerator::new(dim)),
+    ];
+    for gen in &generators {
+        let data = gen.generate(n, 77);
+        let items = as_items(&data);
+        let queries = QueryWorkload::DataLike { data_count: n }.generate(gen.as_ref(), 5, 77);
+        let config = EngineConfig::paper_defaults(dim);
+
+        let forest = ParallelKnnEngine::build_near_optimal(&data, 8, config).unwrap();
+        let paged = DeclusteredXTree::build_near_optimal(&data, 8, config).unwrap();
+
+        for q in &queries {
+            let want = brute_force_knn(&items, q, 10);
+            let (got_forest, _) = forest.knn(q, 10).unwrap();
+            let (got_paged, _) = paged.knn(q, 10).unwrap();
+            for (g, w) in got_forest.iter().zip(want.iter()) {
+                assert!(
+                    (g.dist - w.dist).abs() < 1e-12,
+                    "{}: forest mismatch",
+                    gen.name()
+                );
+            }
+            for (g, w) in got_paged.iter().zip(want.iter()) {
+                assert!(
+                    (g.dist - w.dist).abs() < 1e-12,
+                    "{}: paged mismatch",
+                    gen.name()
+                );
+            }
+        }
+    }
+}
+
+/// Every declustering method must produce a total assignment and exact
+/// query answers — methods may only differ in cost, never in results.
+#[test]
+fn all_methods_agree_on_results() {
+    use parsim::decluster::quantile::median_splits;
+    use std::sync::Arc;
+
+    let dim = 8;
+    let n = 3_000;
+    let data = UniformGenerator::new(dim).generate(n, 5);
+    let items = as_items(&data);
+    let config = EngineConfig::paper_defaults(dim);
+    let q = UniformGenerator::new(dim).generate(1, 6).pop().unwrap();
+    let want = brute_force_knn(&items, &q, 10);
+
+    let methods: Vec<Arc<dyn BucketDecluster>> = vec![
+        Arc::new(DiskModulo::new(8).unwrap()),
+        Arc::new(FxXor::new(8).unwrap()),
+        Arc::new(HilbertDecluster::new(dim, 8).unwrap()),
+        Arc::new(NearOptimal::new(dim, 8).unwrap()),
+    ];
+    for m in methods {
+        let splitter = median_splits(&data).unwrap();
+        let engine = DeclusteredXTree::build_bucket(&data, m, splitter, config).unwrap();
+        let (got, cost) = engine.knn(&q, 10).unwrap();
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g.dist - w.dist).abs() < 1e-12);
+        }
+        assert_eq!(cost.per_disk_reads.len(), 8);
+        assert_eq!(cost.per_disk_reads.iter().sum::<u64>(), cost.total_reads);
+    }
+}
+
+/// The simulated disk accounting must be exact: the pages the engine
+/// reports equal the deltas observed on the raw disk counters.
+#[test]
+fn cost_accounting_is_exact() {
+    let dim = 6;
+    let data = UniformGenerator::new(dim).generate(2_000, 9);
+    let config = EngineConfig::paper_defaults(dim);
+    let engine = ParallelKnnEngine::build_near_optimal(&data, 4, config).unwrap();
+
+    let before: Vec<u64> = engine.array().iter().map(|d| d.read_count()).collect();
+    let q = UniformGenerator::new(dim).generate(1, 10).pop().unwrap();
+    let (_, cost) = engine.knn(&q, 5).unwrap();
+    let after: Vec<u64> = engine.array().iter().map(|d| d.read_count()).collect();
+
+    let deltas: Vec<u64> = after
+        .iter()
+        .zip(before.iter())
+        .map(|(a, b)| a - b)
+        .collect();
+    assert_eq!(deltas, cost.per_disk_reads);
+}
+
+/// Range and window queries work through the full stack.
+#[test]
+fn range_queries_through_the_stack() {
+    let dim = 5;
+    let data = UniformGenerator::new(dim).generate(4_000, 12);
+    let params = TreeParams::for_dim(dim, TreeVariant::xtree_default()).unwrap();
+    let tree = SpatialTree::bulk_load(params, as_items(&data)).unwrap();
+    let center = Point::new(vec![0.5; dim]).unwrap();
+    let hits = tree.range_query(&center, 0.3);
+    let expected = data.iter().filter(|p| p.dist(&center) <= 0.3).count();
+    assert_eq!(hits.len(), expected);
+
+    let window = HyperRect::new(vec![0.25; dim], vec![0.75; dim]).unwrap();
+    let inside = tree.window_query(&window);
+    let expected = data.iter().filter(|p| window.contains_point(p)).count();
+    assert_eq!(inside.len(), expected);
+}
+
+/// Speed-up must increase monotonically (within tolerance) as disks are
+/// added, and never exceed the disk count.
+#[test]
+fn speedup_is_monotone_and_bounded() {
+    use parsim::parallel::metrics::{run_declustered_workload, speedup};
+
+    let dim = 12;
+    let n = 20_000;
+    let data = UniformGenerator::new(dim).generate(n, 3);
+    let queries = UniformGenerator::new(dim).generate(8, 4);
+    let config = EngineConfig::paper_defaults(dim);
+    let baseline = DeclusteredXTree::build_near_optimal(&data, 1, config).unwrap();
+    let seq = run_declustered_workload(&baseline, &queries, 10).unwrap();
+
+    let mut prev = 0.0;
+    for disks in [1usize, 2, 4, 8, 16] {
+        let engine = DeclusteredXTree::build_near_optimal(&data, disks, config).unwrap();
+        let cost = run_declustered_workload(&engine, &queries, 10).unwrap();
+        let s = speedup(&seq, &cost);
+        assert!(s <= disks as f64 + 1e-9, "disks={disks}: speed-up {s}");
+        assert!(
+            s >= prev * 0.95,
+            "disks={disks}: speed-up fell from {prev} to {s}"
+        );
+        prev = s;
+    }
+    assert!(prev > 4.0, "16 disks should speed up by > 4x, got {prev}");
+}

@@ -1,0 +1,198 @@
+//! Integration tests of the beyond-the-paper extensions: throughput mode,
+//! striped declustering, persistence, caching, incremental browsing and
+//! concurrency.
+
+use std::sync::Arc;
+
+use parsim::decluster::quantile::median_splits;
+use parsim::decluster::StripedNearOptimal;
+use parsim::index::knn::brute_force_knn;
+use parsim::parallel::throughput::run_batch;
+use parsim::parallel::DeclusteredXTree;
+use parsim::prelude::*;
+
+/// The striped declusterer preserves exactness and engages all
+/// `colors × stripe` disks.
+#[test]
+fn striped_engine_is_exact_and_uses_all_disks() {
+    let dim = 7; // 8 colors
+    let n = 8_000;
+    let data = UniformGenerator::new(dim).generate(n, 31);
+    let items: Vec<(Point, u64)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+    let config = EngineConfig::paper_defaults(dim);
+    let striped = StripedNearOptimal::new(median_splits(&data).unwrap(), 3).unwrap();
+    assert_eq!(striped.disks(), 24);
+    let engine = DeclusteredXTree::build(&data, Arc::new(striped), config).unwrap();
+    assert_eq!(engine.disks(), 24);
+
+    let queries = UniformGenerator::new(dim).generate(8, 32);
+    let mut touched = vec![0u64; 24];
+    for q in &queries {
+        let (got, cost) = engine.knn(q, 10).unwrap();
+        let want = brute_force_knn(&items, q, 10);
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g.dist - w.dist).abs() < 1e-12);
+        }
+        for (t, r) in touched.iter_mut().zip(&cost.per_disk_reads) {
+            *t += r;
+        }
+    }
+    assert!(
+        touched.iter().filter(|&&t| t > 0).count() >= 20,
+        "disk usage: {touched:?}"
+    );
+}
+
+/// Striping improves batch throughput over the plain coloring given the
+/// extra disks — in the high-dimensional regime, where each bucket holds
+/// many pages and a query touches most buckets anyway. (In low dimensions
+/// thinner per-disk point sets inflate the total page count and eat the
+/// gain, the same boundary effect that hurts item round robin.)
+#[test]
+fn striping_scales_throughput_past_the_color_limit() {
+    let dim = 15; // 16 colors
+    let data = UniformGenerator::new(dim).generate(20_000, 33);
+    let queries = UniformGenerator::new(dim).generate(12, 34);
+    let config = EngineConfig::paper_defaults(dim);
+
+    let plain = DeclusteredXTree::build_near_optimal(&data, 16, config).unwrap();
+    let striped = StripedNearOptimal::new(median_splits(&data).unwrap(), 2).unwrap();
+    let wide = DeclusteredXTree::build(&data, Arc::new(striped), config).unwrap();
+    assert_eq!(wide.disks(), 32);
+
+    let plain_qps = run_batch(&plain, &queries, 10).unwrap().throughput_qps;
+    let wide_qps = run_batch(&wide, &queries, 10).unwrap().throughput_qps;
+    assert!(
+        wide_qps > 1.4 * plain_qps,
+        "16 disks: {plain_qps:.2} q/s, 32 disks striped: {wide_qps:.2} q/s"
+    );
+}
+
+/// Persist → load across the engine boundary: a tree built by the engine's
+/// bulk path round-trips through disk pages.
+#[test]
+fn persistence_round_trip_through_public_api() {
+    let dim = 9;
+    let data = UniformGenerator::new(dim).generate(3_000, 35);
+    let items: Vec<(Point, u64)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+    let params = TreeParams::for_dim(dim, TreeVariant::xtree_default()).unwrap();
+    let tree = SpatialTree::bulk_load(params, items.clone()).unwrap();
+
+    let disk = Arc::new(SimDisk::new(0));
+    let handle = tree.persist(&disk).unwrap();
+    let loaded = SpatialTree::load(&disk, handle).unwrap();
+    loaded.validate();
+
+    let q = UniformGenerator::new(dim).generate(1, 36).pop().unwrap();
+    let want = brute_force_knn(&items, &q, 7);
+    let got = loaded.knn(&q, 7, KnnAlgorithm::Hs);
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert!((g.dist - w.dist).abs() < 1e-12);
+    }
+}
+
+/// A failing disk surfaces a clean error through the persistence loader.
+#[test]
+fn disk_failure_surfaces_cleanly() {
+    let dim = 5;
+    let data: Vec<(Point, u64)> = UniformGenerator::new(dim)
+        .generate(1_000, 37)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (p, i as u64))
+        .collect();
+    let params = TreeParams::for_dim(dim, TreeVariant::RStar).unwrap();
+    let tree = SpatialTree::bulk_load(params, data).unwrap();
+    let disk = Arc::new(SimDisk::new(0));
+    let handle = tree.persist(&disk).unwrap();
+
+    disk.fail_after_reads(5);
+    match SpatialTree::load(&disk, handle) {
+        Err(parsim::index::PersistError::Storage(msg)) => {
+            assert!(msg.contains("failure"), "unexpected message: {msg}");
+        }
+        Err(other) => panic!("expected a storage failure, got {other}"),
+        Ok(_) => panic!("expected a storage failure, got a loaded tree"),
+    }
+    disk.heal();
+    assert!(SpatialTree::load(&disk, handle).is_ok());
+}
+
+/// Concurrent queries from many threads return exact results (the engines
+/// take `&self`; accounting scopes are per-caller and must not be shared
+/// across threads, so only results are checked here).
+#[test]
+fn concurrent_queries_are_exact() {
+    let dim = 8;
+    let n = 5_000;
+    let data = UniformGenerator::new(dim).generate(n, 38);
+    let items: Vec<(Point, u64)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+    let config = EngineConfig::paper_defaults(dim);
+    let engine = Arc::new(DeclusteredXTree::build_near_optimal(&data, 8, config).unwrap());
+    let items = Arc::new(items);
+
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let engine = Arc::clone(&engine);
+        let items = Arc::clone(&items);
+        handles.push(std::thread::spawn(move || {
+            for q in UniformGenerator::new(dim).generate(10, 100 + t) {
+                let (got, _) = engine.knn(&q, 5).unwrap();
+                let want = brute_force_knn(&items, &q, 5);
+                for (g, w) in got.iter().zip(want.iter()) {
+                    assert!((g.dist - w.dist).abs() < 1e-12);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("query thread panicked");
+    }
+}
+
+/// The caching sink composes with the declustering sink conceptually: a
+/// big enough cache absorbs repeats while the first pass still charges.
+#[test]
+fn caching_composes_with_accounting() {
+    use parsim::index::DiskSink;
+    let dim = 6;
+    let data: Vec<(Point, u64)> = UniformGenerator::new(dim)
+        .generate(4_000, 39)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (p, i as u64))
+        .collect();
+    let disk = Arc::new(SimDisk::new(0));
+    let cache = Arc::new(CachingSink::new(
+        Arc::new(DiskSink(Arc::clone(&disk))),
+        50_000,
+    ));
+    let params = TreeParams::for_dim(dim, TreeVariant::xtree_default()).unwrap();
+    let tree = SpatialTree::bulk_load(params, data)
+        .unwrap()
+        .with_sink(cache.clone() as Arc<dyn parsim::index::NodeSink>);
+
+    let queries = UniformGenerator::new(dim).generate(10, 40);
+    for q in &queries {
+        tree.knn(q, 10, KnnAlgorithm::Rkv);
+    }
+    let first_pass = disk.read_count();
+    assert!(first_pass > 0);
+    for q in &queries {
+        tree.knn(q, 10, KnnAlgorithm::Rkv);
+    }
+    assert_eq!(disk.read_count(), first_pass, "second pass must be cached");
+    assert!(cache.hit_rate() > 0.4);
+}

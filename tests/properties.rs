@@ -1,0 +1,215 @@
+//! Property-based tests (proptest) over the core invariants, spanning
+//! crates.
+
+use proptest::prelude::*;
+
+use parsim::decluster::near_optimal::{col, colors_required, fold_table};
+use parsim::hilbert::{HilbertCurve, ZOrderCurve};
+use parsim::index::knn::brute_force_knn;
+use parsim::prelude::*;
+
+fn arb_point(dim: usize) -> impl Strategy<Value = Point> {
+    prop::collection::vec(0.0f64..1.0, dim).prop_map(Point::from_vec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 2 (distributivity) for arbitrary dimensions up to 63.
+    #[test]
+    fn col_is_distributive(dim in 1usize..=63, a in any::<u64>(), b in any::<u64>()) {
+        let mask = if dim == 63 { (1u64 << 63) - 1 } else { (1u64 << dim) - 1 };
+        let (a, b) = (a & mask, b & mask);
+        prop_assert_eq!(col(a, dim) ^ col(b, dim), col(a ^ b, dim));
+    }
+
+    /// Lemmas 3 and 4: all direct and indirect neighbors of a random
+    /// bucket receive different colors.
+    #[test]
+    fn col_separates_neighbors(dim in 2usize..=40, bucket in any::<u64>()) {
+        let mask = (1u64 << dim) - 1;
+        let b = bucket & mask;
+        let c = col(b, dim);
+        for i in 0..dim {
+            prop_assert_ne!(c, col(b ^ (1 << i), dim));
+            for j in (i + 1)..dim {
+                prop_assert_ne!(c, col(b ^ (1 << i) ^ (1 << j), dim));
+            }
+        }
+    }
+
+    /// The color of any bucket is below the staircase bound.
+    #[test]
+    fn col_stays_below_staircase(dim in 1usize..=63, bucket in any::<u64>()) {
+        let mask = if dim == 63 { (1u64 << 63) - 1 } else { (1u64 << dim) - 1 };
+        prop_assert!(col(bucket & mask, dim) < colors_required(dim));
+    }
+
+    /// Folding always lands in range and is surjective onto 0..n.
+    #[test]
+    fn fold_table_total_and_surjective(exp in 1u32..=6, n_seed in any::<u16>()) {
+        let c = 1u32 << exp;
+        let n = (n_seed as usize % c as usize) + 1;
+        let table = fold_table(c, n);
+        prop_assert_eq!(table.len(), c as usize);
+        let mut seen = vec![false; n];
+        for &d in &table {
+            prop_assert!((d as usize) < n);
+            seen[d as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Hilbert and Z-order curves are bijections (round trip).
+    #[test]
+    fn curves_round_trip(dim in 1usize..=16, order_seed in 1u32..=4, idx in any::<u64>()) {
+        let order = order_seed.min(128 / dim as u32).max(1);
+        let h = HilbertCurve::new(dim, order).unwrap();
+        let z = ZOrderCurve::new(dim, order).unwrap();
+        let index = (idx as u128) % h.cell_count();
+        prop_assert_eq!(h.encode(&h.decode(index)), index);
+        prop_assert_eq!(z.encode(&z.decode(index)), index);
+    }
+
+    /// Consecutive Hilbert positions are face-adjacent grid cells.
+    #[test]
+    fn hilbert_adjacency(dim in 2usize..=10, order_seed in 1u32..=3, idx in any::<u64>()) {
+        let order = order_seed.min(128 / dim as u32).max(1);
+        let h = HilbertCurve::new(dim, order).unwrap();
+        let index = (idx as u128) % (h.cell_count() - 1);
+        let a = h.decode(index);
+        let b = h.decode(index + 1);
+        let l1: u64 = a.iter().zip(&b).map(|(&x, &y)| x.abs_diff(y)).sum();
+        prop_assert_eq!(l1, 1);
+    }
+
+    /// MINDIST is a true lower bound: for random rectangles, queries and
+    /// contained points, dist²(q, p) ≥ MINDIST²(q, R).
+    #[test]
+    fn mindist_lower_bounds(
+        dim in 1usize..=8,
+        qs in prop::collection::vec(0.0f64..1.0, 8),
+        los in prop::collection::vec(0.0f64..0.5, 8),
+        his in prop::collection::vec(0.5f64..1.0, 8),
+        ts in prop::collection::vec(0.0f64..1.0, 8),
+    ) {
+        let q = Point::from_vec(qs[..dim].to_vec());
+        let rect = HyperRect::new(los[..dim].to_vec(), his[..dim].to_vec()).unwrap();
+        // A point inside the rectangle by interpolation.
+        let inside = Point::from_vec(
+            (0..dim)
+                .map(|i| rect.lo(i) + ts[i] * (rect.hi(i) - rect.lo(i)))
+                .collect(),
+        );
+        prop_assert!(rect.contains_point(&inside));
+        prop_assert!(q.dist2(&inside) >= rect.min_dist2(&q) - 1e-12);
+        // MINMAXDIST and MAXDIST bound it from above.
+        prop_assert!(rect.min_max_dist2(&q) <= rect.max_dist2(&q) + 1e-12);
+    }
+
+    /// The Euclidean metric satisfies the triangle inequality.
+    #[test]
+    fn triangle_inequality(
+        a in prop::collection::vec(0.0f64..1.0, 6),
+        b in prop::collection::vec(0.0f64..1.0, 6),
+        c in prop::collection::vec(0.0f64..1.0, 6),
+    ) {
+        let (a, b, c) = (Point::from_vec(a), Point::from_vec(b), Point::from_vec(c));
+        prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + 1e-12);
+    }
+}
+
+proptest! {
+    // Tree-building cases are more expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The index answers k-NN exactly on arbitrary point sets (both
+    /// algorithms, both variants).
+    #[test]
+    fn index_knn_matches_brute_force(
+        pts in prop::collection::vec(arb_point(5), 30..300),
+        q in arb_point(5),
+        k in 1usize..=12,
+    ) {
+        let items: Vec<(Point, u64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i as u64))
+            .collect();
+        let want = brute_force_knn(&items, &q, k);
+        for variant in [TreeVariant::RStar, TreeVariant::xtree_default()] {
+            let params = TreeParams::for_dim(5, variant)
+                .unwrap()
+                .with_capacities(6, 6)
+                .unwrap();
+            let mut tree = SpatialTree::new(params);
+            for (p, id) in &items {
+                tree.insert(p.clone(), *id).unwrap();
+            }
+            tree.validate();
+            for algo in [KnnAlgorithm::Rkv, KnnAlgorithm::Hs] {
+                let got = tree.knn(&q, k, algo);
+                prop_assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(want.iter()) {
+                    prop_assert!((g.dist - w.dist).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Random deletes keep the tree valid and consistent with a shadow set.
+    #[test]
+    fn random_deletes_keep_tree_valid(
+        pts in prop::collection::vec(arb_point(4), 50..200),
+        del_mask in prop::collection::vec(any::<bool>(), 200),
+    ) {
+        let params = TreeParams::for_dim(4, TreeVariant::xtree_default())
+            .unwrap()
+            .with_capacities(6, 6)
+            .unwrap();
+        let mut tree = SpatialTree::new(params);
+        for (i, p) in pts.iter().enumerate() {
+            tree.insert(p.clone(), i as u64).unwrap();
+        }
+        let mut remaining = pts.len();
+        for (i, p) in pts.iter().enumerate() {
+            if del_mask[i % del_mask.len()] {
+                tree.delete(p, i as u64).unwrap();
+                remaining -= 1;
+            }
+        }
+        prop_assert_eq!(tree.len(), remaining);
+        tree.validate();
+    }
+
+    /// Declustering is total: every point goes to a disk in range, for all
+    /// methods and random disk counts.
+    #[test]
+    fn declustering_is_total(
+        pts in prop::collection::vec(arb_point(6), 20..100),
+        disks in 1usize..=16,
+    ) {
+        let splitter = QuadrantSplitter::midpoint(6).unwrap();
+        let methods: Vec<Box<dyn Declusterer>> = vec![
+            Box::new(RoundRobin::new(disks).unwrap()),
+            Box::new(BucketBased::new(DiskModulo::new(disks).unwrap(), splitter.clone())),
+            Box::new(BucketBased::new(FxXor::new(disks).unwrap(), splitter.clone())),
+            Box::new(BucketBased::new(
+                HilbertDecluster::new(6, disks).unwrap(),
+                splitter.clone(),
+            )),
+            Box::new(BucketBased::new(
+                NearOptimal::new(6, disks.min(8)).unwrap(),
+                splitter,
+            )),
+        ];
+        for m in &methods {
+            for (i, p) in pts.iter().enumerate() {
+                let d = m.assign(i as u64, p);
+                prop_assert!(d < m.disks(), "{} assigned disk {d}", m.name());
+                // Deterministic.
+                prop_assert_eq!(d, m.assign(i as u64, p));
+            }
+        }
+    }
+}
