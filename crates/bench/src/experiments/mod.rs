@@ -6,6 +6,7 @@ pub mod ext02;
 pub mod ext03;
 pub mod ext04;
 pub mod ext05;
+pub mod ext06;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;
@@ -26,9 +27,9 @@ use crate::ExperimentReport;
 
 /// All experiment ids: the paper's figures in order, then the extension
 /// experiments.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "fig1", "fig2", "fig3", "fig5", "fig7", "fig10", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "ext1", "ext2", "ext3", "ext4", "ext5",
+    "fig17", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6",
 ];
 
 /// Runs an experiment by id. `scale` multiplies the default dataset sizes.
@@ -51,6 +52,7 @@ pub fn run(id: &str, scale: f64) -> Option<ExperimentReport> {
         "ext3" => Some(ext03::run(scale)),
         "ext4" => Some(ext04::run(scale)),
         "ext5" => Some(ext05::run(scale)),
+        "ext6" => Some(ext06::run(scale)),
         _ => None,
     }
 }

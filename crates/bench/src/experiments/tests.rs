@@ -7,7 +7,7 @@ use super::*;
 
 #[test]
 fn dispatcher_covers_all_and_rejects_unknown() {
-    assert_eq!(ALL.len(), 17);
+    assert_eq!(ALL.len(), 18);
     assert!(run("nonsense", 1.0).is_none());
     assert!(run("fig99", 1.0).is_none());
 }
@@ -42,6 +42,20 @@ fn ext2_runs_at_tiny_scale() {
         let model: f64 = row[2].parse().unwrap();
         assert!(model > 0.0);
     }
+}
+
+#[test]
+fn ext6_reports_modeled_and_measured_speedup() {
+    let report = run("ext6", 0.05).expect("ext6");
+    assert_eq!(report.rows.len(), 4);
+    for row in &report.rows {
+        let modeled: f64 = row[3].parse().unwrap();
+        let measured: f64 = row[4].parse().unwrap();
+        assert!(modeled > 0.0, "modeled speed-up must be positive");
+        assert!(measured > 0.0, "measured speed-up must be positive");
+    }
+    // The host-parallelism caveat must be recorded next to the numbers.
+    assert!(report.notes[0].contains("thread"));
 }
 
 #[test]

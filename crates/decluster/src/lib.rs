@@ -27,7 +27,7 @@
 //! Section 4.3 extensions for skewed and correlated data.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod graph;
 pub mod methods;

@@ -19,7 +19,7 @@
 //! are used internally wherever ordering alone matters.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod error;
 pub mod highdim;

@@ -14,9 +14,16 @@
 //!
 //! Both charge one page visit per node they read (supernodes charge their
 //! page count), via [`SpatialTree::charge_visit`].
+//!
+//! Every search also counts its own work into a [`SearchStats`], and the
+//! bounded entry points accept a [`SharedBound`] — the atomically shared
+//! pruning bound of the paper's parallel variant 3, where every disk runs
+//! its local search concurrently and publishes its k-th-best distance so
+//! the other disks can prune against the global state of the query.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use parsim_geometry::Point;
 
@@ -44,36 +51,130 @@ pub struct Neighbor {
     pub dist: f64,
 }
 
+/// Work counters collected by one (per-tree) k-NN search.
+///
+/// `pages` counts the node visits locally, in the searching thread, so a
+/// query's cost is exact even when many queries run concurrently against
+/// the same disks (the global [`SimDisk`](parsim_storage::SimDisk)
+/// counters blend concurrent queries together).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Pages read by this search (supernodes count their page span).
+    pub pages: u64,
+    /// Subtrees discarded by the pruning bound without being visited.
+    pub pruned: u64,
+}
+
+impl SearchStats {
+    /// Accumulates another search's counters into this one.
+    pub fn merge(&mut self, other: SearchStats) {
+        self.pages += other.pages;
+        self.pruned += other.pruned;
+    }
+}
+
+/// The shared pruning bound of the paper's parallel search (Var. 3).
+///
+/// Each per-disk search thread publishes its local k-th-best squared
+/// distance with [`SharedBound::tighten`]; every thread prunes against
+/// [`SharedBound::get`], the minimum published so far. The global k-th
+/// nearest distance is never larger than any disk's local k-th best, so
+/// pruning against the shared bound keeps the merged result exact while
+/// reading fewer pages than independent local searches.
+///
+/// Internally an `AtomicU64` over the IEEE-754 bits: non-negative doubles
+/// order identically to their bit patterns, so tightening is a single
+/// `fetch_min` — no locks on the query's hot path.
+#[derive(Debug)]
+pub struct SharedBound(AtomicU64);
+
+impl SharedBound {
+    /// A fresh bound, starting at `+∞` (nothing prunes yet).
+    pub fn new() -> Self {
+        SharedBound(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// The tightest squared distance published so far.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(AtomicOrdering::Acquire))
+    }
+
+    /// Publishes a candidate squared distance; keeps the minimum.
+    pub fn tighten(&self, dist2: f64) {
+        debug_assert!(dist2 >= 0.0, "squared distances are non-negative");
+        self.0.fetch_min(dist2.to_bits(), AtomicOrdering::AcqRel);
+    }
+}
+
+impl Default for SharedBound {
+    fn default() -> Self {
+        SharedBound::new()
+    }
+}
+
 impl SpatialTree {
     /// Finds the `k` nearest neighbors of `query`, sorted by ascending
     /// distance. Returns fewer than `k` results only if the tree holds
     /// fewer than `k` points.
     pub fn knn(&self, query: &Point, k: usize, algorithm: KnnAlgorithm) -> Vec<Neighbor> {
+        self.knn_traced(query, k, algorithm, None).0
+    }
+
+    /// Like [`SpatialTree::knn`], but returns the search's work counters
+    /// and optionally prunes against a [`SharedBound`] published by
+    /// concurrent searches of the same query on other trees.
+    ///
+    /// With a shared bound the returned list is this tree's **candidate
+    /// set** for the global query: every point of the global k nearest
+    /// that lives in this tree is present, but locally farther points may
+    /// be cut early by the other threads' published bounds. Merge the
+    /// candidates of all trees to obtain the exact global answer.
+    pub fn knn_traced(
+        &self,
+        query: &Point,
+        k: usize,
+        algorithm: KnnAlgorithm,
+        shared: Option<&SharedBound>,
+    ) -> (Vec<Neighbor>, SearchStats) {
         assert_eq!(query.dim(), self.params().dim, "query dimension mismatch");
+        let mut stats = SearchStats::default();
         if k == 0 || self.is_empty() {
-            return Vec::new();
+            return (Vec::new(), stats);
         }
-        match algorithm {
-            KnnAlgorithm::Rkv => self.knn_rkv(query, k),
-            KnnAlgorithm::Hs => self.knn_hs(query, k),
-        }
+        let result = match algorithm {
+            KnnAlgorithm::Rkv => {
+                let mut best = BoundedMaxHeap::new(k);
+                self.rkv_visit(self.root_id(), query, k, &mut best, shared, &mut stats);
+                best.into_sorted()
+            }
+            KnnAlgorithm::Hs => {
+                hs_search(&[self], query, k, shared, std::slice::from_mut(&mut stats))
+            }
+        };
+        (result, stats)
     }
 
     // ----- RKV ------------------------------------------------------------
 
-    fn knn_rkv(&self, query: &Point, k: usize) -> Vec<Neighbor> {
-        let mut best: BoundedMaxHeap = BoundedMaxHeap::new(k);
-        self.rkv_visit(self.root_id(), query, k, &mut best);
-        best.into_sorted()
-    }
-
-    fn rkv_visit(&self, id: NodeId, query: &Point, k: usize, best: &mut BoundedMaxHeap) {
+    fn rkv_visit(
+        &self,
+        id: NodeId,
+        query: &Point,
+        k: usize,
+        best: &mut BoundedMaxHeap,
+        shared: Option<&SharedBound>,
+        stats: &mut SearchStats,
+    ) {
         self.charge_visit(id);
+        stats.pages += self.node(id).pages() as u64;
         match self.node(id) {
             Node::Leaf { entries, .. } => {
                 for e in entries {
                     let d2 = e.point.dist2(query);
                     best.offer(d2, e);
+                }
+                if let (true, Some(bound)) = (best.is_full(), shared) {
+                    bound.tighten(best.worst());
                 }
             }
             Node::Inner { entries, .. } => {
@@ -88,22 +189,34 @@ impl SpatialTree {
                 // nearest neighbor.
                 if k == 1 {
                     let min_minmax = branches.iter().map(|b| b.1).fold(f64::INFINITY, f64::min);
+                    let before = branches.len();
                     branches.retain(|b| b.0 <= min_minmax);
+                    stats.pruned += (before - branches.len()) as u64;
                 }
-                for (min_dist, _, child) in branches {
-                    if best.is_full() && min_dist > best.worst() {
-                        break; // sorted order: everything further is pruned
+                for (i, &(min_dist, _, child)) in branches.iter().enumerate() {
+                    if min_dist > prune_bound(best, shared) {
+                        // Sorted order: everything further is pruned too.
+                        stats.pruned += (branches.len() - i) as u64;
+                        break;
                     }
-                    self.rkv_visit(child, query, k, best);
+                    self.rkv_visit(child, query, k, best, shared, stats);
                 }
             }
         }
     }
+}
 
-    // ----- HS -------------------------------------------------------------
-
-    fn knn_hs(&self, query: &Point, k: usize) -> Vec<Neighbor> {
-        forest_knn(&[self], query, k, KnnAlgorithm::Hs)
+/// The current pruning radius: the local k-th best once the heap is full,
+/// tightened by whatever the concurrent searches have published.
+fn prune_bound(best: &BoundedMaxHeap, shared: Option<&SharedBound>) -> f64 {
+    let local = if best.is_full() {
+        best.worst()
+    } else {
+        f64::INFINITY
+    };
+    match shared {
+        Some(s) => local.min(s.get()),
+        None => local,
     }
 }
 
@@ -118,43 +231,78 @@ pub fn forest_knn(
     k: usize,
     algorithm: KnnAlgorithm,
 ) -> Vec<Neighbor> {
+    forest_knn_traced(trees, query, k, algorithm).0
+}
+
+/// Like [`forest_knn`], but additionally returns one [`SearchStats`] per
+/// tree, counted locally in the calling thread — the exact per-disk page
+/// cost of this query even when other queries run concurrently.
+pub fn forest_knn_traced(
+    trees: &[&SpatialTree],
+    query: &Point,
+    k: usize,
+    algorithm: KnnAlgorithm,
+) -> (Vec<Neighbor>, Vec<SearchStats>) {
+    let mut stats = vec![SearchStats::default(); trees.len()];
     if k == 0 {
-        return Vec::new();
+        return (Vec::new(), stats);
     }
-    match algorithm {
-        KnnAlgorithm::Rkv => forest_knn_rkv(trees, query, k),
-        KnnAlgorithm::Hs => forest_knn_hs(trees, query, k),
-    }
+    let result = match algorithm {
+        KnnAlgorithm::Rkv => forest_knn_rkv(trees, query, k, &mut stats),
+        KnnAlgorithm::Hs => hs_search(trees, query, k, None, &mut stats),
+    };
+    (result, stats)
 }
 
 /// RKV over a forest: the tree roots form a virtual root's branch list,
 /// sorted by MINDIST and pruned against the shared best-k bound.
-fn forest_knn_rkv(trees: &[&SpatialTree], query: &Point, k: usize) -> Vec<Neighbor> {
+fn forest_knn_rkv(
+    trees: &[&SpatialTree],
+    query: &Point,
+    k: usize,
+    stats: &mut [SearchStats],
+) -> Vec<Neighbor> {
     let mut best = BoundedMaxHeap::new(k);
-    let mut roots: Vec<(f64, &SpatialTree)> = trees
+    let mut roots: Vec<(f64, usize)> = trees
         .iter()
-        .filter(|t| !t.is_empty())
-        .map(|t| {
+        .enumerate()
+        .filter(|(_, t)| !t.is_empty())
+        .map(|(ti, t)| {
             let d = t
                 .bounds()
                 .map(|b| b.min_dist2(query))
                 .unwrap_or(f64::INFINITY);
-            (d, *t)
+            (d, ti)
         })
         .collect();
     roots.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
-    for (min_dist, tree) in roots {
+    for (i, &(min_dist, ti)) in roots.iter().enumerate() {
         if best.is_full() && min_dist > best.worst() {
+            // Sorted order: the remaining whole trees are pruned.
+            for &(_, tj) in &roots[i..] {
+                stats[tj].pruned += 1;
+            }
             break;
         }
-        tree.rkv_visit(tree.root_id(), query, k, &mut best);
+        let tree = trees[ti];
+        tree.rkv_visit(tree.root_id(), query, k, &mut best, None, &mut stats[ti]);
     }
     best.into_sorted()
 }
 
-/// HS over a forest: one shared priority queue seeded with all roots —
-/// page-optimal for the whole forest.
-fn forest_knn_hs(trees: &[&SpatialTree], query: &Point, k: usize) -> Vec<Neighbor> {
+/// Best-first (HS) search over a forest of trees: one priority queue of
+/// partitions ordered by MINDIST, seeded with all roots. Visits pages in
+/// globally optimal order; stops as soon as the nearest unexplored
+/// partition lies beyond the current k-th best (or beyond the shared
+/// bound, when one is installed).
+fn hs_search(
+    trees: &[&SpatialTree],
+    query: &Point,
+    k: usize,
+    shared: Option<&SharedBound>,
+    stats: &mut [SearchStats],
+) -> Vec<Neighbor> {
+    let mut best = BoundedMaxHeap::new(k);
     let mut queue: BinaryHeap<HsEntry> = BinaryHeap::new();
     for (ti, tree) in trees.iter().enumerate() {
         if !tree.is_empty() {
@@ -164,53 +312,50 @@ fn forest_knn_hs(trees: &[&SpatialTree], query: &Point, k: usize) -> Vec<Neighbo
                 .unwrap_or(f64::INFINITY);
             queue.push(HsEntry {
                 dist2: d,
-                kind: HsKind::Node(ti, tree.root_id()),
+                tree: ti,
+                node: tree.root_id(),
             });
         }
     }
-    let mut result = Vec::with_capacity(k);
     while let Some(entry) = queue.pop() {
-        match entry.kind {
-            HsKind::Node(ti, id) => {
-                let tree = trees[ti];
-                tree.charge_visit(id);
-                match tree.node(id) {
-                    Node::Leaf { entries, .. } => {
-                        for (i, e) in entries.iter().enumerate() {
-                            queue.push(HsEntry {
-                                dist2: e.point.dist2(query),
-                                kind: HsKind::Point(ti, id, i),
-                            });
-                        }
-                    }
-                    Node::Inner { entries, .. } => {
-                        for e in entries {
-                            queue.push(HsEntry {
-                                dist2: e.mbr.min_dist2(query),
-                                kind: HsKind::Node(ti, e.child),
-                            });
-                        }
-                    }
+        if entry.dist2 > prune_bound(&best, shared) {
+            // The queue is distance-ordered: this partition and everything
+            // still enqueued can no longer contain a k-nearest point.
+            stats[entry.tree].pruned += 1;
+            for rest in queue.drain() {
+                stats[rest.tree].pruned += 1;
+            }
+            break;
+        }
+        let tree = trees[entry.tree];
+        tree.charge_visit(entry.node);
+        stats[entry.tree].pages += tree.node(entry.node).pages() as u64;
+        match tree.node(entry.node) {
+            Node::Leaf { entries, .. } => {
+                for e in entries {
+                    best.offer(e.point.dist2(query), e);
+                }
+                if let (true, Some(bound)) = (best.is_full(), shared) {
+                    bound.tighten(best.worst());
                 }
             }
-            HsKind::Point(ti, leaf, idx) => {
-                // When a point reaches the queue front, it is the next
-                // nearest neighbor.
-                if let Node::Leaf { entries, .. } = trees[ti].node(leaf) {
-                    let e = &entries[idx];
-                    result.push(Neighbor {
-                        item: e.item,
-                        point: e.point.clone(),
-                        dist: entry.dist2.sqrt(),
-                    });
-                    if result.len() == k {
-                        break;
+            Node::Inner { entries, .. } => {
+                for e in entries {
+                    let d = e.mbr.min_dist2(query);
+                    if d > prune_bound(&best, shared) {
+                        stats[entry.tree].pruned += 1;
+                    } else {
+                        queue.push(HsEntry {
+                            dist2: d,
+                            tree: entry.tree,
+                            node: e.child,
+                        });
                     }
                 }
             }
         }
     }
-    result
+    best.into_sorted()
 }
 
 /// Exhaustive scan — the ground truth used by tests and the tiny-database
@@ -319,15 +464,12 @@ impl BoundedMaxHeap {
     }
 }
 
-/// Priority-queue entry of the HS algorithm (min-heap via reversed Ord).
+/// Priority-queue entry of the HS algorithm: an unexplored partition
+/// (min-heap via reversed Ord).
 struct HsEntry {
     dist2: f64,
-    kind: HsKind,
-}
-
-enum HsKind {
-    Node(usize, NodeId),
-    Point(usize, NodeId, usize),
+    tree: usize,
+    node: NodeId,
 }
 
 impl PartialEq for HsEntry {
@@ -344,18 +486,11 @@ impl PartialOrd for HsEntry {
 impl Ord for HsEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we need the smallest dist2
-        // first. Points win ties against nodes so results surface eagerly.
+        // first.
         other
             .dist2
             .partial_cmp(&self.dist2)
             .expect("finite distances")
-            .then_with(|| {
-                let rank = |k: &HsKind| match k {
-                    HsKind::Point(..) => 0,
-                    HsKind::Node(..) => 1,
-                };
-                rank(&other.kind).cmp(&rank(&self.kind))
-            })
     }
 }
 
@@ -484,6 +619,98 @@ mod tests {
         let hs = count_pages(KnnAlgorithm::Hs);
         let rkv = count_pages(KnnAlgorithm::Rkv);
         assert!(hs <= rkv, "HS read {hs} pages, RKV {rkv}");
+    }
+
+    #[test]
+    fn shared_bound_keeps_the_minimum() {
+        let b = SharedBound::new();
+        assert_eq!(b.get(), f64::INFINITY);
+        b.tighten(4.0);
+        assert_eq!(b.get(), 4.0);
+        b.tighten(9.0); // looser: ignored
+        assert_eq!(b.get(), 4.0);
+        b.tighten(0.25);
+        assert_eq!(b.get(), 0.25);
+        b.tighten(0.0);
+        assert_eq!(b.get(), 0.0);
+    }
+
+    #[test]
+    fn traced_search_counts_exactly_the_charged_pages() {
+        use parsim_storage::SimDisk;
+        use std::sync::Arc;
+        let dim = 6;
+        let pts = UniformGenerator::new(dim).generate(2500, 3);
+        for algo in [KnnAlgorithm::Rkv, KnnAlgorithm::Hs] {
+            let disk = Arc::new(SimDisk::new(0));
+            let params = TreeParams::for_dim(dim, TreeVariant::xtree_default()).unwrap();
+            let mut t = SpatialTree::new(params).with_disk(Arc::clone(&disk));
+            for (i, p) in pts.iter().enumerate() {
+                t.insert(p.clone(), i as u64).unwrap();
+            }
+            for q in &UniformGenerator::new(dim).generate(10, 4) {
+                let before = disk.read_count();
+                let (res, stats) = t.knn_traced(q, 5, algo, None);
+                assert_eq!(res.len(), 5);
+                assert_eq!(
+                    stats.pages,
+                    disk.read_count() - before,
+                    "local page count must equal the disk charge ({algo:?})"
+                );
+                assert!(stats.pages > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_partial_searches_merge_to_the_exact_answer() {
+        // Split the data over two trees and run each side's search with a
+        // shared bound already tightened by the other side — the merged
+        // candidates must still contain the exact global top-k.
+        let dim = 7;
+        let k = 8;
+        let pts = UniformGenerator::new(dim).generate(3000, 11);
+        let (left, right): (Vec<_>, Vec<_>) = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i as u64))
+            .partition(|(_, i)| i % 2 == 0);
+        let lt = build_tree_items(&left, dim);
+        let rt = build_tree_items(&right, dim);
+        let data: Vec<(Point, u64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i as u64))
+            .collect();
+        for algo in [KnnAlgorithm::Rkv, KnnAlgorithm::Hs] {
+            for q in &UniformGenerator::new(dim).generate(15, 12) {
+                let bound = SharedBound::new();
+                let (lres, _) = lt.knn_traced(q, k, algo, Some(&bound));
+                let (rres, _) = rt.knn_traced(q, k, algo, Some(&bound));
+                let mut merged: Vec<Neighbor> = lres.into_iter().chain(rres).collect();
+                merged.sort_by(|a, b| {
+                    a.dist
+                        .partial_cmp(&b.dist)
+                        .unwrap()
+                        .then(a.item.cmp(&b.item))
+                });
+                merged.truncate(k);
+                let want = brute_force_knn(&data, q, k);
+                assert_eq!(merged.len(), want.len());
+                for (g, w) in merged.iter().zip(&want) {
+                    assert!((g.dist - w.dist).abs() < 1e-12, "{algo:?}");
+                }
+            }
+        }
+    }
+
+    fn build_tree_items(items: &[(Point, u64)], dim: usize) -> SpatialTree {
+        let params = TreeParams::for_dim(dim, TreeVariant::xtree_default()).unwrap();
+        let mut t = SpatialTree::new(params);
+        for (p, i) in items {
+            t.insert(p.clone(), *i).unwrap();
+        }
+        t
     }
 
     #[test]

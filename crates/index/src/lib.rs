@@ -46,7 +46,7 @@ pub use graphnn::GraphIndex;
 pub use gridfile::GridFile;
 pub use incremental::{incremental_forest, NnIterator};
 pub use kdtree::KdTree;
-pub use knn::{forest_knn, KnnAlgorithm, Neighbor};
+pub use knn::{forest_knn, forest_knn_traced, KnnAlgorithm, Neighbor, SearchStats, SharedBound};
 pub use params::{TreeParams, TreeVariant};
 pub use persist::{PersistError, PersistedTree};
 pub use stats::TreeStats;

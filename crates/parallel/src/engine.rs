@@ -1,15 +1,18 @@
 //! The parallel k-NN engine.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parsim_decluster::quantile::median_splits;
 use parsim_decluster::{BucketBased, Declusterer, NearOptimal};
 use parsim_geometry::{Point, QuadrantSplitter};
-use parsim_index::knn::Neighbor;
-use parsim_index::{SpatialTree, TreeParams};
+use parsim_index::knn::{forest_knn_traced, Neighbor, SharedBound};
+use parsim_index::{CachingSink, DiskSink, NodeSink, SpatialTree, TreeParams};
 use parsim_storage::{DiskArray, QueryCost};
 
 use crate::config::{EngineConfig, SplitStrategy};
+use crate::metrics::QueryTrace;
 use crate::EngineError;
 
 /// The paper's parallel similarity-search system: a declusterer assigns
@@ -21,6 +24,9 @@ pub struct ParallelKnnEngine {
     trees: Vec<SpatialTree>,
     declusterer: Arc<dyn Declusterer>,
     next_seq: u64,
+    /// Per-disk page caches; empty unless
+    /// [`ParallelKnnEngine::with_page_cache`] was called.
+    caches: Vec<Arc<CachingSink>>,
 }
 
 impl ParallelKnnEngine {
@@ -72,7 +78,38 @@ impl ParallelKnnEngine {
             trees,
             declusterer,
             next_seq: points.len() as u64,
+            caches: Vec::new(),
         })
+    }
+
+    /// Installs an LRU page cache of `capacity` pages in front of every
+    /// disk. Cached node visits no longer charge the disk; per-query cache
+    /// hits are reported in the [`QueryTrace`].
+    pub fn with_page_cache(mut self, capacity: usize) -> Self {
+        let caches: Vec<Arc<CachingSink>> = (0..self.trees.len())
+            .map(|i| {
+                let disk_sink: Arc<dyn NodeSink> =
+                    Arc::new(DiskSink(Arc::clone(self.array.disk(i))));
+                Arc::new(CachingSink::new(disk_sink, capacity))
+            })
+            .collect();
+        self.trees = self
+            .trees
+            .into_iter()
+            .zip(&caches)
+            .map(|(t, c)| t.with_sink(Arc::clone(c) as Arc<dyn NodeSink>))
+            .collect();
+        self.caches = caches;
+        self
+    }
+
+    /// The per-disk page caches (empty for an uncached engine).
+    pub fn caches(&self) -> &[Arc<CachingSink>] {
+        &self.caches
+    }
+
+    fn cache_hits_total(&self) -> u64 {
+        self.caches.iter().map(|c| c.hits()).sum()
     }
 
     /// Builds an engine with the paper's **near-optimal declustering**
@@ -167,25 +204,136 @@ impl ParallelKnnEngine {
     /// Runs a k-NN query against the declustered data and returns the `k`
     /// nearest neighbors plus the per-disk page cost of the query.
     ///
-    /// The search is the **parallel X-tree's logical search**: one
-    /// branch-and-bound (RKV) or best-first (HS) traversal with a single
-    /// shared pruning bound over the forest of per-disk trees, where every
-    /// visited node charges the disk that stores it. The per-disk page
-    /// counts are therefore exactly the pages a globally-pruned parallel
-    /// execution must fetch from each disk; the cost's `parallel_time` is
-    /// the service time of the most-loaded disk (the paper's metric — all
-    /// disks fetch their pages concurrently, the busiest one gates).
+    /// This is the paper's **Var. 3 parallel search**: one thread per
+    /// disk, each running a branch-and-bound (RKV) or best-first (HS)
+    /// search on its local tree, all pruning against a single
+    /// atomically-shared bound — the tightest k-th-best distance any disk
+    /// has published so far. The per-disk candidate lists are merged into
+    /// the exact global answer; every visited node charges the disk that
+    /// stores it, and the cost's `parallel_time` is the service time of
+    /// the most-loaded disk (the paper's metric — all disks fetch their
+    /// pages concurrently, the busiest one gates).
     pub fn knn(&self, query: &Point, k: usize) -> Result<(Vec<Neighbor>, QueryCost), EngineError> {
+        let (merged, trace) = self.knn_traced(query, k)?;
+        Ok((merged, trace.cost(self.array.model())))
+    }
+
+    /// Runs [`ParallelKnnEngine::knn`] and returns the full
+    /// [`QueryTrace`] — per-disk pages, pruning and cache counters, and
+    /// measured wall-clock vs modeled service time.
+    pub fn knn_traced(
+        &self,
+        query: &Point,
+        k: usize,
+    ) -> Result<(Vec<Neighbor>, QueryTrace), EngineError> {
         if query.dim() != self.config.dim {
             return Err(EngineError::DimensionMismatch {
                 expected: self.config.dim,
                 got: query.dim(),
             });
         }
-        let scope = self.array.begin_query();
-        let refs: Vec<&SpatialTree> = self.trees.iter().collect();
-        let merged = parsim_index::knn::forest_knn(&refs, query, k, self.config.algorithm);
-        Ok((merged, scope.finish(&self.array)))
+        let algorithm = self.config.algorithm;
+        let hits_before = self.cache_hits_total();
+        let start = Instant::now();
+        let shared = SharedBound::new();
+        // One scoped thread per disk; each returns its local candidates
+        // and locally-counted work so the trace is exact per query.
+        let locals: Vec<_> = std::thread::scope(|s| {
+            let shared = &shared;
+            let handles: Vec<_> = self
+                .trees
+                .iter()
+                .map(|tree| s.spawn(move || tree.knn_traced(query, k, algorithm, Some(shared))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("per-disk search does not panic"))
+                .collect()
+        });
+        let wall = start.elapsed();
+        let merged = merge_candidates(locals.iter().map(|(c, _)| c.as_slice()), k);
+        let stats: Vec<_> = locals.iter().map(|(_, s)| *s).collect();
+        let hits = self.cache_hits_total() - hits_before;
+        let trace = QueryTrace::from_stats(&stats, hits, wall, self.array.model());
+        Ok((merged, trace))
+    }
+
+    /// Answers a batch of queries on a bounded worker pool sized to the
+    /// host's available parallelism. See
+    /// [`ParallelKnnEngine::knn_batch_with`].
+    pub fn knn_batch(
+        &self,
+        queries: &[Point],
+        k: usize,
+    ) -> Result<Vec<(Vec<Neighbor>, QueryTrace)>, EngineError> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.knn_batch_with(queries, k, workers)
+    }
+
+    /// Answers a batch of queries on a bounded pool of `workers` threads
+    /// (clamped to at least 1), in the paper's **inter-query** parallel
+    /// mode: each worker pulls the next unanswered query and runs the
+    /// globally-pruned forest search for it, so `workers` queries are in
+    /// flight at any time and every disk serves all of them concurrently.
+    ///
+    /// Results are returned in query order, each with its own exact
+    /// [`QueryTrace`] (pages are counted in the executing worker, not read
+    /// from the shared disk counters, so concurrent queries never blend).
+    pub fn knn_batch_with(
+        &self,
+        queries: &[Point],
+        k: usize,
+        workers: usize,
+    ) -> Result<Vec<(Vec<Neighbor>, QueryTrace)>, EngineError> {
+        for q in queries {
+            if q.dim() != self.config.dim {
+                return Err(EngineError::DimensionMismatch {
+                    expected: self.config.dim,
+                    got: q.dim(),
+                });
+            }
+        }
+        let algorithm = self.config.algorithm;
+        let model = *self.array.model();
+        let next = AtomicUsize::new(0);
+        let workers = workers.clamp(1, queries.len().max(1));
+        let mut results: Vec<Option<(Vec<Neighbor>, QueryTrace)>> =
+            (0..queries.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let next = &next;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move || {
+                        let refs: Vec<&SpatialTree> = self.trees.iter().collect();
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                return out;
+                            }
+                            let hits_before = self.cache_hits_total();
+                            let start = Instant::now();
+                            let (res, stats) = forest_knn_traced(&refs, &queries[i], k, algorithm);
+                            let hits = self.cache_hits_total() - hits_before;
+                            let trace =
+                                QueryTrace::from_stats(&stats, hits, start.elapsed(), &model);
+                            out.push((i, res, trace));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, res, trace) in h.join().expect("batch worker does not panic") {
+                    results[i] = Some((res, trace));
+                }
+            }
+        });
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every query index was claimed by a worker"))
+            .collect())
     }
 
     /// Runs a k-NN query with **independent** per-disk searches: every
@@ -208,28 +356,18 @@ impl ParallelKnnEngine {
         let algorithm = self.config.algorithm;
 
         let mut locals: Vec<Vec<Neighbor>> = Vec::with_capacity(self.trees.len());
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .trees
                 .iter()
-                .map(|tree| s.spawn(move |_| tree.knn(query, k, algorithm)))
+                .map(|tree| s.spawn(move || tree.knn(query, k, algorithm)))
                 .collect();
             for h in handles {
                 locals.push(h.join().expect("local knn does not panic"));
             }
-        })
-        .expect("scoped threads do not panic");
-
-        // Merge the per-disk candidate lists.
-        let mut merged: Vec<Neighbor> = locals.into_iter().flatten().collect();
-        merged.sort_by(|a, b| {
-            a.dist
-                .partial_cmp(&b.dist)
-                .expect("finite distances")
-                .then(a.item.cmp(&b.item))
         });
-        merged.truncate(k);
 
+        let merged = merge_candidates(locals.iter().map(Vec::as_slice), k);
         Ok((merged, scope.finish(&self.array)))
     }
 
@@ -264,6 +402,20 @@ impl ParallelKnnEngine {
     pub fn trees(&self) -> &[SpatialTree] {
         &self.trees
     }
+}
+
+/// Merges per-disk candidate lists into the global top `k` (ties broken by
+/// item id, matching [`parsim_index::knn::brute_force_knn`]).
+fn merge_candidates<'a>(locals: impl Iterator<Item = &'a [Neighbor]>, k: usize) -> Vec<Neighbor> {
+    let mut merged: Vec<Neighbor> = locals.flatten().cloned().collect();
+    merged.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .expect("finite distances")
+            .then(a.item.cmp(&b.item))
+    });
+    merged.truncate(k);
+    merged
 }
 
 #[cfg(test)]

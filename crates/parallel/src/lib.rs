@@ -14,7 +14,7 @@
 //! experiment in the benchmark crate.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod declustered;
@@ -26,7 +26,7 @@ pub mod throughput;
 pub use config::{EngineConfig, SplitStrategy};
 pub use declustered::DeclusteredXTree;
 pub use engine::ParallelKnnEngine;
-pub use metrics::{run_knn_workload, WorkloadCost};
+pub use metrics::{run_knn_workload, run_traced_workload, QueryTrace, WorkloadCost};
 pub use sequential::SequentialEngine;
 pub use throughput::{run_batch, ThroughputReport};
 

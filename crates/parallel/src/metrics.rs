@@ -1,14 +1,92 @@
-//! Workload runners and the speed-up / scale-up metrics of the paper.
+//! Workload runners, per-query traces, and the speed-up / scale-up
+//! metrics of the paper.
+
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
 use parsim_geometry::Point;
-use parsim_storage::QueryCost;
+use parsim_index::SearchStats;
+use parsim_storage::{DiskModel, QueryCost};
 
 use crate::declustered::DeclusteredXTree;
 use crate::engine::ParallelKnnEngine;
 use crate::sequential::SequentialEngine;
 use crate::EngineError;
+
+/// The observability record of one traced query.
+///
+/// Produced by [`ParallelKnnEngine::knn_traced`] and
+/// [`ParallelKnnEngine::knn_batch`]; serializable to JSON with
+/// [`serde::Serialize::to_json`] for offline analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTrace {
+    /// Pages requested from each disk by this query, counted locally in
+    /// the search threads — exact for this query even while other queries
+    /// run against the same disks concurrently.
+    pub per_disk_pages: Vec<u64>,
+    /// Subtrees discarded by the pruning bound without being read.
+    pub candidates_pruned: u64,
+    /// Page requests absorbed by the per-disk caches during this query
+    /// (always 0 for an uncached engine; approximate when several cached
+    /// queries run concurrently, because the cache counters are global).
+    pub cache_hits: u64,
+    /// Measured wall-clock time of the query on the host.
+    pub wall_time: Duration,
+    /// Modeled parallel service time: all disks read concurrently, the
+    /// busiest one gates.
+    pub modeled_parallel: Duration,
+    /// Modeled sequential service time: the same pages served by one disk.
+    pub modeled_sequential: Duration,
+}
+
+impl QueryTrace {
+    /// Assembles a trace from per-tree search counters.
+    pub fn from_stats(
+        stats: &[SearchStats],
+        cache_hits: u64,
+        wall_time: Duration,
+        model: &DiskModel,
+    ) -> QueryTrace {
+        let per_disk_pages: Vec<u64> = stats.iter().map(|s| s.pages).collect();
+        let max = per_disk_pages.iter().copied().max().unwrap_or(0);
+        let total: u64 = per_disk_pages.iter().copied().sum();
+        QueryTrace {
+            per_disk_pages,
+            candidates_pruned: stats.iter().map(|s| s.pruned).sum(),
+            cache_hits,
+            wall_time,
+            modeled_parallel: model.service_time(max),
+            modeled_sequential: model.service_time(total),
+        }
+    }
+
+    /// Pages requested from the busiest disk.
+    pub fn max_pages(&self) -> u64 {
+        self.per_disk_pages.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Pages requested across all disks.
+    pub fn total_pages(&self) -> u64 {
+        self.per_disk_pages.iter().copied().sum()
+    }
+
+    /// The modeled speed-up of this query: sequential over parallel
+    /// service time (1.0 for an empty query).
+    pub fn modeled_speedup(&self) -> f64 {
+        let p = self.modeled_parallel.as_secs_f64();
+        if p == 0.0 {
+            1.0
+        } else {
+            self.modeled_sequential.as_secs_f64() / p
+        }
+    }
+
+    /// Converts the trace into the classic [`QueryCost`] record.
+    pub fn cost(&self, model: &DiskModel) -> QueryCost {
+        QueryCost::from_reads(self.per_disk_pages.clone(), model)
+    }
+}
 
 /// Aggregate cost of a query workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,6 +134,14 @@ impl WorkloadCost {
         }
     }
 
+    /// Aggregates a batch of per-query traces into a workload cost, so
+    /// trace-based runs ([`ParallelKnnEngine::knn_batch`]) report the same
+    /// figures as the scope-based runners.
+    pub fn from_traces(traces: &[QueryTrace], model: &DiskModel) -> WorkloadCost {
+        let costs: Vec<QueryCost> = traces.iter().map(|t| t.cost(model)).collect();
+        WorkloadCost::from_costs(&costs)
+    }
+
     /// Average intra-query speed-up (`total / max` page reads).
     pub fn internal_speedup(&self) -> f64 {
         if self.avg_max_reads == 0.0 {
@@ -78,6 +164,24 @@ pub fn run_knn_workload(
         costs.push(cost);
     }
     Ok(WorkloadCost::from_costs(&costs))
+}
+
+/// Runs a k-NN workload through the traced per-disk-threaded path and
+/// returns the aggregate cost together with the raw per-query traces.
+pub fn run_traced_workload(
+    engine: &ParallelKnnEngine,
+    queries: &[Point],
+    k: usize,
+) -> Result<(WorkloadCost, Vec<QueryTrace>), EngineError> {
+    let mut traces = Vec::with_capacity(queries.len());
+    for q in queries {
+        let (_, t) = engine.knn_traced(q, k)?;
+        traces.push(t);
+    }
+    Ok((
+        WorkloadCost::from_traces(&traces, engine.array().model()),
+        traces,
+    ))
 }
 
 /// Runs a k-NN workload against a page-declustered global tree.

@@ -1,0 +1,188 @@
+//! End-to-end tests of the threaded query paths.
+//!
+//! The per-disk parallel search ([`ParallelKnnEngine::knn`] /
+//! [`ParallelKnnEngine::knn_traced`]) and the batched worker pool
+//! ([`ParallelKnnEngine::knn_batch_with`]) must return exactly the answers
+//! of the single-disk [`SequentialEngine`] under any worker count, and the
+//! per-query traces must account for every page the shared disks served —
+//! even while many queries run concurrently.
+
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_geometry::Point;
+use parsim_index::knn::Neighbor;
+use parsim_index::KnnAlgorithm;
+use parsim_parallel::{EngineConfig, ParallelKnnEngine, SequentialEngine};
+
+const DIM: usize = 8;
+const DISKS: usize = 8;
+
+fn setup(algorithm: KnnAlgorithm) -> (ParallelKnnEngine, SequentialEngine, Vec<Point>) {
+    let pts = UniformGenerator::new(DIM).generate(4000, 21);
+    let mut config = EngineConfig::paper_defaults(DIM);
+    config.algorithm = algorithm;
+    let par = ParallelKnnEngine::build_near_optimal(&pts, DISKS, config).unwrap();
+    let seq = SequentialEngine::build(&pts, config).unwrap();
+    let queries = UniformGenerator::new(DIM).generate(24, 77);
+    (par, seq, queries)
+}
+
+/// Distances must agree exactly (identical arithmetic on both paths);
+/// items may differ only between equidistant points.
+fn assert_same_answers(got: &[Neighbor], want: &[Neighbor]) {
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        assert!(
+            (g.dist - w.dist).abs() < 1e-12,
+            "distance mismatch: {} vs {}",
+            g.dist,
+            w.dist
+        );
+    }
+}
+
+#[test]
+fn threaded_knn_matches_sequential_rkv() {
+    let (par, seq, queries) = setup(KnnAlgorithm::Rkv);
+    for q in &queries {
+        let (got, _) = par.knn(q, 10).unwrap();
+        let (want, _) = seq.knn(q, 10).unwrap();
+        assert_same_answers(&got, &want);
+    }
+}
+
+#[test]
+fn threaded_knn_matches_sequential_hs() {
+    let (par, seq, queries) = setup(KnnAlgorithm::Hs);
+    for q in &queries {
+        let (got, _) = par.knn(q, 10).unwrap();
+        let (want, _) = seq.knn(q, 10).unwrap();
+        assert_same_answers(&got, &want);
+    }
+}
+
+#[test]
+fn batch_matches_sequential_under_1_2_8_workers() {
+    let (par, seq, queries) = setup(KnnAlgorithm::Rkv);
+    let want: Vec<Vec<Neighbor>> = queries.iter().map(|q| seq.knn(q, 10).unwrap().0).collect();
+    for workers in [1, 2, 8] {
+        let got = par.knn_batch_with(&queries, 10, workers).unwrap();
+        assert_eq!(got.len(), queries.len());
+        for ((g, _), w) in got.iter().zip(&want) {
+            assert_same_answers(g, w);
+        }
+    }
+}
+
+#[test]
+fn batch_traces_are_identical_across_worker_counts() {
+    // Each query's trace is computed by exactly one worker running the
+    // deterministic forest search, so worker interleaving must not change
+    // a single counter.
+    let (par, _, queries) = setup(KnnAlgorithm::Rkv);
+    let baseline = par.knn_batch_with(&queries, 10, 1).unwrap();
+    for workers in [2, 8] {
+        let got = par.knn_batch_with(&queries, 10, workers).unwrap();
+        for ((_, g), (_, b)) in got.iter().zip(&baseline) {
+            assert_eq!(g.per_disk_pages, b.per_disk_pages);
+            assert_eq!(g.candidates_pruned, b.candidates_pruned);
+        }
+    }
+}
+
+#[test]
+fn batch_traces_account_for_every_page_served() {
+    // The sum of the locally-counted per-query traces must equal the
+    // global disk-counter delta over the whole concurrent batch: no page
+    // is lost or double-counted under contention.
+    let (par, _, queries) = setup(KnnAlgorithm::Rkv);
+    let scope = par.array().begin_query();
+    let results = par.knn_batch_with(&queries, 10, 8).unwrap();
+    let cost = scope.finish(par.array());
+
+    let mut summed = vec![0u64; DISKS];
+    for (_, trace) in &results {
+        for (acc, p) in summed.iter_mut().zip(&trace.per_disk_pages) {
+            *acc += p;
+        }
+    }
+    assert_eq!(summed, cost.per_disk_reads);
+}
+
+#[test]
+fn threaded_traces_account_for_every_page_served() {
+    // Same accounting identity for the intra-query (per-disk threads)
+    // path: the trace of each query counts exactly the pages its threads
+    // charged to the disks.
+    let (par, _, queries) = setup(KnnAlgorithm::Rkv);
+    let scope = par.array().begin_query();
+    let mut summed = vec![0u64; DISKS];
+    for q in &queries {
+        let (_, trace) = par.knn_traced(q, 10).unwrap();
+        assert_eq!(trace.per_disk_pages.len(), DISKS);
+        assert!(trace.total_pages() > 0);
+        for (acc, p) in summed.iter_mut().zip(&trace.per_disk_pages) {
+            *acc += p;
+        }
+    }
+    let cost = scope.finish(par.array());
+    assert_eq!(summed, cost.per_disk_reads);
+}
+
+#[test]
+fn shared_bound_prunes_work() {
+    // Var. 3 with the shared bound must read fewer pages than independent
+    // per-disk searches run to completion.
+    let (par, _, queries) = setup(KnnAlgorithm::Rkv);
+    let mut bounded = 0u64;
+    let mut independent = 0u64;
+    let mut pruned = 0u64;
+    for q in &queries {
+        let (_, trace) = par.knn_traced(q, 10).unwrap();
+        bounded += trace.total_pages();
+        pruned += trace.candidates_pruned;
+        let (_, cost) = par.knn_independent(q, 10).unwrap();
+        independent += cost.total_reads;
+    }
+    assert!(pruned > 0, "no subtree was ever pruned over the workload");
+    assert!(
+        bounded <= independent,
+        "shared bound read more pages ({bounded}) than independent searches ({independent})"
+    );
+}
+
+#[test]
+fn cached_engine_reports_cache_hits() {
+    let pts = UniformGenerator::new(DIM).generate(3000, 5);
+    let config = EngineConfig::paper_defaults(DIM);
+    let par = ParallelKnnEngine::build_near_optimal(&pts, DISKS, config)
+        .unwrap()
+        .with_page_cache(4096);
+    let q = &UniformGenerator::new(DIM).generate(1, 9)[0];
+
+    let (_, cold) = par.knn_traced(q, 10).unwrap();
+    assert_eq!(cold.cache_hits, 0, "first query cannot hit an empty cache");
+    let (_, warm) = par.knn_traced(q, 10).unwrap();
+    // Identical query, ample cache: the repeat is (at least partly —
+    // thread interleaving may shift the visited set slightly) served from
+    // memory. Every tree re-reads its root, so hits are guaranteed.
+    assert!(warm.cache_hits > 0, "second run should hit the cache");
+}
+
+#[test]
+fn batch_handles_edge_cases() {
+    let (par, _, queries) = setup(KnnAlgorithm::Rkv);
+    // Empty batch.
+    assert!(par.knn_batch_with(&[], 10, 4).unwrap().is_empty());
+    // More workers than queries, and a zero worker count (clamped to 1).
+    for workers in [64, 0] {
+        let got = par.knn_batch_with(&queries[..2], 3, workers).unwrap();
+        assert_eq!(got.len(), 2);
+        for (res, trace) in &got {
+            assert_eq!(res.len(), 3);
+            assert!(trace.total_pages() > 0);
+        }
+    }
+    // Dimension mismatch is rejected.
+    let wrong = Point::new(vec![0.5; DIM + 1]).unwrap();
+    assert!(par.knn_batch_with(&[wrong], 1, 2).is_err());
+}

@@ -34,6 +34,37 @@
 //! assert!(cost.max_reads <= cost.total_reads);
 //! ```
 //!
+//! ## Batched queries and per-query traces
+//!
+//! [`ParallelKnnEngine::knn`](parallel::ParallelKnnEngine::knn) runs one
+//! thread per disk (the paper's Var. 3 shared-bound search);
+//! [`ParallelKnnEngine::knn_batch`](parallel::ParallelKnnEngine::knn_batch)
+//! answers a whole workload on a bounded worker pool. Both report a
+//! [`QueryTrace`](parallel::QueryTrace) with per-disk page counts, pruning and cache counters,
+//! and measured wall-clock next to modeled service time:
+//!
+//! ```
+//! use parsim::prelude::*;
+//!
+//! let data = UniformGenerator::new(8).generate(2_000, 42);
+//! let config = EngineConfig::paper_defaults(8);
+//! let engine = ParallelKnnEngine::build_near_optimal(&data, 8, config).unwrap();
+//!
+//! let queries = UniformGenerator::new(8).generate(16, 7);
+//! let results = engine.knn_batch_with(&queries, 10, 4).unwrap();
+//! assert_eq!(results.len(), queries.len());
+//!
+//! let (neighbors, trace): &(Vec<Neighbor>, QueryTrace) = &results[0];
+//! assert_eq!(neighbors.len(), 10);
+//! assert_eq!(trace.per_disk_pages.len(), engine.disks());
+//! assert!(trace.total_pages() >= trace.max_pages());
+//! assert!(trace.modeled_speedup() >= 1.0);
+//!
+//! // Traces serialize to JSON for offline analysis.
+//! use parsim::serde::Serialize;
+//! assert!(trace.to_json().contains("per_disk_pages"));
+//! ```
+//!
 //! ## Crate map
 //!
 //! | module | contents |
@@ -47,7 +78,7 @@
 //! | [`parallel`] | the parallel engine, sequential baseline and metrics |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod paper;
 
@@ -58,6 +89,7 @@ pub use parsim_hilbert as hilbert;
 pub use parsim_index as index;
 pub use parsim_parallel as parallel;
 pub use parsim_storage as storage;
+pub use serde;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -71,11 +103,12 @@ pub mod prelude {
     };
     pub use parsim_geometry::{Euclidean, HyperRect, Metric, Point, QuadrantSplitter};
     pub use parsim_index::{
-        CachingSink, KnnAlgorithm, Neighbor, NnIterator, SpatialTree, TreeParams, TreeVariant,
+        forest_knn, forest_knn_traced, CachingSink, KnnAlgorithm, Neighbor, NnIterator,
+        SearchStats, SharedBound, SpatialTree, TreeParams, TreeVariant,
     };
     pub use parsim_parallel::{
-        run_knn_workload, DeclusteredXTree, EngineConfig, ParallelKnnEngine, SequentialEngine,
-        SplitStrategy, ThroughputReport, WorkloadCost,
+        run_knn_workload, run_traced_workload, DeclusteredXTree, EngineConfig, ParallelKnnEngine,
+        QueryTrace, SequentialEngine, SplitStrategy, ThroughputReport, WorkloadCost,
     };
     pub use parsim_storage::{DiskArray, DiskModel, LruTracker, QueryCost, SimDisk};
 }

@@ -20,7 +20,7 @@
 //! reproducible bit-for-bit.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod array;
 pub mod cache;

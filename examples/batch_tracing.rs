@@ -1,0 +1,66 @@
+//! Batched queries with per-query traces: run a workload through the
+//! threaded engine, print each query's per-disk page counts, pruning and
+//! cache counters, and compare measured wall-clock against the modeled
+//! disk service time.
+//!
+//! ```sh
+//! cargo run --release -p parsim --example batch_tracing
+//! ```
+
+use parsim::prelude::*;
+use parsim::serde::Serialize;
+
+fn main() {
+    let dim = 12;
+    let n = 20_000;
+    let disks = 8;
+    let data = UniformGenerator::new(dim).generate(n, 42);
+    let config = EngineConfig::paper_defaults(dim);
+
+    // A cached engine: each disk gets a small LRU page cache, so repeated
+    // regions of the query workload stop charging the disks.
+    let engine = ParallelKnnEngine::build_near_optimal(&data, disks, config)
+        .expect("engine builds on non-empty data")
+        .with_page_cache(256);
+    println!(
+        "engine: {n} vectors ({dim}-d) on {} disks, {}-page cache each",
+        engine.disks(),
+        256
+    );
+
+    // Answer a whole workload on a bounded worker pool (one worker per
+    // available core; every worker owns one query at a time).
+    let queries = UniformGenerator::new(dim).generate(12, 7);
+    let results = engine.knn_batch(&queries, 10).expect("batch runs");
+
+    println!("\nper-query traces:");
+    println!(
+        "  {:>5}  {:>7}  {:>7}  {:>6}  {:>6}  {:>9}  {:>9}  {:>8}",
+        "query", "pages", "busiest", "pruned", "hits", "wall", "modeled", "speedup"
+    );
+    for (i, (neighbors, trace)) in results.iter().enumerate() {
+        assert_eq!(neighbors.len(), 10);
+        println!(
+            "  {:>5}  {:>7}  {:>7}  {:>6}  {:>6}  {:>7.2}ms  {:>7.0}ms  {:>7.2}x",
+            i,
+            trace.total_pages(),
+            trace.max_pages(),
+            trace.candidates_pruned,
+            trace.cache_hits,
+            trace.wall_time.as_secs_f64() * 1e3,
+            trace.modeled_parallel.as_secs_f64() * 1e3,
+            trace.modeled_speedup(),
+        );
+    }
+
+    // Traces are serde-serializable for offline analysis.
+    let (_, first) = &results[0];
+    println!("\nfirst trace as JSON:\n{}", first.to_json());
+
+    // The same queries again: the caches are warm now, so the disks serve
+    // far fewer pages.
+    let warm = engine.knn_batch(&queries, 10).expect("warm batch runs");
+    let cold_hits: u64 = results.iter().map(|(_, t)| t.cache_hits).sum();
+    let warm_hits: u64 = warm.iter().map(|(_, t)| t.cache_hits).sum();
+    println!("\ncache hits: {cold_hits} cold -> {warm_hits} warm");
+}

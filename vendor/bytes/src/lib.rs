@@ -1,0 +1,145 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the [`Bytes`] subset the workspace uses: an immutable,
+//! cheaply-cloneable byte buffer. Static slices are stored by reference
+//! (no allocation); owned data is reference-counted, so cloning a page out
+//! of the simulated disk store is a refcount bump exactly as with the real
+//! crate.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable byte buffer that is cheap to clone.
+#[derive(Clone)]
+pub struct Bytes(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// Creates an empty buffer (no allocation).
+    pub const fn new() -> Self {
+        Bytes(Repr::Static(&[]))
+    }
+
+    /// Wraps a static slice without copying.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(Repr::Static(bytes))
+    }
+
+    /// Copies a slice into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Repr::Shared(Arc::from(data)))
+    }
+
+    /// Length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Shared(s) => s,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Repr::Shared(Arc::from(v)))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        assert_eq!(Bytes::new().len(), 0);
+        assert!(Bytes::new().is_empty());
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::copy_from_slice(b"abc");
+        let c = Bytes::from(b"abc".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(&a[..], b"abc");
+    }
+
+    #[test]
+    fn clone_is_shallow_for_shared_data() {
+        let a = Bytes::from(vec![1u8; 64]);
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — benchmark
+//! groups, [`BenchmarkId`], [`Bencher::iter`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! wall-clock runner: a short warm-up, then `sample_size` timed batches,
+//! reporting the per-iteration mean and min/max batch means on stdout.
+//!
+//! No statistical analysis, plots, or saved baselines; swap the workspace
+//! dependency back to the real crate for those.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (one per binary).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, 10, &mut f);
+        self
+    }
+}
+
+/// Rate metadata attached to a group (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Records the group's throughput denominator (printed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Elements(n) => println!("  throughput: {n} elements/iter"),
+            Throughput::Bytes(n) => println!("  throughput: {n} bytes/iter"),
+        }
+        self
+    }
+
+    /// Benchmarks `f` under this group, labeled by `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labeled by `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark label (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures inside one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly for this batch and records the elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up + calibration: target ~25 ms per batch, at least 1 iter.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters_per_batch =
+        (Duration::from_millis(25).as_nanos() / per_iter.as_nanos()).max(1) as u64;
+
+    let mut means: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        means.push(b.elapsed.as_secs_f64() / iters_per_batch as f64);
+    }
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = means.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "  {label}: mean {:.3} ms/iter (batch means {:.3}..{:.3} ms, {} x {} iters)",
+        mean * 1e3,
+        lo * 1e3,
+        hi * 1e3,
+        samples,
+        iters_per_batch
+    );
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n) * black_box(n))
+        });
+        group.bench_function("cube", |b| b.iter(|| black_box(3u64).pow(3)));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut c = Criterion::default();
+        tiny_bench(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| black_box(1u32) + 1));
+    }
+}

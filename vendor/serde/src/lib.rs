@@ -1,0 +1,292 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the serde surface it relies on:
+//!
+//! * [`Serialize`] — object-safe trait writing the value as JSON through a
+//!   [`json::JsonWriter`]; [`Serialize::to_json`] renders a `String`. The
+//!   derive macro (feature `derive`) generates real field-by-field
+//!   implementations, so cost records and query traces serialize to
+//!   working JSON.
+//! * [`Deserialize`] — a marker trait; nothing in the workspace reads
+//!   serialized data back, so derives only prove the type opted in.
+//!
+//! Swapping the workspace dependency back to the real `serde` + `serde_json`
+//! requires no changes at the derive sites.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can serialize themselves as JSON.
+pub trait Serialize {
+    /// Writes `self` into the given JSON writer.
+    fn serialize_into(&self, out: &mut json::JsonWriter);
+
+    /// Renders `self` as a JSON string.
+    fn to_json(&self) -> String
+    where
+        Self: Sized,
+    {
+        let mut w = json::JsonWriter::new();
+        self.serialize_into(&mut w);
+        w.into_string()
+    }
+}
+
+/// Marker for types that opted into deserialization.
+///
+/// The lifetime parameter mirrors the real trait so `#[derive(Deserialize)]`
+/// sites stay source-compatible with upstream serde.
+pub trait Deserialize<'de>: Sized {}
+
+/// The minimal JSON emission machinery used by [`Serialize`].
+pub mod json {
+    use super::Serialize;
+
+    /// An append-only JSON writer with comma bookkeeping.
+    #[derive(Debug, Default)]
+    pub struct JsonWriter {
+        buf: String,
+        /// Whether the current nesting level already has an element.
+        has_element: Vec<bool>,
+    }
+
+    impl JsonWriter {
+        /// Creates an empty writer.
+        pub fn new() -> Self {
+            JsonWriter::default()
+        }
+
+        /// Finishes writing and returns the accumulated JSON text.
+        pub fn into_string(self) -> String {
+            self.buf
+        }
+
+        fn comma(&mut self) {
+            if let Some(top) = self.has_element.last_mut() {
+                if *top {
+                    self.buf.push(',');
+                }
+                *top = true;
+            }
+        }
+
+        /// Opens a JSON object.
+        pub fn begin_object(&mut self) {
+            self.comma();
+            self.buf.push('{');
+            self.has_element.push(false);
+        }
+
+        /// Closes the current JSON object.
+        pub fn end_object(&mut self) {
+            self.has_element.pop();
+            self.buf.push('}');
+        }
+
+        /// Opens a JSON array.
+        pub fn begin_array(&mut self) {
+            self.comma();
+            self.buf.push('[');
+            self.has_element.push(false);
+        }
+
+        /// Closes the current JSON array.
+        pub fn end_array(&mut self) {
+            self.has_element.pop();
+            self.buf.push(']');
+        }
+
+        /// Writes an object field: `"name": <value>`.
+        pub fn field(&mut self, name: &str, value: &dyn Serialize) {
+            self.comma();
+            self.write_escaped(name);
+            self.buf.push(':');
+            // The value must not emit a leading comma of its own.
+            self.has_element.push(false);
+            value.serialize_into(self);
+            self.has_element.pop();
+        }
+
+        /// Writes one array element.
+        pub fn element(&mut self, value: &dyn Serialize) {
+            value.serialize_into(self);
+        }
+
+        /// Writes a JSON string scalar.
+        pub fn string(&mut self, s: &str) {
+            self.comma();
+            self.write_escaped(s);
+        }
+
+        /// Writes a raw scalar token (already valid JSON).
+        pub fn raw(&mut self, token: &str) {
+            self.comma();
+            self.buf.push_str(token);
+        }
+
+        fn write_escaped(&mut self, s: &str) {
+            self.buf.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => self.buf.push_str("\\\""),
+                    '\\' => self.buf.push_str("\\\\"),
+                    '\n' => self.buf.push_str("\\n"),
+                    '\r' => self.buf.push_str("\\r"),
+                    '\t' => self.buf.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => self.buf.push(c),
+                }
+            }
+            self.buf.push('"');
+        }
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_into(&self, out: &mut json::JsonWriter) {
+                out.raw(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_into(&self, out: &mut json::JsonWriter) {
+                if self.is_finite() {
+                    out.raw(&self.to_string());
+                } else {
+                    out.raw("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_into(&self, out: &mut json::JsonWriter) {
+        out.raw(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_into(&self, out: &mut json::JsonWriter) {
+        out.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_into(&self, out: &mut json::JsonWriter) {
+        out.string(self);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_into(&self, out: &mut json::JsonWriter) {
+        out.begin_array();
+        for item in self {
+            out.element(item);
+        }
+        out.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_into(&self, out: &mut json::JsonWriter) {
+        self.as_slice().serialize_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn serialize_into(&self, out: &mut json::JsonWriter) {
+        self.as_ref().serialize_into(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_into(&self, out: &mut json::JsonWriter) {
+        self.as_slice().serialize_into(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_into(&self, out: &mut json::JsonWriter) {
+        (**self).serialize_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_into(&self, out: &mut json::JsonWriter) {
+        match self {
+            Some(v) => v.serialize_into(out),
+            None => out.raw("null"),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_into(&self, out: &mut json::JsonWriter) {
+        out.begin_object();
+        out.field("secs", &self.as_secs());
+        out.field("nanos", &self.subsec_nanos());
+        out.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Probe {
+        a: u64,
+        b: Vec<f64>,
+        c: String,
+    }
+
+    impl Serialize for Probe {
+        fn serialize_into(&self, out: &mut json::JsonWriter) {
+            out.begin_object();
+            out.field("a", &self.a);
+            out.field("b", &self.b);
+            out.field("c", &self.c);
+            out.end_object();
+        }
+    }
+
+    #[test]
+    fn nested_json_shape() {
+        let p = Probe {
+            a: 7,
+            b: vec![0.5, 1.0],
+            c: "x\"y".into(),
+        };
+        assert_eq!(p.to_json(), r#"{"a":7,"b":[0.5,1],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn duration_serializes_as_object() {
+        let d = std::time::Duration::from_millis(1500);
+        assert_eq!(d.to_json(), r#"{"secs":1,"nanos":500000000}"#);
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.25f64.to_json(), "1.25");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(Option::<u32>::None.to_json(), "null");
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually derives on:
+//!
+//! * structs with named fields → a real field-by-field JSON serializer,
+//! * tuple structs → a JSON array serializer,
+//! * enums with unit variants → the variant name as a JSON string.
+//!
+//! Generic types are intentionally unsupported (the workspace derives only
+//! on concrete types); the macro fails with a clear compile error if one
+//! appears. Parsing is done directly on the token stream because the
+//! container has no `syn`/`quote`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What shape the deriving type has.
+enum Shape {
+    /// Named-field struct with the listed field names.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    /// Enum whose variants are all unit variants.
+    UnitEnum(Vec<String>),
+}
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (deriving on `{name}`)");
+    }
+
+    match (&kind[..], &tokens[i]) {
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            (name, Shape::Struct(named_fields(g.stream())))
+        }
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            (name, Shape::TupleStruct(tuple_arity(g.stream())))
+        }
+        ("enum", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let variants = unit_variants(g.stream(), &name);
+            (name, Shape::UnitEnum(variants))
+        }
+        _ => panic!("serde_derive stub: unsupported shape for `{name}`"),
+    }
+}
+
+/// Extracts field names from the body of a named-field struct.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let TokenTree::Ident(id) = &tokens[i] else {
+            panic!(
+                "serde_derive stub: expected field name, found {}",
+                tokens[i]
+            );
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect `:`; then skip the type until a top-level comma, tracking
+        // angle-bracket depth so `Vec<u64>` style generics don't confuse
+        // the scan (commas inside parens/brackets are token groups already).
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive stub: expected `:` after field name"
+        );
+        i += 1;
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut saw_tokens = false;
+    let mut angle = 0i32;
+    for t in body {
+        saw_tokens = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    if saw_tokens {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+/// Extracts unit-variant names from an enum body.
+fn unit_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        // Discriminant: skip `= expr` up to the comma.
+                        while i < tokens.len()
+                            && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                        {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    Some(TokenTree::Group(_)) => panic!(
+                        "serde_derive stub: enum `{name}` has a payload variant; \
+                         only unit enums are supported"
+                    ),
+                    Some(other) => {
+                        panic!("serde_derive stub: unexpected token {other} in enum `{name}`")
+                    }
+                }
+            }
+            other => panic!("serde_derive stub: unexpected token {other} in enum `{name}`"),
+        }
+    }
+    variants
+}
+
+/// Derives a JSON-writing `serde::Serialize` implementation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("out.begin_object();\n");
+            for f in &fields {
+                s.push_str(&format!("out.field(\"{f}\", &self.{f});\n"));
+            }
+            s.push_str("out.end_object();");
+            s
+        }
+        Shape::TupleStruct(arity) => {
+            let mut s = String::from("out.begin_array();\n");
+            for idx in 0..arity {
+                s.push_str(&format!("out.element(&self.{idx});\n"));
+            }
+            s.push_str("out.end_array();");
+            s
+        }
+        Shape::UnitEnum(variants) => {
+            let mut s = String::from("let name = match self {\n");
+            for v in &variants {
+                s.push_str(&format!("{name}::{v} => \"{v}\",\n"));
+            }
+            s.push_str("};\nout.string(name);");
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_into(&self, out: &mut ::serde::json::JsonWriter) {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl parses")
+}
+
+/// Derives a marker `serde::Deserialize` implementation.
+///
+/// Nothing in this workspace parses serialized data back, so the stub only
+/// has to prove the type *opted in* to deserialization; vendoring the real
+/// serde restores full functionality without code changes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse_input(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl parses")
+}
