@@ -7,7 +7,7 @@ use super::*;
 
 #[test]
 fn dispatcher_covers_all_and_rejects_unknown() {
-    assert_eq!(ALL.len(), 18);
+    assert_eq!(ALL.len(), 19);
     assert!(run("nonsense", 1.0).is_none());
     assert!(run("fig99", 1.0).is_none());
 }
@@ -56,6 +56,26 @@ fn ext6_reports_modeled_and_measured_speedup() {
     }
     // The host-parallelism caveat must be recorded next to the numbers.
     assert!(report.notes[0].contains("thread"));
+}
+
+#[test]
+fn ext7_reports_abandoned_evaluations_and_exactness() {
+    let report = run("ext7", 0.05).expect("ext7");
+    assert_eq!(report.rows.len(), 4);
+    for row in &report.rows {
+        let evals: u64 = row[1].parse().unwrap();
+        let saved: u64 = row[2].parse().unwrap();
+        assert!(evals > 0, "leaf scans must evaluate distances");
+        assert!(saved <= evals);
+        assert_eq!(row[4], "yes", "distances must stay bit-identical");
+    }
+    // Clustered workloads must abandon at least somewhere in the sweep.
+    let total_saved: u64 = report
+        .rows
+        .iter()
+        .map(|r| r[2].parse::<u64>().unwrap())
+        .sum();
+    assert!(total_saved > 0, "early abandon never fired");
 }
 
 #[test]

@@ -1,0 +1,334 @@
+//! Unrolled distance kernels over flat `&[f64]` slices.
+//!
+//! Every distance the workspace computes ultimately lands here: the
+//! [`crate::Point`] methods and the [`crate::Metric`] implementations all
+//! delegate to these kernels, so the arena-backed leaf scans and the
+//! `Vec<Point>` paths produce **bit-identical** results by construction.
+//!
+//! The kernels process coordinates in chunks of four with four independent
+//! accumulators, which breaks the add-latency dependency chain and lets the
+//! compiler keep four FMAs (or mul+adds) in flight. The tail (`dim % 4`
+//! coordinates) is folded into the first accumulator, and the accumulators
+//! are combined as `(s0 + s1) + (s2 + s3)` — a fixed reduction order, so a
+//! given build computes one well-defined value per input pair.
+//!
+//! The `*_bounded` variants implement **partial-distance early abandon**:
+//! after each chunk of four terms they compare the running sum against the
+//! caller's bound (the current k-th-best distance) and bail with `None` once
+//! it is exceeded. Because every term is non-negative and IEEE-754 rounding
+//! is monotone, the running sum never decreases, so a checkpoint that
+//! exceeds the bound proves the full distance would too — abandoning is
+//! *exact*, never approximate. When the scan survives every checkpoint, the
+//! returned `Some(value)` is bit-identical to the unbounded kernel because
+//! both run the very same accumulation.
+
+/// Fused multiply-add when the target actually has an FMA unit, plain
+/// mul+add otherwise.
+///
+/// On the baseline `x86-64` target (SSE2 only) `f64::mul_add` lowers to a
+/// libm soft-float call that is an order of magnitude slower than a mul and
+/// an add, so the fused form is only worth emitting when
+/// `target_feature = "fma"` is enabled (e.g. `-C target-cpu=native`).
+#[inline(always)]
+fn fmadd(a: f64, b: f64, acc: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, acc)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        acc + a * b
+    }
+}
+
+/// Squared Euclidean distance between two coordinate slices.
+///
+/// This is *the* canonical L2 arithmetic of the workspace:
+/// [`crate::Point::dist2`] delegates here.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ta, tb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        let d0 = xa[0] - xb[0];
+        let d1 = xa[1] - xb[1];
+        let d2 = xa[2] - xb[2];
+        let d3 = xa[3] - xb[3];
+        s0 = fmadd(d0, d0, s0);
+        s1 = fmadd(d1, d1, s1);
+        s2 = fmadd(d2, d2, s2);
+        s3 = fmadd(d3, d3, s3);
+    }
+    for (x, y) in ta.iter().zip(tb) {
+        let d = x - y;
+        s0 = fmadd(d, d, s0);
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Manhattan (L1) distance between two coordinate slices.
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ta, tb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        s0 += (xa[0] - xb[0]).abs();
+        s1 += (xa[1] - xb[1]).abs();
+        s2 += (xa[2] - xb[2]).abs();
+        s3 += (xa[3] - xb[3]).abs();
+    }
+    for (x, y) in ta.iter().zip(tb) {
+        s0 += (x - y).abs();
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Chebyshev (L∞ / maximum) distance between two coordinate slices.
+///
+/// `max` is exactly order-independent over non-negative terms, so this
+/// kernel agrees bit-for-bit with any sequential fold.
+#[inline]
+pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ta, tb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        s0 = s0.max((xa[0] - xb[0]).abs());
+        s1 = s1.max((xa[1] - xb[1]).abs());
+        s2 = s2.max((xa[2] - xb[2]).abs());
+        s3 = s3.max((xa[3] - xb[3]).abs());
+    }
+    for (x, y) in ta.iter().zip(tb) {
+        s0 = s0.max((x - y).abs());
+    }
+    (s0.max(s1)).max(s2.max(s3))
+}
+
+/// Squared Euclidean distance with partial-distance early abandon.
+///
+/// Returns `None` as soon as a chunk checkpoint proves the full distance
+/// exceeds `bound`; otherwise `Some(d2)` where `d2` is bit-identical to
+/// [`dist2`]. `Some(d2)` with `d2 > bound` is possible when only the tail
+/// coordinates push the sum over — callers comparing against an exact
+/// radius must re-check.
+#[inline]
+pub fn dist2_bounded(a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ta, tb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        let d0 = xa[0] - xb[0];
+        let d1 = xa[1] - xb[1];
+        let d2 = xa[2] - xb[2];
+        let d3 = xa[3] - xb[3];
+        s0 = fmadd(d0, d0, s0);
+        s1 = fmadd(d1, d1, s1);
+        s2 = fmadd(d2, d2, s2);
+        s3 = fmadd(d3, d3, s3);
+        if (s0 + s1) + (s2 + s3) > bound {
+            return None;
+        }
+    }
+    for (x, y) in ta.iter().zip(tb) {
+        let d = x - y;
+        s0 = fmadd(d, d, s0);
+    }
+    Some((s0 + s1) + (s2 + s3))
+}
+
+/// Manhattan distance with partial-distance early abandon (see
+/// [`dist2_bounded`] for the contract).
+#[inline]
+pub fn manhattan_bounded(a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ta, tb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        s0 += (xa[0] - xb[0]).abs();
+        s1 += (xa[1] - xb[1]).abs();
+        s2 += (xa[2] - xb[2]).abs();
+        s3 += (xa[3] - xb[3]).abs();
+        if (s0 + s1) + (s2 + s3) > bound {
+            return None;
+        }
+    }
+    for (x, y) in ta.iter().zip(tb) {
+        s0 += (x - y).abs();
+    }
+    Some((s0 + s1) + (s2 + s3))
+}
+
+/// Chebyshev distance with early abandon (see [`dist2_bounded`] for the
+/// contract).
+#[inline]
+pub fn chebyshev_bounded(a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ta, tb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        s0 = s0.max((xa[0] - xb[0]).abs());
+        s1 = s1.max((xa[1] - xb[1]).abs());
+        s2 = s2.max((xa[2] - xb[2]).abs());
+        s3 = s3.max((xa[3] - xb[3]).abs());
+        if (s0.max(s1)).max(s2.max(s3)) > bound {
+            return None;
+        }
+    }
+    for (x, y) in ta.iter().zip(tb) {
+        s0 = s0.max((x - y).abs());
+    }
+    Some((s0.max(s1)).max(s2.max(s3)))
+}
+
+/// Scans a whole row-major block of vectors against one query, writing the
+/// squared Euclidean distance of every row into `out`.
+///
+/// `block` must hold `out.len()` rows of `dim` coordinates each. Each
+/// written distance is bit-identical to [`dist2`] on the corresponding row.
+///
+/// # Panics
+///
+/// Panics if `block.len() != out.len() * dim` or the query has the wrong
+/// dimension.
+pub fn dist2_batch(query: &[f64], block: &[f64], dim: usize, out: &mut [f64]) {
+    assert!(dim > 0, "zero-dimensional block");
+    assert_eq!(query.len(), dim, "query dimension mismatch");
+    assert_eq!(block.len(), out.len() * dim, "block/out shape mismatch");
+    for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+        *slot = dist2(query, row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dist2(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    }
+
+    fn vecs(dim: usize) -> (Vec<f64>, Vec<f64>) {
+        // Deterministic, mildly irregular coordinates covering the tail
+        // paths of every chunking scheme.
+        let a: Vec<f64> = (0..dim)
+            .map(|i| (i as f64 * 0.37).sin() * 0.5 + 0.5)
+            .collect();
+        let b: Vec<f64> = (0..dim)
+            .map(|i| (i as f64 * 0.61).cos() * 0.5 + 0.5)
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn dist2_matches_naive_closely_for_all_tail_lengths() {
+        for dim in 1..=17 {
+            let (a, b) = vecs(dim);
+            let k = dist2(&a, &b);
+            let n = naive_dist2(&a, &b);
+            assert!((k - n).abs() <= 1e-12 * n.max(1.0), "dim {dim}: {k} vs {n}");
+        }
+    }
+
+    #[test]
+    fn small_dims_are_exact() {
+        // Dims below the unroll width take the pure tail path, which is the
+        // plain sequential sum.
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(manhattan(&[0.0, 0.0], &[3.0, 4.0]), 7.0);
+        assert_eq!(chebyshev(&[0.0, 0.0], &[3.0, 4.0]), 4.0);
+    }
+
+    #[test]
+    fn bounded_some_is_bit_identical_to_full() {
+        for dim in [1usize, 3, 4, 5, 8, 13, 16, 31] {
+            let (a, b) = vecs(dim);
+            let full = dist2(&a, &b);
+            // A bound the scan always survives.
+            let got = dist2_bounded(&a, &b, f64::INFINITY).unwrap();
+            assert_eq!(got.to_bits(), full.to_bits(), "dim {dim}");
+            let full = manhattan(&a, &b);
+            let got = manhattan_bounded(&a, &b, f64::INFINITY).unwrap();
+            assert_eq!(got.to_bits(), full.to_bits(), "dim {dim}");
+            let full = chebyshev(&a, &b);
+            let got = chebyshev_bounded(&a, &b, f64::INFINITY).unwrap();
+            assert_eq!(got.to_bits(), full.to_bits(), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn bounded_abandons_only_above_the_bound() {
+        let (a, b) = vecs(32);
+        let full = dist2(&a, &b);
+        // Bound below the true distance: may abandon (and here, with 8
+        // chunks, certainly does for a tiny bound).
+        assert_eq!(dist2_bounded(&a, &b, full / 16.0), None);
+        // Bound at exactly the true distance: `>` means it must survive.
+        assert_eq!(dist2_bounded(&a, &b, full), Some(full));
+        assert_eq!(
+            manhattan_bounded(&a, &b, manhattan(&a, &b)),
+            Some(manhattan(&a, &b))
+        );
+        assert_eq!(
+            chebyshev_bounded(&a, &b, chebyshev(&a, &b)),
+            Some(chebyshev(&a, &b))
+        );
+    }
+
+    #[test]
+    fn batch_matches_single_rows() {
+        let dim = 7;
+        let rows = 5;
+        let (q, _) = vecs(dim);
+        let block: Vec<f64> = (0..rows * dim).map(|i| (i as f64 * 0.13).fract()).collect();
+        let mut out = vec![0.0; rows];
+        dist2_batch(&q, &block, dim, &mut out);
+        for (r, row) in block.chunks_exact(dim).enumerate() {
+            assert_eq!(out[r].to_bits(), dist2(&q, row).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn batch_rejects_ragged_blocks() {
+        let mut out = vec![0.0; 2];
+        dist2_batch(&[0.5, 0.5], &[0.0; 5], 2, &mut out);
+    }
+}

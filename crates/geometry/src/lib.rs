@@ -9,6 +9,8 @@
 //!   rectangles of index pages) with the `MINDIST` / `MINMAXDIST` bounds
 //!   used by branch-and-bound nearest-neighbor search.
 //! * [`Metric`] implementations — Euclidean, Manhattan and maximum metrics.
+//! * [`kernel`] — the unrolled flat-slice distance kernels (with
+//!   partial-distance early abandon) that every metric delegates to.
 //! * [`quadrant`] — the binary quadrant partition of the data space and the
 //!   direct / indirect neighborhood relations of the paper (Definition 3).
 //! * [`highdim`] — closed-form models of the "strange" effects of
@@ -23,6 +25,7 @@
 
 pub mod error;
 pub mod highdim;
+pub mod kernel;
 pub mod metric;
 pub mod point;
 pub mod quadrant;

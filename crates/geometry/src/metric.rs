@@ -6,6 +6,7 @@
 //! engine are generic over [`Metric`] so that Manhattan and maximum metrics
 //! can be used where a domain calls for them.
 
+use crate::kernel;
 use crate::point::Point;
 use crate::rect::HyperRect;
 
@@ -40,6 +41,28 @@ pub trait Metric: Send + Sync {
     /// `MINDIST(q, R)` in comparison units: a lower bound of
     /// `dist_cmp(q, p)` over all points `p ∈ R`.
     fn min_dist_rect(&self, q: &Point, rect: &HyperRect) -> f64;
+
+    /// Comparison distance between raw coordinate slices — the hot-path
+    /// entry point used by arena-backed leaf scans, which never materialize
+    /// a [`Point`]. Must equal `dist_cmp` on the corresponding points; the
+    /// built-in metrics delegate to the [`crate::kernel`] functions.
+    fn dist_cmp_coords(&self, q: &[f64], row: &[f64]) -> f64 {
+        self.dist_cmp(&Point::from_vec(q.to_vec()), &Point::from_vec(row.to_vec()))
+    }
+
+    /// [`Metric::dist_cmp_coords`] with early abandon: `None` means the
+    /// comparison distance provably exceeds `bound`; `Some(d)` is
+    /// bit-identical to the unbounded result but may still exceed `bound`
+    /// (a checkpoint is not placed after every coordinate). Exact-radius
+    /// callers must re-check.
+    fn dist_cmp_coords_bounded(&self, q: &[f64], row: &[f64], bound: f64) -> Option<f64> {
+        let d = self.dist_cmp_coords(q, row);
+        if d > bound {
+            None
+        } else {
+            Some(d)
+        }
+    }
 }
 
 /// The Euclidean (L2) metric — the paper's metric of choice.
@@ -61,6 +84,16 @@ impl Metric for Euclidean {
     fn min_dist_rect(&self, q: &Point, rect: &HyperRect) -> f64 {
         rect.min_dist2(q)
     }
+
+    #[inline]
+    fn dist_cmp_coords(&self, q: &[f64], row: &[f64]) -> f64 {
+        kernel::dist2(q, row)
+    }
+
+    #[inline]
+    fn dist_cmp_coords_bounded(&self, q: &[f64], row: &[f64], bound: f64) -> Option<f64> {
+        kernel::dist2_bounded(q, row, bound)
+    }
 }
 
 /// The Manhattan (L1) metric.
@@ -71,7 +104,7 @@ impl Metric for Manhattan {
     #[inline]
     fn dist(&self, a: &Point, b: &Point) -> f64 {
         debug_assert_eq!(a.dim(), b.dim());
-        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
+        kernel::manhattan(a, b)
     }
 
     #[inline]
@@ -85,6 +118,16 @@ impl Metric for Manhattan {
 
     fn dist_to_cmp(&self, dist: f64) -> f64 {
         dist
+    }
+
+    #[inline]
+    fn dist_cmp_coords(&self, q: &[f64], row: &[f64]) -> f64 {
+        kernel::manhattan(q, row)
+    }
+
+    #[inline]
+    fn dist_cmp_coords_bounded(&self, q: &[f64], row: &[f64], bound: f64) -> Option<f64> {
+        kernel::manhattan_bounded(q, row, bound)
     }
 
     fn min_dist_rect(&self, q: &Point, rect: &HyperRect) -> f64 {
@@ -113,10 +156,7 @@ impl Metric for Chebyshev {
     #[inline]
     fn dist(&self, a: &Point, b: &Point) -> f64 {
         debug_assert_eq!(a.dim(), b.dim());
-        a.iter()
-            .zip(b.iter())
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0, f64::max)
+        kernel::chebyshev(a, b)
     }
 
     #[inline]
@@ -130,6 +170,16 @@ impl Metric for Chebyshev {
 
     fn dist_to_cmp(&self, dist: f64) -> f64 {
         dist
+    }
+
+    #[inline]
+    fn dist_cmp_coords(&self, q: &[f64], row: &[f64]) -> f64 {
+        kernel::chebyshev(q, row)
+    }
+
+    #[inline]
+    fn dist_cmp_coords_bounded(&self, q: &[f64], row: &[f64], bound: f64) -> Option<f64> {
+        kernel::chebyshev_bounded(q, row, bound)
     }
 
     fn min_dist_rect(&self, q: &Point, rect: &HyperRect) -> f64 {

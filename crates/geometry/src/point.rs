@@ -95,17 +95,12 @@ impl Point {
     ///
     /// Kept on `Point` (in addition to the [`crate::Metric`] trait) because
     /// it is the single hottest operation of every nearest-neighbor search.
+    /// Delegates to [`crate::kernel::dist2`], so point-based and
+    /// arena-based scans compute bit-identical distances.
     #[inline]
     pub fn dist2(&self, other: &Point) -> f64 {
         debug_assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        self.coords
-            .iter()
-            .zip(other.coords.iter())
-            .map(|(a, b)| {
-                let d = a - b;
-                d * d
-            })
-            .sum()
+        crate::kernel::dist2(&self.coords, &other.coords)
     }
 
     /// Euclidean distance to another point.

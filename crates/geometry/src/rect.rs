@@ -53,9 +53,16 @@ impl HyperRect {
 
     /// The degenerate rectangle covering exactly one point.
     pub fn from_point(p: &Point) -> Self {
+        Self::from_coords(p.coords())
+    }
+
+    /// The degenerate rectangle covering exactly one coordinate row (the
+    /// arena-backed counterpart of [`HyperRect::from_point`]).
+    pub fn from_coords(coords: &[f64]) -> Self {
+        debug_assert!(!coords.is_empty(), "zero-dimensional rectangle");
         HyperRect {
-            lo: p.coords().into(),
-            hi: p.coords().into(),
+            lo: coords.into(),
+            hi: coords.into(),
         }
     }
 
@@ -132,8 +139,14 @@ impl HyperRect {
 
     /// True if the point lies inside the closed rectangle.
     pub fn contains_point(&self, p: &Point) -> bool {
-        debug_assert_eq!(self.dim(), p.dim());
-        p.iter()
+        self.contains_coords(p.coords())
+    }
+
+    /// [`HyperRect::contains_point`] on a raw coordinate row.
+    pub fn contains_coords(&self, coords: &[f64]) -> bool {
+        debug_assert_eq!(self.dim(), coords.len());
+        coords
+            .iter()
             .enumerate()
             .all(|(i, &c)| self.lo[i] <= c && c <= self.hi[i])
     }
@@ -187,8 +200,13 @@ impl HyperRect {
 
     /// Grows `self` in place to cover `p`.
     pub fn expand_to_point(&mut self, p: &Point) {
-        debug_assert_eq!(self.dim(), p.dim());
-        for (i, &c) in p.iter().enumerate() {
+        self.expand_to_coords(p.coords());
+    }
+
+    /// [`HyperRect::expand_to_point`] on a raw coordinate row.
+    pub fn expand_to_coords(&mut self, coords: &[f64]) {
+        debug_assert_eq!(self.dim(), coords.len());
+        for (i, &c) in coords.iter().enumerate() {
             if c < self.lo[i] {
                 self.lo[i] = c;
             }

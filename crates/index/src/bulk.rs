@@ -11,7 +11,7 @@
 use parsim_geometry::Point;
 use parsim_hilbert::HilbertCurve;
 
-use crate::node::{InnerEntry, LeafEntry, Node, NodeId};
+use crate::node::{InnerEntry, LeafEntries, LeafEntry, Node, NodeId};
 use crate::params::TreeParams;
 use crate::tree::SpatialTree;
 use crate::IndexError;
@@ -117,7 +117,7 @@ impl SpatialTree {
             for size in sizes {
                 let chunk: Vec<LeafEntry> = iter.by_ref().take(size).collect();
                 let node = Node::Leaf {
-                    entries: chunk,
+                    entries: LeafEntries::from_entries(tree.params.dim, chunk),
                     pages: 1,
                 };
                 let mbr = node.mbr().expect("chunk is non-empty");

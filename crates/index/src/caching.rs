@@ -61,13 +61,14 @@ impl CachingSink {
 }
 
 impl NodeSink for CachingSink {
-    fn visit(&self, id: NodeId, node: &Node) {
+    fn visit(&self, id: NodeId, node: &Node) -> bool {
         let hit = self.cache.lock().expect("cache lock").touch(id.0 as u64);
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            true
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            self.inner.visit(id, node);
+            self.inner.visit(id, node)
         }
     }
 }

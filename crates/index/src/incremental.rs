@@ -11,7 +11,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use parsim_geometry::Point;
+use parsim_geometry::{kernel, Point};
 
 use crate::knn::Neighbor;
 use crate::node::{Node, NodeId};
@@ -54,17 +54,13 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap by distance; points surface before nodes on ties.
-        other
-            .dist2
-            .partial_cmp(&self.dist2)
-            .expect("finite distances")
-            .then_with(|| {
-                let rank = |k: &Kind| match k {
-                    Kind::Point(..) => 0,
-                    Kind::Node(..) => 1,
-                };
-                rank(&other.kind).cmp(&rank(&self.kind))
-            })
+        other.dist2.total_cmp(&self.dist2).then_with(|| {
+            let rank = |k: &Kind| match k {
+                Kind::Point(..) => 0,
+                Kind::Node(..) => 1,
+            };
+            rank(&other.kind).cmp(&rank(&self.kind))
+        })
     }
 }
 
@@ -131,9 +127,9 @@ impl Iterator for NnIterator<'_> {
                     tree.charge_visit(id);
                     match tree.node(id) {
                         Node::Leaf { entries, .. } => {
-                            for (i, e) in entries.iter().enumerate() {
+                            for (i, (row, _)) in entries.iter().enumerate() {
                                 self.queue.push(Entry {
-                                    dist2: e.point.dist2(&self.query),
+                                    dist2: kernel::dist2(self.query.coords(), row),
                                     kind: Kind::Point(ti, id, i),
                                 });
                             }
@@ -150,11 +146,10 @@ impl Iterator for NnIterator<'_> {
                 }
                 Kind::Point(ti, leaf, idx) => {
                     if let Node::Leaf { entries, .. } = self.trees[ti].node(leaf) {
-                        let e = &entries[idx];
                         self.yielded += 1;
                         return Some(Neighbor {
-                            item: e.item,
-                            point: e.point.clone(),
+                            item: entries.item(idx),
+                            point: entries.point(idx),
                             dist: entry.dist2.sqrt(),
                         });
                     }

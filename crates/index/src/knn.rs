@@ -25,7 +25,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
-use parsim_geometry::Point;
+use parsim_geometry::{kernel, Point};
 
 use crate::node::{Node, NodeId};
 use crate::tree::SpatialTree;
@@ -63,6 +63,15 @@ pub struct SearchStats {
     pub pages: u64,
     /// Subtrees discarded by the pruning bound without being visited.
     pub pruned: u64,
+    /// Node visits served from a page cache (counted here, in the search
+    /// thread, so concurrent queries cannot blend their hits together).
+    pub cache_hits: u64,
+    /// Candidate points whose distance to the query was evaluated.
+    pub dist_evals: u64,
+    /// Candidate points abandoned mid-distance: a partial sum already
+    /// exceeded the pruning bound, so the full distance was never computed
+    /// (see `parsim_geometry::kernel`).
+    pub dist_evals_saved: u64,
 }
 
 impl SearchStats {
@@ -70,6 +79,9 @@ impl SearchStats {
     pub fn merge(&mut self, other: SearchStats) {
         self.pages += other.pages;
         self.pruned += other.pruned;
+        self.cache_hits += other.cache_hits;
+        self.dist_evals += other.dist_evals;
+        self.dist_evals_saved += other.dist_evals_saved;
     }
 }
 
@@ -165,13 +177,24 @@ impl SpatialTree {
         shared: Option<&SharedBound>,
         stats: &mut SearchStats,
     ) {
-        self.charge_visit(id);
+        if self.charge_visit(id) {
+            stats.cache_hits += 1;
+        }
         stats.pages += self.node(id).pages() as u64;
         match self.node(id) {
             Node::Leaf { entries, .. } => {
-                for e in entries {
-                    let d2 = e.point.dist2(query);
-                    best.offer(d2, e);
+                // One linear sweep over the leaf's flat coordinate arena,
+                // abandoning each candidate as soon as its partial distance
+                // exceeds the current pruning radius. A dropped point is
+                // provably farther than the k-th best already known
+                // (locally or published by a concurrent search), so the
+                // merged answer stays exact.
+                for (row, item) in entries.iter() {
+                    stats.dist_evals += 1;
+                    match kernel::dist2_bounded(query.coords(), row, prune_bound(best, shared)) {
+                        Some(d2) => best.offer(d2, row, item),
+                        None => stats.dist_evals_saved += 1,
+                    }
                 }
                 if let (true, Some(bound)) = (best.is_full(), shared) {
                     bound.tighten(best.worst());
@@ -183,7 +206,7 @@ impl SpatialTree {
                     .iter()
                     .map(|e| (e.mbr.min_dist2(query), e.mbr.min_max_dist2(query), e.child))
                     .collect();
-                branches.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+                branches.sort_by(|a, b| a.0.total_cmp(&b.0));
                 // MINMAXDIST pruning (valid for k = 1): no partition whose
                 // MINDIST exceeds the smallest MINMAXDIST can contain the
                 // nearest neighbor.
@@ -275,7 +298,7 @@ fn forest_knn_rkv(
             (d, ti)
         })
         .collect();
-    roots.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    roots.sort_by(|a, b| a.0.total_cmp(&b.0));
     for (i, &(min_dist, ti)) in roots.iter().enumerate() {
         if best.is_full() && min_dist > best.worst() {
             // Sorted order: the remaining whole trees are pruned.
@@ -328,12 +351,18 @@ fn hs_search(
             break;
         }
         let tree = trees[entry.tree];
-        tree.charge_visit(entry.node);
+        if tree.charge_visit(entry.node) {
+            stats[entry.tree].cache_hits += 1;
+        }
         stats[entry.tree].pages += tree.node(entry.node).pages() as u64;
         match tree.node(entry.node) {
             Node::Leaf { entries, .. } => {
-                for e in entries {
-                    best.offer(e.point.dist2(query), e);
+                for (row, item) in entries.iter() {
+                    stats[entry.tree].dist_evals += 1;
+                    match kernel::dist2_bounded(query.coords(), row, prune_bound(&best, shared)) {
+                        Some(d2) => best.offer(d2, row, item),
+                        None => stats[entry.tree].dist_evals_saved += 1,
+                    }
                 }
                 if let (true, Some(bound)) = (best.is_full(), shared) {
                     bound.tighten(best.worst());
@@ -369,12 +398,7 @@ pub fn brute_force_knn(data: &[(Point, u64)], query: &Point, k: usize) -> Vec<Ne
             dist: p.dist(query),
         })
         .collect();
-    all.sort_by(|a, b| {
-        a.dist
-            .partial_cmp(&b.dist)
-            .expect("finite distances")
-            .then(a.item.cmp(&b.item))
-    });
+    all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.item.cmp(&b.item)));
     all.truncate(k);
     all
 }
@@ -407,8 +431,7 @@ impl PartialOrd for HeapNeighbor {
 impl Ord for HeapNeighbor {
     fn cmp(&self, other: &Self) -> Ordering {
         self.dist2
-            .partial_cmp(&other.dist2)
-            .expect("finite distances")
+            .total_cmp(&other.dist2)
             .then(self.item.cmp(&other.item))
     }
 }
@@ -421,18 +444,20 @@ impl BoundedMaxHeap {
         }
     }
 
-    fn offer(&mut self, dist2: f64, e: &crate::node::LeafEntry) {
+    /// Offers a candidate row; the point is materialized only if it enters
+    /// the heap (rejected candidates cost no allocation).
+    fn offer(&mut self, dist2: f64, row: &[f64], item: u64) {
         if self.heap.len() < self.k {
             self.heap.push(HeapNeighbor {
                 dist2,
-                item: e.item,
-                point: e.point.clone(),
+                item,
+                point: Point::from_vec(row.to_vec()),
             });
         } else if dist2 < self.worst() {
             self.heap.push(HeapNeighbor {
                 dist2,
-                item: e.item,
-                point: e.point.clone(),
+                item,
+                point: Point::from_vec(row.to_vec()),
             });
             self.heap.pop();
         }
@@ -487,10 +512,7 @@ impl Ord for HsEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we need the smallest dist2
         // first.
-        other
-            .dist2
-            .partial_cmp(&self.dist2)
-            .expect("finite distances")
+        other.dist2.total_cmp(&self.dist2)
     }
 }
 

@@ -41,17 +41,13 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .key
-            .partial_cmp(&self.key)
-            .expect("finite keys")
-            .then_with(|| {
-                let rank = |k: &Kind| match k {
-                    Kind::Point(..) => 0,
-                    Kind::Node(..) => 1,
-                };
-                rank(&other.kind).cmp(&rank(&self.kind))
-            })
+        other.key.total_cmp(&self.key).then_with(|| {
+            let rank = |k: &Kind| match k {
+                Kind::Point(..) => 0,
+                Kind::Node(..) => 1,
+            };
+            rank(&other.kind).cmp(&rank(&self.kind))
+        })
     }
 }
 
@@ -75,9 +71,9 @@ impl SpatialTree {
                     self.charge_visit(id);
                     match self.node(id) {
                         Node::Leaf { entries, .. } => {
-                            for (i, e) in entries.iter().enumerate() {
+                            for (i, (row, _)) in entries.iter().enumerate() {
                                 queue.push(Entry {
-                                    key: metric.dist_cmp(&e.point, query),
+                                    key: metric.dist_cmp_coords(query.coords(), row),
                                     kind: Kind::Point(id, i),
                                 });
                             }
@@ -94,10 +90,9 @@ impl SpatialTree {
                 }
                 Kind::Point(leaf, idx) => {
                     if let Node::Leaf { entries, .. } = self.node(leaf) {
-                        let e = &entries[idx];
                         out.push(Neighbor {
-                            item: e.item,
-                            point: e.point.clone(),
+                            item: entries.item(idx),
+                            point: entries.point(idx),
                             dist: metric.cmp_to_dist(entry.key),
                         });
                         if out.len() == k {
@@ -124,7 +119,7 @@ impl SpatialTree {
             let bound = metric.dist_to_cmp(radius);
             self.range_metric_visit(self.root_id(), center, bound, metric, &mut out);
         }
-        out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite distances"));
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
         out
     }
 
@@ -139,14 +134,17 @@ impl SpatialTree {
         self.charge_visit(id);
         match self.node(id) {
             Node::Leaf { entries, .. } => {
-                for e in entries {
-                    let c = metric.dist_cmp(&e.point, center);
-                    if c <= bound {
-                        out.push(Neighbor {
-                            item: e.item,
-                            point: e.point.clone(),
-                            dist: metric.cmp_to_dist(c),
-                        });
+                for (i, (row, item)) in entries.iter().enumerate() {
+                    // Early abandon against the radius; `Some` may still
+                    // exceed the bound, so the exact test is re-applied.
+                    if let Some(c) = metric.dist_cmp_coords_bounded(center.coords(), row, bound) {
+                        if c <= bound {
+                            out.push(Neighbor {
+                                item,
+                                point: entries.point(i),
+                                dist: metric.cmp_to_dist(c),
+                            });
+                        }
                     }
                 }
             }

@@ -29,7 +29,7 @@ use bytes::Bytes;
 use parsim_geometry::{HyperRect, Point};
 use parsim_storage::{PageId, SimDisk, PAGE_SIZE};
 
-use crate::node::{InnerEntry, LeafEntry, Node, NodeId};
+use crate::node::{InnerEntry, LeafEntries, LeafEntry, Node, NodeId};
 use crate::params::{TreeParams, TreeVariant};
 use crate::tree::SpatialTree;
 use crate::IndexError;
@@ -206,9 +206,9 @@ impl SpatialTree {
                 let mut w = Writer::new();
                 w.u8(TAG_LEAF);
                 w.u16(entries.len() as u16);
-                for e in entries {
-                    w.u64(e.item);
-                    for &c in e.point.iter() {
+                for (row, item) in entries.iter() {
+                    w.u64(item);
+                    for &c in row {
                         w.f64(c);
                     }
                 }
@@ -329,7 +329,10 @@ fn load_node(
                 });
             }
             let pages = entries.len().div_ceil(leaf_capacity).max(1) as u32;
-            Ok(tree.alloc(Node::Leaf { entries, pages }))
+            Ok(tree.alloc(Node::Leaf {
+                entries: LeafEntries::from_entries(dim, entries),
+                pages,
+            }))
         }
         TAG_INNER => {
             let count = r.u16()? as usize;

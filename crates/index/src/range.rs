@@ -1,6 +1,6 @@
 //! Range queries: window (rectangle) and sphere (ε-range) search.
 
-use parsim_geometry::{HyperRect, Point};
+use parsim_geometry::{kernel, HyperRect, Point};
 
 use crate::knn::Neighbor;
 use crate::node::{Node, NodeId};
@@ -21,11 +21,11 @@ impl SpatialTree {
         self.charge_visit(id);
         match self.node(id) {
             Node::Leaf { entries, .. } => {
-                for e in entries {
-                    if window.contains_point(&e.point) {
+                for (i, (row, item)) in entries.iter().enumerate() {
+                    if window.contains_coords(row) {
                         out.push(Neighbor {
-                            item: e.item,
-                            point: e.point.clone(),
+                            item,
+                            point: entries.point(i),
                             dist: 0.0,
                         });
                     }
@@ -50,7 +50,7 @@ impl SpatialTree {
         if !self.is_empty() {
             self.range_visit(self.root_id(), center, radius * radius, &mut out);
         }
-        out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite distances"));
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
         out
     }
 
@@ -58,14 +58,18 @@ impl SpatialTree {
         self.charge_visit(id);
         match self.node(id) {
             Node::Leaf { entries, .. } => {
-                for e in entries {
-                    let d2 = e.point.dist2(center);
-                    if d2 <= r2 {
-                        out.push(Neighbor {
-                            item: e.item,
-                            point: e.point.clone(),
-                            dist: d2.sqrt(),
-                        });
+                for (i, (row, item)) in entries.iter().enumerate() {
+                    // Early abandon against the query radius. `Some(d2)`
+                    // can still exceed `r2` (checkpoints sit at chunk
+                    // boundaries only), so the exact test is re-applied.
+                    if let Some(d2) = kernel::dist2_bounded(center.coords(), row, r2) {
+                        if d2 <= r2 {
+                            out.push(Neighbor {
+                                item,
+                                point: entries.point(i),
+                                dist: d2.sqrt(),
+                            });
+                        }
                     }
                 }
             }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use parsim_geometry::{HyperRect, Point};
 use parsim_storage::SimDisk;
 
-use crate::node::{InnerEntry, LeafEntry, Node, NodeId};
+use crate::node::{InnerEntry, LeafEntries, LeafEntry, Node, NodeId};
 use crate::params::{TreeParams, TreeVariant};
 use crate::IndexError;
 
@@ -17,8 +17,10 @@ use crate::IndexError;
 /// it to and counts directory pages separately (the X-tree's small
 /// directory is cached in RAM in the paper's setting).
 pub trait NodeSink: Send + Sync {
-    /// Called once per node visit with the node's id and contents.
-    fn visit(&self, id: NodeId, node: &Node);
+    /// Called once per node visit with the node's id and contents. Returns
+    /// `true` if the visit was served from a cache (no disk charged), so
+    /// searches can count cache hits into their own per-thread statistics.
+    fn visit(&self, id: NodeId, node: &Node) -> bool;
 }
 
 /// The default sink: every visited node charges its page count to one
@@ -26,8 +28,9 @@ pub trait NodeSink: Send + Sync {
 pub struct DiskSink(pub Arc<SimDisk>);
 
 impl NodeSink for DiskSink {
-    fn visit(&self, _id: NodeId, node: &Node) {
+    fn visit(&self, _id: NodeId, node: &Node) -> bool {
         self.0.touch_read(node.pages() as u64);
+        false
     }
 }
 
@@ -59,7 +62,8 @@ impl SpatialTree {
             len: 0,
             sink: None,
         };
-        tree.root = tree.alloc(Node::empty_leaf());
+        let dim = tree.params.dim;
+        tree.root = tree.alloc(Node::empty_leaf(dim));
         tree
     }
 
@@ -107,10 +111,12 @@ impl SpatialTree {
             .expect("dangling node id")
     }
 
-    /// Charges the I/O cost of visiting `id` to the attached sink.
-    pub fn charge_visit(&self, id: NodeId) {
-        if let Some(sink) = &self.sink {
-            sink.visit(id, self.node(id));
+    /// Charges the I/O cost of visiting `id` to the attached sink. Returns
+    /// `true` if the sink reports the visit was served from a cache.
+    pub fn charge_visit(&self, id: NodeId) -> bool {
+        match &self.sink {
+            Some(sink) => sink.visit(id, self.node(id)),
+            None => false,
         }
     }
 
@@ -369,15 +375,15 @@ impl SpatialTree {
             .expect("overflowing leaf is non-empty")
             .center();
         let count = self.params.reinsert_count();
+        let dim = self.params.dim;
         match self.node_mut(leaf) {
             Node::Leaf { entries, .. } => {
-                entries.sort_by(|a, b| {
-                    let da = a.point.dist2(&center);
-                    let db = b.point.dist2(&center);
-                    da.partial_cmp(&db).expect("finite distances")
-                });
-                let keep = entries.len().saturating_sub(count);
-                entries.split_off(keep)
+                let mut all = entries.take_all();
+                all.sort_by(|a, b| a.point.dist2(&center).total_cmp(&b.point.dist2(&center)));
+                let keep = all.len().saturating_sub(count);
+                let removed = all.split_off(keep);
+                *entries = LeafEntries::from_entries(dim, all);
+                removed
             }
             Node::Inner { .. } => unreachable!("reinsert only at leaves"),
         }
@@ -404,7 +410,7 @@ impl SpatialTree {
     fn split_leaf(&mut self, node: NodeId) -> (NodeId, NodeId, usize) {
         let min = self.params.leaf_min().max(1);
         let mut entries = match self.node_mut(node) {
-            Node::Leaf { entries, .. } => std::mem::take(entries),
+            Node::Leaf { entries, .. } => entries.take_all(),
             Node::Inner { .. } => unreachable!(),
         };
         let dim = self.params.dim;
@@ -452,9 +458,12 @@ impl SpatialTree {
         }
 
         let right_entries = entries.split_off(best_k);
-        *self.node_mut(node) = Node::Leaf { entries, pages: 1 };
+        *self.node_mut(node) = Node::Leaf {
+            entries: LeafEntries::from_entries(dim, entries),
+            pages: 1,
+        };
         let right = self.alloc(Node::Leaf {
-            entries: right_entries,
+            entries: LeafEntries::from_entries(dim, right_entries),
             pages: 1,
         });
         (node, right, best_axis)
@@ -648,8 +657,7 @@ impl SpatialTree {
         match self.node_mut(leaf) {
             Node::Leaf { entries, .. } => {
                 let idx = entries
-                    .iter()
-                    .position(|e| e.item == item && e.point == *point)
+                    .position(point.coords(), item)
                     .expect("find_leaf guarantees presence");
                 entries.swap_remove(idx);
             }
@@ -669,7 +677,7 @@ impl SpatialTree {
     ) -> Option<NodeId> {
         match self.node(node) {
             Node::Leaf { entries, .. } => {
-                if entries.iter().any(|e| e.item == item && e.point == *point) {
+                if entries.position(point.coords(), item).is_some() {
                     Some(node)
                 } else {
                     None
@@ -735,7 +743,8 @@ impl SpatialTree {
                     self.height -= 1;
                 }
                 Node::Inner { entries, .. } if entries.is_empty() => {
-                    *self.node_mut(self.root) = Node::empty_leaf();
+                    let dim = self.params.dim;
+                    *self.node_mut(self.root) = Node::empty_leaf(dim);
                     self.height = 1;
                     break;
                 }
@@ -749,7 +758,7 @@ impl SpatialTree {
 
     fn collect_points(&mut self, node: NodeId, out: &mut Vec<LeafEntry>) {
         match self.node(node).clone() {
-            Node::Leaf { entries, .. } => out.extend(entries),
+            Node::Leaf { entries, .. } => out.extend(entries.to_entries()),
             Node::Inner { entries, .. } => {
                 for e in entries {
                     self.collect_points(e.child, out);

@@ -82,7 +82,7 @@ impl DeclusterSink {
 }
 
 impl NodeSink for DeclusterSink {
-    fn visit(&self, id: NodeId, node: &Node) {
+    fn visit(&self, id: NodeId, node: &Node) -> bool {
         if node.is_leaf() {
             let disk = self.disk_of_leaf(id, node);
             self.disks[disk].touch_read(node.pages() as u64);
@@ -90,6 +90,7 @@ impl NodeSink for DeclusterSink {
             self.directory_reads
                 .fetch_add(node.pages() as u64, Ordering::Relaxed);
         }
+        false
     }
 }
 

@@ -108,10 +108,6 @@ impl ParallelKnnEngine {
         &self.caches
     }
 
-    fn cache_hits_total(&self) -> u64 {
-        self.caches.iter().map(|c| c.hits()).sum()
-    }
-
     /// Builds an engine with the paper's **near-optimal declustering**
     /// (folded to `disks` disks) and the configured split strategy.
     pub fn build_near_optimal(
@@ -233,7 +229,6 @@ impl ParallelKnnEngine {
             });
         }
         let algorithm = self.config.algorithm;
-        let hits_before = self.cache_hits_total();
         let start = Instant::now();
         let shared = SharedBound::new();
         // One scoped thread per disk; each returns its local candidates
@@ -253,8 +248,7 @@ impl ParallelKnnEngine {
         let wall = start.elapsed();
         let merged = merge_candidates(locals.iter().map(|(c, _)| c.as_slice()), k);
         let stats: Vec<_> = locals.iter().map(|(_, s)| *s).collect();
-        let hits = self.cache_hits_total() - hits_before;
-        let trace = QueryTrace::from_stats(&stats, hits, wall, self.array.model());
+        let trace = QueryTrace::from_stats(&stats, wall, self.array.model());
         Ok((merged, trace))
     }
 
@@ -313,12 +307,9 @@ impl ParallelKnnEngine {
                             if i >= queries.len() {
                                 return out;
                             }
-                            let hits_before = self.cache_hits_total();
                             let start = Instant::now();
                             let (res, stats) = forest_knn_traced(&refs, &queries[i], k, algorithm);
-                            let hits = self.cache_hits_total() - hits_before;
-                            let trace =
-                                QueryTrace::from_stats(&stats, hits, start.elapsed(), &model);
+                            let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
                             out.push((i, res, trace));
                         }
                     })
@@ -382,8 +373,8 @@ impl ParallelKnnEngine {
         for tree in &self.trees {
             for node in tree.iter_nodes() {
                 if let parsim_index::node::Node::Leaf { entries, .. } = node {
-                    for e in entries {
-                        points.push((e.item, e.point.clone()));
+                    for (row, item) in entries.iter() {
+                        points.push((item, Point::from_vec(row.to_vec())));
                     }
                 }
             }
@@ -408,12 +399,7 @@ impl ParallelKnnEngine {
 /// item id, matching [`parsim_index::knn::brute_force_knn`]).
 fn merge_candidates<'a>(locals: impl Iterator<Item = &'a [Neighbor]>, k: usize) -> Vec<Neighbor> {
     let mut merged: Vec<Neighbor> = locals.flatten().cloned().collect();
-    merged.sort_by(|a, b| {
-        a.dist
-            .partial_cmp(&b.dist)
-            .expect("finite distances")
-            .then(a.item.cmp(&b.item))
-    });
+    merged.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.item.cmp(&b.item)));
     merged.truncate(k);
     merged
 }

@@ -28,9 +28,15 @@ pub struct QueryTrace {
     /// Subtrees discarded by the pruning bound without being read.
     pub candidates_pruned: u64,
     /// Page requests absorbed by the per-disk caches during this query
-    /// (always 0 for an uncached engine; approximate when several cached
-    /// queries run concurrently, because the cache counters are global).
+    /// (always 0 for an uncached engine). Counted in the search threads
+    /// themselves, so the figure is exact for this query even when other
+    /// cached queries run against the same disks concurrently.
     pub cache_hits: u64,
+    /// Point-distance evaluations started in leaf scans.
+    pub dist_evals: u64,
+    /// Of [`QueryTrace::dist_evals`], how many the partial-distance
+    /// early-abandon kernel cut short before completing the sum.
+    pub dist_evals_saved: u64,
     /// Measured wall-clock time of the query on the host.
     pub wall_time: Duration,
     /// Modeled parallel service time: all disks read concurrently, the
@@ -42,19 +48,16 @@ pub struct QueryTrace {
 
 impl QueryTrace {
     /// Assembles a trace from per-tree search counters.
-    pub fn from_stats(
-        stats: &[SearchStats],
-        cache_hits: u64,
-        wall_time: Duration,
-        model: &DiskModel,
-    ) -> QueryTrace {
+    pub fn from_stats(stats: &[SearchStats], wall_time: Duration, model: &DiskModel) -> QueryTrace {
         let per_disk_pages: Vec<u64> = stats.iter().map(|s| s.pages).collect();
         let max = per_disk_pages.iter().copied().max().unwrap_or(0);
         let total: u64 = per_disk_pages.iter().copied().sum();
         QueryTrace {
             per_disk_pages,
             candidates_pruned: stats.iter().map(|s| s.pruned).sum(),
-            cache_hits,
+            cache_hits: stats.iter().map(|s| s.cache_hits).sum(),
+            dist_evals: stats.iter().map(|s| s.dist_evals).sum(),
+            dist_evals_saved: stats.iter().map(|s| s.dist_evals_saved).sum(),
             wall_time,
             modeled_parallel: model.service_time(max),
             modeled_sequential: model.service_time(total),

@@ -7,9 +7,9 @@
 //! per-query traces must account for every page the shared disks served —
 //! even while many queries run concurrently.
 
-use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_datagen::{ClusteredGenerator, DataGenerator, UniformGenerator};
 use parsim_geometry::Point;
-use parsim_index::knn::Neighbor;
+use parsim_index::knn::{brute_force_knn, Neighbor};
 use parsim_index::KnnAlgorithm;
 use parsim_parallel::{EngineConfig, ParallelKnnEngine, SequentialEngine};
 
@@ -166,6 +166,51 @@ fn cached_engine_reports_cache_hits() {
     // thread interleaving may shift the visited set slightly) served from
     // memory. Every tree re-reads its root, so hits are guaranteed.
     assert!(warm.cache_hits > 0, "second run should hit the cache");
+}
+
+#[test]
+fn clustered_knn_is_bit_identical_and_abandons_distances() {
+    // Regression guard for the early-abandon kernels: on fixed-seed
+    // clustered data the threaded engine must return distances that are
+    // *bit-identical* to the sequential baseline and to brute force (the
+    // abandon checkpoints may only skip points, never change arithmetic),
+    // while the trace proves the partial-distance cutoff actually fired.
+    let pts = ClusteredGenerator::new(DIM, 8, 0.03).generate(4000, 21);
+    let data: Vec<(Point, u64)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+    let config = EngineConfig::paper_defaults(DIM);
+    let par = ParallelKnnEngine::build_near_optimal(&pts, DISKS, config).unwrap();
+    let seq = SequentialEngine::build(&pts, config).unwrap();
+    // Query from the same distribution so queries land inside clusters.
+    let queries = ClusteredGenerator::new(DIM, 8, 0.03).generate(16, 77);
+
+    let mut evals = 0u64;
+    let mut saved = 0u64;
+    for q in &queries {
+        let (got, trace) = par.knn_traced(q, 10).unwrap();
+        let (want, _) = seq.knn(q, 10).unwrap();
+        let brute = brute_force_knn(&data, q, 10);
+        assert_eq!(got.len(), 10);
+        for ((g, w), b) in got.iter().zip(&want).zip(&brute) {
+            assert_eq!(g.dist.to_bits(), w.dist.to_bits(), "threaded vs sequential");
+            assert_eq!(
+                g.dist.to_bits(),
+                b.dist.to_bits(),
+                "threaded vs brute force"
+            );
+        }
+        evals += trace.dist_evals;
+        saved += trace.dist_evals_saved;
+    }
+    assert!(evals > 0, "leaf scans must evaluate distances");
+    assert!(saved > 0, "early abandon never fired on clustered data");
+    assert!(
+        saved <= evals,
+        "cannot abandon more evaluations than started"
+    );
 }
 
 #[test]

@@ -14,6 +14,8 @@
 //! * [`DiskModel`] — converts page counts into service time (seek +
 //!   rotational latency + transfer), so experiments can report model
 //!   milliseconds as the paper reports wall-clock milliseconds.
+//! * [`VectorArena`] — flat row-major vector storage used by leaf pages so
+//!   a page scan is one linear sweep instead of a pointer chase.
 //!
 //! The simulator is deterministic: identical access sequences produce
 //! identical costs, which keeps every experiment in this repository
@@ -22,12 +24,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod array;
 pub mod cache;
 pub mod disk;
 pub mod model;
 pub mod page;
 
+pub use arena::VectorArena;
 pub use array::{DiskArray, QueryCost, QueryScope};
 pub use cache::LruTracker;
 pub use disk::{DiskStats, SimDisk};

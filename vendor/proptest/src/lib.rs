@@ -8,8 +8,9 @@
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
 //! * range strategies (`0.0f64..1.0`, `2usize..=10`, …), [`arbitrary::any`],
-//!   tuples of strategies, `prop::collection::vec`, and
-//!   [`strategy::Strategy::prop_map`].
+//!   [`strategy::Just`], tuples of strategies, `prop::collection::vec`,
+//!   [`strategy::Strategy::prop_map`], and
+//!   [`strategy::Strategy::prop_flat_map`].
 //!
 //! Differences from the real crate: inputs are sampled from a
 //! deterministic RNG seeded by the test name (no persisted failure
@@ -41,6 +42,27 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+
+        /// Chains a dependent strategy: `f` builds the second-stage
+        /// strategy from each first-stage value (e.g. a dimension drawn
+        /// first, then vectors of that length).
+        fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// A strategy that always yields a clone of one fixed value.
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
     }
 
     /// Strategy returned by [`Strategy::prop_map`].
@@ -54,6 +76,20 @@ pub mod strategy {
 
         fn sample(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+        type Value = O::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> O::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
         }
     }
 
@@ -339,7 +375,7 @@ pub mod prelude {
     //! Everything a property-test file needs, re-exported flat.
 
     pub use crate::arbitrary::any;
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 
@@ -377,6 +413,20 @@ mod tests {
         fn any_covers_bool_and_ints(flag in any::<bool>(), word in any::<u64>()) {
             let _ = flag;
             let _ = word;
+        }
+
+        #[test]
+        fn just_yields_its_value(k in Just(7usize), s in Just("fixed")) {
+            prop_assert_eq!(k, 7);
+            prop_assert_eq!(s, "fixed");
+        }
+
+        #[test]
+        fn flat_map_chains_dependent_strategies(
+            v in (1usize..=5).prop_flat_map(|n| prop::collection::vec(0.0f64..1.0, n)),
+        ) {
+            prop_assert!((1..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|c| (0.0..1.0).contains(c)));
         }
     }
 
