@@ -71,21 +71,22 @@ fn bench_folding(c: &mut Criterion) {
     let config = EngineConfig::paper_defaults(dim);
     let splitter = || median_splits(&data).unwrap();
 
-    let folded = ParallelKnnEngine::build(
-        &data,
-        Arc::new(BucketBased::new(
+    let folded = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .declusterer(Arc::new(BucketBased::new(
             NearOptimal::new(dim, disks).unwrap(),
             splitter(),
-        )),
-        config,
-    )
-    .unwrap();
-    let naive = ParallelKnnEngine::build(
-        &data,
-        Arc::new(BucketBased::new(NaiveMod { dim, disks }, splitter())),
-        config,
-    )
-    .unwrap();
+        )))
+        .build(&data)
+        .unwrap();
+    let naive = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .declusterer(Arc::new(BucketBased::new(
+            NaiveMod { dim, disks },
+            splitter(),
+        )))
+        .build(&data)
+        .unwrap();
 
     for (name, engine) in [("complement_fold", &folded), ("naive_mod", &naive)] {
         group.bench_with_input(BenchmarkId::new("knn10_12disks", name), &name, |b, _| {
@@ -112,25 +113,23 @@ fn bench_neighbor_levels(c: &mut Criterion) {
 
     // Direct-only: disk modulo with d+1 = 13 disks separates all direct
     // neighbors (popcount changes by 1) but collides indirect ones.
-    let direct_only = ParallelKnnEngine::build(
-        &data,
-        Arc::new(BucketBased::new(
+    let direct_only = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .declusterer(Arc::new(BucketBased::new(
             parsim_decluster::DiskModulo::new(dim + 1).unwrap(),
             median_splits(&data).unwrap(),
-        )),
-        config,
-    )
-    .unwrap();
+        )))
+        .build(&data)
+        .unwrap();
     // Full: col with 16 disks separates direct AND indirect neighbors.
-    let full = ParallelKnnEngine::build(
-        &data,
-        Arc::new(BucketBased::new(
+    let full = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .declusterer(Arc::new(BucketBased::new(
             NearOptimal::with_optimal_disks(dim).unwrap(),
             median_splits(&data).unwrap(),
-        )),
-        config,
-    )
-    .unwrap();
+        )))
+        .build(&data)
+        .unwrap();
 
     for (name, engine) in [
         ("direct_only_13", &direct_only),

@@ -43,7 +43,11 @@ fn bench_execution_paths(c: &mut Criterion) {
     let data = UniformGenerator::new(dim).generate(20_000, 15);
     let queries = UniformGenerator::new(dim).generate(32, 16);
     let config = EngineConfig::paper_defaults(dim);
-    let par = ParallelKnnEngine::build_near_optimal(&data, 8, config).expect("engine builds");
+    let par = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .disks(8)
+        .build(&data)
+        .expect("engine builds");
     let seq = SequentialEngine::build(&data, config).expect("baseline builds");
 
     // Single-disk baseline: the denominator of the measured speed-up.

@@ -151,7 +151,11 @@ pub fn build_engine(
     config: EngineConfig,
 ) -> ParallelKnnEngine {
     let d = method.declusterer(points, config.dim, disks, &config);
-    ParallelKnnEngine::build(points, d, config).expect("engine builds on experiment data")
+    ParallelKnnEngine::builder(config.dim)
+        .config(config)
+        .declusterer(d)
+        .build(points)
+        .expect("engine builds on experiment data")
 }
 
 /// Runs a k-NN workload and returns the aggregate cost.

@@ -44,7 +44,10 @@ pub fn run(scale: f64) -> ExperimentReport {
     let mut rows = Vec::new();
     let mut best_modeled = 0.0f64;
     for disks in [2usize, 4, 8, 16] {
-        let par = ParallelKnnEngine::build_near_optimal(&data, disks, config)
+        let par = ParallelKnnEngine::builder(dim)
+            .config(config)
+            .disks(disks)
+            .build(&data)
             .expect("parallel engine builds");
         let (par_cost, traces) = run_traced_workload(&par, &queries, k).expect("traced workload");
         let par_wall: f64 = traces

@@ -41,8 +41,11 @@ pub fn run(scale: f64) -> ExperimentReport {
         // paper's similarity-search access pattern.
         let queries = ClusteredGenerator::new(dim, 8, 0.03).generate(12, 72);
         let config = EngineConfig::paper_defaults(dim);
-        let par =
-            ParallelKnnEngine::build_near_optimal(&data, disks, config).expect("engine builds");
+        let par = ParallelKnnEngine::builder(dim)
+            .config(config)
+            .disks(disks)
+            .build(&data)
+            .expect("engine builds");
 
         let mut evals = 0u64;
         let mut saved = 0u64;

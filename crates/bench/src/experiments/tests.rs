@@ -7,7 +7,7 @@ use super::*;
 
 #[test]
 fn dispatcher_covers_all_and_rejects_unknown() {
-    assert_eq!(ALL.len(), 19);
+    assert_eq!(ALL.len(), 20);
     assert!(run("nonsense", 1.0).is_none());
     assert!(run("fig99", 1.0).is_none());
 }
@@ -76,6 +76,22 @@ fn ext7_reports_abandoned_evaluations_and_exactness() {
         .map(|r| r[2].parse::<u64>().unwrap())
         .sum();
     assert!(total_saved > 0, "early abandon never fired");
+}
+
+#[test]
+fn ext8_degraded_answers_stay_bit_identical() {
+    let report = run("ext8", 0.05).expect("ext8");
+    assert!(report.rows.len() >= 2, "needs a healthy row and ≥1 failure");
+    assert_eq!(report.rows[0][0], "0");
+    // Healthy baseline has zero overhead and zero failovers.
+    assert_eq!(report.rows[0][3], "0.0");
+    assert_eq!(report.rows[0][4], "0.00");
+    // The bit-identity check must have passed for every degraded run.
+    assert!(report.notes[0].contains("bit-identical"));
+    assert!(report.notes[0].ends_with("yes"), "{}", report.notes[0]);
+    // With at least one disk failed, some bucket must fail over.
+    let failovers: f64 = report.rows[1][4].parse().unwrap();
+    assert!(failovers > 0.0, "failing a loaded disk must cause failover");
 }
 
 #[test]

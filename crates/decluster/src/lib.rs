@@ -34,6 +34,7 @@ pub mod methods;
 pub mod near_optimal;
 pub mod quantile;
 pub mod recursive;
+pub mod replica;
 pub mod striped;
 
 pub use graph::{DiskAssignmentGraph, Violation, ViolationKind};
@@ -42,7 +43,8 @@ pub use methods::{
 };
 pub use near_optimal::NearOptimal;
 pub use quantile::{median_splits, AdaptiveQuantile};
-pub use recursive::RecursiveDeclusterer;
+pub use recursive::{RecursiveDeclusterer, RecursiveStats};
+pub use replica::{ChainedReplica, ReplicaDeclusterer, ReplicaPlacement, ReplicaRouting};
 pub use striped::StripedNearOptimal;
 
 /// Errors produced by declustering constructors.
@@ -63,6 +65,14 @@ pub enum DeclusterError {
         /// The maximum useful disk count.
         max: usize,
     },
+    /// Fewer disks were supplied than the method needs (e.g. replica
+    /// placement needs a second disk to mirror onto).
+    TooFewDisks {
+        /// The requested disk count.
+        requested: usize,
+        /// The minimum workable disk count.
+        min: usize,
+    },
 }
 
 impl std::fmt::Display for DeclusterError {
@@ -74,6 +84,12 @@ impl std::fmt::Display for DeclusterError {
                 write!(
                     f,
                     "{requested} disks requested but at most {max} are usable"
+                )
+            }
+            DeclusterError::TooFewDisks { requested, min } => {
+                write!(
+                    f,
+                    "{requested} disks requested but at least {min} are needed"
                 )
             }
         }

@@ -46,6 +46,64 @@ impl Default for RecursiveConfig {
     }
 }
 
+/// Why [`RecursiveDeclusterer::build`] stopped refining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The imbalance dropped below the configured threshold.
+    Balanced,
+    /// A pass refined nothing: every candidate bucket of the most-loaded
+    /// disk was too small ([`RecursiveConfig::min_bucket_points`]) or held
+    /// only identical points.
+    NothingToRefine,
+    /// [`RecursiveConfig::max_levels`] passes ran without converging.
+    MaxLevels,
+}
+
+/// Diagnostics of one refinement pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelStats {
+    /// Load imbalance (`max / avg`) *before* this pass.
+    pub imbalance_before: f64,
+    /// The most-loaded disk this pass targeted.
+    pub target_disk: usize,
+    /// Buckets of the target disk that received a child partition.
+    pub refined_buckets: usize,
+    /// Candidate buckets skipped for holding fewer than
+    /// [`RecursiveConfig::min_bucket_points`] points.
+    pub skipped_small: usize,
+    /// Candidate buckets skipped because all their points are identical.
+    pub skipped_uniform: usize,
+}
+
+/// Build-time diagnostics of a [`RecursiveDeclusterer`]: the per-level
+/// imbalance trace that documents *why* refinement converged or plateaued.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecursiveStats {
+    /// One entry per refinement pass that ran (may be empty if the flat
+    /// declustering was already balanced).
+    pub levels: Vec<LevelStats>,
+    /// Load imbalance after the final pass.
+    pub final_imbalance: f64,
+    /// Why the build loop stopped.
+    pub stop: StopReason,
+}
+
+/// Per-pass refinement counters returned by the internal `refine` walk.
+#[derive(Debug, Clone, Copy, Default)]
+struct RefineCounts {
+    refined: usize,
+    skipped_small: usize,
+    skipped_uniform: usize,
+}
+
+impl RefineCounts {
+    fn absorb(&mut self, other: RefineCounts) {
+        self.refined += other.refined;
+        self.skipped_small += other.skipped_small;
+        self.skipped_uniform += other.skipped_uniform;
+    }
+}
+
 /// One node of the refinement tree: a quadrant partition of (a region of)
 /// the data space whose buckets map to disks via the folded `col`
 /// coloring, except where a child node refines a bucket further.
@@ -86,6 +144,7 @@ pub struct RecursiveDeclusterer {
     disks: usize,
     dim: usize,
     root: Node,
+    stats: RecursiveStats,
 }
 
 impl RecursiveDeclusterer {
@@ -119,6 +178,11 @@ impl RecursiveDeclusterer {
                 rotation: 0,
                 children: HashMap::new(),
             },
+            stats: RecursiveStats {
+                levels: Vec::new(),
+                final_imbalance: 1.0,
+                stop: StopReason::MaxLevels,
+            },
         };
 
         for level in 1..=config.max_levels {
@@ -127,6 +191,7 @@ impl RecursiveDeclusterer {
             let max = loads.iter().copied().max().unwrap_or(0);
             let avg = total as f64 / this.disks as f64;
             if avg == 0.0 || (max as f64) <= config.imbalance_threshold * avg {
+                this.stats.stop = StopReason::Balanced;
                 break;
             }
             let target = loads
@@ -137,12 +202,21 @@ impl RecursiveDeclusterer {
                 .expect("non-empty loads");
             let point_refs: Vec<&Point> = points.iter().collect();
             let disks_n = this.disks;
-            let changed =
+            let counts =
                 Self::refine(&mut this.root, &point_refs, target, disks_n, level, &config)?;
-            if !changed {
+            this.stats.levels.push(LevelStats {
+                imbalance_before: max as f64 / avg,
+                target_disk: target,
+                refined_buckets: counts.refined,
+                skipped_small: counts.skipped_small,
+                skipped_uniform: counts.skipped_uniform,
+            });
+            if counts.refined == 0 {
+                this.stats.stop = StopReason::NothingToRefine;
                 break; // nothing left to refine — avoid spinning
             }
         }
+        this.stats.final_imbalance = this.imbalance(points);
         Ok(this)
     }
 
@@ -168,7 +242,7 @@ impl RecursiveDeclusterer {
         disks: usize,
         level: usize,
         config: &RecursiveConfig,
-    ) -> Result<bool, DeclusterError> {
+    ) -> Result<RefineCounts, DeclusterError> {
         // Partition this node's points by bucket.
         let mut by_bucket: HashMap<BucketId, Vec<&Point>> = HashMap::new();
         for &p in points {
@@ -177,19 +251,29 @@ impl RecursiveDeclusterer {
                 .or_default()
                 .push(p);
         }
-        let mut changed = false;
+        let mut counts = RefineCounts::default();
         for (bucket, bucket_points) in by_bucket {
             if let Some(child) = node.children.get_mut(&bucket) {
-                changed |= Self::refine(child, &bucket_points, target_disk, disks, level, config)?;
+                counts.absorb(Self::refine(
+                    child,
+                    &bucket_points,
+                    target_disk,
+                    disks,
+                    level,
+                    config,
+                )?);
                 continue;
             }
-            if node.disk_of_bucket(bucket, disks) != target_disk
-                || bucket_points.len() < config.min_bucket_points
-            {
+            if node.disk_of_bucket(bucket, disks) != target_disk {
+                continue;
+            }
+            if bucket_points.len() < config.min_bucket_points {
+                counts.skipped_small += 1;
                 continue;
             }
             // All points identical? Splitting cannot separate them.
             if bucket_points.windows(2).all(|w| w[0] == w[1]) {
+                counts.skipped_uniform += 1;
                 continue;
             }
             let dim = node.splitter.dim();
@@ -207,14 +291,20 @@ impl RecursiveDeclusterer {
                     children: HashMap::new(),
                 },
             );
-            changed = true;
+            counts.refined += 1;
         }
-        Ok(changed)
+        Ok(counts)
     }
 
     /// Number of partition levels (1 = no refinement happened).
     pub fn levels(&self) -> usize {
         self.root.depth()
+    }
+
+    /// Build-time diagnostics: the per-pass imbalance trace and the reason
+    /// refinement stopped.
+    pub fn stats(&self) -> &RecursiveStats {
+        &self.stats
     }
 
     /// Per-disk point counts under the current assignment.
@@ -350,6 +440,67 @@ mod tests {
         assert!(r.levels() <= 2);
         let loads = r.load_histogram(&pts);
         assert_eq!(loads.iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn per_level_stats_document_the_plateau() {
+        // The ROADMAP open item: at some seeds levels 4–5 stop improving
+        // the imbalance. The per-level trace shows why: each pass only
+        // refines buckets of the *single* most-loaded disk, and after two
+        // or three passes that disk's surplus sits in buckets that are
+        // either below `min_bucket_points` or already refined — the pass
+        // then refines few (or zero) new buckets and the imbalance curve
+        // flattens even though `max_levels` has not been reached.
+        let mut plateaued = 0usize;
+        for seed in [5u64, 7, 11, 23, 41] {
+            let pts = CorrelatedGenerator::new(8, 0.01).generate(6000, seed);
+            let mut config = RecursiveConfig::default();
+            config.max_levels = 6;
+            let r = RecursiveDeclusterer::build(&pts, 8, config).unwrap();
+            let stats = r.stats();
+            println!(
+                "seed {seed}: stop={:?} final={:.3} levels={:?}",
+                stats.stop,
+                stats.final_imbalance,
+                stats
+                    .levels
+                    .iter()
+                    .map(|l| (l.imbalance_before, l.refined_buckets, l.skipped_small))
+                    .collect::<Vec<_>>()
+            );
+            // The trace is internally consistent at every seed.
+            assert!(!stats.levels.is_empty(), "seed {seed}: no pass recorded");
+            assert!(stats.final_imbalance >= 1.0);
+            assert!(
+                stats.final_imbalance <= stats.levels[0].imbalance_before,
+                "seed {seed}: refinement made things worse"
+            );
+            for l in &stats.levels {
+                assert!(l.target_disk < r.disks());
+                assert!(l.imbalance_before > config.imbalance_threshold);
+            }
+            if stats.stop == StopReason::Balanced {
+                continue;
+            }
+            // A non-converged run must show the plateau signature: the
+            // last pass refined no new bucket, or passes kept skipping
+            // undersized buckets while refining hardly anything.
+            let last = stats.levels.last().unwrap();
+            let starved = last.refined_buckets == 0
+                || stats
+                    .levels
+                    .iter()
+                    .rev()
+                    .take(2)
+                    .all(|l| l.skipped_small > 0 && l.refined_buckets <= l.skipped_small);
+            assert!(
+                starved,
+                "seed {seed}: plateau without starvation signature: {stats:?}"
+            );
+            plateaued += 1;
+        }
+        // The relaxed-threshold seeds of the original open item do exist.
+        assert!(plateaued > 0, "every seed converged — plateau gone?");
     }
 
     #[test]

@@ -1,0 +1,472 @@
+//! Replica placement on top of the near-optimal declustering.
+//!
+//! For fault tolerance every bucket gets a **mirror copy** on a second
+//! disk. The placement goal extends Definition 4: the replica disk should
+//! differ from the bucket's own primary disk *and* from the primary disks
+//! of all its direct and indirect neighbors, so that after a single disk
+//! failure the failed-over reads do not pile onto disks that the same
+//! query is already using.
+//!
+//! A perfect such placement is impossible at the optimal disk count
+//! `C = nextpow2(d+1)`: by Lemma 2 the colors of bucket `c`'s neighbors
+//! are `col(c) XOR δ` for the fixed delta set
+//! `Δ = {i+1} ∪ {(i+1) XOR (j+1)}`, and `Δ` covers **every** non-zero
+//! value below `C` (e.g. for `d = 5`: `{1,…,6} ∪ {1 XOR 2 = 3, 1 XOR 4 =
+//! 5, 2 XOR 4 = 6, 3 XOR 4 = 7, …}` ⊇ `{1,…,7}`) — every candidate disk
+//! already holds some neighbor's primary. [`ReplicaPlacement`] therefore
+//! places greedily: per color it picks the disk with the fewest neighbor
+//! primaries (deterministic tie-break), which is provably conflict-free as
+//! soon as spare disks beyond `C` exist, and minimizes conflicts otherwise.
+//! Because the neighbor delta set is independent of the bucket, the whole
+//! placement is a `C`-entry color table — no `O(2^d)` state.
+
+use std::sync::Arc;
+
+use parsim_geometry::quadrant::{all_neighbors, BucketId};
+use parsim_geometry::{Point, QuadrantSplitter};
+
+use crate::methods::Declusterer;
+use crate::near_optimal::{col, colors_required, fold_table};
+use crate::DeclusterError;
+
+/// Routes points to the disk holding their **mirror** copy. Implemented by
+/// replica-aware declusterers; the parallel engine uses it to build and
+/// query per-disk mirror trees.
+pub trait ReplicaRouting: Send + Sync {
+    /// The disk storing the replica of the `seq`-th inserted point `p`.
+    /// Must differ from the primary disk returned by the paired
+    /// [`Declusterer::assign`].
+    fn replica_disk(&self, seq: u64, p: &Point) -> usize;
+}
+
+/// A replica-placement violation found by [`ReplicaPlacement::verify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaViolation {
+    /// The bucket whose replica is misplaced.
+    pub bucket: BucketId,
+    /// The neighbor whose primary disk collides with the replica, or
+    /// `None` if the replica landed on the bucket's own primary disk.
+    pub neighbor: Option<BucketId>,
+    /// The colliding disk.
+    pub disk: usize,
+}
+
+/// Bucket-to-disk placement of primaries and replicas.
+///
+/// Primaries use the paper's near-optimal coloring folded onto
+/// `min(disks, colors_required(dim))` disks; replicas are placed by the
+/// greedy minimum-conflict rule described in the module docs. Disks beyond
+/// `colors_required(dim)` never receive primaries and act as dedicated
+/// mirror spares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaPlacement {
+    dim: usize,
+    disks: usize,
+    /// Raw color → primary disk (complement folding).
+    primary_table: Vec<u32>,
+    /// Raw color → replica disk (greedy minimum-conflict).
+    replica_table: Vec<u32>,
+    /// Raw color → number of neighbor deltas whose primary shares the
+    /// chosen replica disk.
+    conflicts: Vec<u32>,
+}
+
+impl ReplicaPlacement {
+    /// Computes the placement for a `dim`-dimensional space over `disks`
+    /// disks. Replication needs at least two disks; disk counts above
+    /// `colors_required(dim)` are allowed (the surplus hosts replicas
+    /// only).
+    pub fn new(dim: usize, disks: usize) -> Result<Self, DeclusterError> {
+        if dim == 0 || dim > 63 {
+            return Err(DeclusterError::BadDimension { dim });
+        }
+        if disks == 0 {
+            return Err(DeclusterError::ZeroDisks);
+        }
+        if disks < 2 {
+            return Err(DeclusterError::TooFewDisks {
+                requested: disks,
+                min: 2,
+            });
+        }
+        let colors = colors_required(dim);
+        let primary_disks = disks.min(colors as usize);
+        let primary_table = fold_table(colors, primary_disks);
+
+        // The color deltas of all direct and indirect neighbors — the same
+        // set for every bucket, by the distributivity of `col` (Lemma 2).
+        let mut deltas: Vec<u32> = Vec::new();
+        for i in 0..dim as u32 {
+            deltas.push(i + 1);
+            for j in (i + 1)..dim as u32 {
+                deltas.push((i + 1) ^ (j + 1));
+            }
+        }
+
+        let mut replica_table = Vec::with_capacity(colors as usize);
+        let mut conflicts = Vec::with_capacity(colors as usize);
+        for color in 0..colors {
+            let primary = primary_table[color as usize] as usize;
+            // How many neighbor primaries each candidate disk would share.
+            let mut load = vec![0u32; disks];
+            for &d in &deltas {
+                load[primary_table[(color ^ d) as usize] as usize] += 1;
+            }
+            let best = load
+                .iter()
+                .enumerate()
+                .filter(|&(disk, _)| disk != primary)
+                .map(|(_, &l)| l)
+                .min()
+                .expect("at least one non-primary disk exists");
+            let candidates: Vec<usize> = (0..disks)
+                .filter(|&disk| disk != primary && load[disk] == best)
+                .collect();
+            // Rotate through tied candidates by color so mirror load
+            // spreads over all equally good disks (deterministic).
+            let chosen = candidates[color as usize % candidates.len()];
+            replica_table.push(chosen as u32);
+            conflicts.push(best);
+        }
+        Ok(ReplicaPlacement {
+            dim,
+            disks,
+            primary_table,
+            replica_table,
+            conflicts,
+        })
+    }
+
+    /// The dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of disks (primaries + mirror spares).
+    pub fn disks(&self) -> usize {
+        self.disks
+    }
+
+    /// The primary disk of a raw color.
+    pub fn primary_of_color(&self, color: u32) -> usize {
+        self.primary_table[color as usize] as usize
+    }
+
+    /// The replica disk of a raw color.
+    pub fn replica_of_color(&self, color: u32) -> usize {
+        self.replica_table[color as usize] as usize
+    }
+
+    /// The primary disk of a bucket.
+    pub fn primary_of_bucket(&self, bucket: BucketId) -> usize {
+        self.primary_of_color(col(bucket, self.dim))
+    }
+
+    /// The replica disk of a bucket — always distinct from
+    /// [`ReplicaPlacement::primary_of_bucket`].
+    pub fn replica_of_bucket(&self, bucket: BucketId) -> usize {
+        self.replica_of_color(col(bucket, self.dim))
+    }
+
+    /// Total neighbor conflicts over all colors: for each color, the
+    /// number of neighbor deltas whose primary disk equals the chosen
+    /// replica disk. Zero iff the placement is perfect.
+    pub fn count_conflicts(&self) -> u64 {
+        self.conflicts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// True if no replica shares a disk with any neighbor's primary —
+    /// guaranteed whenever `disks > colors_required(dim)`.
+    pub fn is_conflict_free(&self) -> bool {
+        self.conflicts.iter().all(|&c| c == 0)
+    }
+
+    /// Exhaustively checks the placement on the disk assignment graph,
+    /// mirroring [`crate::DiskAssignmentGraph::verify`]: every bucket's
+    /// replica must differ from its own primary and from every direct and
+    /// indirect neighbor's primary. Returns the first violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim > 24` (the check enumerates all `2^d` buckets).
+    pub fn verify(&self) -> Result<(), ReplicaViolation> {
+        assert!(
+            self.dim <= 24,
+            "exhaustive verification is limited to dim ≤ 24"
+        );
+        for b in 0..(1u64 << self.dim) {
+            let replica = self.replica_of_bucket(b);
+            if replica == self.primary_of_bucket(b) {
+                return Err(ReplicaViolation {
+                    bucket: b,
+                    neighbor: None,
+                    disk: replica,
+                });
+            }
+            for nb in all_neighbors(b, self.dim) {
+                if self.primary_of_bucket(nb) == replica {
+                    return Err(ReplicaViolation {
+                        bucket: b,
+                        neighbor: Some(nb),
+                        disk: replica,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A point-level declusterer with replica routing: primaries follow the
+/// near-optimal coloring, mirrors follow the greedy [`ReplicaPlacement`].
+///
+/// Implements both [`Declusterer`] (primary assignment, pluggable into the
+/// parallel engine) and [`ReplicaRouting`] (mirror assignment).
+#[derive(Clone)]
+pub struct ReplicaDeclusterer {
+    placement: ReplicaPlacement,
+    splitter: Arc<QuadrantSplitter>,
+}
+
+impl ReplicaDeclusterer {
+    /// Combines a placement over `disks` disks with a quadrant splitter.
+    pub fn new(
+        dim: usize,
+        disks: usize,
+        splitter: QuadrantSplitter,
+    ) -> Result<Self, DeclusterError> {
+        if splitter.dim() != dim {
+            return Err(DeclusterError::BadDimension { dim });
+        }
+        Ok(ReplicaDeclusterer {
+            placement: ReplicaPlacement::new(dim, disks)?,
+            splitter: Arc::new(splitter),
+        })
+    }
+
+    /// The underlying placement tables.
+    pub fn placement(&self) -> &ReplicaPlacement {
+        &self.placement
+    }
+
+    /// The splitter in use.
+    pub fn splitter(&self) -> &QuadrantSplitter {
+        &self.splitter
+    }
+}
+
+impl Declusterer for ReplicaDeclusterer {
+    fn name(&self) -> String {
+        "near-optimal+replica".to_owned()
+    }
+
+    fn disks(&self) -> usize {
+        self.placement.disks()
+    }
+
+    fn assign(&self, _seq: u64, p: &Point) -> usize {
+        self.placement.primary_of_bucket(self.splitter.bucket_of(p))
+    }
+}
+
+impl ReplicaRouting for ReplicaDeclusterer {
+    fn replica_disk(&self, _seq: u64, p: &Point) -> usize {
+        self.placement.replica_of_bucket(self.splitter.bucket_of(p))
+    }
+}
+
+/// Fallback replica routing for declusterers without a placement of their
+/// own: the mirror goes to the disk after the primary, `(primary + 1) mod
+/// n`. Always distinct from the primary for `n ≥ 2`, but makes no attempt
+/// to avoid neighbor primaries.
+#[derive(Clone)]
+pub struct ChainedReplica {
+    inner: Arc<dyn Declusterer>,
+}
+
+impl ChainedReplica {
+    /// Wraps any declusterer with chained mirror routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the declusterer has fewer than two disks.
+    pub fn new(inner: Arc<dyn Declusterer>) -> Self {
+        assert!(
+            inner.disks() >= 2,
+            "chained replicas need at least two disks"
+        );
+        ChainedReplica { inner }
+    }
+}
+
+impl ReplicaRouting for ChainedReplica {
+    fn replica_disk(&self, seq: u64, p: &Point) -> usize {
+        (self.inner.assign(seq, p) + 1) % self.inner.disks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive bucket-level conflict count for an arbitrary replica rule.
+    fn bucket_conflicts(
+        dim: usize,
+        primary: impl Fn(BucketId) -> usize,
+        replica: impl Fn(BucketId) -> usize,
+    ) -> u64 {
+        let mut conflicts = 0;
+        for b in 0..(1u64 << dim) {
+            let r = replica(b);
+            for nb in all_neighbors(b, dim) {
+                if primary(nb) == r {
+                    conflicts += 1;
+                }
+            }
+        }
+        conflicts
+    }
+
+    #[test]
+    fn replica_always_differs_from_primary() {
+        for dim in 1..=10 {
+            for disks in 2..=(colors_required(dim) as usize + 4) {
+                let p = ReplicaPlacement::new(dim, disks).unwrap();
+                for b in 0..(1u64 << dim) {
+                    assert_ne!(
+                        p.primary_of_bucket(b),
+                        p.replica_of_bucket(b),
+                        "dim={dim} disks={disks} bucket={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spare_disks_make_the_placement_conflict_free() {
+        // One disk beyond the color count suffices: the spare holds no
+        // primaries, so replicas on it conflict with nothing.
+        for dim in [3usize, 5, 8] {
+            let c = colors_required(dim) as usize;
+            let p = ReplicaPlacement::new(dim, c + 1).unwrap();
+            assert!(p.is_conflict_free(), "dim={dim}");
+            assert_eq!(p.count_conflicts(), 0);
+            p.verify().unwrap();
+        }
+        // With several spares the mirror load is spread across them.
+        let p = ReplicaPlacement::new(3, 8).unwrap();
+        p.verify().unwrap();
+        let targets: std::collections::BTreeSet<usize> = (0..colors_required(3))
+            .map(|c| p.replica_of_color(c))
+            .collect();
+        assert!(targets.len() > 1, "all mirrors piled onto one spare");
+    }
+
+    #[test]
+    fn optimal_disk_count_admits_no_perfect_placement() {
+        // At n = C the neighbor color deltas cover every non-zero value
+        // below C (see module docs), so some conflict is unavoidable; the
+        // greedy placement must report it honestly.
+        for dim in [3usize, 5, 8] {
+            let c = colors_required(dim) as usize;
+            let p = ReplicaPlacement::new(dim, c).unwrap();
+            assert!(!p.is_conflict_free(), "dim={dim}");
+            assert!(p.count_conflicts() > 0);
+            let v = p.verify().unwrap_err();
+            // The reported violation is a genuine neighbor conflict, never
+            // a replica-equals-primary bug.
+            assert!(v.neighbor.is_some());
+            assert_eq!(p.primary_of_bucket(v.neighbor.unwrap()), v.disk);
+            assert_eq!(p.replica_of_bucket(v.bucket), v.disk);
+        }
+    }
+
+    #[test]
+    fn greedy_beats_chained_placement() {
+        // The minimum-conflict rule must never be worse than the naive
+        // `(primary + 1) mod n` chain, bucket for bucket.
+        for dim in [4usize, 5, 8] {
+            for disks in [
+                colors_required(dim) as usize,
+                colors_required(dim) as usize + 2,
+            ] {
+                let p = ReplicaPlacement::new(dim, disks).unwrap();
+                let greedy =
+                    bucket_conflicts(dim, |b| p.primary_of_bucket(b), |b| p.replica_of_bucket(b));
+                let chained = bucket_conflicts(
+                    dim,
+                    |b| p.primary_of_bucket(b),
+                    |b| (p.primary_of_bucket(b) + 1) % disks,
+                );
+                assert!(
+                    greedy <= chained,
+                    "dim={dim} disks={disks}: greedy {greedy} vs chained {chained}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_color_conflicts_match_exhaustive_count() {
+        // The C-entry conflict table, weighted by buckets per color class,
+        // must equal the exhaustive bucket-level count — evidence that the
+        // color-table compression loses nothing.
+        for dim in [4usize, 6] {
+            let c = colors_required(dim) as usize;
+            let p = ReplicaPlacement::new(dim, c).unwrap();
+            let buckets_per_color = (1u64 << dim) / c as u64;
+            let exhaustive =
+                bucket_conflicts(dim, |b| p.primary_of_bucket(b), |b| p.replica_of_bucket(b));
+            assert_eq!(
+                p.count_conflicts() * buckets_per_color,
+                exhaustive,
+                "dim={dim}"
+            );
+        }
+    }
+
+    #[test]
+    fn declusterer_and_routing_agree_with_the_placement() {
+        let splitter = QuadrantSplitter::midpoint(3).unwrap();
+        let rd = ReplicaDeclusterer::new(3, 8, splitter).unwrap();
+        assert_eq!(rd.disks(), 8);
+        assert_eq!(rd.name(), "near-optimal+replica");
+        // Point (0.9, 0.1, 0.9) is bucket 0b101 = 5.
+        let p = Point::new(vec![0.9, 0.1, 0.9]).unwrap();
+        assert_eq!(rd.assign(0, &p), rd.placement().primary_of_bucket(5));
+        assert_eq!(rd.replica_disk(0, &p), rd.placement().replica_of_bucket(5));
+        assert_ne!(rd.assign(7, &p), rd.replica_disk(7, &p));
+    }
+
+    #[test]
+    fn chained_replica_differs_from_primary() {
+        let inner: Arc<dyn Declusterer> = Arc::new(crate::RoundRobin::new(4).unwrap());
+        let chained = ChainedReplica::new(Arc::clone(&inner));
+        let p = Point::origin(2);
+        for seq in 0..16 {
+            assert_ne!(inner.assign(seq, &p), chained.replica_disk(seq, &p));
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_configurations() {
+        assert!(matches!(
+            ReplicaPlacement::new(0, 4),
+            Err(DeclusterError::BadDimension { dim: 0 })
+        ));
+        assert!(matches!(
+            ReplicaPlacement::new(3, 0),
+            Err(DeclusterError::ZeroDisks)
+        ));
+        assert!(matches!(
+            ReplicaPlacement::new(3, 1),
+            Err(DeclusterError::TooFewDisks {
+                requested: 1,
+                min: 2
+            })
+        ));
+        let wrong_splitter = QuadrantSplitter::midpoint(4).unwrap();
+        assert!(ReplicaDeclusterer::new(3, 4, wrong_splitter).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! The engine builder — the one front door for constructing a
+//! [`ParallelKnnEngine`].
+//!
+//! ```
+//! use parsim_parallel::ParallelKnnEngine;
+//! use parsim_datagen::{DataGenerator, UniformGenerator};
+//!
+//! let points = UniformGenerator::new(8).generate(2000, 1);
+//! let engine = ParallelKnnEngine::builder(8)
+//!     .disks(16)
+//!     .replicas(1)
+//!     .page_cache(256)
+//!     .build(&points)
+//!     .unwrap();
+//! assert_eq!(engine.disks(), 16);
+//! assert!(engine.has_replicas());
+//! ```
+
+use std::sync::Arc;
+
+use parsim_decluster::near_optimal::colors_required;
+use parsim_decluster::replica::{ChainedReplica, ReplicaRouting};
+use parsim_decluster::{BucketBased, Declusterer, NearOptimal, ReplicaDeclusterer};
+use parsim_geometry::Point;
+use parsim_index::{KnnAlgorithm, TreeVariant};
+use parsim_storage::DiskModel;
+
+use crate::config::{EngineConfig, SplitStrategy};
+use crate::engine::ParallelKnnEngine;
+use crate::options::FaultPolicy;
+use crate::EngineError;
+
+/// Builds a [`ParallelKnnEngine`], replacing the former
+/// `build` / `build_near_optimal` / `with_page_cache` constructor sprawl.
+///
+/// Defaults: the paper's configuration ([`EngineConfig::paper_defaults`]),
+/// near-optimal declustering over `colors_required(dim)` disks, no
+/// replicas, no page cache, and an empty [`FaultPolicy`].
+#[derive(Clone)]
+pub struct EngineBuilder {
+    config: EngineConfig,
+    disks: Option<usize>,
+    declusterer: Option<Arc<dyn Declusterer>>,
+    replicas: usize,
+    page_cache: Option<usize>,
+    fault_policy: FaultPolicy,
+}
+
+impl EngineBuilder {
+    /// A builder for `dim`-dimensional data with the paper's defaults.
+    pub fn new(dim: usize) -> Self {
+        EngineBuilder {
+            config: EngineConfig::paper_defaults(dim),
+            disks: None,
+            declusterer: None,
+            replicas: 0,
+            page_cache: None,
+            fault_policy: FaultPolicy::default(),
+        }
+    }
+
+    /// Replaces the whole configuration (keeps every other builder knob).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the disk count for the default near-optimal declustering.
+    ///
+    /// Without replicas the count is capped at `colors_required(dim)` —
+    /// extra disks could never receive data. With replicas the surplus
+    /// disks become dedicated mirror spares (and make the replica
+    /// placement conflict-free). Ignored when an explicit
+    /// [`EngineBuilder::declusterer`] is set, except that a mismatch with
+    /// the declusterer's own disk count is an error.
+    pub fn disks(mut self, disks: usize) -> Self {
+        self.disks = Some(disks);
+        self
+    }
+
+    /// Uses an explicit declusterer instead of the default near-optimal
+    /// one. With [`EngineBuilder::replicas`], mirrors are routed by the
+    /// chained rule (`(primary + 1) mod n`) since an arbitrary
+    /// declusterer carries no placement of its own.
+    pub fn declusterer(mut self, declusterer: Arc<dyn Declusterer>) -> Self {
+        self.declusterer = Some(declusterer);
+        self
+    }
+
+    /// Number of replica copies per bucket (0 or 1). With one replica
+    /// every bucket is mirrored on a second disk chosen by
+    /// [`ReplicaDeclusterer`] to avoid the primaries of the bucket's
+    /// neighbors, and queries survive disk failures.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Installs an LRU page cache of `capacity` pages in front of every
+    /// disk's primary tree.
+    pub fn page_cache(mut self, capacity: usize) -> Self {
+        self.page_cache = Some(capacity);
+        self
+    }
+
+    /// Sets the engine-wide degraded-mode defaults (per-disk timeout
+    /// budget and flaky-read retry policy).
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Sets the k-NN algorithm (RKV or HS).
+    pub fn algorithm(mut self, algorithm: KnnAlgorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the index variant of the per-disk trees.
+    pub fn variant(mut self, variant: TreeVariant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Sets the quadrant split strategy for bucket-based declustering.
+    pub fn split_strategy(mut self, splits: SplitStrategy) -> Self {
+        self.config.splits = splits;
+        self
+    }
+
+    /// Sets the disk service-time model.
+    pub fn disk_model(mut self, model: DiskModel) -> Self {
+        self.config.disk_model = model;
+        self
+    }
+
+    /// Builds the engine over `points`, bulk-loading one tree per disk
+    /// (plus mirror trees when replicas are on). Item ids are the indexes
+    /// into `points`.
+    pub fn build(&self, points: &[Point]) -> Result<ParallelKnnEngine, EngineError> {
+        if points.is_empty() {
+            return Err(EngineError::EmptyDataSet);
+        }
+        if self.replicas > 1 {
+            return Err(EngineError::Internal(
+                "at most one replica per bucket is supported".to_owned(),
+            ));
+        }
+        let (declusterer, router): (Arc<dyn Declusterer>, Option<Arc<dyn ReplicaRouting>>) =
+            match &self.declusterer {
+                Some(d) => {
+                    if let Some(n) = self.disks {
+                        if n != d.disks() {
+                            return Err(EngineError::DiskCountMismatch {
+                                engine: n,
+                                declusterer: d.disks(),
+                            });
+                        }
+                    }
+                    let router: Option<Arc<dyn ReplicaRouting>> = if self.replicas == 1 {
+                        if d.disks() < 2 {
+                            return Err(EngineError::Internal(
+                                "replication needs at least two disks".to_owned(),
+                            ));
+                        }
+                        Some(Arc::new(ChainedReplica::new(Arc::clone(d))))
+                    } else {
+                        None
+                    };
+                    (Arc::clone(d), router)
+                }
+                None => {
+                    let splitter = ParallelKnnEngine::make_splitter(points, &self.config)?;
+                    let colors = colors_required(self.config.dim) as usize;
+                    let disks = self.disks.unwrap_or(colors);
+                    if self.replicas == 1 {
+                        let rd = Arc::new(
+                            ReplicaDeclusterer::new(self.config.dim, disks, splitter)
+                                .map_err(|e| EngineError::Internal(e.to_string()))?,
+                        );
+                        (
+                            Arc::clone(&rd) as Arc<dyn Declusterer>,
+                            Some(rd as Arc<dyn ReplicaRouting>),
+                        )
+                    } else {
+                        // `col` can use at most nextpow2(d+1) disks; extra
+                        // disks could never receive data, so the engine is
+                        // capped to the usable count.
+                        let capped = disks.min(colors);
+                        let method = NearOptimal::new(self.config.dim, capped)
+                            .map_err(|e| EngineError::Internal(e.to_string()))?;
+                        (Arc::new(BucketBased::new(method, splitter)), None)
+                    }
+                }
+            };
+        ParallelKnnEngine::build_internal(
+            points,
+            declusterer,
+            router,
+            self.config,
+            self.fault_policy,
+            self.page_cache,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_datagen::{DataGenerator, UniformGenerator};
+    use parsim_decluster::RoundRobin;
+
+    #[test]
+    fn default_disk_count_is_the_optimal_one() {
+        let pts = UniformGenerator::new(5).generate(400, 1);
+        let e = ParallelKnnEngine::builder(5).build(&pts).unwrap();
+        assert_eq!(e.disks(), colors_required(5) as usize);
+        assert!(!e.has_replicas());
+    }
+
+    #[test]
+    fn disks_are_capped_without_replicas_but_not_with() {
+        let pts = UniformGenerator::new(3).generate(400, 2);
+        // colors_required(3) == 4: a 10-disk request folds back to 4...
+        let plain = ParallelKnnEngine::builder(3).disks(10).build(&pts).unwrap();
+        assert_eq!(plain.disks(), 4);
+        // ...unless replicas are on — then the spares host mirrors.
+        let replicated = ParallelKnnEngine::builder(3)
+            .disks(10)
+            .replicas(1)
+            .build(&pts)
+            .unwrap();
+        assert_eq!(replicated.disks(), 10);
+        assert!(replicated.has_replicas());
+        // Primaries still only live on the first 4 disks.
+        let loads = replicated.load_distribution();
+        assert!(loads[4..].iter().all(|&l| l == 0), "loads: {loads:?}");
+    }
+
+    #[test]
+    fn explicit_declusterer_with_replicas_uses_the_chained_rule() {
+        let pts = UniformGenerator::new(4).generate(300, 3);
+        let rr: Arc<dyn Declusterer> = Arc::new(RoundRobin::new(6).unwrap());
+        let e = ParallelKnnEngine::builder(4)
+            .declusterer(Arc::clone(&rr))
+            .replicas(1)
+            .build(&pts)
+            .unwrap();
+        assert!(e.has_replicas());
+        // Round-robin primary i mirrors on (i + 1) mod 6.
+        for d in 0..6 {
+            assert_eq!(e.replica_disks_of(d), vec![(d + 1) % 6]);
+        }
+    }
+
+    #[test]
+    fn rejects_contradictory_requests() {
+        let pts = UniformGenerator::new(4).generate(100, 4);
+        let rr: Arc<dyn Declusterer> = Arc::new(RoundRobin::new(6).unwrap());
+        assert!(matches!(
+            ParallelKnnEngine::builder(4)
+                .declusterer(Arc::clone(&rr))
+                .disks(8)
+                .build(&pts),
+            Err(EngineError::DiskCountMismatch {
+                engine: 8,
+                declusterer: 6
+            })
+        ));
+        assert!(ParallelKnnEngine::builder(4)
+            .replicas(2)
+            .build(&pts)
+            .is_err());
+        let one: Arc<dyn Declusterer> = Arc::new(RoundRobin::new(1).unwrap());
+        assert!(ParallelKnnEngine::builder(4)
+            .declusterer(one)
+            .replicas(1)
+            .build(&pts)
+            .is_err());
+    }
+}

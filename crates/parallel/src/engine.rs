@@ -1,43 +1,109 @@
 //! The parallel k-NN engine.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parsim_decluster::quantile::median_splits;
-use parsim_decluster::{BucketBased, Declusterer, NearOptimal};
+use parsim_decluster::replica::ReplicaRouting;
+use parsim_decluster::Declusterer;
 use parsim_geometry::{Point, QuadrantSplitter};
-use parsim_index::knn::{forest_knn_traced, Neighbor, SharedBound};
+use parsim_index::knn::{forest_knn_traced, Neighbor, SearchStats, SharedBound};
 use parsim_index::{CachingSink, DiskSink, NodeSink, SpatialTree, TreeParams};
-use parsim_storage::{DiskArray, QueryCost};
+use parsim_storage::{DiskArray, DiskModel, FaultInjector, FaultKind, QueryCost};
 
+use crate::builder::EngineBuilder;
 use crate::config::{EngineConfig, SplitStrategy};
-use crate::metrics::QueryTrace;
+use crate::metrics::{DegradedInfo, QueryTrace};
+use crate::options::{FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
 use crate::EngineError;
+
+/// One query's answer on the batch path: neighbors plus the exact trace.
+type TracedAnswer = Result<(Vec<Neighbor>, QueryTrace), EngineError>;
 
 /// The paper's parallel similarity-search system: a declusterer assigns
 /// every feature vector to one of `n` simulated disks, each disk carries a
 /// local X-tree, and k-NN queries execute on all disks concurrently.
+///
+/// Engines are constructed with [`ParallelKnnEngine::builder`]. With
+/// [`EngineBuilder::replicas`] every bucket additionally gets a mirror
+/// copy on a second disk, and queries survive disk failures injected
+/// through [`ParallelKnnEngine::faults`]: reads against a failed, flaky,
+/// or over-budget disk **fail over** to the replicas and still return the
+/// exact (bit-identical) answer.
 pub struct ParallelKnnEngine {
     config: EngineConfig,
     array: DiskArray,
     trees: Vec<SpatialTree>,
+    /// `mirrors[d][j]` is the tree holding the replica copies of disk
+    /// `d`'s points that live on disk `j`. Empty maps when the engine was
+    /// built without replicas. Mirror trees bypass the page caches: they
+    /// are touched only on failover, so caching them would let rare
+    /// degraded queries evict the hot primary working set.
+    mirrors: Vec<BTreeMap<usize, SpatialTree>>,
     declusterer: Arc<dyn Declusterer>,
+    replica_router: Option<Arc<dyn ReplicaRouting>>,
+    fault_policy: FaultPolicy,
+    page_cache_capacity: Option<usize>,
     next_seq: u64,
-    /// Per-disk page caches; empty unless
-    /// [`ParallelKnnEngine::with_page_cache`] was called.
+    /// Per-disk page caches; empty unless [`EngineBuilder::page_cache`]
+    /// was set.
     caches: Vec<Arc<CachingSink>>,
 }
 
 impl ParallelKnnEngine {
+    /// Starts building an engine for `dim`-dimensional data with the
+    /// paper's default configuration. See [`EngineBuilder`].
+    pub fn builder(dim: usize) -> EngineBuilder {
+        EngineBuilder::new(dim)
+    }
+
     /// Builds an engine over `points` with an explicit declusterer.
-    ///
-    /// The per-disk trees are bulk-loaded. Item ids are the indexes into
-    /// `points`.
+    #[deprecated(note = "use ParallelKnnEngine::builder(dim).declusterer(..).build(points)")]
     pub fn build(
         points: &[Point],
         declusterer: Arc<dyn Declusterer>,
         config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        Self::builder(config.dim)
+            .config(config)
+            .declusterer(declusterer)
+            .build(points)
+    }
+
+    /// Builds an engine with the paper's **near-optimal declustering**
+    /// (folded to `disks` disks) and the configured split strategy.
+    #[deprecated(note = "use ParallelKnnEngine::builder(dim).disks(n).build(points)")]
+    pub fn build_near_optimal(
+        points: &[Point],
+        disks: usize,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        Self::builder(config.dim)
+            .config(config)
+            .disks(disks)
+            .build(points)
+    }
+
+    /// Installs an LRU page cache of `capacity` pages in front of every
+    /// disk.
+    #[deprecated(note = "use EngineBuilder::page_cache before building")]
+    pub fn with_page_cache(mut self, capacity: usize) -> Self {
+        self.install_page_cache(capacity);
+        self
+    }
+
+    /// The workhorse constructor behind [`EngineBuilder::build`]: bulk-
+    /// loads one primary tree per disk and, when a replica router is
+    /// supplied, one mirror tree per (source disk, mirror disk) pair.
+    pub(crate) fn build_internal(
+        points: &[Point],
+        declusterer: Arc<dyn Declusterer>,
+        replica_router: Option<Arc<dyn ReplicaRouting>>,
+        config: EngineConfig,
+        fault_policy: FaultPolicy,
+        page_cache: Option<usize>,
     ) -> Result<Self, EngineError> {
         if points.is_empty() {
             return Err(EngineError::EmptyDataSet);
@@ -54,11 +120,21 @@ impl ParallelKnnEngine {
         let array = DiskArray::new(disks, config.disk_model)
             .map_err(|e| EngineError::Internal(e.to_string()))?;
 
-        // Partition the points over the disks.
+        // Partition the points over the disks; with replication every
+        // point also lands in the mirror partition its router picks.
         let mut partitions: Vec<Vec<(Point, u64)>> = vec![Vec::new(); disks];
+        let mut mirror_parts: Vec<BTreeMap<usize, Vec<(Point, u64)>>> =
+            vec![BTreeMap::new(); disks];
         for (i, p) in points.iter().enumerate() {
             let disk = declusterer.assign(i as u64, p);
             partitions[disk].push((p.clone(), i as u64));
+            if let Some(router) = &replica_router {
+                let mirror = router.replica_disk(i as u64, p);
+                mirror_parts[disk]
+                    .entry(mirror)
+                    .or_default()
+                    .push((p.clone(), i as u64));
+            }
         }
 
         // One bulk-loaded tree per disk, charging that disk.
@@ -72,20 +148,44 @@ impl ParallelKnnEngine {
             trees.push(tree);
         }
 
-        Ok(ParallelKnnEngine {
+        // Mirror trees charge the disk that hosts the replica.
+        let mut mirrors = Vec::with_capacity(disks);
+        for parts in mirror_parts {
+            let mut per_host = BTreeMap::new();
+            for (host, part) in parts {
+                let params = TreeParams::for_dim(config.dim, config.variant)
+                    .map_err(|e| EngineError::Internal(e.to_string()))?;
+                let tree = SpatialTree::bulk_load(params, part)
+                    .map_err(|e| EngineError::Internal(e.to_string()))?
+                    .with_disk(Arc::clone(array.disk(host)));
+                per_host.insert(host, tree);
+            }
+            mirrors.push(per_host);
+        }
+
+        let mut engine = ParallelKnnEngine {
             config,
             array,
             trees,
+            mirrors,
             declusterer,
+            replica_router,
+            fault_policy,
+            page_cache_capacity: None,
             next_seq: points.len() as u64,
             caches: Vec::new(),
-        })
+        };
+        if let Some(capacity) = page_cache {
+            engine.install_page_cache(capacity);
+        }
+        Ok(engine)
     }
 
-    /// Installs an LRU page cache of `capacity` pages in front of every
-    /// disk. Cached node visits no longer charge the disk; per-query cache
-    /// hits are reported in the [`QueryTrace`].
-    pub fn with_page_cache(mut self, capacity: usize) -> Self {
+    /// Puts an LRU page cache of `capacity` pages in front of every
+    /// primary tree. Cached node visits no longer charge the disk;
+    /// per-query cache hits are reported in the [`QueryTrace`]. Mirror
+    /// trees stay uncached (see the `mirrors` field docs).
+    fn install_page_cache(&mut self, capacity: usize) {
         let caches: Vec<Arc<CachingSink>> = (0..self.trees.len())
             .map(|i| {
                 let disk_sink: Arc<dyn NodeSink> =
@@ -93,14 +193,13 @@ impl ParallelKnnEngine {
                 Arc::new(CachingSink::new(disk_sink, capacity))
             })
             .collect();
-        self.trees = self
-            .trees
+        self.trees = std::mem::take(&mut self.trees)
             .into_iter()
             .zip(&caches)
             .map(|(t, c)| t.with_sink(Arc::clone(c) as Arc<dyn NodeSink>))
             .collect();
         self.caches = caches;
-        self
+        self.page_cache_capacity = Some(capacity);
     }
 
     /// The per-disk page caches (empty for an uncached engine).
@@ -108,27 +207,7 @@ impl ParallelKnnEngine {
         &self.caches
     }
 
-    /// Builds an engine with the paper's **near-optimal declustering**
-    /// (folded to `disks` disks) and the configured split strategy.
-    pub fn build_near_optimal(
-        points: &[Point],
-        disks: usize,
-        config: EngineConfig,
-    ) -> Result<Self, EngineError> {
-        if points.is_empty() {
-            return Err(EngineError::EmptyDataSet);
-        }
-        let splitter = Self::make_splitter(points, &config)?;
-        // `col` can use at most nextpow2(d+1) disks; extra disks could never
-        // receive data, so the engine is capped to the usable count.
-        let capped =
-            disks.min(parsim_decluster::near_optimal::colors_required(config.dim) as usize);
-        let method = NearOptimal::new(config.dim, capped)
-            .map_err(|e| EngineError::Internal(e.to_string()))?;
-        Self::build(points, Arc::new(BucketBased::new(method, splitter)), config)
-    }
-
-    fn make_splitter(
+    pub(crate) fn make_splitter(
         points: &[Point],
         config: &EngineConfig,
     ) -> Result<QuadrantSplitter, EngineError> {
@@ -156,7 +235,34 @@ impl ParallelKnnEngine {
         &self.declusterer
     }
 
-    /// Total number of indexed points.
+    /// The fault injector of the underlying disk array: mark disks
+    /// failed, slow, or flaky here and the engine's degraded execution
+    /// takes over.
+    pub fn faults(&self) -> &FaultInjector {
+        self.array.faults()
+    }
+
+    /// The engine-wide degraded-mode defaults set at build time.
+    pub fn fault_policy(&self) -> &FaultPolicy {
+        &self.fault_policy
+    }
+
+    /// True if the engine keeps replica copies of every bucket.
+    pub fn has_replicas(&self) -> bool {
+        self.replica_router.is_some()
+    }
+
+    /// The disks hosting replica copies of `disk`'s buckets (empty for an
+    /// un-replicated engine or a disk with no data).
+    pub fn replica_disks_of(&self, disk: usize) -> Vec<usize> {
+        self.mirrors
+            .get(disk)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of indexed points (primaries only; replicas are
+    /// copies, not extra points).
     pub fn len(&self) -> usize {
         self.trees.iter().map(SpatialTree::len).sum()
     }
@@ -166,13 +272,13 @@ impl ParallelKnnEngine {
         self.len() == 0
     }
 
-    /// Per-disk point counts — the load-balance view.
+    /// Per-disk point counts — the load-balance view (primaries only).
     pub fn load_distribution(&self) -> Vec<usize> {
         self.trees.iter().map(SpatialTree::len).collect()
     }
 
     /// Inserts a point dynamically (the system "is completely dynamical",
-    /// Section 4.3).
+    /// Section 4.3). With replication the mirror copy is inserted too.
     pub fn insert(&mut self, point: Point) -> Result<u64, EngineError> {
         if point.dim() != self.config.dim {
             return Err(EngineError::DimensionMismatch {
@@ -183,51 +289,213 @@ impl ParallelKnnEngine {
         let item = self.next_seq;
         self.next_seq += 1;
         let disk = self.declusterer.assign(item, &point);
+        if let Some(router) = &self.replica_router {
+            let host = router.replica_disk(item, &point);
+            let params = TreeParams::for_dim(self.config.dim, self.config.variant)
+                .map_err(|e| EngineError::Internal(e.to_string()))?;
+            let mirror = self.mirrors[disk].entry(host).or_insert_with(|| {
+                SpatialTree::new(params).with_disk(Arc::clone(self.array.disk(host)))
+            });
+            mirror
+                .insert(point.clone(), item)
+                .map_err(|e| EngineError::Internal(e.to_string()))?;
+        }
         self.trees[disk]
             .insert(point, item)
             .map_err(|e| EngineError::Internal(e.to_string()))?;
         Ok(item)
     }
 
-    /// Deletes a previously inserted point.
+    /// Deletes a previously inserted point (and its replica, if any).
     pub fn delete(&mut self, point: &Point, item: u64) -> Result<(), EngineError> {
         let disk = self.declusterer.assign(item, point);
+        if let Some(router) = &self.replica_router {
+            let host = router.replica_disk(item, point);
+            if let Some(mirror) = self.mirrors[disk].get_mut(&host) {
+                mirror
+                    .delete(point, item)
+                    .map_err(|e| EngineError::Internal(e.to_string()))?;
+            }
+        }
         self.trees[disk]
             .delete(point, item)
             .map_err(|e| EngineError::Internal(e.to_string()))
     }
 
-    /// Runs a k-NN query against the declustered data and returns the `k`
-    /// nearest neighbors plus the per-disk page cost of the query.
+    /// Answers one k-NN query under `opts` — the single entry point
+    /// behind every legacy `knn*` method.
     ///
-    /// This is the paper's **Var. 3 parallel search**: one thread per
-    /// disk, each running a branch-and-bound (RKV) or best-first (HS)
-    /// search on its local tree, all pruning against a single
-    /// atomically-shared bound — the tightest k-th-best distance any disk
-    /// has published so far. The per-disk candidate lists are merged into
-    /// the exact global answer; every visited node charges the disk that
-    /// stores it, and the cost's `parallel_time` is the service time of
-    /// the most-loaded disk (the paper's metric — all disks fetch their
-    /// pages concurrently, the busiest one gates).
-    pub fn knn(&self, query: &Point, k: usize) -> Result<(Vec<Neighbor>, QueryCost), EngineError> {
-        let (merged, trace) = self.knn_traced(query, k)?;
-        Ok((merged, trace.cost(self.array.model())))
-    }
-
-    /// Runs [`ParallelKnnEngine::knn`] and returns the full
-    /// [`QueryTrace`] — per-disk pages, pruning and cache counters, and
-    /// measured wall-clock vs modeled service time.
-    pub fn knn_traced(
-        &self,
-        query: &Point,
-        k: usize,
-    ) -> Result<(Vec<Neighbor>, QueryTrace), EngineError> {
+    /// When no faults are armed and no timeout budget applies, this is
+    /// the paper's **Var. 3 parallel search**: one thread per disk, each
+    /// running a branch-and-bound (RKV) or best-first (HS) search on its
+    /// local tree, all pruning against a single atomically-shared bound.
+    /// Otherwise the engine runs **degraded execution**: failed disks are
+    /// skipped, flaky reads are retried per [`RetryPolicy`], disks over
+    /// the timeout budget are abandoned, and every lost disk's buckets
+    /// are served from their replicas — the merged answer is
+    /// bit-identical to the healthy one as long as a healthy replica
+    /// exists for every lost bucket ([`EngineError::BucketUnavailable`]
+    /// otherwise).
+    pub fn query(&self, query: &Point, opts: &QueryOptions) -> Result<QueryResult, EngineError> {
         if query.dim() != self.config.dim {
             return Err(EngineError::DimensionMismatch {
                 expected: self.config.dim,
                 got: query.dim(),
             });
         }
+        let (timeout, retry) = self.resolve_policy(opts);
+        let (neighbors, trace) = if timeout.is_some() || self.array.faults().any_armed() {
+            self.knn_degraded(query, opts.k, timeout, &retry)?
+        } else {
+            self.knn_healthy(query, opts.k)
+        };
+        let cost = trace.cost(self.array.model());
+        Ok(QueryResult {
+            neighbors,
+            cost,
+            trace: opts.trace.then_some(trace),
+        })
+    }
+
+    /// Answers a batch of queries on a bounded worker pool
+    /// ([`QueryOptions::workers`], defaulting to the host's available
+    /// parallelism), in the paper's **inter-query** parallel mode: each
+    /// worker pulls the next unanswered query, so `workers` queries are
+    /// in flight at any time and every disk serves all of them
+    /// concurrently. Results are in query order, each with its own exact
+    /// [`QueryTrace`] when tracing is on.
+    ///
+    /// With faults armed or a timeout budget set, each worker runs the
+    /// same degraded execution as [`ParallelKnnEngine::query`].
+    pub fn query_batch(
+        &self,
+        queries: &[Point],
+        opts: &QueryOptions,
+    ) -> Result<Vec<QueryResult>, EngineError> {
+        for q in queries {
+            if q.dim() != self.config.dim {
+                return Err(EngineError::DimensionMismatch {
+                    expected: self.config.dim,
+                    got: q.dim(),
+                });
+            }
+        }
+        let (timeout, retry) = self.resolve_policy(opts);
+        let degraded = timeout.is_some() || self.array.faults().any_armed();
+        let algorithm = self.config.algorithm;
+        let model = *self.array.model();
+        let next = AtomicUsize::new(0);
+        let workers = opts
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, queries.len().max(1));
+        let mut results: Vec<Option<TracedAnswer>> = (0..queries.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let next = &next;
+            let retry = &retry;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move || {
+                        let refs: Vec<&SpatialTree> = self.trees.iter().collect();
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                return out;
+                            }
+                            let answer = if degraded {
+                                self.knn_degraded(&queries[i], opts.k, timeout, retry)
+                            } else {
+                                let start = Instant::now();
+                                let (res, stats) =
+                                    forest_knn_traced(&refs, &queries[i], opts.k, algorithm);
+                                let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
+                                Ok((res, trace))
+                            };
+                            out.push((i, answer));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, answer) in h.join().expect("batch worker does not panic") {
+                    results[i] = Some(answer);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| {
+                let (neighbors, trace) = r.expect("every query index was claimed by a worker")?;
+                let cost = trace.cost(&model);
+                Ok(QueryResult {
+                    neighbors,
+                    cost,
+                    trace: opts.trace.then_some(trace),
+                })
+            })
+            .collect()
+    }
+
+    /// Runs a k-NN query against the declustered data and returns the `k`
+    /// nearest neighbors plus the per-disk page cost of the query.
+    /// Shorthand for [`ParallelKnnEngine::query`] without a trace.
+    pub fn knn(&self, query: &Point, k: usize) -> Result<(Vec<Neighbor>, QueryCost), EngineError> {
+        let result = self.query(query, &QueryOptions::new(k))?;
+        Ok((result.neighbors, result.cost))
+    }
+
+    /// Runs [`ParallelKnnEngine::knn`] and returns the full
+    /// [`QueryTrace`] — per-disk pages, pruning and cache counters,
+    /// measured wall-clock vs modeled service time, and the degraded-mode
+    /// record when failure handling engaged.
+    pub fn knn_traced(
+        &self,
+        query: &Point,
+        k: usize,
+    ) -> Result<(Vec<Neighbor>, QueryTrace), EngineError> {
+        let result = self.query(query, &QueryOptions::traced(k))?;
+        let trace = result.trace.expect("trace was requested");
+        Ok((result.neighbors, trace))
+    }
+
+    /// Answers a batch of queries on a worker pool sized to the host's
+    /// available parallelism. See [`ParallelKnnEngine::query_batch`].
+    pub fn knn_batch(
+        &self,
+        queries: &[Point],
+        k: usize,
+    ) -> Result<Vec<(Vec<Neighbor>, QueryTrace)>, EngineError> {
+        let results = self.query_batch(queries, &QueryOptions::traced(k))?;
+        Ok(results
+            .into_iter()
+            .map(|r| (r.neighbors, r.trace.expect("trace was requested")))
+            .collect())
+    }
+
+    /// Answers a batch of queries on a bounded pool of `workers` threads.
+    /// See [`ParallelKnnEngine::query_batch`].
+    pub fn knn_batch_with(
+        &self,
+        queries: &[Point],
+        k: usize,
+        workers: usize,
+    ) -> Result<Vec<(Vec<Neighbor>, QueryTrace)>, EngineError> {
+        let results = self.query_batch(queries, &QueryOptions::traced(k).with_workers(workers))?;
+        Ok(results
+            .into_iter()
+            .map(|r| (r.neighbors, r.trace.expect("trace was requested")))
+            .collect())
+    }
+
+    /// The healthy fast path: one scoped thread per disk, shared pruning
+    /// bound, exact per-query trace. Identical to the engine's behavior
+    /// before degraded execution existed.
+    fn knn_healthy(&self, query: &Point, k: usize) -> (Vec<Neighbor>, QueryTrace) {
         let algorithm = self.config.algorithm;
         let start = Instant::now();
         let shared = SharedBound::new();
@@ -249,82 +517,137 @@ impl ParallelKnnEngine {
         let merged = merge_candidates(locals.iter().map(|(c, _)| c.as_slice()), k);
         let stats: Vec<_> = locals.iter().map(|(_, s)| *s).collect();
         let trace = QueryTrace::from_stats(&stats, wall, self.array.model());
+        (merged, trace)
+    }
+
+    /// Degraded execution: skip failed disks, retry flaky reads, abandon
+    /// disks over the timeout budget, and serve every lost disk's buckets
+    /// from its replicas. Disks are searched sequentially (still pruning
+    /// against one shared bound) so the retry draws — and therefore the
+    /// whole trace — are deterministic for a given injector seed.
+    ///
+    /// The modeled parallel time charges each disk its fault-scaled
+    /// service time plus retry backoff; a timed-out disk charges exactly
+    /// the budget (the query stops waiting for it), a failed disk charges
+    /// nothing (failure is detected instantly), and replica reads are
+    /// charged to the mirror's host disk. Replica detours are modeled as
+    /// overlapping the detection wait on other disks.
+    fn knn_degraded(
+        &self,
+        query: &Point,
+        k: usize,
+        timeout: Option<Duration>,
+        retry: &RetryPolicy,
+    ) -> Result<(Vec<Neighbor>, QueryTrace), EngineError> {
+        let faults = self.array.faults();
+        let model = *self.array.model();
+        let algorithm = self.config.algorithm;
+        let n = self.trees.len();
+        let start = Instant::now();
+        let shared = SharedBound::new();
+
+        let mut stats = vec![SearchStats::default(); n];
+        let mut extra_time = vec![Duration::ZERO; n];
+        let mut candidates: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        let mut down: Vec<usize> = Vec::new();
+        let mut retries_total = 0u64;
+
+        for (i, tree) in self.trees.iter().enumerate() {
+            if faults.is_failed(i) {
+                down.push(i);
+                continue;
+            }
+            let (cands, s) = tree.knn_traced(query, k, algorithm, Some(&shared));
+            stats[i].merge(s);
+            let mut alive = true;
+            if matches!(faults.fault(i), Some(FaultKind::Flaky { .. })) {
+                let (retries, extra, ok) = simulate_flaky_reads(faults, i, s.pages, retry, &model);
+                retries_total += retries;
+                extra_time[i] += extra;
+                alive = ok;
+            }
+            if alive {
+                if let Some(budget) = timeout {
+                    let disk_time =
+                        faults.model_for(i, &model).service_time(stats[i].pages) + extra_time[i];
+                    alive = disk_time <= budget;
+                }
+            }
+            if alive {
+                candidates[i] = cands;
+            } else {
+                // The pages were read (and are charged below) but the
+                // answer is not trusted: the disk's buckets fail over.
+                down.push(i);
+            }
+        }
+
+        // Failover: serve every lost disk's buckets from its mirrors.
+        let mut failed_over: Vec<usize> = Vec::new();
+        let mut replica_pages = 0u64;
+        for &d in &down {
+            if self.trees[d].is_empty() {
+                continue;
+            }
+            if self.mirrors[d].is_empty() {
+                return Err(EngineError::BucketUnavailable { disk: d });
+            }
+            for (&host, mirror) in &self.mirrors[d] {
+                if faults.is_failed(host) {
+                    return Err(EngineError::BucketUnavailable { disk: d });
+                }
+                let (cands, s) = mirror.knn_traced(query, k, algorithm, Some(&shared));
+                if matches!(faults.fault(host), Some(FaultKind::Flaky { .. })) {
+                    let (retries, extra, ok) =
+                        simulate_flaky_reads(faults, host, s.pages, retry, &model);
+                    retries_total += retries;
+                    extra_time[host] += extra;
+                    if !ok {
+                        return Err(EngineError::BucketUnavailable { disk: d });
+                    }
+                }
+                replica_pages += s.pages;
+                stats[host].merge(s);
+                candidates[host].extend(cands);
+            }
+            failed_over.push(d);
+        }
+
+        // The degraded critical path: every disk charges its fault-scaled
+        // service time plus retry backoff; timed-out disks charge the
+        // budget; hard-failed disks charge nothing.
+        let mut modeled_parallel = Duration::ZERO;
+        for i in 0..n {
+            let mut t = faults.model_for(i, &model).service_time(stats[i].pages) + extra_time[i];
+            if down.contains(&i) {
+                if faults.is_failed(i) {
+                    t = Duration::ZERO;
+                } else if let Some(budget) = timeout {
+                    t = t.min(budget);
+                }
+            }
+            modeled_parallel = modeled_parallel.max(t);
+        }
+
+        let wall = start.elapsed();
+        let merged = merge_candidates(candidates.iter().map(Vec::as_slice), k);
+        let mut trace = QueryTrace::from_stats(&stats, wall, &model);
+        let healthy_parallel = trace.modeled_parallel;
+        trace.modeled_parallel = modeled_parallel;
+        trace.degraded = Some(DegradedInfo {
+            failed_over,
+            retries: retries_total,
+            replica_pages,
+            added_latency: modeled_parallel.saturating_sub(healthy_parallel),
+        });
         Ok((merged, trace))
     }
 
-    /// Answers a batch of queries on a bounded worker pool sized to the
-    /// host's available parallelism. See
-    /// [`ParallelKnnEngine::knn_batch_with`].
-    pub fn knn_batch(
-        &self,
-        queries: &[Point],
-        k: usize,
-    ) -> Result<Vec<(Vec<Neighbor>, QueryTrace)>, EngineError> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        self.knn_batch_with(queries, k, workers)
-    }
-
-    /// Answers a batch of queries on a bounded pool of `workers` threads
-    /// (clamped to at least 1), in the paper's **inter-query** parallel
-    /// mode: each worker pulls the next unanswered query and runs the
-    /// globally-pruned forest search for it, so `workers` queries are in
-    /// flight at any time and every disk serves all of them concurrently.
-    ///
-    /// Results are returned in query order, each with its own exact
-    /// [`QueryTrace`] (pages are counted in the executing worker, not read
-    /// from the shared disk counters, so concurrent queries never blend).
-    pub fn knn_batch_with(
-        &self,
-        queries: &[Point],
-        k: usize,
-        workers: usize,
-    ) -> Result<Vec<(Vec<Neighbor>, QueryTrace)>, EngineError> {
-        for q in queries {
-            if q.dim() != self.config.dim {
-                return Err(EngineError::DimensionMismatch {
-                    expected: self.config.dim,
-                    got: q.dim(),
-                });
-            }
-        }
-        let algorithm = self.config.algorithm;
-        let model = *self.array.model();
-        let next = AtomicUsize::new(0);
-        let workers = workers.clamp(1, queries.len().max(1));
-        let mut results: Vec<Option<(Vec<Neighbor>, QueryTrace)>> =
-            (0..queries.len()).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let next = &next;
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(move || {
-                        let refs: Vec<&SpatialTree> = self.trees.iter().collect();
-                        let mut out = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= queries.len() {
-                                return out;
-                            }
-                            let start = Instant::now();
-                            let (res, stats) = forest_knn_traced(&refs, &queries[i], k, algorithm);
-                            let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
-                            out.push((i, res, trace));
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (i, res, trace) in h.join().expect("batch worker does not panic") {
-                    results[i] = Some((res, trace));
-                }
-            }
-        });
-        Ok(results
-            .into_iter()
-            .map(|r| r.expect("every query index was claimed by a worker"))
-            .collect())
+    fn resolve_policy(&self, opts: &QueryOptions) -> (Option<Duration>, RetryPolicy) {
+        (
+            opts.timeout.or(self.fault_policy.timeout),
+            opts.retry.unwrap_or(self.fault_policy.retry),
+        )
     }
 
     /// Runs a k-NN query with **independent** per-disk searches: every
@@ -364,7 +687,9 @@ impl ParallelKnnEngine {
 
     /// Reorganizes the engine for the current data: recomputes the
     /// declustering (median splits from the stored points) and rebuilds
-    /// the per-disk trees. Returns the rebuilt engine.
+    /// the per-disk trees, preserving the disk count, replication, fault
+    /// policy, and page-cache capacity. The rebuilt engine starts with a
+    /// fresh, healthy disk array — injected faults do not carry over.
     ///
     /// This is the paper's reorganization step for data whose distribution
     /// drifted after many insertions.
@@ -381,7 +706,15 @@ impl ParallelKnnEngine {
         }
         points.sort_by_key(|(item, _)| *item);
         let pts: Vec<Point> = points.into_iter().map(|(_, p)| p).collect();
-        Self::build_near_optimal(&pts, self.disks(), self.config)
+        let mut builder = Self::builder(self.config.dim)
+            .config(self.config)
+            .disks(self.disks())
+            .replicas(usize::from(self.replica_router.is_some()))
+            .fault_policy(self.fault_policy);
+        if let Some(capacity) = self.page_cache_capacity {
+            builder = builder.page_cache(capacity);
+        }
+        builder.build(&pts)
     }
 
     /// Immutable access to the disk array (for experiment accounting).
@@ -393,6 +726,41 @@ impl ParallelKnnEngine {
     pub fn trees(&self) -> &[SpatialTree] {
         &self.trees
     }
+}
+
+/// Simulates the error stream of `pages` reads against a flaky disk:
+/// every erroring read is retried up to the policy's limit, each retry
+/// charging its backoff plus one page's service time. Returns the retry
+/// count, the extra modeled time, and whether every page eventually read
+/// cleanly (`false` means the disk is abandoned as down).
+fn simulate_flaky_reads(
+    faults: &FaultInjector,
+    disk: usize,
+    pages: u64,
+    retry: &RetryPolicy,
+    model: &DiskModel,
+) -> (u64, Duration, bool) {
+    let per_page = model.service_time(1);
+    let mut retries = 0u64;
+    let mut extra = Duration::ZERO;
+    for _ in 0..pages {
+        if !faults.draw_read_error(disk) {
+            continue;
+        }
+        let mut recovered = false;
+        for attempt in 0..retry.max_retries {
+            retries += 1;
+            extra += retry.backoff_before(attempt) + per_page;
+            if !faults.draw_read_error(disk) {
+                recovered = true;
+                break;
+            }
+        }
+        if !recovered {
+            return (retries, extra, false);
+        }
+    }
+    (retries, extra, true)
 }
 
 /// Merges per-disk candidate lists into the global top `k` (ties broken by
@@ -412,8 +780,10 @@ mod tests {
 
     fn engine(disks: usize, n: usize, dim: usize) -> (ParallelKnnEngine, Vec<Point>) {
         let pts = UniformGenerator::new(dim).generate(n, 7);
-        let config = EngineConfig::paper_defaults(dim);
-        let e = ParallelKnnEngine::build_near_optimal(&pts, disks, config).unwrap();
+        let e = ParallelKnnEngine::builder(dim)
+            .disks(disks)
+            .build(&pts)
+            .unwrap();
         (e, pts)
     }
 
@@ -467,9 +837,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        let config = EngineConfig::paper_defaults(4);
         assert!(matches!(
-            ParallelKnnEngine::build_near_optimal(&[], 4, config),
+            ParallelKnnEngine::builder(4).disks(4).build(&[]),
             Err(EngineError::EmptyDataSet)
         ));
         let (e, _) = engine(4, 100, 5);
@@ -503,5 +872,36 @@ mod tests {
         assert_eq!(e.len(), before);
         let (res, _) = e.knn(&pts[5], 1).unwrap();
         assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn reorganize_preserves_replication() {
+        let pts = UniformGenerator::new(5).generate(600, 3);
+        let e = ParallelKnnEngine::builder(5)
+            .disks(8)
+            .replicas(1)
+            .build(&pts)
+            .unwrap();
+        assert!(e.has_replicas());
+        let e = e.reorganize().unwrap();
+        assert!(e.has_replicas());
+        assert_eq!(e.len(), 600);
+        e.faults().fail(0);
+        let (res, _) = e.knn(&pts[0], 1).unwrap();
+        assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn deprecated_constructors_still_work() {
+        #![allow(deprecated)]
+        let pts = UniformGenerator::new(4).generate(300, 9);
+        let config = EngineConfig::paper_defaults(4);
+        let e = ParallelKnnEngine::build_near_optimal(&pts, 4, config).unwrap();
+        let via_builder = ParallelKnnEngine::builder(4).disks(4).build(&pts).unwrap();
+        assert_eq!(e.load_distribution(), via_builder.load_distribution());
+        let q = Point::new(vec![0.4; 4]).unwrap();
+        let (a, _) = e.knn(&q, 5).unwrap();
+        let (b, _) = via_builder.knn(&q, 5).unwrap();
+        assert_eq!(a, b);
     }
 }

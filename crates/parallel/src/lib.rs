@@ -16,17 +16,21 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod builder;
 pub mod config;
 pub mod declustered;
 pub mod engine;
 pub mod metrics;
+pub mod options;
 pub mod sequential;
 pub mod throughput;
 
+pub use builder::EngineBuilder;
 pub use config::{EngineConfig, SplitStrategy};
 pub use declustered::DeclusteredXTree;
 pub use engine::ParallelKnnEngine;
-pub use metrics::{run_knn_workload, run_traced_workload, QueryTrace, WorkloadCost};
+pub use metrics::{run_knn_workload, run_traced_workload, DegradedInfo, QueryTrace, WorkloadCost};
+pub use options::{FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
 pub use sequential::SequentialEngine;
 pub use throughput::{run_batch, ThroughputReport};
 
@@ -49,6 +53,13 @@ pub enum EngineError {
         /// Disks of the declusterer.
         declusterer: usize,
     },
+    /// A disk holding un-replicated buckets is unavailable (failed, over
+    /// its timeout budget, or flaky beyond the retry policy) and no
+    /// healthy replica exists, so the query cannot return an exact answer.
+    BucketUnavailable {
+        /// The unavailable disk whose buckets could not be served.
+        disk: usize,
+    },
     /// An underlying component failed.
     Internal(String),
 }
@@ -66,6 +77,10 @@ impl std::fmt::Display for EngineError {
             } => write!(
                 f,
                 "declusterer targets {declusterer} disks but the engine has {engine}"
+            ),
+            EngineError::BucketUnavailable { disk } => write!(
+                f,
+                "disk {disk} is unavailable and holds buckets with no healthy replica"
             ),
             EngineError::Internal(msg) => write!(f, "internal error: {msg}"),
         }

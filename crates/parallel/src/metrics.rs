@@ -14,9 +14,30 @@ use crate::engine::ParallelKnnEngine;
 use crate::sequential::SequentialEngine;
 use crate::EngineError;
 
+/// What degraded-mode execution did for one query: which disks were lost
+/// (failed, flaky beyond retry, or over the timeout budget), how much
+/// retrying happened, and what the detour through the replicas cost.
+///
+/// `None` on the trace of a query that ran the healthy fast path.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DegradedInfo {
+    /// Disks whose buckets were served from replicas on other disks.
+    pub failed_over: Vec<usize>,
+    /// Total page-read retries performed against flaky disks.
+    pub retries: u64,
+    /// Pages read from replica (mirror) trees instead of primaries.
+    pub replica_pages: u64,
+    /// Modeled parallel time added by the degradation: the degraded
+    /// critical path (slow-disk multipliers, retry backoff, replica
+    /// detours, timeout waits) minus the healthy service time of the same
+    /// page counts.
+    pub added_latency: Duration,
+}
+
 /// The observability record of one traced query.
 ///
-/// Produced by [`ParallelKnnEngine::knn_traced`] and
+/// Produced by [`ParallelKnnEngine::query`],
+/// [`ParallelKnnEngine::knn_traced`] and
 /// [`ParallelKnnEngine::knn_batch`]; serializable to JSON with
 /// [`serde::Serialize::to_json`] for offline analysis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,6 +65,10 @@ pub struct QueryTrace {
     pub modeled_parallel: Duration,
     /// Modeled sequential service time: the same pages served by one disk.
     pub modeled_sequential: Duration,
+    /// Degraded-mode record: `Some` iff the query ran with failure
+    /// handling engaged (injected faults or a timeout budget) — see
+    /// [`DegradedInfo`].
+    pub degraded: Option<DegradedInfo>,
 }
 
 impl QueryTrace {
@@ -61,6 +86,7 @@ impl QueryTrace {
             wall_time,
             modeled_parallel: model.service_time(max),
             modeled_sequential: model.service_time(total),
+            degraded: None,
         }
     }
 
@@ -236,7 +262,7 @@ mod tests {
         let pts = UniformGenerator::new(6).generate(3000, 1);
         let queries = UniformGenerator::new(6).generate(10, 2);
         let config = EngineConfig::paper_defaults(6);
-        let par = ParallelKnnEngine::build_near_optimal(&pts, 8, config).unwrap();
+        let par = ParallelKnnEngine::builder(6).disks(8).build(&pts).unwrap();
         let seq = SequentialEngine::build(&pts, config).unwrap();
 
         let pc = run_knn_workload(&par, &queries, 10).unwrap();

@@ -1,0 +1,193 @@
+//! Query options and fault policy for the parallel engine.
+//!
+//! [`QueryOptions`] unifies the former `knn` / `knn_traced` /
+//! `knn_batch_with` entry-point sprawl into one record consumed by
+//! [`crate::ParallelKnnEngine::query`] and
+//! [`crate::ParallelKnnEngine::query_batch`]; [`FaultPolicy`] carries the
+//! engine-wide degraded-mode defaults set at build time via
+//! [`crate::EngineBuilder::fault_policy`].
+
+use std::time::Duration;
+
+use parsim_index::knn::Neighbor;
+use parsim_storage::QueryCost;
+
+use crate::metrics::QueryTrace;
+
+/// Bounded-retry policy for reads against a flaky disk: up to
+/// `max_retries` re-reads per page, with exponential backoff between
+/// attempts. Retries cost *modeled* time only — the simulation draws the
+/// error stream and charges the backoff plus the re-read to the disk's
+/// modeled service time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum re-read attempts per failed page read.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff: Duration,
+    /// Multiplier applied to the backoff on each further retry.
+    pub backoff_multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// No retries at all: the first read error fails the disk over.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+            backoff_multiplier: 1.0,
+        }
+    }
+
+    /// The backoff before retry attempt `attempt` (0-based):
+    /// `backoff × multiplier^attempt`.
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        self.backoff
+            .mul_f64(self.backoff_multiplier.powi(attempt as i32))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Two retries, 1 ms initial backoff, doubling.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+/// Engine-wide degraded-mode defaults: a per-disk service-time budget and
+/// the retry policy for flaky reads. Individual queries can override both
+/// via [`QueryOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPolicy {
+    /// Per-disk timeout: a disk whose *modeled* service time for this
+    /// query (including slow-disk multipliers and retry backoff) exceeds
+    /// the budget is treated as failed and its buckets fail over to
+    /// replicas. `None` disables the budget.
+    pub timeout: Option<Duration>,
+    /// Retry policy for flaky-disk reads.
+    pub retry: RetryPolicy,
+}
+
+impl FaultPolicy {
+    /// The default policy with a per-disk timeout budget.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        FaultPolicy {
+            timeout: Some(timeout),
+            ..FaultPolicy::default()
+        }
+    }
+}
+
+/// Options of one k-NN query (or batch): the result count plus tracing,
+/// timeout, retry, and worker-pool knobs that were formerly spread over
+/// separate entry points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOptions {
+    /// Number of nearest neighbors to return.
+    pub k: usize,
+    /// Attach the full [`QueryTrace`] to each result.
+    pub trace: bool,
+    /// Per-disk modeled-time budget for this query; overrides the engine's
+    /// [`FaultPolicy::timeout`] when set.
+    pub timeout: Option<Duration>,
+    /// Retry policy for this query; overrides the engine's
+    /// [`FaultPolicy::retry`] when set.
+    pub retry: Option<RetryPolicy>,
+    /// Worker threads for [`crate::ParallelKnnEngine::query_batch`]
+    /// (clamped to at least 1; defaults to the host's available
+    /// parallelism). Ignored by single-query execution.
+    pub workers: Option<usize>,
+}
+
+impl QueryOptions {
+    /// Options for a plain k-NN query.
+    pub fn new(k: usize) -> Self {
+        QueryOptions {
+            k,
+            trace: false,
+            timeout: None,
+            retry: None,
+            workers: None,
+        }
+    }
+
+    /// Options for a traced k-NN query.
+    pub fn traced(k: usize) -> Self {
+        QueryOptions {
+            trace: true,
+            ..QueryOptions::new(k)
+        }
+    }
+
+    /// Sets whether the full trace is attached to results.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Sets the per-disk modeled-time budget.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the flaky-read retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Sets the batch worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+}
+
+/// The answer to one query: the neighbors, the classic per-disk page cost,
+/// and — when [`QueryOptions::trace`] was set — the full trace.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The `k` nearest neighbors, nearest first.
+    pub neighbors: Vec<Neighbor>,
+    /// Per-disk page cost of the query.
+    pub cost: QueryCost,
+    /// The full trace, if requested.
+    pub trace: Option<QueryTrace>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.backoff_before(0), Duration::from_millis(1));
+        assert_eq!(r.backoff_before(1), Duration::from_millis(2));
+        assert_eq!(r.backoff_before(2), Duration::from_millis(4));
+        assert_eq!(RetryPolicy::none().max_retries, 0);
+    }
+
+    #[test]
+    fn options_builders_compose() {
+        let o = QueryOptions::new(5)
+            .with_timeout(Duration::from_millis(80))
+            .with_retry(RetryPolicy::none())
+            .with_workers(4)
+            .with_trace(true);
+        assert_eq!(o.k, 5);
+        assert!(o.trace);
+        assert_eq!(o.timeout, Some(Duration::from_millis(80)));
+        assert_eq!(o.retry, Some(RetryPolicy::none()));
+        assert_eq!(o.workers, Some(4));
+        assert!(QueryOptions::traced(3).trace);
+        assert!(!QueryOptions::new(3).trace);
+        let p = FaultPolicy::with_timeout(Duration::from_secs(1));
+        assert_eq!(p.timeout, Some(Duration::from_secs(1)));
+    }
+}

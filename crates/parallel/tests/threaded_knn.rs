@@ -20,7 +20,11 @@ fn setup(algorithm: KnnAlgorithm) -> (ParallelKnnEngine, SequentialEngine, Vec<P
     let pts = UniformGenerator::new(DIM).generate(4000, 21);
     let mut config = EngineConfig::paper_defaults(DIM);
     config.algorithm = algorithm;
-    let par = ParallelKnnEngine::build_near_optimal(&pts, DISKS, config).unwrap();
+    let par = ParallelKnnEngine::builder(DIM)
+        .config(config)
+        .disks(DISKS)
+        .build(&pts)
+        .unwrap();
     let seq = SequentialEngine::build(&pts, config).unwrap();
     let queries = UniformGenerator::new(DIM).generate(24, 77);
     (par, seq, queries)
@@ -153,10 +157,11 @@ fn shared_bound_prunes_work() {
 #[test]
 fn cached_engine_reports_cache_hits() {
     let pts = UniformGenerator::new(DIM).generate(3000, 5);
-    let config = EngineConfig::paper_defaults(DIM);
-    let par = ParallelKnnEngine::build_near_optimal(&pts, DISKS, config)
-        .unwrap()
-        .with_page_cache(4096);
+    let par = ParallelKnnEngine::builder(DIM)
+        .disks(DISKS)
+        .page_cache(4096)
+        .build(&pts)
+        .unwrap();
     let q = &UniformGenerator::new(DIM).generate(1, 9)[0];
 
     let (_, cold) = par.knn_traced(q, 10).unwrap();
@@ -182,7 +187,11 @@ fn clustered_knn_is_bit_identical_and_abandons_distances() {
         .map(|(i, p)| (p.clone(), i as u64))
         .collect();
     let config = EngineConfig::paper_defaults(DIM);
-    let par = ParallelKnnEngine::build_near_optimal(&pts, DISKS, config).unwrap();
+    let par = ParallelKnnEngine::builder(DIM)
+        .config(config)
+        .disks(DISKS)
+        .build(&pts)
+        .unwrap();
     let seq = SequentialEngine::build(&pts, config).unwrap();
     // Query from the same distribution so queries land inside clusters.
     let queries = ClusteredGenerator::new(DIM, 8, 0.03).generate(16, 77);

@@ -20,8 +20,7 @@
 //!
 //! // 2. Build the parallel engine on 8 simulated disks with the paper's
 //! //    near-optimal declustering.
-//! let config = EngineConfig::paper_defaults(8);
-//! let engine = ParallelKnnEngine::build_near_optimal(&data, 8, config).unwrap();
+//! let engine = ParallelKnnEngine::builder(8).disks(8).build(&data).unwrap();
 //!
 //! // 3. Ask for the 10 most similar objects.
 //! let query = UniformGenerator::new(8).generate(1, 7).pop().unwrap();
@@ -47,8 +46,7 @@
 //! use parsim::prelude::*;
 //!
 //! let data = UniformGenerator::new(8).generate(2_000, 42);
-//! let config = EngineConfig::paper_defaults(8);
-//! let engine = ParallelKnnEngine::build_near_optimal(&data, 8, config).unwrap();
+//! let engine = ParallelKnnEngine::builder(8).disks(8).build(&data).unwrap();
 //!
 //! let queries = UniformGenerator::new(8).generate(16, 7);
 //! let results = engine.knn_batch_with(&queries, 10, 4).unwrap();
@@ -99,7 +97,7 @@ pub mod prelude {
     };
     pub use parsim_decluster::{
         BucketBased, BucketDecluster, Declusterer, DiskAssignmentGraph, DiskModulo, FxXor,
-        HilbertDecluster, NearOptimal, RecursiveDeclusterer, RoundRobin,
+        HilbertDecluster, NearOptimal, RecursiveDeclusterer, ReplicaDeclusterer, RoundRobin,
     };
     pub use parsim_geometry::{Euclidean, HyperRect, Metric, Point, QuadrantSplitter};
     pub use parsim_index::{
@@ -107,10 +105,13 @@ pub mod prelude {
         SearchStats, SharedBound, SpatialTree, TreeParams, TreeVariant,
     };
     pub use parsim_parallel::{
-        run_knn_workload, run_traced_workload, DeclusteredXTree, EngineConfig, ParallelKnnEngine,
-        QueryTrace, SequentialEngine, SplitStrategy, ThroughputReport, WorkloadCost,
+        run_knn_workload, run_traced_workload, DeclusteredXTree, DegradedInfo, EngineBuilder,
+        EngineConfig, FaultPolicy, ParallelKnnEngine, QueryOptions, QueryResult, QueryTrace,
+        RetryPolicy, SequentialEngine, SplitStrategy, ThroughputReport, WorkloadCost,
     };
-    pub use parsim_storage::{DiskArray, DiskModel, LruTracker, QueryCost, SimDisk};
+    pub use parsim_storage::{
+        DiskArray, DiskModel, FaultInjector, FaultKind, LruTracker, QueryCost, SimDisk,
+    };
 }
 
 #[cfg(test)]
@@ -120,10 +121,22 @@ mod tests {
     #[test]
     fn facade_exposes_a_working_pipeline() {
         let data = UniformGenerator::new(6).generate(500, 1);
-        let engine =
-            ParallelKnnEngine::build_near_optimal(&data, 4, EngineConfig::paper_defaults(6))
-                .unwrap();
+        let engine = ParallelKnnEngine::builder(6).disks(4).build(&data).unwrap();
         let (res, _) = engine.knn(&data[0], 3).unwrap();
         assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn facade_exposes_fault_tolerance() {
+        let data = UniformGenerator::new(6).generate(500, 1);
+        let engine = ParallelKnnEngine::builder(6)
+            .disks(9)
+            .replicas(1)
+            .build(&data)
+            .unwrap();
+        engine.faults().fail(0);
+        let result = engine.query(&data[0], &QueryOptions::traced(3)).unwrap();
+        assert_eq!(result.neighbors[0].dist, 0.0);
+        assert!(result.trace.unwrap().degraded.is_some());
     }
 }

@@ -6,6 +6,7 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use crate::disk::SimDisk;
+use crate::fault::FaultInjector;
 use crate::model::DiskModel;
 use crate::StorageError;
 
@@ -21,6 +22,7 @@ use crate::StorageError;
 pub struct DiskArray {
     disks: Vec<Arc<SimDisk>>,
     model: DiskModel,
+    faults: FaultInjector,
 }
 
 impl DiskArray {
@@ -29,10 +31,20 @@ impl DiskArray {
         if n == 0 {
             return Err(StorageError::EmptyArray);
         }
+        let faults = FaultInjector::new(n);
         Ok(DiskArray {
-            disks: (0..n).map(|i| Arc::new(SimDisk::new(i))).collect(),
+            disks: (0..n)
+                .map(|i| Arc::new(SimDisk::with_fault(i, faults.cell(i))))
+                .collect(),
             model,
+            faults,
         })
+    }
+
+    /// The array's fault injector: mark disks failed, slow, or flaky at
+    /// runtime. Cloning the returned handle shares the same fault state.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// Number of disks.

@@ -1,11 +1,13 @@
 //! A single simulated disk.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultCell;
 use crate::page::{PageId, PAGE_SIZE};
 use crate::StorageError;
 
@@ -36,6 +38,9 @@ pub struct SimDisk {
     /// Fault injection: number of successful reads remaining before the
     /// disk starts failing (-1 = healthy forever).
     reads_until_failure: AtomicI64,
+    /// Fault state shared with the array's [`crate::FaultInjector`]
+    /// (absent for standalone disks).
+    fault: Option<Arc<FaultCell>>,
 }
 
 impl SimDisk {
@@ -47,7 +52,15 @@ impl SimDisk {
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             reads_until_failure: AtomicI64::new(-1),
+            fault: None,
         }
+    }
+
+    /// Creates a disk wired to an injector-owned fault cell.
+    pub(crate) fn with_fault(id: usize, fault: Arc<FaultCell>) -> Self {
+        let mut disk = SimDisk::new(id);
+        disk.fault = Some(fault);
+        disk
     }
 
     /// Fault injection: after `reads` further successful page reads, every
@@ -64,12 +77,17 @@ impl SimDisk {
         self.reads_until_failure.store(-1, Ordering::SeqCst);
     }
 
-    /// True if the disk is currently failing reads.
+    /// True if the disk is currently failing reads — because an injected
+    /// read budget ran out or the array's fault injector marked it dead.
     pub fn is_failing(&self) -> bool {
         self.reads_until_failure.load(Ordering::SeqCst) == 0
+            || self.fault.as_ref().is_some_and(|f| f.is_failed())
     }
 
     fn check_fault(&self) -> Result<(), StorageError> {
+        if self.fault.as_ref().is_some_and(|f| f.is_failed()) {
+            return Err(StorageError::DiskFailure { disk: self.id });
+        }
         // Decrement the budget if a fault is armed; fail at zero.
         let mut current = self.reads_until_failure.load(Ordering::SeqCst);
         loop {
@@ -245,6 +263,21 @@ mod tests {
         assert!(disk.read(p).is_ok());
         // Counters only advanced on successful reads.
         assert_eq!(disk.read_count(), 3);
+    }
+
+    #[test]
+    fn injector_marked_failure_blocks_reads() {
+        use crate::{DiskArray, DiskModel};
+        let array = DiskArray::new(2, DiskModel::unit()).unwrap();
+        let p = array.disk(1).allocate(Bytes::from_static(b"x")).unwrap();
+        array.faults().fail(1);
+        assert!(array.disk(1).is_failing());
+        assert!(matches!(
+            array.disk(1).read(p),
+            Err(StorageError::DiskFailure { disk: 1 })
+        ));
+        array.faults().heal(1);
+        assert!(array.disk(1).read(p).is_ok());
     }
 
     #[test]

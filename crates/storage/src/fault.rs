@@ -1,0 +1,364 @@
+//! Injectable disk faults: failed, slow, and flaky disks.
+//!
+//! A [`FaultInjector`] rides along with every [`crate::DiskArray`] and lets
+//! tests and experiments degrade individual disks at runtime:
+//!
+//! * **failed** — the disk is dead; every read fails until it is healed.
+//! * **slow** — reads succeed, but the disk's service time is scaled by a
+//!   latency multiplier ([`FaultInjector::model_for`] plugs the multiplier
+//!   into the [`DiskModel`]).
+//! * **flaky** — each read independently fails with a configured
+//!   probability, drawn from a deterministic per-disk splitmix64 stream so
+//!   degraded runs are reproducible.
+//!
+//! Injection is control-plane only: arming or healing a fault is a couple
+//! of atomic stores, and the hot query path pays a single relaxed load
+//! ([`FaultInjector::any_armed`]) while the array is healthy.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::model::DiskModel;
+
+/// The failure mode injected into one simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The disk is dead: every read fails until the disk is healed.
+    Failed,
+    /// Reads succeed but the disk's modeled service time is scaled by this
+    /// factor (`> 1.0` is slower).
+    Slow {
+        /// Latency multiplier applied to the disk's service-time model.
+        multiplier: f64,
+    },
+    /// Each read independently fails with this probability; readers retry
+    /// or fail over according to their own policy.
+    Flaky {
+        /// Per-read error probability in `[0, 1]`.
+        error_probability: f64,
+    },
+}
+
+const MODE_HEALTHY: u8 = 0;
+const MODE_FAILED: u8 = 1;
+const MODE_SLOW: u8 = 2;
+const MODE_FLAKY: u8 = 3;
+
+/// Per-disk fault state, shared between the injector and the disk.
+#[derive(Debug)]
+pub(crate) struct FaultCell {
+    /// One of the `MODE_*` constants.
+    mode: AtomicU8,
+    /// The f64 parameter of the mode (multiplier or probability) as bits.
+    param: AtomicU64,
+    /// splitmix64 state for the flaky-read error stream.
+    rng: AtomicU64,
+}
+
+impl FaultCell {
+    fn new(disk: usize) -> Self {
+        FaultCell {
+            mode: AtomicU8::new(MODE_HEALTHY),
+            param: AtomicU64::new(0),
+            // Distinct, non-zero default seed per disk.
+            rng: AtomicU64::new(splitmix64(disk as u64 ^ 0xD15C_FA17)),
+        }
+    }
+
+    pub(crate) fn is_failed(&self) -> bool {
+        self.mode.load(Ordering::SeqCst) == MODE_FAILED
+    }
+
+    fn kind(&self) -> Option<FaultKind> {
+        match self.mode.load(Ordering::SeqCst) {
+            MODE_FAILED => Some(FaultKind::Failed),
+            MODE_SLOW => Some(FaultKind::Slow {
+                multiplier: f64::from_bits(self.param.load(Ordering::SeqCst)),
+            }),
+            MODE_FLAKY => Some(FaultKind::Flaky {
+                error_probability: f64::from_bits(self.param.load(Ordering::SeqCst)),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Advances the per-disk RNG and returns the next uniform draw in
+    /// `[0, 1)`.
+    fn next_unit(&self) -> f64 {
+        const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+        let state = self
+            .rng
+            .fetch_add(GOLDEN, Ordering::Relaxed)
+            .wrapping_add(GOLDEN);
+        let z = splitmix64(state);
+        // 53 random mantissa bits → uniform double in [0, 1).
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// One splitmix64 finalization round.
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runtime fault injection over the disks of a [`crate::DiskArray`].
+///
+/// The injector is cheaply cloneable (all state is shared), so experiment
+/// code can keep a handle while the engine owns the array.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cells: Vec<Arc<FaultCell>>,
+    /// Number of disks with a fault currently armed — lets hot paths skip
+    /// all per-disk checks while the array is healthy.
+    armed: Arc<AtomicUsize>,
+}
+
+impl FaultInjector {
+    /// Creates an all-healthy injector for `disks` disks.
+    pub fn new(disks: usize) -> Self {
+        FaultInjector {
+            cells: (0..disks).map(|i| Arc::new(FaultCell::new(i))).collect(),
+            armed: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Number of disks covered.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the injector covers no disks.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    pub(crate) fn cell(&self, disk: usize) -> Arc<FaultCell> {
+        Arc::clone(&self.cells[disk])
+    }
+
+    fn set_mode(&self, disk: usize, mode: u8, param: f64) {
+        let cell = &self.cells[disk];
+        cell.param.store(param.to_bits(), Ordering::SeqCst);
+        let prev = cell.mode.swap(mode, Ordering::SeqCst);
+        let was_armed = prev != MODE_HEALTHY;
+        let is_armed = mode != MODE_HEALTHY;
+        if is_armed && !was_armed {
+            self.armed.fetch_add(1, Ordering::SeqCst);
+        } else if !is_armed && was_armed {
+            self.armed.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Injects `fault` into `disk`, replacing any previous fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk` is out of range, if a slow multiplier is not `≥ 1`,
+    /// or if a flaky probability is outside `[0, 1]`.
+    pub fn inject(&self, disk: usize, fault: FaultKind) {
+        match fault {
+            FaultKind::Failed => self.set_mode(disk, MODE_FAILED, 0.0),
+            FaultKind::Slow { multiplier } => {
+                assert!(
+                    multiplier.is_finite() && multiplier >= 1.0,
+                    "slow-disk multiplier must be a finite value ≥ 1, got {multiplier}"
+                );
+                self.set_mode(disk, MODE_SLOW, multiplier);
+            }
+            FaultKind::Flaky { error_probability } => {
+                assert!(
+                    (0.0..=1.0).contains(&error_probability),
+                    "flaky error probability must be in [0, 1], got {error_probability}"
+                );
+                self.set_mode(disk, MODE_FLAKY, error_probability);
+            }
+        }
+    }
+
+    /// Marks `disk` as dead ([`FaultKind::Failed`]).
+    pub fn fail(&self, disk: usize) {
+        self.inject(disk, FaultKind::Failed);
+    }
+
+    /// Marks `disk` as slow by `multiplier` ([`FaultKind::Slow`]).
+    pub fn slow(&self, disk: usize, multiplier: f64) {
+        self.inject(disk, FaultKind::Slow { multiplier });
+    }
+
+    /// Marks `disk` as flaky with the given per-read error probability
+    /// ([`FaultKind::Flaky`]).
+    pub fn flaky(&self, disk: usize, error_probability: f64) {
+        self.inject(disk, FaultKind::Flaky { error_probability });
+    }
+
+    /// Clears any fault on `disk`.
+    pub fn heal(&self, disk: usize) {
+        self.set_mode(disk, MODE_HEALTHY, 0.0);
+    }
+
+    /// Clears all faults.
+    pub fn heal_all(&self) {
+        for disk in 0..self.cells.len() {
+            self.heal(disk);
+        }
+    }
+
+    /// Reseeds the flaky-read error stream of `disk` for reproducible runs.
+    pub fn seed(&self, disk: usize, seed: u64) {
+        self.cells[disk].rng.store(seed, Ordering::SeqCst);
+    }
+
+    /// The fault currently armed on `disk`, if any.
+    pub fn fault(&self, disk: usize) -> Option<FaultKind> {
+        self.cells[disk].kind()
+    }
+
+    /// True if `disk` is currently dead.
+    pub fn is_failed(&self, disk: usize) -> bool {
+        self.cells[disk].is_failed()
+    }
+
+    /// The service-time multiplier of `disk` (1.0 unless slow).
+    pub fn latency_multiplier(&self, disk: usize) -> f64 {
+        match self.fault(disk) {
+            Some(FaultKind::Slow { multiplier }) => multiplier,
+            _ => 1.0,
+        }
+    }
+
+    /// True if any disk currently has a fault armed. A single relaxed
+    /// atomic load — the fast-path gate for query execution.
+    pub fn any_armed(&self) -> bool {
+        self.armed.load(Ordering::SeqCst) > 0
+    }
+
+    /// The disks currently marked dead, in ascending order.
+    pub fn failed_disks(&self) -> Vec<usize> {
+        (0..self.cells.len())
+            .filter(|&d| self.is_failed(d))
+            .collect()
+    }
+
+    /// Simulates one read against `disk`'s flaky-error stream: returns true
+    /// if the read fails. Always false unless the disk is flaky; each call
+    /// advances the deterministic per-disk stream.
+    pub fn draw_read_error(&self, disk: usize) -> bool {
+        match self.fault(disk) {
+            Some(FaultKind::Flaky { error_probability }) => {
+                self.cells[disk].next_unit() < error_probability
+            }
+            _ => false,
+        }
+    }
+
+    /// The effective service-time model of `disk`: `base` scaled by the
+    /// disk's latency multiplier when it is slow, `base` unchanged
+    /// otherwise. This is how injected faults plug into the [`DiskModel`].
+    pub fn model_for(&self, disk: usize, base: &DiskModel) -> DiskModel {
+        let m = self.latency_multiplier(disk);
+        if m == 1.0 {
+            *base
+        } else {
+            base.scaled(m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_injector_is_free_of_faults() {
+        let f = FaultInjector::new(4);
+        assert_eq!(f.len(), 4);
+        assert!(!f.any_armed());
+        assert!(f.failed_disks().is_empty());
+        for d in 0..4 {
+            assert_eq!(f.fault(d), None);
+            assert!(!f.is_failed(d));
+            assert_eq!(f.latency_multiplier(d), 1.0);
+            assert!(!f.draw_read_error(d));
+        }
+    }
+
+    #[test]
+    fn inject_heal_round_trip() {
+        let f = FaultInjector::new(3);
+        f.fail(0);
+        f.slow(1, 4.0);
+        f.flaky(2, 0.5);
+        assert!(f.any_armed());
+        assert_eq!(f.failed_disks(), vec![0]);
+        assert_eq!(f.fault(0), Some(FaultKind::Failed));
+        assert_eq!(f.fault(1), Some(FaultKind::Slow { multiplier: 4.0 }));
+        assert_eq!(
+            f.fault(2),
+            Some(FaultKind::Flaky {
+                error_probability: 0.5
+            })
+        );
+        assert_eq!(f.latency_multiplier(1), 4.0);
+        f.heal_all();
+        assert!(!f.any_armed());
+        assert!(f.failed_disks().is_empty());
+    }
+
+    #[test]
+    fn armed_count_tracks_mode_transitions() {
+        let f = FaultInjector::new(2);
+        f.fail(0);
+        f.slow(0, 2.0); // replacing a fault must not double-count
+        assert!(f.any_armed());
+        f.heal(0);
+        assert!(!f.any_armed());
+        f.heal(0); // double heal is a no-op
+        assert!(!f.any_armed());
+    }
+
+    #[test]
+    fn flaky_draws_match_probability_and_are_reproducible() {
+        let f = FaultInjector::new(1);
+        f.flaky(0, 0.25);
+        f.seed(0, 42);
+        let first: Vec<bool> = (0..4096).map(|_| f.draw_read_error(0)).collect();
+        let errors = first.iter().filter(|&&e| e).count() as f64 / 4096.0;
+        assert!((errors - 0.25).abs() < 0.05, "error rate {errors}");
+        // Reseeding replays the identical stream.
+        f.seed(0, 42);
+        let second: Vec<bool> = (0..4096).map(|_| f.draw_read_error(0)).collect();
+        assert_eq!(first, second);
+        // Probability 0 and 1 are exact.
+        f.flaky(0, 0.0);
+        assert!((0..100).all(|_| !f.draw_read_error(0)));
+        f.flaky(0, 1.0);
+        assert!((0..100).all(|_| f.draw_read_error(0)));
+    }
+
+    #[test]
+    fn model_for_scales_only_slow_disks() {
+        let f = FaultInjector::new(2);
+        let base = DiskModel::hp_workstation_1997();
+        f.slow(0, 3.0);
+        let scaled = f.model_for(0, &base);
+        let healthy = f.model_for(1, &base);
+        assert_eq!(healthy, base);
+        let t = base.service_time(10).as_secs_f64();
+        let ts = scaled.service_time(10).as_secs_f64();
+        assert!((ts / t - 3.0).abs() < 1e-6, "ratio {}", ts / t);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn rejects_speedup_multiplier() {
+        FaultInjector::new(1).slow(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_probability() {
+        FaultInjector::new(1).flaky(0, 1.5);
+    }
+}

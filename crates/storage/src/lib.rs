@@ -14,6 +14,10 @@
 //! * [`DiskModel`] — converts page counts into service time (seek +
 //!   rotational latency + transfer), so experiments can report model
 //!   milliseconds as the paper reports wall-clock milliseconds.
+//! * [`FaultInjector`] — per-disk runtime fault injection (failed, slow,
+//!   flaky) used by the degraded-mode execution paths of the parallel
+//!   engine; slow disks plug back into the [`DiskModel`] via
+//!   [`FaultInjector::model_for`].
 //! * [`VectorArena`] — flat row-major vector storage used by leaf pages so
 //!   a page scan is one linear sweep instead of a pointer chase.
 //!
@@ -28,6 +32,7 @@ pub mod arena;
 pub mod array;
 pub mod cache;
 pub mod disk;
+pub mod fault;
 pub mod model;
 pub mod page;
 
@@ -35,6 +40,7 @@ pub use arena::VectorArena;
 pub use array::{DiskArray, QueryCost, QueryScope};
 pub use cache::LruTracker;
 pub use disk::{DiskStats, SimDisk};
+pub use fault::{FaultInjector, FaultKind};
 pub use model::DiskModel;
 pub use page::{PageId, PAGE_SIZE};
 

@@ -60,6 +60,19 @@ impl DiskModel {
         }
     }
 
+    /// This model with every latency component scaled by `multiplier`
+    /// (seek, rotation, and overhead multiplied; transfer rate divided), so
+    /// `scaled(m).service_time(p) ≈ m × service_time(p)`. Used to model
+    /// degraded ("slow") disks without touching the healthy array's model.
+    pub fn scaled(&self, multiplier: f64) -> DiskModel {
+        DiskModel {
+            avg_seek_us: self.avg_seek_us * multiplier,
+            avg_rotational_us: self.avg_rotational_us * multiplier,
+            transfer_mb_per_s: self.transfer_mb_per_s / multiplier,
+            overhead_us: self.overhead_us * multiplier,
+        }
+    }
+
     /// Service time of a single random page read in microseconds.
     pub fn random_page_us(&self) -> f64 {
         let transfer_us = if self.transfer_mb_per_s.is_finite() {
@@ -122,6 +135,17 @@ mod tests {
         let t1 = m.service_time(10).as_nanos();
         let t2 = m.service_time(20).as_nanos();
         assert!((t2 as i128 - 2 * t1 as i128).abs() <= 2);
+    }
+
+    #[test]
+    fn scaled_model_multiplies_service_time() {
+        let m = DiskModel::hp_workstation_1997();
+        let s = m.scaled(2.5);
+        let ratio = s.service_time(20).as_secs_f64() / m.service_time(20).as_secs_f64();
+        assert!((ratio - 2.5).abs() < 1e-9, "ratio {ratio}");
+        // The unit model's infinite transfer rate survives scaling.
+        let u = DiskModel::unit().scaled(3.0);
+        assert_eq!(u.service_time(100), Duration::from_micros(300));
     }
 
     #[test]

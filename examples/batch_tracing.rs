@@ -19,9 +19,12 @@ fn main() {
 
     // A cached engine: each disk gets a small LRU page cache, so repeated
     // regions of the query workload stop charging the disks.
-    let engine = ParallelKnnEngine::build_near_optimal(&data, disks, config)
-        .expect("engine builds on non-empty data")
-        .with_page_cache(256);
+    let engine = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .disks(disks)
+        .page_cache(256)
+        .build(&data)
+        .expect("engine builds on non-empty data");
     println!(
         "engine: {n} vectors ({dim}-d) on {} disks, {}-page cache each",
         engine.disks(),

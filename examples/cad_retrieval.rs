@@ -22,7 +22,11 @@ fn main() {
     let config = EngineConfig::paper_defaults(dim);
 
     // Engine A: the paper's near-optimal declustering.
-    let ours = ParallelKnnEngine::build_near_optimal(&parts, disks, config).unwrap();
+    let ours = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .disks(disks)
+        .build(&parts)
+        .unwrap();
 
     // Engine B: Hilbert declustering on the same quadrant partition.
     let splitter = median_splits(&parts).unwrap();
@@ -30,7 +34,11 @@ fn main() {
         HilbertDecluster::new(dim, disks).unwrap(),
         splitter,
     ));
-    let hil = ParallelKnnEngine::build(&parts, hilbert, config).unwrap();
+    let hil = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .declusterer(hilbert)
+        .build(&parts)
+        .unwrap();
 
     println!(
         "engines: ours on {} disks, hilbert on {} disks",

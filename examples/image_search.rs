@@ -76,8 +76,10 @@ fn main() {
     println!("image database: {n} synthetic photos, {BINS}-bin color histograms");
 
     let histograms: Vec<Point> = images.iter().map(|im| im.histogram.clone()).collect();
-    let config = EngineConfig::paper_defaults(BINS);
-    let engine = ParallelKnnEngine::build_near_optimal(&histograms, 16, config).unwrap();
+    let engine = ParallelKnnEngine::builder(BINS)
+        .disks(16)
+        .build(&histograms)
+        .unwrap();
     println!(
         "engine: {} disks, load {:?}",
         engine.disks(),

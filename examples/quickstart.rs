@@ -19,7 +19,10 @@ fn main() {
     // declustering over 16 simulated disks.
     let disks = 16;
     let config = EngineConfig::paper_defaults(dim);
-    let engine = ParallelKnnEngine::build_near_optimal(&data, disks, config)
+    let engine = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .disks(disks)
+        .build(&data)
         .expect("engine builds on non-empty data");
     println!(
         "engine: {} disks, declusterer = {}",

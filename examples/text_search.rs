@@ -17,8 +17,10 @@ fn main() {
     let descriptors = gen.generate(n, 7);
     println!("text database: {n} substring descriptors (d = {dim})");
 
-    let config = EngineConfig::paper_defaults(dim);
-    let mut engine = ParallelKnnEngine::build_near_optimal(&descriptors, 16, config).unwrap();
+    let mut engine = ParallelKnnEngine::builder(dim)
+        .disks(16)
+        .build(&descriptors)
+        .unwrap();
     println!(
         "engine: {} disks, load {:?}",
         engine.disks(),

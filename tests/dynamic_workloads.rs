@@ -13,7 +13,11 @@ fn insert_delete_churn_stays_exact() {
     let initial = UniformGenerator::new(dim).generate(1_000, 1);
     let stream = UniformGenerator::new(dim).generate(600, 2);
     let config = EngineConfig::paper_defaults(dim);
-    let mut engine = ParallelKnnEngine::build_near_optimal(&initial, 8, config).unwrap();
+    let mut engine = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .disks(8)
+        .build(&initial)
+        .unwrap();
 
     // Shadow copy for brute force.
     let mut shadow: Vec<(Point, u64)> = initial
@@ -53,7 +57,11 @@ fn trees_stay_valid_under_churn() {
     let dim = 5;
     let initial = UniformGenerator::new(dim).generate(800, 4);
     let config = EngineConfig::paper_defaults(dim);
-    let mut engine = ParallelKnnEngine::build_near_optimal(&initial, 4, config).unwrap();
+    let mut engine = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .disks(4)
+        .build(&initial)
+        .unwrap();
     let stream = UniformGenerator::new(dim).generate(400, 5);
     let mut ids = Vec::new();
     for p in &stream {
@@ -75,7 +83,11 @@ fn drift_detection_and_reorganization() {
     let dim = 8;
     let initial = UniformGenerator::new(dim).generate(4_000, 6);
     let config = EngineConfig::paper_defaults(dim);
-    let mut engine = ParallelKnnEngine::build_near_optimal(&initial, 8, config).unwrap();
+    let mut engine = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .disks(8)
+        .build(&initial)
+        .unwrap();
 
     let splitter = median_splits(&initial).unwrap();
     let mut tracker = AdaptiveQuantile::new(&splitter, 2.0);
@@ -127,7 +139,11 @@ fn duplicates_are_preserved() {
         data.push(p.clone());
     }
     let config = EngineConfig::paper_defaults(dim);
-    let engine = ParallelKnnEngine::build_near_optimal(&data, 4, config).unwrap();
+    let engine = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .disks(4)
+        .build(&data)
+        .unwrap();
     let (res, _) = engine.knn(&p, 50).unwrap();
     assert_eq!(res.len(), 50);
     assert!(res.iter().all(|nb| nb.dist == 0.0));

@@ -31,7 +31,11 @@ fn every_generator_yields_exact_knn() {
         let queries = QueryWorkload::DataLike { data_count: n }.generate(gen.as_ref(), 5, 77);
         let config = EngineConfig::paper_defaults(dim);
 
-        let forest = ParallelKnnEngine::build_near_optimal(&data, 8, config).unwrap();
+        let forest = ParallelKnnEngine::builder(dim)
+            .config(config)
+            .disks(8)
+            .build(&data)
+            .unwrap();
         let paged = DeclusteredXTree::build_near_optimal(&data, 8, config).unwrap();
 
         for q in &queries {
@@ -96,7 +100,11 @@ fn cost_accounting_is_exact() {
     let dim = 6;
     let data = UniformGenerator::new(dim).generate(2_000, 9);
     let config = EngineConfig::paper_defaults(dim);
-    let engine = ParallelKnnEngine::build_near_optimal(&data, 4, config).unwrap();
+    let engine = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .disks(4)
+        .build(&data)
+        .unwrap();
 
     let before: Vec<u64> = engine.array().iter().map(|d| d.read_count()).collect();
     let q = UniformGenerator::new(dim).generate(1, 10).pop().unwrap();

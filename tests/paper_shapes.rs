@@ -132,7 +132,11 @@ fn shared_bound_beats_independent_search() {
     let dim = 10;
     let data = UniformGenerator::new(dim).generate(15_000, 11);
     let config = EngineConfig::paper_defaults(dim);
-    let engine = ParallelKnnEngine::build_near_optimal(&data, 8, config).unwrap();
+    let engine = ParallelKnnEngine::builder(dim)
+        .config(config)
+        .disks(8)
+        .build(&data)
+        .unwrap();
     let queries = UniformGenerator::new(dim).generate(10, 12);
     let mut shared = 0u64;
     let mut independent = 0u64;
