@@ -1,0 +1,40 @@
+//! Query-backbone microbench: the same 64-query sustained batch through
+//! the scoped reference engine and the persistent per-disk worker pool.
+//! The pooled path additionally measures single-query submit→wait
+//! latency, which includes the channel hop per disk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_parallel::{ExecutionMode, ParallelKnnEngine, QueryOptions};
+
+fn bench_backbone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_backbone");
+    group.sample_size(10);
+    let dim = 8;
+    let k = 5;
+    let data = UniformGenerator::new(dim).generate(8_000, 91);
+    let queries = UniformGenerator::new(dim).generate(64, 92);
+    let opts = QueryOptions::new(k);
+    for (label, mode) in [
+        ("scoped", ExecutionMode::Scoped),
+        ("pooled", ExecutionMode::Pooled),
+    ] {
+        let engine = ParallelKnnEngine::builder(dim)
+            .disks(8)
+            .execution(mode)
+            .build(&data)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("batch64_knn5", label), &mode, |b, _| {
+            b.iter(|| engine.query_batch(black_box(&queries), &opts).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("single_knn5", label), &mode, |b, _| {
+            b.iter(|| engine.query(black_box(&queries[0]), &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backbone);
+criterion_main!(benches);

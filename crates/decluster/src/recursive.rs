@@ -454,8 +454,10 @@ mod tests {
         let mut plateaued = 0usize;
         for seed in [5u64, 7, 11, 23, 41] {
             let pts = CorrelatedGenerator::new(8, 0.01).generate(6000, seed);
-            let mut config = RecursiveConfig::default();
-            config.max_levels = 6;
+            let config = RecursiveConfig {
+                max_levels: 6,
+                ..Default::default()
+            };
             let r = RecursiveDeclusterer::build(&pts, 8, config).unwrap();
             let stats = r.stats();
             println!(

@@ -1,36 +1,61 @@
 //! A page-cache layer for visit accounting.
 //!
-//! Wraps any [`NodeSink`] with an exact-LRU page cache: hits are absorbed
-//! (no disk charge), misses pass through. This lets experiments answer
-//! "how much RAM per disk does it take to change the figures?" — the
-//! paper's machines cached at least the small X-tree directory, and the
-//! cache-size ablation bench quantifies how much further caching matters.
+//! Wraps any [`NodeSink`] with a sharded exact-per-shard-LRU page cache:
+//! hits are absorbed (no disk charge), misses pass through. This lets
+//! experiments answer "how much RAM per disk does it take to change the
+//! figures?" — the paper's machines cached at least the small X-tree
+//! directory, and the cache-size ablation bench quantifies how much
+//! further caching matters.
+//!
+//! The cache is a [`ShardedLru`]: page ids are routed to independently
+//! locked LRU shards, so concurrent searches of the same tree (the batched
+//! query paths run many queries against every disk at once) never
+//! serialize on a single global cache mutex. With one shard the sink is
+//! exactly the old `Mutex<LruTracker>` behavior.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use parsim_storage::LruTracker;
+use parsim_storage::ShardedLru;
 
 use crate::node::{Node, NodeId};
 use crate::tree::NodeSink;
 
-/// An LRU cache in front of another sink.
+/// Default shard count of [`CachingSink::new`] — enough to keep a handful
+/// of concurrent same-disk searches from colliding while each shard stays
+/// large enough for meaningful LRU behavior.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// A sharded LRU cache in front of another sink.
 pub struct CachingSink {
     inner: Arc<dyn NodeSink>,
-    cache: Mutex<LruTracker>,
+    cache: ShardedLru,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl CachingSink {
-    /// Wraps `inner` with a cache of `capacity` pages.
+    /// Wraps `inner` with a cache of `capacity` pages split over
+    /// [`DEFAULT_CACHE_SHARDS`] independently locked shards.
     pub fn new(inner: Arc<dyn NodeSink>, capacity: usize) -> Self {
+        Self::with_shards(inner, capacity, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// Wraps `inner` with a cache of `capacity` pages split over `shards`
+    /// independently locked LRU shards (clamped to at least 1; 1 shard is
+    /// exact global LRU).
+    pub fn with_shards(inner: Arc<dyn NodeSink>, capacity: usize, shards: usize) -> Self {
         CachingSink {
             inner,
-            cache: Mutex::new(LruTracker::new(capacity)),
+            cache: ShardedLru::new(capacity, shards),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Number of independently locked cache shards.
+    pub fn shard_count(&self) -> usize {
+        self.cache.shard_count()
     }
 
     /// Cache hits so far.
@@ -56,13 +81,13 @@ impl CachingSink {
 
     /// Empties the cache (keeps the counters).
     pub fn clear(&self) {
-        self.cache.lock().expect("cache lock").clear();
+        self.cache.clear();
     }
 }
 
 impl NodeSink for CachingSink {
     fn visit(&self, id: NodeId, node: &Node) -> bool {
-        let hit = self.cache.lock().expect("cache lock").touch(id.0 as u64);
+        let hit = self.cache.touch(id.0 as u64);
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
             true

@@ -285,7 +285,28 @@ fn forest_knn_rkv(
     k: usize,
     stats: &mut [SearchStats],
 ) -> Vec<Neighbor> {
-    let mut best = BoundedMaxHeap::new(k);
+    let mut cursor = ForestCursor::new(k);
+    let itinerary = forest_itinerary(trees, query);
+    for (i, &(min_dist, ti)) in itinerary.iter().enumerate() {
+        if cursor.prunable(min_dist) {
+            // Sorted order: the remaining whole trees are pruned.
+            for &(_, tj) in &itinerary[i..] {
+                stats[tj].pruned += 1;
+            }
+            break;
+        }
+        cursor.visit(trees[ti], query, &mut stats[ti]);
+    }
+    cursor.finish()
+}
+
+/// The RKV forest visiting order: `(root MINDIST², tree index)` of every
+/// non-empty tree, sorted ascending (ties keep index order). This is the
+/// exact order [`forest_knn_traced`] visits trees with
+/// [`KnnAlgorithm::Rkv`], exposed so distributed executors (the parallel
+/// engine's worker pool pipelines one [`ForestCursor`] across the per-disk
+/// workers in this order) reproduce its traces bit-for-bit.
+pub fn forest_itinerary(trees: &[&SpatialTree], query: &Point) -> Vec<(f64, usize)> {
     let mut roots: Vec<(f64, usize)> = trees
         .iter()
         .enumerate()
@@ -299,18 +320,62 @@ fn forest_knn_rkv(
         })
         .collect();
     roots.sort_by(|a, b| a.0.total_cmp(&b.0));
-    for (i, &(min_dist, ti)) in roots.iter().enumerate() {
-        if best.is_full() && min_dist > best.worst() {
-            // Sorted order: the remaining whole trees are pruned.
-            for &(_, tj) in &roots[i..] {
-                stats[tj].pruned += 1;
-            }
-            break;
+    roots
+}
+
+/// A resumable RKV forest search: the single bounded candidate heap of
+/// [`forest_knn_traced`] with [`KnnAlgorithm::Rkv`], detached from the
+/// loop that drives it.
+///
+/// Visiting the trees of a [`forest_itinerary`] in order — checking
+/// [`ForestCursor::prunable`] before each [`ForestCursor::visit`] and
+/// charging one `pruned` per remaining tree once it fires — performs
+/// *exactly* the canonical forest search: same neighbors, same per-tree
+/// [`SearchStats`]. Because the cursor owns all of the search's mutable
+/// state it can hop between threads mid-search, which is how the parallel
+/// engine's persistent worker pool pipelines one query across its
+/// per-disk workers without giving up trace parity with the
+/// single-threaded reference path.
+pub struct ForestCursor {
+    best: BoundedMaxHeap,
+}
+
+impl ForestCursor {
+    /// A fresh cursor searching for the `k` nearest neighbors.
+    pub fn new(k: usize) -> Self {
+        ForestCursor {
+            best: BoundedMaxHeap::new(k),
         }
-        let tree = trees[ti];
-        tree.rkv_visit(tree.root_id(), query, k, &mut best, None, &mut stats[ti]);
     }
-    best.into_sorted()
+
+    /// True once every tree whose root MINDIST² is at least `min_dist2`
+    /// can no longer contribute a k-nearest point. Itineraries are sorted,
+    /// so the first prunable stop prunes all remaining stops.
+    pub fn prunable(&self, min_dist2: f64) -> bool {
+        self.best.is_full() && min_dist2 > self.best.worst()
+    }
+
+    /// Runs the RKV descent of one tree, tightening this cursor's bound
+    /// with every candidate found. Counts the tree's work into `stats`.
+    pub fn visit(&mut self, tree: &SpatialTree, query: &Point, stats: &mut SearchStats) {
+        if self.best.k == 0 || tree.is_empty() {
+            return;
+        }
+        tree.rkv_visit(
+            tree.root_id(),
+            query,
+            self.best.k,
+            &mut self.best,
+            None,
+            stats,
+        );
+    }
+
+    /// Consumes the cursor, returning the neighbors found so far sorted by
+    /// ascending distance (ties by item id).
+    pub fn finish(self) -> Vec<Neighbor> {
+        self.best.into_sorted()
+    }
 }
 
 /// Best-first (HS) search over a forest of trees: one priority queue of
@@ -733,6 +798,50 @@ mod tests {
             t.insert(p.clone(), *i).unwrap();
         }
         t
+    }
+
+    #[test]
+    fn cursor_replays_the_forest_search_exactly() {
+        // Driving a ForestCursor along the itinerary — the way the worker
+        // pool pipelines a query across disks — must reproduce the
+        // canonical forest search bit-for-bit: same neighbors, same stats.
+        let dim = 8;
+        let pts = ClusteredGenerator::new(dim, 5, 0.04).generate(2400, 31);
+        let trees: Vec<SpatialTree> = (0..6)
+            .map(|d| {
+                let items: Vec<(Point, u64)> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 6 == d)
+                    .map(|(i, p)| (p.clone(), i as u64))
+                    .collect();
+                build_tree_items(&items, dim)
+            })
+            .collect();
+        let refs: Vec<&SpatialTree> = trees.iter().collect();
+        for (qi, q) in UniformGenerator::new(dim)
+            .generate(12, 32)
+            .iter()
+            .enumerate()
+        {
+            let k = 1 + qi % 10;
+            let (want, want_stats) = forest_knn_traced(&refs, q, k, KnnAlgorithm::Rkv);
+            let mut stats = vec![SearchStats::default(); refs.len()];
+            let mut cursor = ForestCursor::new(k);
+            let itinerary = forest_itinerary(&refs, q);
+            for (i, &(min_dist, ti)) in itinerary.iter().enumerate() {
+                if cursor.prunable(min_dist) {
+                    for &(_, tj) in &itinerary[i..] {
+                        stats[tj].pruned += 1;
+                    }
+                    break;
+                }
+                cursor.visit(refs[ti], q, &mut stats[ti]);
+            }
+            let got = cursor.finish();
+            assert_eq!(got, want, "neighbors diverged at query {qi}");
+            assert_eq!(stats, want_stats, "stats diverged at query {qi}");
+        }
     }
 
     #[test]

@@ -40,13 +40,16 @@ pub mod stats;
 pub mod tree;
 pub mod tvtree;
 
-pub use caching::CachingSink;
+pub use caching::{CachingSink, DEFAULT_CACHE_SHARDS};
 pub use costmodel::{predict_leaf_accesses, CostPrediction};
 pub use graphnn::GraphIndex;
 pub use gridfile::GridFile;
 pub use incremental::{incremental_forest, NnIterator};
 pub use kdtree::KdTree;
-pub use knn::{forest_knn, forest_knn_traced, KnnAlgorithm, Neighbor, SearchStats, SharedBound};
+pub use knn::{
+    forest_itinerary, forest_knn, forest_knn_traced, ForestCursor, KnnAlgorithm, Neighbor,
+    SearchStats, SharedBound,
+};
 pub use params::{TreeParams, TreeVariant};
 pub use persist::{PersistError, PersistedTree};
 pub use stats::TreeStats;

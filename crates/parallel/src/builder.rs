@@ -22,12 +22,12 @@ use parsim_decluster::near_optimal::colors_required;
 use parsim_decluster::replica::{ChainedReplica, ReplicaRouting};
 use parsim_decluster::{BucketBased, Declusterer, NearOptimal, ReplicaDeclusterer};
 use parsim_geometry::Point;
-use parsim_index::{KnnAlgorithm, TreeVariant};
+use parsim_index::{KnnAlgorithm, TreeVariant, DEFAULT_CACHE_SHARDS};
 use parsim_storage::DiskModel;
 
 use crate::config::{EngineConfig, SplitStrategy};
 use crate::engine::ParallelKnnEngine;
-use crate::options::FaultPolicy;
+use crate::options::{ExecutionMode, FaultPolicy};
 use crate::EngineError;
 
 /// Builds a [`ParallelKnnEngine`], replacing the former
@@ -43,7 +43,9 @@ pub struct EngineBuilder {
     declusterer: Option<Arc<dyn Declusterer>>,
     replicas: usize,
     page_cache: Option<usize>,
+    cache_shards: usize,
     fault_policy: FaultPolicy,
+    execution: ExecutionMode,
 }
 
 impl EngineBuilder {
@@ -55,7 +57,9 @@ impl EngineBuilder {
             declusterer: None,
             replicas: 0,
             page_cache: None,
+            cache_shards: DEFAULT_CACHE_SHARDS,
             fault_policy: FaultPolicy::default(),
+            execution: ExecutionMode::default(),
         }
     }
 
@@ -97,9 +101,27 @@ impl EngineBuilder {
     }
 
     /// Installs an LRU page cache of `capacity` pages in front of every
-    /// disk's primary tree.
+    /// disk's primary tree. The cache is sharded (see
+    /// [`EngineBuilder::cache_shards`]) so concurrent searches of the
+    /// same disk never serialize on one global cache mutex.
     pub fn page_cache(mut self, capacity: usize) -> Self {
         self.page_cache = Some(capacity);
+        self
+    }
+
+    /// Number of independently locked LRU shards per disk cache (clamped
+    /// to at least 1; default [`DEFAULT_CACHE_SHARDS`]). One shard is
+    /// exact global LRU behind a single lock — the pre-sharding behavior.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+
+    /// Chooses how queries execute: scoped per-call threads (the default
+    /// reference implementation) or the persistent per-disk worker pool.
+    /// See [`ExecutionMode`].
+    pub fn execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
         self
     }
 
@@ -200,6 +222,8 @@ impl EngineBuilder {
             self.config,
             self.fault_policy,
             self.page_cache,
+            self.cache_shards,
+            self.execution,
         )
     }
 }

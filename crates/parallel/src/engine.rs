@@ -1,26 +1,36 @@
 //! The parallel k-NN engine.
+//!
+//! The engine's shared, thread-safe state (disk array, per-disk trees,
+//! mirror trees) lives in an `EngineCore` behind an `Arc`, so both the
+//! scoped reference paths and the persistent worker pool of
+//! [`crate::pool`] execute the same per-disk steps against the same data.
+//! See `DESIGN.md` ("Query execution backbone") for the full picture.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::RwLock;
 use parsim_decluster::quantile::median_splits;
 use parsim_decluster::replica::ReplicaRouting;
 use parsim_decluster::Declusterer;
 use parsim_geometry::{Point, QuadrantSplitter};
-use parsim_index::knn::{forest_knn_traced, Neighbor, SearchStats, SharedBound};
-use parsim_index::{CachingSink, DiskSink, NodeSink, SpatialTree, TreeParams};
+use parsim_index::knn::{
+    forest_itinerary, forest_knn_traced, ForestCursor, Neighbor, SearchStats, SharedBound,
+};
+use parsim_index::{CachingSink, DiskSink, KnnAlgorithm, NodeSink, SpatialTree, TreeParams};
 use parsim_storage::{DiskArray, DiskModel, FaultInjector, FaultKind, QueryCost};
 
 use crate::builder::EngineBuilder;
 use crate::config::{EngineConfig, SplitStrategy};
 use crate::metrics::{DegradedInfo, QueryTrace};
-use crate::options::{FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
+use crate::options::{ExecutionMode, FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
+use crate::pool::{Completion, PendingQuery, Phase, QueryTask, Stage, WorkerPool};
 use crate::EngineError;
 
 /// One query's answer on the batch path: neighbors plus the exact trace.
-type TracedAnswer = Result<(Vec<Neighbor>, QueryTrace), EngineError>;
+pub(crate) type TracedAnswer = Result<(Vec<Neighbor>, QueryTrace), EngineError>;
 
 /// The paper's parallel similarity-search system: a declusterer assigns
 /// every feature vector to one of `n` simulated disks, each disk carries a
@@ -32,24 +42,284 @@ type TracedAnswer = Result<(Vec<Neighbor>, QueryTrace), EngineError>;
 /// through [`ParallelKnnEngine::faults`]: reads against a failed, flaky,
 /// or over-budget disk **fail over** to the replicas and still return the
 /// exact (bit-identical) answer.
+///
+/// With [`EngineBuilder::execution`] set to [`ExecutionMode::Pooled`] the
+/// engine keeps one persistent worker thread per disk and queries are
+/// enqueued ([`ParallelKnnEngine::submit`]) instead of spawning threads;
+/// dropping the engine drains in-flight queries and joins the pool.
 pub struct ParallelKnnEngine {
-    config: EngineConfig,
-    array: DiskArray,
-    trees: Vec<SpatialTree>,
+    core: Arc<EngineCore>,
+    declusterer: Arc<dyn Declusterer>,
+    replica_router: Option<Arc<dyn ReplicaRouting>>,
+    fault_policy: FaultPolicy,
+    page_cache_capacity: Option<usize>,
+    cache_shards: usize,
+    next_seq: u64,
+    /// Per-disk page caches; empty unless [`EngineBuilder::page_cache`]
+    /// was set.
+    caches: Vec<Arc<CachingSink>>,
+    execution: ExecutionMode,
+    /// The persistent per-disk worker pool; `Some` iff `execution` is
+    /// [`ExecutionMode::Pooled`]. Dropped (drained + joined) before the
+    /// core when the engine goes away.
+    pool: Option<WorkerPool>,
+}
+
+/// The engine state shared with the worker pool: the simulated disk
+/// array plus the per-disk primary and mirror trees.
+///
+/// Trees sit behind [`RwLock`]s because pool workers outlive any `&mut
+/// self` borrow of the engine: queries take read locks (one tree at a
+/// time), dynamic [`ParallelKnnEngine::insert`]/
+/// [`ParallelKnnEngine::delete`] take write locks.
+pub(crate) struct EngineCore {
+    pub(crate) config: EngineConfig,
+    pub(crate) array: DiskArray,
+    pub(crate) trees: Vec<RwLock<SpatialTree>>,
     /// `mirrors[d][j]` is the tree holding the replica copies of disk
     /// `d`'s points that live on disk `j`. Empty maps when the engine was
     /// built without replicas. Mirror trees bypass the page caches: they
     /// are touched only on failover, so caching them would let rare
     /// degraded queries evict the hot primary working set.
-    mirrors: Vec<BTreeMap<usize, SpatialTree>>,
-    declusterer: Arc<dyn Declusterer>,
-    replica_router: Option<Arc<dyn ReplicaRouting>>,
-    fault_policy: FaultPolicy,
-    page_cache_capacity: Option<usize>,
-    next_seq: u64,
-    /// Per-disk page caches; empty unless [`EngineBuilder::page_cache`]
-    /// was set.
-    caches: Vec<Arc<CachingSink>>,
+    pub(crate) mirrors: Vec<RwLock<BTreeMap<usize, SpatialTree>>>,
+}
+
+/// The mutable state of one degraded-mode query, shared verbatim by the
+/// scoped sequential loop and the pooled pipeline so both execute the
+/// paper's failure handling step-for-step identically (same retry draws,
+/// same failover order, same trace).
+pub(crate) struct DegradedState {
+    pub(crate) timeout: Option<Duration>,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) bound: SharedBound,
+    pub(crate) extra_time: Vec<Duration>,
+    pub(crate) candidates: Vec<Vec<Neighbor>>,
+    pub(crate) down: Vec<usize>,
+    pub(crate) failed_over: Vec<usize>,
+    pub(crate) replica_pages: u64,
+    pub(crate) retries_total: u64,
+    /// Failover stops, in execution order: `(down disk, mirror host)`.
+    pub(crate) itinerary: Vec<(usize, usize)>,
+    /// A down disk discovered (during planning) to have no mirrors: the
+    /// query fails with `BucketUnavailable` *after* the itinerary built so
+    /// far has run, exactly as the sequential loop would.
+    pub(crate) error_after: Option<usize>,
+}
+
+impl DegradedState {
+    pub(crate) fn new(disks: usize, timeout: Option<Duration>, retry: RetryPolicy) -> Self {
+        DegradedState {
+            timeout,
+            retry,
+            bound: SharedBound::new(),
+            extra_time: vec![Duration::ZERO; disks],
+            candidates: vec![Vec::new(); disks],
+            down: Vec::new(),
+            failed_over: Vec::new(),
+            replica_pages: 0,
+            retries_total: 0,
+            itinerary: Vec::new(),
+            error_after: None,
+        }
+    }
+}
+
+impl EngineCore {
+    /// Runs the deterministic forest search (the canonical batch path):
+    /// all trees under one bounded heap, visited in MINDIST order.
+    pub(crate) fn forest_search(
+        &self,
+        query: &Point,
+        k: usize,
+    ) -> (Vec<Neighbor>, Vec<SearchStats>) {
+        let guards: Vec<_> = self.trees.iter().map(|t| t.read()).collect();
+        let refs: Vec<&SpatialTree> = guards.iter().map(|g| &**g).collect();
+        forest_knn_traced(&refs, query, k, self.config.algorithm)
+    }
+
+    /// The RKV itinerary of the current trees (see
+    /// [`parsim_index::forest_itinerary`]).
+    pub(crate) fn itinerary(&self, query: &Point) -> Vec<(f64, usize)> {
+        let guards: Vec<_> = self.trees.iter().map(|t| t.read()).collect();
+        let refs: Vec<&SpatialTree> = guards.iter().map(|g| &**g).collect();
+        forest_itinerary(&refs, query)
+    }
+
+    /// One RKV pipeline hop: visit tree `disk` with the traveling cursor.
+    pub(crate) fn cursor_visit(
+        &self,
+        disk: usize,
+        cursor: &mut ForestCursor,
+        query: &Point,
+        stats: &mut SearchStats,
+    ) {
+        cursor.visit(&self.trees[disk].read(), query, stats);
+    }
+
+    /// One HS pipeline hop: disk `disk`'s full local best-first search,
+    /// pruning against (and tightening) the traveling bound.
+    pub(crate) fn hs_visit(
+        &self,
+        disk: usize,
+        query: &Point,
+        k: usize,
+        bound: &SharedBound,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        self.trees[disk]
+            .read()
+            .knn_traced(query, k, KnnAlgorithm::Hs, Some(bound))
+    }
+
+    /// The degraded primary step of one disk: skip it if hard-failed,
+    /// otherwise search it, replay the flaky-read error stream, and apply
+    /// the timeout budget. An unusable disk joins `state.down`.
+    pub(crate) fn degraded_primary(
+        &self,
+        disk: usize,
+        query: &Point,
+        k: usize,
+        state: &mut DegradedState,
+        stats: &mut [SearchStats],
+    ) {
+        let faults = self.array.faults();
+        if faults.is_failed(disk) {
+            state.down.push(disk);
+            return;
+        }
+        let (cands, s) =
+            self.trees[disk]
+                .read()
+                .knn_traced(query, k, self.config.algorithm, Some(&state.bound));
+        stats[disk].merge(s);
+        let mut alive = true;
+        if matches!(faults.fault(disk), Some(FaultKind::Flaky { .. })) {
+            let (retries, extra, ok) =
+                simulate_flaky_reads(faults, disk, s.pages, &state.retry, self.array.model());
+            state.retries_total += retries;
+            state.extra_time[disk] += extra;
+            alive = ok;
+        }
+        if alive {
+            if let Some(budget) = state.timeout {
+                let disk_time = faults
+                    .model_for(disk, self.array.model())
+                    .service_time(stats[disk].pages)
+                    + state.extra_time[disk];
+                alive = disk_time <= budget;
+            }
+        }
+        if alive {
+            state.candidates[disk] = cands;
+        } else {
+            // The pages were read (and are charged) but the answer is not
+            // trusted: the disk's buckets fail over.
+            state.down.push(disk);
+        }
+    }
+
+    /// Plans the failover itinerary once every primary step ran: each
+    /// non-empty down disk contributes its mirror hosts in ascending
+    /// order. A down disk with no mirrors truncates the plan and records
+    /// the error, preserving the sequential loop's fail-after-searching
+    /// order.
+    pub(crate) fn plan_failover(&self, state: &mut DegradedState) {
+        for i in 0..state.down.len() {
+            let d = state.down[i];
+            if self.trees[d].read().is_empty() {
+                continue;
+            }
+            let mirrors = self.mirrors[d].read();
+            if mirrors.is_empty() {
+                state.error_after = Some(d);
+                break;
+            }
+            for &host in mirrors.keys() {
+                state.itinerary.push((d, host));
+            }
+        }
+    }
+
+    /// Executes failover stop `pos` of the planned itinerary: search the
+    /// mirror of the down disk on its host, replaying the host's flaky
+    /// stream. Errors if the host itself is failed or flaky beyond the
+    /// retry policy.
+    pub(crate) fn degraded_failover(
+        &self,
+        pos: usize,
+        query: &Point,
+        k: usize,
+        state: &mut DegradedState,
+        stats: &mut [SearchStats],
+    ) -> Result<(), EngineError> {
+        let (d, host) = state.itinerary[pos];
+        let faults = self.array.faults();
+        if faults.is_failed(host) {
+            return Err(EngineError::BucketUnavailable { disk: d });
+        }
+        let (cands, s) = {
+            let mirrors = self.mirrors[d].read();
+            let mirror = mirrors.get(&host).expect("planned failover host exists");
+            mirror.knn_traced(query, k, self.config.algorithm, Some(&state.bound))
+        };
+        if matches!(faults.fault(host), Some(FaultKind::Flaky { .. })) {
+            let (retries, extra, ok) =
+                simulate_flaky_reads(faults, host, s.pages, &state.retry, self.array.model());
+            state.retries_total += retries;
+            state.extra_time[host] += extra;
+            if !ok {
+                return Err(EngineError::BucketUnavailable { disk: d });
+            }
+        }
+        state.replica_pages += s.pages;
+        stats[host].merge(s);
+        state.candidates[host].extend(cands);
+        // The down disk is fully served once its last host ran.
+        if state.itinerary.get(pos + 1).map(|&(nd, _)| nd) != Some(d) {
+            state.failed_over.push(d);
+        }
+        Ok(())
+    }
+
+    /// Merges a finished degraded query into its answer and trace: the
+    /// degraded critical path charges every disk its fault-scaled service
+    /// time plus retry backoff; timed-out disks charge the budget;
+    /// hard-failed disks charge nothing.
+    pub(crate) fn assemble_degraded(
+        &self,
+        state: DegradedState,
+        k: usize,
+        stats: &[SearchStats],
+        wall: Duration,
+    ) -> Result<(Vec<Neighbor>, QueryTrace), EngineError> {
+        if let Some(d) = state.error_after {
+            return Err(EngineError::BucketUnavailable { disk: d });
+        }
+        let faults = self.array.faults();
+        let model = self.array.model();
+        let mut modeled_parallel = Duration::ZERO;
+        for (i, s) in stats.iter().enumerate().take(self.trees.len()) {
+            let mut t = faults.model_for(i, model).service_time(s.pages) + state.extra_time[i];
+            if state.down.contains(&i) {
+                if faults.is_failed(i) {
+                    t = Duration::ZERO;
+                } else if let Some(budget) = state.timeout {
+                    t = t.min(budget);
+                }
+            }
+            modeled_parallel = modeled_parallel.max(t);
+        }
+        let merged = merge_candidates(state.candidates.iter().map(Vec::as_slice), k);
+        let mut trace = QueryTrace::from_stats(stats, wall, model);
+        let healthy_parallel = trace.modeled_parallel;
+        trace.modeled_parallel = modeled_parallel;
+        trace.degraded = Some(DegradedInfo {
+            failed_over: state.failed_over,
+            retries: state.retries_total,
+            replica_pages: state.replica_pages,
+            added_latency: modeled_parallel.saturating_sub(healthy_parallel),
+        });
+        Ok((merged, trace))
+    }
 }
 
 impl ParallelKnnEngine {
@@ -97,6 +367,9 @@ impl ParallelKnnEngine {
     /// The workhorse constructor behind [`EngineBuilder::build`]: bulk-
     /// loads one primary tree per disk and, when a replica router is
     /// supplied, one mirror tree per (source disk, mirror disk) pair.
+    /// With [`ExecutionMode::Pooled`] the per-disk worker pool starts
+    /// eagerly, before the first query.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build_internal(
         points: &[Point],
         declusterer: Arc<dyn Declusterer>,
@@ -104,6 +377,8 @@ impl ParallelKnnEngine {
         config: EngineConfig,
         fault_policy: FaultPolicy,
         page_cache: Option<usize>,
+        cache_shards: usize,
+        execution: ExecutionMode,
     ) -> Result<Self, EngineError> {
         if points.is_empty() {
             return Err(EngineError::EmptyDataSet);
@@ -164,42 +439,62 @@ impl ParallelKnnEngine {
         }
 
         let mut engine = ParallelKnnEngine {
-            config,
-            array,
-            trees,
-            mirrors,
+            core: Arc::new(EngineCore {
+                config,
+                array,
+                trees: trees.into_iter().map(RwLock::new).collect(),
+                mirrors: mirrors.into_iter().map(RwLock::new).collect(),
+            }),
             declusterer,
             replica_router,
             fault_policy,
             page_cache_capacity: None,
+            cache_shards,
             next_seq: points.len() as u64,
             caches: Vec::new(),
+            execution,
+            pool: None,
         };
         if let Some(capacity) = page_cache {
             engine.install_page_cache(capacity);
         }
+        engine.start_pool();
         Ok(engine)
     }
 
-    /// Puts an LRU page cache of `capacity` pages in front of every
+    /// Starts the per-disk worker pool when the engine runs pooled.
+    fn start_pool(&mut self) {
+        if self.execution == ExecutionMode::Pooled && self.pool.is_none() {
+            self.pool = Some(WorkerPool::start(Arc::clone(&self.core)));
+        }
+    }
+
+    /// Puts a sharded LRU page cache of `capacity` pages in front of every
     /// primary tree. Cached node visits no longer charge the disk;
     /// per-query cache hits are reported in the [`QueryTrace`]. Mirror
-    /// trees stay uncached (see the `mirrors` field docs).
+    /// trees stay uncached (see the [`EngineCore::mirrors`] docs).
     fn install_page_cache(&mut self, capacity: usize) {
-        let caches: Vec<Arc<CachingSink>> = (0..self.trees.len())
+        // Reconfiguring swaps the trees' sinks, which needs the core to
+        // ourselves: drain + join any pool first, restart it after.
+        self.pool = None;
+        let shards = self.cache_shards;
+        let core = Arc::get_mut(&mut self.core)
+            .expect("no queries are in flight while the engine is reconfigured");
+        let caches: Vec<Arc<CachingSink>> = (0..core.trees.len())
             .map(|i| {
                 let disk_sink: Arc<dyn NodeSink> =
-                    Arc::new(DiskSink(Arc::clone(self.array.disk(i))));
-                Arc::new(CachingSink::new(disk_sink, capacity))
+                    Arc::new(DiskSink(Arc::clone(core.array.disk(i))));
+                Arc::new(CachingSink::with_shards(disk_sink, capacity, shards))
             })
             .collect();
-        self.trees = std::mem::take(&mut self.trees)
+        core.trees = std::mem::take(&mut core.trees)
             .into_iter()
             .zip(&caches)
-            .map(|(t, c)| t.with_sink(Arc::clone(c) as Arc<dyn NodeSink>))
+            .map(|(t, c)| RwLock::new(t.into_inner().with_sink(Arc::clone(c) as Arc<dyn NodeSink>)))
             .collect();
         self.caches = caches;
         self.page_cache_capacity = Some(capacity);
+        self.start_pool();
     }
 
     /// The per-disk page caches (empty for an uncached engine).
@@ -222,12 +517,17 @@ impl ParallelKnnEngine {
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        &self.core.config
     }
 
     /// Number of disks.
     pub fn disks(&self) -> usize {
-        self.array.len()
+        self.core.array.len()
+    }
+
+    /// How this engine executes queries (set at build time).
+    pub fn execution(&self) -> ExecutionMode {
+        self.execution
     }
 
     /// The declusterer in use.
@@ -239,7 +539,7 @@ impl ParallelKnnEngine {
     /// failed, slow, or flaky here and the engine's degraded execution
     /// takes over.
     pub fn faults(&self) -> &FaultInjector {
-        self.array.faults()
+        self.core.array.faults()
     }
 
     /// The engine-wide degraded-mode defaults set at build time.
@@ -255,16 +555,17 @@ impl ParallelKnnEngine {
     /// The disks hosting replica copies of `disk`'s buckets (empty for an
     /// un-replicated engine or a disk with no data).
     pub fn replica_disks_of(&self, disk: usize) -> Vec<usize> {
-        self.mirrors
+        self.core
+            .mirrors
             .get(disk)
-            .map(|m| m.keys().copied().collect())
+            .map(|m| m.read().keys().copied().collect())
             .unwrap_or_default()
     }
 
     /// Total number of indexed points (primaries only; replicas are
     /// copies, not extra points).
     pub fn len(&self) -> usize {
-        self.trees.iter().map(SpatialTree::len).sum()
+        self.core.trees.iter().map(|t| t.read().len()).sum()
     }
 
     /// True if no points are indexed.
@@ -274,15 +575,17 @@ impl ParallelKnnEngine {
 
     /// Per-disk point counts — the load-balance view (primaries only).
     pub fn load_distribution(&self) -> Vec<usize> {
-        self.trees.iter().map(SpatialTree::len).collect()
+        self.core.trees.iter().map(|t| t.read().len()).collect()
     }
 
     /// Inserts a point dynamically (the system "is completely dynamical",
     /// Section 4.3). With replication the mirror copy is inserted too.
+    /// Safe while pooled queries are in flight: the touched trees are
+    /// write-locked for the duration of the insert.
     pub fn insert(&mut self, point: Point) -> Result<u64, EngineError> {
-        if point.dim() != self.config.dim {
+        if point.dim() != self.core.config.dim {
             return Err(EngineError::DimensionMismatch {
-                expected: self.config.dim,
+                expected: self.core.config.dim,
                 got: point.dim(),
             });
         }
@@ -291,16 +594,18 @@ impl ParallelKnnEngine {
         let disk = self.declusterer.assign(item, &point);
         if let Some(router) = &self.replica_router {
             let host = router.replica_disk(item, &point);
-            let params = TreeParams::for_dim(self.config.dim, self.config.variant)
+            let params = TreeParams::for_dim(self.core.config.dim, self.core.config.variant)
                 .map_err(|e| EngineError::Internal(e.to_string()))?;
-            let mirror = self.mirrors[disk].entry(host).or_insert_with(|| {
-                SpatialTree::new(params).with_disk(Arc::clone(self.array.disk(host)))
+            let mut mirrors = self.core.mirrors[disk].write();
+            let mirror = mirrors.entry(host).or_insert_with(|| {
+                SpatialTree::new(params).with_disk(Arc::clone(self.core.array.disk(host)))
             });
             mirror
                 .insert(point.clone(), item)
                 .map_err(|e| EngineError::Internal(e.to_string()))?;
         }
-        self.trees[disk]
+        self.core.trees[disk]
+            .write()
             .insert(point, item)
             .map_err(|e| EngineError::Internal(e.to_string()))?;
         Ok(item)
@@ -311,79 +616,187 @@ impl ParallelKnnEngine {
         let disk = self.declusterer.assign(item, point);
         if let Some(router) = &self.replica_router {
             let host = router.replica_disk(item, point);
-            if let Some(mirror) = self.mirrors[disk].get_mut(&host) {
+            if let Some(mirror) = self.core.mirrors[disk].write().get_mut(&host) {
                 mirror
                     .delete(point, item)
                     .map_err(|e| EngineError::Internal(e.to_string()))?;
             }
         }
-        self.trees[disk]
+        self.core.trees[disk]
+            .write()
             .delete(point, item)
             .map_err(|e| EngineError::Internal(e.to_string()))
     }
 
     /// Answers one k-NN query under `opts` — the single entry point
-    /// behind every legacy `knn*` method.
+    /// behind every legacy `knn*` method. Equivalent to
+    /// [`ParallelKnnEngine::submit`] followed by [`PendingQuery::wait`].
     ///
     /// When no faults are armed and no timeout budget applies, this is
-    /// the paper's **Var. 3 parallel search**: one thread per disk, each
-    /// running a branch-and-bound (RKV) or best-first (HS) search on its
-    /// local tree, all pruning against a single atomically-shared bound.
-    /// Otherwise the engine runs **degraded execution**: failed disks are
-    /// skipped, flaky reads are retried per [`RetryPolicy`], disks over
-    /// the timeout budget are abandoned, and every lost disk's buckets
-    /// are served from their replicas — the merged answer is
-    /// bit-identical to the healthy one as long as a healthy replica
-    /// exists for every lost bucket ([`EngineError::BucketUnavailable`]
-    /// otherwise).
+    /// the paper's parallel search; otherwise the engine runs **degraded
+    /// execution**: failed disks are skipped, flaky reads are retried per
+    /// [`RetryPolicy`], disks over the timeout budget are abandoned, and
+    /// every lost disk's buckets are served from their replicas — the
+    /// merged answer is bit-identical to the healthy one as long as a
+    /// healthy replica exists for every lost bucket
+    /// ([`EngineError::BucketUnavailable`] otherwise).
     pub fn query(&self, query: &Point, opts: &QueryOptions) -> Result<QueryResult, EngineError> {
-        if query.dim() != self.config.dim {
+        self.submit(query, opts)?.wait()
+    }
+
+    /// Enqueues one k-NN query and returns a handle to wait on.
+    ///
+    /// In [`ExecutionMode::Pooled`] the query is handed to the per-disk
+    /// worker pool and this call returns immediately; the query travels
+    /// worker-to-worker along its MINDIST itinerary (RKV), or disk by
+    /// disk with a carried pruning bound (HS), or through the degraded
+    /// state machine when faults are armed. Submitting many queries
+    /// before waiting pipelines them across the disks — while one query
+    /// searches disk 3, the next searches disk 1 — with no per-batch
+    /// barrier and no thread spawned.
+    ///
+    /// In [`ExecutionMode::Scoped`] the query is answered synchronously
+    /// (scoped threads, the reference implementation) and the returned
+    /// handle is already complete.
+    ///
+    /// **Determinism.** With RKV (the default), pooled answers *and*
+    /// traces (`per_disk_pages`, `dist_evals`, pruning counters) are
+    /// bit-identical to the deterministic forest search that scoped
+    /// batches run — the itinerary pipeline replays it exactly. With HS,
+    /// answers are identical but page traces differ (the pooled pipeline
+    /// searches disk-by-disk under a carried bound; the scoped batch path
+    /// interleaves all disks through one global queue). Cache-hit
+    /// counters are execution-order dependent in all modes.
+    pub fn submit(&self, query: &Point, opts: &QueryOptions) -> Result<PendingQuery, EngineError> {
+        if query.dim() != self.core.config.dim {
             return Err(EngineError::DimensionMismatch {
-                expected: self.config.dim,
+                expected: self.core.config.dim,
                 got: query.dim(),
             });
         }
-        let (timeout, retry) = self.resolve_policy(opts);
-        let (neighbors, trace) = if timeout.is_some() || self.array.faults().any_armed() {
-            self.knn_degraded(query, opts.k, timeout, &retry)?
-        } else {
-            self.knn_healthy(query, opts.k)
-        };
-        let cost = trace.cost(self.array.model());
-        Ok(QueryResult {
-            neighbors,
-            cost,
-            trace: opts.trace.then_some(trace),
-        })
+        Ok(self.submit_unchecked(query, opts))
     }
 
-    /// Answers a batch of queries on a bounded worker pool
-    /// ([`QueryOptions::workers`], defaulting to the host's available
-    /// parallelism), in the paper's **inter-query** parallel mode: each
-    /// worker pulls the next unanswered query, so `workers` queries are
-    /// in flight at any time and every disk serves all of them
-    /// concurrently. Results are in query order, each with its own exact
-    /// [`QueryTrace`] when tracing is on.
+    /// Dispatches a dimension-checked query to the pool (pooled mode) or
+    /// computes it synchronously (scoped mode).
+    fn submit_unchecked(&self, query: &Point, opts: &QueryOptions) -> PendingQuery {
+        let (timeout, retry) = self.resolve_policy(opts);
+        let degraded = timeout.is_some() || self.core.array.faults().any_armed();
+        let model = *self.core.array.model();
+        let Some(pool) = &self.pool else {
+            // Scoped: answer now, return an already-complete handle.
+            let answer = if degraded {
+                self.knn_degraded(query, opts.k, timeout, &retry)
+            } else {
+                Ok(self.knn_healthy(query, opts.k))
+            };
+            return PendingQuery::completed(answer, opts.trace, model);
+        };
+
+        let n = self.core.trees.len();
+        let completion = Arc::new(Completion::new());
+        let pending = PendingQuery::new(Arc::clone(&completion), opts.trace, model);
+        let start = Instant::now();
+        let (first, stage) = if degraded {
+            (
+                0,
+                Stage::Degraded {
+                    state: DegradedState::new(n, timeout, retry),
+                    phase: Phase::Primaries { next: 0 },
+                },
+            )
+        } else {
+            match self.core.config.algorithm {
+                KnnAlgorithm::Rkv => {
+                    let itinerary = self.core.itinerary(query);
+                    if opts.k == 0 || itinerary.is_empty() {
+                        // Nothing to search: complete inline, matching the
+                        // forest search's early return.
+                        let stats = vec![SearchStats::default(); n];
+                        let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
+                        completion.complete(Ok((Vec::new(), trace)));
+                        return pending;
+                    }
+                    let first = itinerary[0].1;
+                    (
+                        first,
+                        Stage::Rkv {
+                            cursor: ForestCursor::new(opts.k),
+                            itinerary,
+                            pos: 0,
+                        },
+                    )
+                }
+                KnnAlgorithm::Hs => {
+                    if opts.k == 0 {
+                        let stats = vec![SearchStats::default(); n];
+                        let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
+                        completion.complete(Ok((Vec::new(), trace)));
+                        return pending;
+                    }
+                    (
+                        0,
+                        Stage::Hs {
+                            bound: SharedBound::new(),
+                            candidates: vec![Vec::new(); n],
+                            next: 0,
+                        },
+                    )
+                }
+            }
+        };
+        pool.submit(
+            first,
+            QueryTask {
+                query: query.clone(),
+                k: opts.k,
+                stats: vec![SearchStats::default(); n],
+                start,
+                stage,
+                completion,
+            },
+        );
+        pending
+    }
+
+    /// Answers a batch of queries. In [`ExecutionMode::Pooled`] every
+    /// query is enqueued up front and the batch **pipelines** across the
+    /// disks — query `i+1` searches disk 0 while query `i` searches disk
+    /// 1 — with no per-batch barrier ([`QueryOptions::workers`] is
+    /// ignored; concurrency comes from the per-disk workers).
     ///
-    /// With faults armed or a timeout budget set, each worker runs the
-    /// same degraded execution as [`ParallelKnnEngine::query`].
+    /// In [`ExecutionMode::Scoped`] the batch runs on a bounded scoped
+    /// worker pool ([`QueryOptions::workers`], defaulting to the host's
+    /// available parallelism) in the paper's **inter-query** parallel
+    /// mode: each worker pulls the next unanswered query.
+    ///
+    /// Results are in query order, each with its own exact [`QueryTrace`]
+    /// when tracing is on. With faults armed or a timeout budget set,
+    /// both modes run the same degraded execution as
+    /// [`ParallelKnnEngine::query`].
     pub fn query_batch(
         &self,
         queries: &[Point],
         opts: &QueryOptions,
     ) -> Result<Vec<QueryResult>, EngineError> {
         for q in queries {
-            if q.dim() != self.config.dim {
+            if q.dim() != self.core.config.dim {
                 return Err(EngineError::DimensionMismatch {
-                    expected: self.config.dim,
+                    expected: self.core.config.dim,
                     got: q.dim(),
                 });
             }
         }
+        if self.pool.is_some() {
+            let pending: Vec<PendingQuery> = queries
+                .iter()
+                .map(|q| self.submit_unchecked(q, opts))
+                .collect();
+            return pending.into_iter().map(PendingQuery::wait).collect();
+        }
         let (timeout, retry) = self.resolve_policy(opts);
-        let degraded = timeout.is_some() || self.array.faults().any_armed();
-        let algorithm = self.config.algorithm;
-        let model = *self.array.model();
+        let degraded = timeout.is_some() || self.core.array.faults().any_armed();
+        let model = *self.core.array.model();
         let next = AtomicUsize::new(0);
         let workers = opts
             .workers
@@ -397,10 +810,10 @@ impl ParallelKnnEngine {
         std::thread::scope(|s| {
             let next = &next;
             let retry = &retry;
+            let core = &self.core;
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(move || {
-                        let refs: Vec<&SpatialTree> = self.trees.iter().collect();
                         let mut out = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -411,8 +824,7 @@ impl ParallelKnnEngine {
                                 self.knn_degraded(&queries[i], opts.k, timeout, retry)
                             } else {
                                 let start = Instant::now();
-                                let (res, stats) =
-                                    forest_knn_traced(&refs, &queries[i], opts.k, algorithm);
+                                let (res, stats) = core.forest_search(&queries[i], opts.k);
                                 let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
                                 Ok((res, trace))
                             };
@@ -492,11 +904,10 @@ impl ParallelKnnEngine {
             .collect())
     }
 
-    /// The healthy fast path: one scoped thread per disk, shared pruning
-    /// bound, exact per-query trace. Identical to the engine's behavior
-    /// before degraded execution existed.
+    /// The scoped healthy fast path: one scoped thread per disk, shared
+    /// pruning bound, exact per-query trace — the paper's Var. 3 search.
     fn knn_healthy(&self, query: &Point, k: usize) -> (Vec<Neighbor>, QueryTrace) {
-        let algorithm = self.config.algorithm;
+        let algorithm = self.core.config.algorithm;
         let start = Instant::now();
         let shared = SharedBound::new();
         // One scoped thread per disk; each returns its local candidates
@@ -504,9 +915,12 @@ impl ParallelKnnEngine {
         let locals: Vec<_> = std::thread::scope(|s| {
             let shared = &shared;
             let handles: Vec<_> = self
+                .core
                 .trees
                 .iter()
-                .map(|tree| s.spawn(move || tree.knn_traced(query, k, algorithm, Some(shared))))
+                .map(|tree| {
+                    s.spawn(move || tree.read().knn_traced(query, k, algorithm, Some(shared)))
+                })
                 .collect();
             handles
                 .into_iter()
@@ -516,22 +930,15 @@ impl ParallelKnnEngine {
         let wall = start.elapsed();
         let merged = merge_candidates(locals.iter().map(|(c, _)| c.as_slice()), k);
         let stats: Vec<_> = locals.iter().map(|(_, s)| *s).collect();
-        let trace = QueryTrace::from_stats(&stats, wall, self.array.model());
+        let trace = QueryTrace::from_stats(&stats, wall, self.core.array.model());
         (merged, trace)
     }
 
-    /// Degraded execution: skip failed disks, retry flaky reads, abandon
-    /// disks over the timeout budget, and serve every lost disk's buckets
-    /// from its replicas. Disks are searched sequentially (still pruning
-    /// against one shared bound) so the retry draws — and therefore the
-    /// whole trace — are deterministic for a given injector seed.
-    ///
-    /// The modeled parallel time charges each disk its fault-scaled
-    /// service time plus retry backoff; a timed-out disk charges exactly
-    /// the budget (the query stops waiting for it), a failed disk charges
-    /// nothing (failure is detected instantly), and replica reads are
-    /// charged to the mirror's host disk. Replica detours are modeled as
-    /// overlapping the detection wait on other disks.
+    /// Degraded execution, scoped flavor: the same per-disk steps the
+    /// pooled pipeline runs ([`EngineCore::degraded_primary`] /
+    /// [`EngineCore::degraded_failover`]), driven sequentially so the
+    /// retry draws — and therefore the whole trace — are deterministic
+    /// for a given injector seed.
     fn knn_degraded(
         &self,
         query: &Point,
@@ -539,108 +946,19 @@ impl ParallelKnnEngine {
         timeout: Option<Duration>,
         retry: &RetryPolicy,
     ) -> Result<(Vec<Neighbor>, QueryTrace), EngineError> {
-        let faults = self.array.faults();
-        let model = *self.array.model();
-        let algorithm = self.config.algorithm;
-        let n = self.trees.len();
+        let core = &self.core;
+        let n = core.trees.len();
         let start = Instant::now();
-        let shared = SharedBound::new();
-
         let mut stats = vec![SearchStats::default(); n];
-        let mut extra_time = vec![Duration::ZERO; n];
-        let mut candidates: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-        let mut down: Vec<usize> = Vec::new();
-        let mut retries_total = 0u64;
-
-        for (i, tree) in self.trees.iter().enumerate() {
-            if faults.is_failed(i) {
-                down.push(i);
-                continue;
-            }
-            let (cands, s) = tree.knn_traced(query, k, algorithm, Some(&shared));
-            stats[i].merge(s);
-            let mut alive = true;
-            if matches!(faults.fault(i), Some(FaultKind::Flaky { .. })) {
-                let (retries, extra, ok) = simulate_flaky_reads(faults, i, s.pages, retry, &model);
-                retries_total += retries;
-                extra_time[i] += extra;
-                alive = ok;
-            }
-            if alive {
-                if let Some(budget) = timeout {
-                    let disk_time =
-                        faults.model_for(i, &model).service_time(stats[i].pages) + extra_time[i];
-                    alive = disk_time <= budget;
-                }
-            }
-            if alive {
-                candidates[i] = cands;
-            } else {
-                // The pages were read (and are charged below) but the
-                // answer is not trusted: the disk's buckets fail over.
-                down.push(i);
-            }
+        let mut state = DegradedState::new(n, timeout, *retry);
+        for disk in 0..n {
+            core.degraded_primary(disk, query, k, &mut state, &mut stats);
         }
-
-        // Failover: serve every lost disk's buckets from its mirrors.
-        let mut failed_over: Vec<usize> = Vec::new();
-        let mut replica_pages = 0u64;
-        for &d in &down {
-            if self.trees[d].is_empty() {
-                continue;
-            }
-            if self.mirrors[d].is_empty() {
-                return Err(EngineError::BucketUnavailable { disk: d });
-            }
-            for (&host, mirror) in &self.mirrors[d] {
-                if faults.is_failed(host) {
-                    return Err(EngineError::BucketUnavailable { disk: d });
-                }
-                let (cands, s) = mirror.knn_traced(query, k, algorithm, Some(&shared));
-                if matches!(faults.fault(host), Some(FaultKind::Flaky { .. })) {
-                    let (retries, extra, ok) =
-                        simulate_flaky_reads(faults, host, s.pages, retry, &model);
-                    retries_total += retries;
-                    extra_time[host] += extra;
-                    if !ok {
-                        return Err(EngineError::BucketUnavailable { disk: d });
-                    }
-                }
-                replica_pages += s.pages;
-                stats[host].merge(s);
-                candidates[host].extend(cands);
-            }
-            failed_over.push(d);
+        core.plan_failover(&mut state);
+        for pos in 0..state.itinerary.len() {
+            core.degraded_failover(pos, query, k, &mut state, &mut stats)?;
         }
-
-        // The degraded critical path: every disk charges its fault-scaled
-        // service time plus retry backoff; timed-out disks charge the
-        // budget; hard-failed disks charge nothing.
-        let mut modeled_parallel = Duration::ZERO;
-        for i in 0..n {
-            let mut t = faults.model_for(i, &model).service_time(stats[i].pages) + extra_time[i];
-            if down.contains(&i) {
-                if faults.is_failed(i) {
-                    t = Duration::ZERO;
-                } else if let Some(budget) = timeout {
-                    t = t.min(budget);
-                }
-            }
-            modeled_parallel = modeled_parallel.max(t);
-        }
-
-        let wall = start.elapsed();
-        let merged = merge_candidates(candidates.iter().map(Vec::as_slice), k);
-        let mut trace = QueryTrace::from_stats(&stats, wall, &model);
-        let healthy_parallel = trace.modeled_parallel;
-        trace.modeled_parallel = modeled_parallel;
-        trace.degraded = Some(DegradedInfo {
-            failed_over,
-            retries: retries_total,
-            replica_pages,
-            added_latency: modeled_parallel.saturating_sub(healthy_parallel),
-        });
-        Ok((merged, trace))
+        core.assemble_degraded(state, k, &stats, start.elapsed())
     }
 
     fn resolve_policy(&self, opts: &QueryOptions) -> (Option<Duration>, RetryPolicy) {
@@ -660,21 +978,22 @@ impl ParallelKnnEngine {
         query: &Point,
         k: usize,
     ) -> Result<(Vec<Neighbor>, QueryCost), EngineError> {
-        if query.dim() != self.config.dim {
+        if query.dim() != self.core.config.dim {
             return Err(EngineError::DimensionMismatch {
-                expected: self.config.dim,
+                expected: self.core.config.dim,
                 got: query.dim(),
             });
         }
-        let scope = self.array.begin_query();
-        let algorithm = self.config.algorithm;
+        let scope = self.core.array.begin_query();
+        let algorithm = self.core.config.algorithm;
 
-        let mut locals: Vec<Vec<Neighbor>> = Vec::with_capacity(self.trees.len());
+        let mut locals: Vec<Vec<Neighbor>> = Vec::with_capacity(self.core.trees.len());
         std::thread::scope(|s| {
             let handles: Vec<_> = self
+                .core
                 .trees
                 .iter()
-                .map(|tree| s.spawn(move || tree.knn(query, k, algorithm)))
+                .map(|tree| s.spawn(move || tree.read().knn(query, k, algorithm)))
                 .collect();
             for h in handles {
                 locals.push(h.join().expect("local knn does not panic"));
@@ -682,20 +1001,22 @@ impl ParallelKnnEngine {
         });
 
         let merged = merge_candidates(locals.iter().map(Vec::as_slice), k);
-        Ok((merged, scope.finish(&self.array)))
+        Ok((merged, scope.finish(&self.core.array)))
     }
 
     /// Reorganizes the engine for the current data: recomputes the
     /// declustering (median splits from the stored points) and rebuilds
     /// the per-disk trees, preserving the disk count, replication, fault
-    /// policy, and page-cache capacity. The rebuilt engine starts with a
-    /// fresh, healthy disk array — injected faults do not carry over.
+    /// policy, page-cache setup, and execution mode. The rebuilt engine
+    /// starts with a fresh, healthy disk array — injected faults do not
+    /// carry over.
     ///
     /// This is the paper's reorganization step for data whose distribution
     /// drifted after many insertions.
     pub fn reorganize(self) -> Result<Self, EngineError> {
         let mut points: Vec<(u64, Point)> = Vec::with_capacity(self.len());
-        for tree in &self.trees {
+        for tree in &self.core.trees {
+            let tree = tree.read();
             for node in tree.iter_nodes() {
                 if let parsim_index::node::Node::Leaf { entries, .. } = node {
                     for (row, item) in entries.iter() {
@@ -706,11 +1027,13 @@ impl ParallelKnnEngine {
         }
         points.sort_by_key(|(item, _)| *item);
         let pts: Vec<Point> = points.into_iter().map(|(_, p)| p).collect();
-        let mut builder = Self::builder(self.config.dim)
-            .config(self.config)
+        let mut builder = Self::builder(self.core.config.dim)
+            .config(self.core.config)
             .disks(self.disks())
             .replicas(usize::from(self.replica_router.is_some()))
-            .fault_policy(self.fault_policy);
+            .fault_policy(self.fault_policy)
+            .cache_shards(self.cache_shards)
+            .execution(self.execution);
         if let Some(capacity) = self.page_cache_capacity {
             builder = builder.page_cache(capacity);
         }
@@ -719,12 +1042,16 @@ impl ParallelKnnEngine {
 
     /// Immutable access to the disk array (for experiment accounting).
     pub fn array(&self) -> &DiskArray {
-        &self.array
+        &self.core.array
     }
 
-    /// Immutable access to the per-disk trees (for statistics).
-    pub fn trees(&self) -> &[SpatialTree] {
-        &self.trees
+    /// Runs `f` over every per-disk primary tree, in disk order, under
+    /// that tree's read lock (the trees are shared with the worker pool,
+    /// so a borrowed slice can no longer be handed out).
+    pub fn for_each_tree(&self, mut f: impl FnMut(&SpatialTree)) {
+        for tree in &self.core.trees {
+            f(&tree.read());
+        }
     }
 }
 
@@ -765,7 +1092,10 @@ fn simulate_flaky_reads(
 
 /// Merges per-disk candidate lists into the global top `k` (ties broken by
 /// item id, matching [`parsim_index::knn::brute_force_knn`]).
-fn merge_candidates<'a>(locals: impl Iterator<Item = &'a [Neighbor]>, k: usize) -> Vec<Neighbor> {
+pub(crate) fn merge_candidates<'a>(
+    locals: impl Iterator<Item = &'a [Neighbor]>,
+    k: usize,
+) -> Vec<Neighbor> {
     let mut merged: Vec<Neighbor> = locals.flatten().cloned().collect();
     merged.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.item.cmp(&b.item)));
     merged.truncate(k);
@@ -804,6 +1134,23 @@ mod tests {
             }
             assert!(cost.total_reads > 0);
             assert_eq!(cost.per_disk_reads.len(), 8);
+        }
+    }
+
+    #[test]
+    fn pooled_knn_matches_scoped() {
+        let pts = UniformGenerator::new(8).generate(2500, 7);
+        let scoped = ParallelKnnEngine::builder(8).disks(8).build(&pts).unwrap();
+        let pooled = ParallelKnnEngine::builder(8)
+            .disks(8)
+            .execution(ExecutionMode::Pooled)
+            .build(&pts)
+            .unwrap();
+        assert_eq!(pooled.execution(), ExecutionMode::Pooled);
+        for q in UniformGenerator::new(8).generate(8, 101) {
+            let (a, _) = scoped.knn(&q, 10).unwrap();
+            let (b, _) = pooled.knn(&q, 10).unwrap();
+            assert_eq!(a, b);
         }
     }
 
@@ -888,6 +1235,20 @@ mod tests {
         assert_eq!(e.len(), 600);
         e.faults().fail(0);
         let (res, _) = e.knn(&pts[0], 1).unwrap();
+        assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn reorganize_preserves_execution_mode() {
+        let pts = UniformGenerator::new(5).generate(400, 13);
+        let e = ParallelKnnEngine::builder(5)
+            .disks(4)
+            .execution(ExecutionMode::Pooled)
+            .build(&pts)
+            .unwrap();
+        let e = e.reorganize().unwrap();
+        assert_eq!(e.execution(), ExecutionMode::Pooled);
+        let (res, _) = e.knn(&pts[3], 1).unwrap();
         assert_eq!(res[0].dist, 0.0);
     }
 

@@ -22,6 +22,7 @@ pub mod declustered;
 pub mod engine;
 pub mod metrics;
 pub mod options;
+pub mod pool;
 pub mod sequential;
 pub mod throughput;
 
@@ -30,7 +31,8 @@ pub use config::{EngineConfig, SplitStrategy};
 pub use declustered::DeclusteredXTree;
 pub use engine::ParallelKnnEngine;
 pub use metrics::{run_knn_workload, run_traced_workload, DegradedInfo, QueryTrace, WorkloadCost};
-pub use options::{FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
+pub use options::{ExecutionMode, FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
+pub use pool::PendingQuery;
 pub use sequential::SequentialEngine;
 pub use throughput::{run_batch, ThroughputReport};
 

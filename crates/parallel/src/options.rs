@@ -14,6 +14,26 @@ use parsim_storage::QueryCost;
 
 use crate::metrics::QueryTrace;
 
+/// How the engine executes queries.
+///
+/// [`ExecutionMode::Scoped`] is the reference implementation: every call
+/// spawns scoped threads (one per disk for a single query, a bounded
+/// claim-the-next-query pool for batches) that die with the call.
+/// [`ExecutionMode::Pooled`] starts one **persistent worker thread per
+/// disk** at build time; queries are enqueued and *pipelined* from worker
+/// to worker, so consecutive queries overlap across disks without a
+/// per-batch barrier and no thread is ever spawned on the query path.
+/// Answers are bit-identical in both modes; see
+/// [`crate::ParallelKnnEngine::submit`] for the trace guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Spawn scoped threads per call (the reference implementation).
+    #[default]
+    Scoped,
+    /// Long-lived per-disk workers fed by submission queues.
+    Pooled,
+}
+
 /// Bounded-retry policy for reads against a flaky disk: up to
 /// `max_retries` re-reads per page, with exponential backoff between
 /// attempts. Retries cost *modeled* time only — the simulation draws the

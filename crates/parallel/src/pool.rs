@@ -1,0 +1,447 @@
+//! The persistent per-disk worker pool — the throughput backbone of
+//! [`ExecutionMode::Pooled`](crate::ExecutionMode::Pooled).
+//!
+//! One long-lived worker thread per disk, each owning that disk's subtree
+//! set: a worker only ever touches its own disk's primary tree and the
+//! mirror trees *hosted* on its disk. Workers are fed by unbounded MPSC
+//! task channels; a query is one `QueryTask` that travels worker to
+//! worker along its execution itinerary (a **pipeline**, not a fan-out),
+//! carrying all of its mutable search state with it. Because the task
+//! hops disks in exactly the order the single-threaded reference search
+//! visits them, the pooled answer *and* trace are bit-identical to the
+//! deterministic forest search — while many queries pipeline through the
+//! disks concurrently with no per-query thread spawn and no per-batch
+//! barrier.
+//!
+//! Shutdown protocol: dropping the `WorkerPool` first **drains** — it
+//! waits until the in-flight counter hits zero, so no task can be lost in
+//! a channel behind the shutdown marker — then sends every worker a
+//! shutdown task and joins it. Workers never block on sends (channels are
+//! unbounded) and every hop strictly advances a task's itinerary, so the
+//! drain always terminates: engine drop cannot deadlock even with queued
+//! queries.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parsim_geometry::Point;
+use parsim_index::knn::{ForestCursor, Neighbor, SearchStats, SharedBound};
+use parsim_storage::DiskModel;
+
+use crate::engine::{merge_candidates, DegradedState, EngineCore, TracedAnswer};
+use crate::metrics::QueryTrace;
+use crate::options::QueryResult;
+use crate::EngineError;
+
+/// What flows through a worker's channel.
+pub(crate) enum Task {
+    /// A query (or a later pipeline hop of one).
+    Run(Box<QueryTask>),
+    /// Exit the worker loop. Only sent after the pool drained.
+    Shutdown,
+}
+
+/// One in-flight query: its immutable inputs plus all mutable search
+/// state, boxed so a hop moves a pointer, not the state.
+pub(crate) struct QueryTask {
+    /// The query point.
+    pub(crate) query: Point,
+    /// Result count.
+    pub(crate) k: usize,
+    /// Per-disk work counters, accumulated as the task hops.
+    pub(crate) stats: Vec<SearchStats>,
+    /// Submission instant (the trace's wall time spans queueing too).
+    pub(crate) start: Instant,
+    /// Where the query is in its execution.
+    pub(crate) stage: Stage,
+    /// Where the answer goes.
+    pub(crate) completion: Arc<Completion>,
+}
+
+/// The execution state machine of a pooled query.
+pub(crate) enum Stage {
+    /// Healthy RKV: one [`ForestCursor`] walking the MINDIST itinerary —
+    /// the deterministic forest search, pipelined across workers.
+    Rkv {
+        /// The traveling search state.
+        cursor: ForestCursor,
+        /// `(root MINDIST², disk)` stops in visiting order.
+        itinerary: Vec<(f64, usize)>,
+        /// Next stop.
+        pos: usize,
+    },
+    /// Healthy HS: disk-by-disk best-first searches under one carried
+    /// pruning bound. Answers are exact; page traces are
+    /// execution-shaped (see [`crate::ParallelKnnEngine::submit`]).
+    Hs {
+        /// The carried pruning bound, tightened at every disk.
+        bound: SharedBound,
+        /// Per-disk candidate lists, merged at the last disk.
+        candidates: Vec<Vec<Neighbor>>,
+        /// Next disk.
+        next: usize,
+    },
+    /// Degraded execution: the same per-disk steps as the scoped
+    /// sequential loop, pipelined primaries-then-failover.
+    Degraded {
+        /// The shared degraded state machine.
+        state: DegradedState,
+        /// Which half of the itinerary the task is in.
+        phase: Phase,
+    },
+}
+
+/// Progress marker of a degraded pooled query.
+pub(crate) enum Phase {
+    /// Primary searches, disk 0 through n-1 in order.
+    Primaries {
+        /// Next disk to run its primary step.
+        next: usize,
+    },
+    /// Failover stops planned by
+    /// [`EngineCore::plan_failover`], executed on each mirror's host.
+    Failover {
+        /// Next itinerary position.
+        pos: usize,
+    },
+}
+
+/// A write-once answer slot with a wakeup for waiters.
+pub(crate) struct Completion {
+    slot: Mutex<Option<TracedAnswer>>,
+    ready: Condvar,
+}
+
+impl Completion {
+    pub(crate) fn new() -> Self {
+        Completion {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Stores the answer and wakes every waiter. Called exactly once.
+    pub(crate) fn complete(&self, answer: TracedAnswer) {
+        let mut slot = self.slot.lock().expect("completion lock is never poisoned");
+        debug_assert!(slot.is_none(), "a query completes exactly once");
+        *slot = Some(answer);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> TracedAnswer {
+        let mut slot = self.slot.lock().expect("completion lock is never poisoned");
+        loop {
+            if let Some(answer) = slot.take() {
+                return answer;
+            }
+            slot = self
+                .ready
+                .wait(slot)
+                .expect("completion lock is never poisoned");
+        }
+    }
+
+    fn is_ready(&self) -> bool {
+        self.slot
+            .lock()
+            .expect("completion lock is never poisoned")
+            .is_some()
+    }
+}
+
+/// A handle to a submitted query (see
+/// [`crate::ParallelKnnEngine::submit`]): wait on it to get the
+/// [`QueryResult`]. Dropping the handle without waiting is fine — the
+/// query still runs to completion and its answer is discarded.
+pub struct PendingQuery {
+    completion: Arc<Completion>,
+    trace: bool,
+    model: DiskModel,
+}
+
+impl PendingQuery {
+    pub(crate) fn new(completion: Arc<Completion>, trace: bool, model: DiskModel) -> Self {
+        PendingQuery {
+            completion,
+            trace,
+            model,
+        }
+    }
+
+    /// An already-answered handle (the scoped path computes eagerly).
+    pub(crate) fn completed(answer: TracedAnswer, trace: bool, model: DiskModel) -> Self {
+        let completion = Arc::new(Completion::new());
+        completion.complete(answer);
+        PendingQuery::new(completion, trace, model)
+    }
+
+    /// True once the answer is available and [`PendingQuery::wait`] will
+    /// not block.
+    pub fn is_ready(&self) -> bool {
+        self.completion.is_ready()
+    }
+
+    /// Blocks until the query finishes and returns its result.
+    pub fn wait(self) -> Result<QueryResult, EngineError> {
+        let (neighbors, trace) = self.completion.wait()?;
+        let cost = trace.cost(&self.model);
+        Ok(QueryResult {
+            neighbors,
+            cost,
+            trace: self.trace.then_some(trace),
+        })
+    }
+}
+
+/// In-flight query counter with a drained-to-zero wakeup.
+struct Inflight {
+    count: Mutex<u64>,
+    zero: Condvar,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Inflight {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn inc(&self) {
+        *self.count.lock().expect("inflight lock is never poisoned") += 1;
+    }
+
+    fn dec(&self) {
+        let mut count = self.count.lock().expect("inflight lock is never poisoned");
+        *count -= 1;
+        if *count == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut count = self.count.lock().expect("inflight lock is never poisoned");
+        while *count > 0 {
+            count = self
+                .zero
+                .wait(count)
+                .expect("inflight lock is never poisoned");
+        }
+    }
+}
+
+/// The persistent pool: one pinned worker per disk plus its feeding
+/// channels. Created eagerly at engine build, drained and joined on drop.
+pub(crate) struct WorkerPool {
+    senders: Vec<Sender<Task>>,
+    handles: Vec<JoinHandle<()>>,
+    inflight: Arc<Inflight>,
+}
+
+impl WorkerPool {
+    /// Spawns one worker per disk of `core`.
+    pub(crate) fn start(core: Arc<EngineCore>) -> Self {
+        let disks = core.trees.len();
+        let (senders, receivers): (Vec<Sender<Task>>, Vec<Receiver<Task>>) =
+            (0..disks).map(|_| channel()).unzip();
+        let inflight = Arc::new(Inflight::new());
+        let handles = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(disk, rx)| {
+                let core = Arc::clone(&core);
+                let senders = senders.clone();
+                let inflight = Arc::clone(&inflight);
+                std::thread::Builder::new()
+                    .name(format!("parsim-disk-{disk}"))
+                    .spawn(move || worker_loop(disk, &core, &rx, &senders, &inflight))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        WorkerPool {
+            senders,
+            handles,
+            inflight,
+        }
+    }
+
+    /// Enqueues a task with worker `first` (its first itinerary stop).
+    pub(crate) fn submit(&self, first: usize, task: QueryTask) {
+        self.inflight.inc();
+        self.senders[first]
+            .send(Task::Run(Box::new(task)))
+            .expect("workers outlive the pool handle");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Drain-then-stop: once inflight is zero no task exists in any
+        // channel, so a Shutdown can never overtake a live query.
+        self.inflight.wait_zero();
+        for sender in &self.senders {
+            let _ = sender.send(Task::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: receive a task, run every consecutive step that belongs to
+/// this disk, then either forward the task to the next disk's worker or
+/// complete it.
+fn worker_loop(
+    disk: usize,
+    core: &EngineCore,
+    rx: &Receiver<Task>,
+    senders: &[Sender<Task>],
+    inflight: &Inflight,
+) {
+    while let Ok(task) = rx.recv() {
+        match task {
+            Task::Shutdown => break,
+            Task::Run(task) => match step(core, disk, task) {
+                Outcome::Forward(next, task) => {
+                    senders[next]
+                        .send(Task::Run(task))
+                        .expect("workers only stop after the pool drained");
+                }
+                Outcome::Done => inflight.dec(),
+            },
+        }
+    }
+}
+
+/// Result of running a task's local steps on one worker.
+enum Outcome {
+    /// The task's next step belongs to another disk.
+    Forward(usize, Box<QueryTask>),
+    /// The task completed (answer or error delivered).
+    Done,
+}
+
+/// Advances `task` as far as this disk can, then forwards or completes.
+fn step(core: &EngineCore, disk: usize, mut task: Box<QueryTask>) -> Outcome {
+    let mut forward: Option<usize> = None;
+    let mut error: Option<EngineError> = None;
+    match task.stage {
+        Stage::Rkv {
+            ref mut cursor,
+            ref itinerary,
+            ref mut pos,
+        } => {
+            while *pos < itinerary.len() {
+                let (min_dist, ti) = itinerary[*pos];
+                if cursor.prunable(min_dist) {
+                    // Sorted itinerary: every remaining tree is pruned
+                    // whole, exactly as the reference loop counts it.
+                    for &(_, tj) in &itinerary[*pos..] {
+                        task.stats[tj].pruned += 1;
+                    }
+                    *pos = itinerary.len();
+                    break;
+                }
+                if ti != disk {
+                    forward = Some(ti);
+                    break;
+                }
+                core.cursor_visit(ti, cursor, &task.query, &mut task.stats[ti]);
+                *pos += 1;
+            }
+        }
+        Stage::Hs {
+            ref bound,
+            ref mut candidates,
+            ref mut next,
+        } => {
+            while *next < core.trees.len() {
+                if *next != disk {
+                    forward = Some(*next);
+                    break;
+                }
+                let (cands, s) = core.hs_visit(disk, &task.query, task.k, bound);
+                task.stats[disk].merge(s);
+                candidates[disk] = cands;
+                *next += 1;
+            }
+        }
+        Stage::Degraded {
+            ref mut state,
+            ref mut phase,
+        } => loop {
+            match phase {
+                Phase::Primaries { next } => {
+                    if *next >= core.trees.len() {
+                        core.plan_failover(state);
+                        *phase = Phase::Failover { pos: 0 };
+                        continue;
+                    }
+                    if *next != disk {
+                        forward = Some(*next);
+                        break;
+                    }
+                    core.degraded_primary(disk, &task.query, task.k, state, &mut task.stats);
+                    *next += 1;
+                }
+                Phase::Failover { pos } => {
+                    if *pos >= state.itinerary.len() {
+                        break;
+                    }
+                    let (_, host) = state.itinerary[*pos];
+                    if host != disk {
+                        forward = Some(host);
+                        break;
+                    }
+                    match core.degraded_failover(*pos, &task.query, task.k, state, &mut task.stats)
+                    {
+                        Ok(()) => *pos += 1,
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+        },
+    }
+    if let Some(e) = error {
+        task.completion.complete(Err(e));
+        return Outcome::Done;
+    }
+    if let Some(next) = forward {
+        return Outcome::Forward(next, task);
+    }
+    complete(core, *task);
+    Outcome::Done
+}
+
+/// Finishes a task whose itinerary is exhausted: merge, build the trace,
+/// deliver the answer.
+fn complete(core: &EngineCore, task: QueryTask) {
+    let QueryTask {
+        k,
+        stats,
+        start,
+        stage,
+        completion,
+        ..
+    } = task;
+    let wall = start.elapsed();
+    let answer = match stage {
+        Stage::Rkv { cursor, .. } => {
+            let neighbors = cursor.finish();
+            let trace = QueryTrace::from_stats(&stats, wall, core.array.model());
+            Ok((neighbors, trace))
+        }
+        Stage::Hs { candidates, .. } => {
+            let merged = merge_candidates(candidates.iter().map(Vec::as_slice), k);
+            let trace = QueryTrace::from_stats(&stats, wall, core.array.model());
+            Ok((merged, trace))
+        }
+        Stage::Degraded { state, .. } => core.assemble_degraded(state, k, &stats, wall),
+    };
+    completion.complete(answer);
+}

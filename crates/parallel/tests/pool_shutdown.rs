@@ -1,0 +1,190 @@
+//! Lifecycle tests of the persistent worker pool: engine drop must join
+//! every per-disk worker without deadlocking — even with queries still
+//! queued — and degraded execution must behave identically on the pooled
+//! and scoped backbones.
+
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_geometry::Point;
+use parsim_parallel::{ExecutionMode, ParallelKnnEngine, PendingQuery, QueryOptions};
+
+const DIM: usize = 6;
+const DISKS: usize = 10; // colors_required(6) == 8: disks 8 and 9 are mirror spares
+const K: usize = 10;
+
+fn points() -> Vec<Point> {
+    UniformGenerator::new(DIM).generate(3000, 7)
+}
+
+fn pooled_engine(pts: &[Point], replicas: usize) -> ParallelKnnEngine {
+    ParallelKnnEngine::builder(DIM)
+        .disks(DISKS)
+        .replicas(replicas)
+        .execution(ExecutionMode::Pooled)
+        .build(pts)
+        .unwrap()
+}
+
+fn scoped_engine(pts: &[Point], replicas: usize) -> ParallelKnnEngine {
+    ParallelKnnEngine::builder(DIM)
+        .disks(DISKS)
+        .replicas(replicas)
+        .build(pts)
+        .unwrap()
+}
+
+/// Dropping the engine while a large batch is still queued must drain
+/// every in-flight query, join all workers, and leave every handle
+/// resolvable afterwards.
+#[test]
+fn drop_mid_batch_drains_queued_queries() {
+    let pts = points();
+    let queries = UniformGenerator::new(DIM).generate(96, 31);
+    let scoped = scoped_engine(&pts, 0);
+    let want: Vec<_> = queries
+        .iter()
+        .map(|q| scoped.knn(q, K).unwrap().0)
+        .collect();
+
+    let engine = pooled_engine(&pts, 0);
+    let opts = QueryOptions::new(K);
+    let pending: Vec<PendingQuery> = queries
+        .iter()
+        .map(|q| engine.submit(q, &opts).unwrap())
+        .collect();
+    // Drop with (almost certainly) most of the batch still queued. The
+    // pool's drain-then-stop shutdown must finish every accepted query
+    // before the workers exit.
+    drop(engine);
+    for (handle, want) in pending.into_iter().zip(&want) {
+        let result = handle.wait().unwrap();
+        assert_eq!(&result.neighbors, want);
+    }
+}
+
+/// Dropping the engine AND the un-waited handles must not deadlock or
+/// panic: completions outlive nobody, workers still drain and join.
+#[test]
+fn drop_engine_and_handles_without_waiting() {
+    let pts = points();
+    let queries = UniformGenerator::new(DIM).generate(64, 32);
+    let engine = pooled_engine(&pts, 0);
+    let opts = QueryOptions::new(K);
+    let pending: Vec<PendingQuery> = queries
+        .iter()
+        .map(|q| engine.submit(q, &opts).unwrap())
+        .collect();
+    drop(pending);
+    drop(engine);
+}
+
+/// An engine that never ran a query still shuts its pool down cleanly.
+#[test]
+fn drop_idle_engine() {
+    let engine = pooled_engine(&points(), 0);
+    assert_eq!(engine.execution(), ExecutionMode::Pooled);
+    drop(engine);
+}
+
+/// Repeatedly creating and dropping pooled engines (with a query in
+/// between) leaks no wedged worker: every drop returns.
+#[test]
+fn repeated_create_query_drop_cycles() {
+    let pts = points();
+    let q = UniformGenerator::new(DIM).generate(1, 33).pop().unwrap();
+    let mut last = None;
+    for _ in 0..5 {
+        let engine = pooled_engine(&pts, 0);
+        let (res, _) = engine.knn(&q, K).unwrap();
+        if let Some(prev) = &last {
+            assert_eq!(&res, prev);
+        }
+        last = Some(res);
+    }
+}
+
+/// Degraded execution parity: a hard disk failure is handled identically
+/// by the pooled pipeline and the scoped reference — same neighbors, same
+/// failover record, same pages, down to the per-disk trace.
+#[test]
+fn pooled_degraded_failover_matches_scoped() {
+    let pts = points();
+    let queries = UniformGenerator::new(DIM).generate(6, 34);
+    let scoped = scoped_engine(&pts, 1);
+    let pooled = pooled_engine(&pts, 1);
+    let failed = scoped
+        .load_distribution()
+        .iter()
+        .position(|&l| l > 0)
+        .expect("some disk holds data");
+    scoped.faults().fail(failed);
+    pooled.faults().fail(failed);
+    for q in &queries {
+        let (sres, strace) = scoped.knn_traced(q, K).unwrap();
+        let (pres, ptrace) = pooled.knn_traced(q, K).unwrap();
+        assert_eq!(pres, sres);
+        assert_eq!(ptrace.per_disk_pages, strace.per_disk_pages);
+        let sdeg = strace.degraded.expect("scoped degraded record");
+        let pdeg = ptrace.degraded.expect("pooled degraded record");
+        assert_eq!(pdeg.failed_over, sdeg.failed_over);
+        assert_eq!(pdeg.replica_pages, sdeg.replica_pages);
+        assert_eq!(pdeg.retries, sdeg.retries);
+    }
+}
+
+/// Flaky reads with a fixed injector seed draw the same retry stream on
+/// both backbones: the pooled degraded pipeline visits disks in the same
+/// order as the scoped sequential loop.
+#[test]
+fn pooled_degraded_retries_match_scoped() {
+    let pts = points();
+    let queries = UniformGenerator::new(DIM).generate(4, 35);
+    let scoped = scoped_engine(&pts, 1);
+    let pooled = pooled_engine(&pts, 1);
+    let flaky = scoped
+        .load_distribution()
+        .iter()
+        .position(|&l| l > 0)
+        .expect("some disk holds data");
+    for engine in [&scoped, &pooled] {
+        engine.faults().seed(flaky, 4242);
+        engine.faults().flaky(flaky, 0.3);
+    }
+    for q in &queries {
+        let (sres, strace) = scoped.knn_traced(q, K).unwrap();
+        let (pres, ptrace) = pooled.knn_traced(q, K).unwrap();
+        assert_eq!(pres, sres);
+        assert_eq!(ptrace.per_disk_pages, strace.per_disk_pages);
+        let sdeg = strace.degraded.expect("scoped degraded record");
+        let pdeg = ptrace.degraded.expect("pooled degraded record");
+        assert_eq!(pdeg.retries, sdeg.retries);
+        assert_eq!(pdeg.failed_over, sdeg.failed_over);
+    }
+}
+
+/// An unavailable bucket is the same typed error through the pool, and an
+/// error mid-batch does not wedge the shutdown.
+#[test]
+fn pooled_errors_propagate_and_do_not_wedge_shutdown() {
+    let pts = points();
+    let queries = UniformGenerator::new(DIM).generate(8, 36);
+    let engine = pooled_engine(&pts, 0);
+    let failed = engine
+        .load_distribution()
+        .iter()
+        .position(|&l| l > 0)
+        .expect("some disk holds data");
+    engine.faults().fail(failed);
+    let opts = QueryOptions::new(K);
+    let pending: Vec<PendingQuery> = queries
+        .iter()
+        .map(|q| engine.submit(q, &opts).unwrap())
+        .collect();
+    drop(engine);
+    for handle in pending {
+        let err = handle.wait().unwrap_err();
+        assert_eq!(
+            err,
+            parsim_parallel::EngineError::BucketUnavailable { disk: failed }
+        );
+    }
+}

@@ -7,11 +7,11 @@
 //! per-query traces must account for every page the shared disks served —
 //! even while many queries run concurrently.
 
-use parsim_datagen::{ClusteredGenerator, DataGenerator, UniformGenerator};
+use parsim_datagen::{ClusteredGenerator, CorrelatedGenerator, DataGenerator, UniformGenerator};
 use parsim_geometry::Point;
 use parsim_index::knn::{brute_force_knn, Neighbor};
 use parsim_index::KnnAlgorithm;
-use parsim_parallel::{EngineConfig, ParallelKnnEngine, SequentialEngine};
+use parsim_parallel::{EngineConfig, ExecutionMode, ParallelKnnEngine, SequentialEngine};
 
 const DIM: usize = 8;
 const DISKS: usize = 8;
@@ -220,6 +220,155 @@ fn clustered_knn_is_bit_identical_and_abandons_distances() {
         saved <= evals,
         "cannot abandon more evaluations than started"
     );
+}
+
+/// Builds scoped and pooled engines over the same points with the same
+/// configuration — the pair every backbone parity test compares.
+fn engine_pair(pts: &[Point], algorithm: KnnAlgorithm) -> (ParallelKnnEngine, ParallelKnnEngine) {
+    let mut config = EngineConfig::paper_defaults(DIM);
+    config.algorithm = algorithm;
+    let scoped = ParallelKnnEngine::builder(DIM)
+        .config(config)
+        .disks(DISKS)
+        .build(pts)
+        .unwrap();
+    let pooled = ParallelKnnEngine::builder(DIM)
+        .config(config)
+        .disks(DISKS)
+        .execution(ExecutionMode::Pooled)
+        .build(pts)
+        .unwrap();
+    (scoped, pooled)
+}
+
+/// The backbone bit-identity regression: pooled execution must return
+/// the same neighbor lists as scoped execution, the sequential baseline,
+/// and brute force, AND the same deterministic work trace
+/// (`per_disk_pages`, `dist_evals`, pruning counters) as the scoped batch
+/// path. Cache hits are excluded: they are execution-order dependent by
+/// nature.
+fn check_pooled_bit_identity(pts: &[Point], queries: &[Point]) {
+    let (scoped, pooled) = engine_pair(pts, KnnAlgorithm::Rkv);
+    let config = EngineConfig::paper_defaults(DIM);
+    let seq = SequentialEngine::build(pts, config).unwrap();
+    let data: Vec<(Point, u64)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+
+    let scoped_batch = scoped.knn_batch(queries, 10).unwrap();
+    let pooled_batch = pooled.knn_batch(queries, 10).unwrap();
+    for (qi, q) in queries.iter().enumerate() {
+        let (sres, strace) = &scoped_batch[qi];
+        let (pres, ptrace) = &pooled_batch[qi];
+        // Single pooled queries go through the same pipeline as batches.
+        let (single, single_trace) = pooled.knn_traced(q, 10).unwrap();
+        let (seq_res, _) = seq.knn(q, 10).unwrap();
+        let brute = brute_force_knn(&data, q, 10);
+
+        for ((((p, s), one), sq), b) in pres.iter().zip(sres).zip(&single).zip(&seq_res).zip(&brute)
+        {
+            assert_eq!(
+                p.dist.to_bits(),
+                s.dist.to_bits(),
+                "pooled vs scoped, q{qi}"
+            );
+            assert_eq!(
+                p.dist.to_bits(),
+                one.dist.to_bits(),
+                "batch vs single, q{qi}"
+            );
+            assert_eq!(
+                p.dist.to_bits(),
+                sq.dist.to_bits(),
+                "pooled vs sequential, q{qi}"
+            );
+            assert_eq!(
+                p.dist.to_bits(),
+                b.dist.to_bits(),
+                "pooled vs brute force, q{qi}"
+            );
+        }
+        assert_eq!(
+            ptrace.per_disk_pages, strace.per_disk_pages,
+            "page trace diverged on query {qi}"
+        );
+        assert_eq!(
+            ptrace.dist_evals, strace.dist_evals,
+            "dist_evals diverged on query {qi}"
+        );
+        assert_eq!(
+            ptrace.dist_evals_saved, strace.dist_evals_saved,
+            "dist_evals_saved diverged on query {qi}"
+        );
+        assert_eq!(
+            ptrace.candidates_pruned, strace.candidates_pruned,
+            "pruning trace diverged on query {qi}"
+        );
+        assert_eq!(single_trace.per_disk_pages, strace.per_disk_pages);
+        assert_eq!(single_trace.dist_evals, strace.dist_evals);
+    }
+}
+
+#[test]
+fn pooled_execution_is_bit_identical_on_clustered_data() {
+    let pts = ClusteredGenerator::new(DIM, 8, 0.03).generate(4000, 21);
+    let queries = ClusteredGenerator::new(DIM, 8, 0.03).generate(16, 77);
+    check_pooled_bit_identity(&pts, &queries);
+}
+
+#[test]
+fn pooled_execution_is_bit_identical_on_correlated_data() {
+    let pts = CorrelatedGenerator::new(DIM, 0.05).generate(4000, 22);
+    let queries = CorrelatedGenerator::new(DIM, 0.05).generate(16, 78);
+    check_pooled_bit_identity(&pts, &queries);
+}
+
+#[test]
+fn pooled_hs_answers_match_scoped() {
+    // HS pipelines disk-by-disk under a carried bound: answers must be
+    // identical to the scoped engine and brute force (traces are
+    // execution-shaped and not compared).
+    let pts = UniformGenerator::new(DIM).generate(4000, 23);
+    let (scoped, pooled) = engine_pair(&pts, KnnAlgorithm::Hs);
+    let data: Vec<(Point, u64)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+    for q in &UniformGenerator::new(DIM).generate(16, 79) {
+        let (a, _) = scoped.knn(q, 10).unwrap();
+        let (b, _) = pooled.knn(q, 10).unwrap();
+        let brute = brute_force_knn(&data, q, 10);
+        assert_same_answers(&b, &a);
+        for (g, w) in b.iter().zip(&brute) {
+            assert_eq!(g.dist.to_bits(), w.dist.to_bits());
+        }
+    }
+}
+
+#[test]
+fn pooled_batch_pipelines_without_reordering_results() {
+    // Results come back in submission order even though queries overlap
+    // across disks, and every trace stays per-query exact (the summed
+    // traces equal the global disk-counter delta).
+    let pts = UniformGenerator::new(DIM).generate(4000, 24);
+    let (_, pooled) = engine_pair(&pts, KnnAlgorithm::Rkv);
+    let queries = UniformGenerator::new(DIM).generate(32, 80);
+    let scope = pooled.array().begin_query();
+    let results = pooled.knn_batch(&queries, 5).unwrap();
+    let cost = scope.finish(pooled.array());
+    assert_eq!(results.len(), queries.len());
+    let mut summed = vec![0u64; DISKS];
+    for (i, (res, trace)) in results.iter().enumerate() {
+        let (want, _) = pooled.knn_traced(&queries[i], 5).unwrap();
+        assert_same_answers(res, &want);
+        for (acc, p) in summed.iter_mut().zip(&trace.per_disk_pages) {
+            *acc += p;
+        }
+    }
+    assert_eq!(summed, cost.per_disk_reads);
 }
 
 #[test]

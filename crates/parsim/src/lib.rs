@@ -106,11 +106,12 @@ pub mod prelude {
     };
     pub use parsim_parallel::{
         run_knn_workload, run_traced_workload, DeclusteredXTree, DegradedInfo, EngineBuilder,
-        EngineConfig, FaultPolicy, ParallelKnnEngine, QueryOptions, QueryResult, QueryTrace,
-        RetryPolicy, SequentialEngine, SplitStrategy, ThroughputReport, WorkloadCost,
+        EngineConfig, ExecutionMode, FaultPolicy, ParallelKnnEngine, PendingQuery, QueryOptions,
+        QueryResult, QueryTrace, RetryPolicy, SequentialEngine, SplitStrategy, ThroughputReport,
+        WorkloadCost,
     };
     pub use parsim_storage::{
-        DiskArray, DiskModel, FaultInjector, FaultKind, LruTracker, QueryCost, SimDisk,
+        DiskArray, DiskModel, FaultInjector, FaultKind, LruTracker, QueryCost, ShardedLru, SimDisk,
     };
 }
 
@@ -124,6 +125,19 @@ mod tests {
         let engine = ParallelKnnEngine::builder(6).disks(4).build(&data).unwrap();
         let (res, _) = engine.knn(&data[0], 3).unwrap();
         assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn facade_exposes_the_pooled_backbone() {
+        let data = UniformGenerator::new(6).generate(500, 1);
+        let engine = ParallelKnnEngine::builder(6)
+            .disks(4)
+            .execution(ExecutionMode::Pooled)
+            .build(&data)
+            .unwrap();
+        let handle = engine.submit(&data[0], &QueryOptions::new(3)).unwrap();
+        let result = handle.wait().unwrap();
+        assert_eq!(result.neighbors[0].dist, 0.0);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   [`FaultInjector::model_for`].
 //! * [`VectorArena`] — flat row-major vector storage used by leaf pages so
 //!   a page scan is one linear sweep instead of a pointer chase.
+//! * [`LruTracker`] / [`ShardedLru`] — exact LRU page-cache tracking, and
+//!   its sharded variant whose independently locked shards keep concurrent
+//!   searches off a single global cache mutex.
 //!
 //! The simulator is deterministic: identical access sequences produce
 //! identical costs, which keeps every experiment in this repository
@@ -35,6 +38,7 @@ pub mod disk;
 pub mod fault;
 pub mod model;
 pub mod page;
+pub mod sharded;
 
 pub use arena::VectorArena;
 pub use array::{DiskArray, QueryCost, QueryScope};
@@ -43,6 +47,7 @@ pub use disk::{DiskStats, SimDisk};
 pub use fault::{FaultInjector, FaultKind};
 pub use model::DiskModel;
 pub use page::{PageId, PAGE_SIZE};
+pub use sharded::ShardedLru;
 
 /// Errors produced by the simulated storage layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

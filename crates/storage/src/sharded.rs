@@ -1,0 +1,158 @@
+//! A sharded LRU page cache — the lock-spreading layer of the query
+//! backbone.
+//!
+//! PR 2 made [`crate::LruTracker`] the exact-LRU model behind the per-disk
+//! page caches, but every access serialized on one mutex. Under the
+//! batched query paths many search threads touch the same disk's cache
+//! concurrently, and that single lock becomes the contention point the
+//! paper's scaling story never charges for — it gets *worse* as disks (and
+//! therefore concurrent per-disk searches) are added.
+//!
+//! [`ShardedLru`] splits the key space over `N` independently locked
+//! [`LruTracker`] shards (`shard = key mod N`). Each shard runs *exact*
+//! LRU over the keys it owns, so a 1-shard cache is step-for-step
+//! identical to a plain tracker, and a sharded cache approximates global
+//! LRU with per-shard precision while `N` accesses can proceed in
+//! parallel. Node page ids are dense sequential integers, so the modulo
+//! split spreads both capacity and traffic evenly.
+
+use parking_lot::Mutex;
+
+use crate::cache::LruTracker;
+
+/// An exact-per-shard LRU set of page keys with fixed total capacity.
+///
+/// Keys are routed to `shards` independent [`LruTracker`]s by
+/// `key % shards`; the total capacity is distributed as evenly as
+/// possible (the first `capacity % shards` shards hold one extra page).
+/// With one shard this is exactly a mutex-protected [`LruTracker`].
+#[derive(Debug)]
+pub struct ShardedLru {
+    shards: Vec<Mutex<LruTracker>>,
+    capacity: usize,
+}
+
+impl ShardedLru {
+    /// Creates a cache of `capacity` total pages split over `shards`
+    /// independently locked LRU shards. A shard count of 0 is clamped
+    /// to 1; a capacity of 0 disables caching (every access misses).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        let shards = (0..shards)
+            .map(|i| Mutex::new(LruTracker::new(base + usize::from(i < extra))))
+            .collect();
+        ShardedLru { shards, capacity }
+    }
+
+    /// Total capacity in pages across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of independently locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of cached keys across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records an access to `key`, locking only the owning shard.
+    /// Returns `true` on a cache hit; on a miss the key is inserted,
+    /// evicting that shard's least recently used key if the shard is
+    /// full.
+    pub fn touch(&self, key: u64) -> bool {
+        let shard = (key % self.shards.len() as u64) as usize;
+        self.shards[shard].lock().touch(key)
+    }
+
+    /// Empties every shard.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shard_matches_the_plain_tracker() {
+        let sharded = ShardedLru::new(8, 1);
+        let mut plain = LruTracker::new(8);
+        let mut state = 0xDEADBEEFu64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 33) % 24;
+            assert_eq!(sharded.touch(key), plain.touch(key), "key {key}");
+        }
+        assert_eq!(sharded.len(), plain.len());
+    }
+
+    #[test]
+    fn capacity_splits_evenly_with_remainder() {
+        let c = ShardedLru::new(10, 4);
+        assert_eq!(c.capacity(), 10);
+        assert_eq!(c.shard_count(), 4);
+        // Shards own keys 0..4 mod 4 with capacities 3,3,2,2: filling one
+        // residue class only evicts within that class.
+        for key in [0u64, 4, 8, 12] {
+            assert!(!c.touch(key));
+        }
+        // Shard 0 has capacity 3: key 0 (its LRU) was evicted by key 12.
+        assert!(!c.touch(0));
+        assert!(c.touch(8));
+        assert!(c.touch(12));
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let c = ShardedLru::new(0, 8);
+        assert!(!c.touch(1));
+        assert!(!c.touch(1));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let c = ShardedLru::new(4, 0);
+        assert_eq!(c.shard_count(), 1);
+        assert!(!c.touch(7));
+        assert!(c.touch(7));
+    }
+
+    #[test]
+    fn clear_forgets_all_shards() {
+        let c = ShardedLru::new(16, 4);
+        for key in 0..8u64 {
+            c.touch(key);
+        }
+        assert_eq!(c.len(), 8);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.touch(3));
+    }
+
+    #[test]
+    fn shards_are_independent_lrus() {
+        // Two shards of capacity 1 each: traffic on one residue class
+        // never evicts the other.
+        let c = ShardedLru::new(2, 2);
+        assert!(!c.touch(0)); // shard 0
+        assert!(!c.touch(1)); // shard 1
+        assert!(!c.touch(2)); // shard 0, evicts 0
+        assert!(c.touch(1)); // shard 1 untouched by shard 0 churn
+        assert!(!c.touch(0));
+    }
+}

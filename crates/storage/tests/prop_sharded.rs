@@ -1,0 +1,97 @@
+//! Property tests for the sharded LRU page cache.
+//!
+//! The backbone invariants: a 1-shard [`ShardedLru`] is **step-for-step**
+//! equivalent to the plain [`LruTracker`] (same hit/miss answer on every
+//! access of any access string), and a many-shard cache — which only
+//! approximates global LRU — stays within a fixed hit-rate tolerance of
+//! exact LRU on skewed traces like the ones page caches actually see
+//! (hot directory pages re-touched constantly, a long tail of leaf pages).
+
+use parsim_storage::{LruTracker, ShardedLru};
+use proptest::prelude::*;
+
+/// An access string over a small key universe so hits actually occur.
+fn accesses(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..48, 1..=max_len)
+}
+
+/// Skews a uniform draw onto a hot set: values below the pivot map to a
+/// tiny set of hot keys, the rest spread over a wide cold universe. This
+/// mimics a page-access trace (root/directory pages dominate).
+fn skewed(raw: Vec<(u64, bool)>) -> Vec<u64> {
+    raw.into_iter()
+        .map(|(v, hot)| if hot { v % 8 } else { 100 + v })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn one_shard_is_step_for_step_exact_lru(
+        trace in accesses(400),
+        capacity in 0usize..16,
+    ) {
+        let sharded = ShardedLru::new(capacity, 1);
+        let mut exact = LruTracker::new(capacity);
+        for (i, &key) in trace.iter().enumerate() {
+            prop_assert_eq!(
+                sharded.touch(key),
+                exact.touch(key),
+                "step {} key {} capacity {}", i, key, capacity
+            );
+        }
+        prop_assert_eq!(sharded.len(), exact.len());
+    }
+
+    #[test]
+    fn sharding_preserves_hit_rate_on_skewed_traces(
+        raw in prop::collection::vec((0u64..1024, any::<bool>()), 512..=1024),
+        shards in 2usize..=8,
+    ) {
+        let trace = skewed(raw);
+        // Capacity comfortably above the hot set but far below the cold
+        // universe — the regime where LRU quality matters.
+        let capacity = 32usize;
+        let exact = LruTracker::new(capacity);
+        let sharded = ShardedLru::new(capacity, shards);
+        let mut exact = exact;
+        let (mut hits_exact, mut hits_sharded) = (0u64, 0u64);
+        for &key in &trace {
+            hits_exact += u64::from(exact.touch(key));
+            hits_sharded += u64::from(sharded.touch(key));
+        }
+        let n = trace.len() as f64;
+        let rate_exact = hits_exact as f64 / n;
+        let rate_sharded = hits_sharded as f64 / n;
+        // Per-shard LRU can lose (or gain) a little vs global LRU when the
+        // hot set splits unevenly over shards, but the hot keys 0..8 spread
+        // over <=8 shards each of capacity >=4, so the drift stays small.
+        prop_assert!(
+            (rate_exact - rate_sharded).abs() <= 0.15,
+            "hit rate drifted: exact {:.3} vs sharded({}) {:.3}",
+            rate_exact, shards, rate_sharded
+        );
+    }
+
+    #[test]
+    fn sharded_hits_imply_recent_access(
+        trace in accesses(300),
+        shards in 1usize..=6,
+    ) {
+        // A hit on any shard means the key was touched at most
+        // `capacity * shards` distinct-key accesses ago — per-shard LRU
+        // never hits on a key that exact LRU of the *combined* capacity
+        // would have long evicted AND never misses a key re-touched
+        // immediately.
+        let sharded = ShardedLru::new(12, shards);
+        let mut last: Option<u64> = None;
+        for &key in &trace {
+            let hit = sharded.touch(key);
+            if last == Some(key) {
+                prop_assert!(hit, "immediate re-touch of {} must hit", key);
+            }
+            last = Some(key);
+        }
+    }
+}

@@ -70,9 +70,7 @@ fn trees_stay_valid_under_churn() {
     for (p, id) in ids.iter().take(200) {
         engine.delete(p, *id).unwrap();
     }
-    for tree in engine.trees() {
-        tree.validate();
-    }
+    engine.for_each_tree(|tree| tree.validate());
     assert_eq!(engine.len(), 800 + 400 - 200);
 }
 
