@@ -10,6 +10,7 @@ pub mod ext06;
 pub mod ext07;
 pub mod ext08;
 pub mod ext09;
+pub mod ext10;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;
@@ -30,9 +31,9 @@ use crate::ExperimentReport;
 
 /// All experiment ids: the paper's figures in order, then the extension
 /// experiments.
-pub const ALL: [&str; 21] = [
+pub const ALL: [&str; 22] = [
     "fig1", "fig2", "fig3", "fig5", "fig7", "fig10", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9",
+    "fig17", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9", "ext10",
 ];
 
 /// Runs an experiment by id. `scale` multiplies the default dataset sizes.
@@ -59,6 +60,7 @@ pub fn run(id: &str, scale: f64) -> Option<ExperimentReport> {
         "ext7" => Some(ext07::run(scale)),
         "ext8" => Some(ext08::run(scale)),
         "ext9" => Some(ext09::run(scale)),
+        "ext10" => Some(ext10::run(scale)),
         _ => None,
     }
 }

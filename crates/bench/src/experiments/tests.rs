@@ -7,7 +7,7 @@ use super::*;
 
 #[test]
 fn dispatcher_covers_all_and_rejects_unknown() {
-    assert_eq!(ALL.len(), 21);
+    assert_eq!(ALL.len(), 22);
     assert!(run("nonsense", 1.0).is_none());
     assert!(run("fig99", 1.0).is_none());
 }
@@ -121,6 +121,29 @@ fn ext9_pipelined_schedule_beats_the_barrier() {
     assert!(json.contains("\"bench\": \"pr4-query-backbone\""));
     assert_eq!(json.matches("\"mode\": \"pooled\"").count(), 3);
     assert_eq!(json.matches("\"mode\": \"scoped\"").count(), 3);
+}
+
+#[test]
+fn ext10_registry_totals_match_trace_sums() {
+    let report = run("ext10", 0.05).expect("ext10");
+    // 2 modes x 2 conditions x 6 cross-checked counters.
+    assert_eq!(report.rows.len(), 24);
+    for row in &report.rows {
+        assert_eq!(row[3], row[4], "{}: registry != trace sum", row[2]);
+        assert_eq!(row[5], "yes");
+    }
+    // The degraded runs actually failed something over.
+    let replica_rows: u64 = report
+        .rows
+        .iter()
+        .filter(|r| r[1] == "degraded" && r[2] == "parsim_replica_pages_total")
+        .map(|r| r[3].parse::<u64>().unwrap())
+        .sum();
+    assert!(
+        replica_rows > 0,
+        "degraded condition never touched replicas"
+    );
+    assert!(report.notes[1].contains("mismatching rows: 0"));
 }
 
 #[test]

@@ -16,7 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parsim_storage::ShardedLru;
+use parsim_storage::{CacheMetrics, ShardedLru};
 
 use crate::node::{Node, NodeId};
 use crate::tree::NodeSink;
@@ -45,9 +45,21 @@ impl CachingSink {
     /// independently locked LRU shards (clamped to at least 1; 1 shard is
     /// exact global LRU).
     pub fn with_shards(inner: Arc<dyn NodeSink>, capacity: usize, shards: usize) -> Self {
+        Self::with_metrics(inner, capacity, shards, None)
+    }
+
+    /// Like [`CachingSink::with_shards`], but every cache access also
+    /// bumps the matching per-shard counter in `metrics` (hits, misses,
+    /// evictions). `None` is exactly [`CachingSink::with_shards`].
+    pub fn with_metrics(
+        inner: Arc<dyn NodeSink>,
+        capacity: usize,
+        shards: usize,
+        metrics: Option<CacheMetrics>,
+    ) -> Self {
         CachingSink {
             inner,
-            cache: ShardedLru::new(capacity, shards),
+            cache: ShardedLru::with_metrics(capacity, shards, metrics),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }

@@ -1,0 +1,271 @@
+//! Deterministic text renderings of a [`RegistrySnapshot`].
+//!
+//! Both exporters are pure functions of the snapshot: samples are
+//! rendered in registration order, labels in the order they were given,
+//! and nothing time-dependent (no timestamps, no hostnames) is ever
+//! emitted. Two snapshots that compare equal render to byte-identical
+//! strings, which lets test suites golden-file exporter output and assert
+//! cross-run determinism of a seeded workload.
+//!
+//! Histogram buckets are rendered **sparsely**: a cumulative `le` line is
+//! emitted only when its bucket received observations, plus a final
+//! `+Inf` line. The cumulative counts stay monotone, so the rendering is
+//! still a valid Prometheus histogram — just without hundreds of empty
+//! bucket lines.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::{Labels, MetricSample, MetricValue, RegistrySnapshot};
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn type_of(value: &MetricValue) -> &'static str {
+    match value {
+        MetricValue::Counter(_) => "counter",
+        MetricValue::Gauge(_) => "gauge",
+        MetricValue::Histogram(_) => "histogram",
+    }
+}
+
+fn push_histogram_lines(out: &mut String, s: &MetricSample, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, &b) in h.buckets.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        cumulative += b;
+        let le = h.cfg.upper_bound(i).to_string();
+        let labels = render_labels(&s.labels, Some(("le", &le)));
+        out.push_str(&format!("{}_bucket{labels} {cumulative}\n", s.name));
+    }
+    let inf = render_labels(&s.labels, Some(("le", "+Inf")));
+    out.push_str(&format!("{}_bucket{inf} {}\n", s.name, h.count));
+    out.push_str(&format!(
+        "{}_sum{} {}\n",
+        s.name,
+        render_labels(&s.labels, None),
+        h.sum
+    ));
+    out.push_str(&format!(
+        "{}_count{} {}\n",
+        s.name,
+        render_labels(&s.labels, None),
+        h.count
+    ));
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// `# HELP` / `# TYPE` headers are emitted once per metric name, at its
+/// first occurrence; same-named instruments with different label sets
+/// share the header, exactly as Prometheus expects.
+pub fn prometheus_text(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for s in &snapshot.samples {
+        if last_name != Some(s.name.as_str()) {
+            out.push_str(&format!("# HELP {} {}\n", s.name, s.help));
+            out.push_str(&format!("# TYPE {} {}\n", s.name, type_of(&s.value)));
+            last_name = Some(s.name.as_str());
+        }
+        match &s.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!(
+                    "{}{} {v}\n",
+                    s.name,
+                    render_labels(&s.labels, None)
+                ));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {v}\n",
+                    s.name,
+                    render_labels(&s.labels, None)
+                ));
+            }
+            MetricValue::Histogram(h) => push_histogram_lines(&mut out, s, h),
+        }
+    }
+    out
+}
+
+fn json_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &Labels) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Renders a snapshot as a JSON document.
+///
+/// The layout is `{"metrics": [...]}` with one object per sample in
+/// registration order. Histograms render their non-empty buckets as
+/// `[index, upper_bound, count]` triples — sparse, like the Prometheus
+/// rendering.
+pub fn to_json(snapshot: &RegistrySnapshot) -> String {
+    let mut entries = Vec::with_capacity(snapshot.samples.len());
+    for s in &snapshot.samples {
+        let head = format!(
+            "{{\"name\":\"{}\",\"help\":\"{}\",\"labels\":{},\"type\":\"{}\",",
+            json_escape(&s.name),
+            json_escape(&s.help),
+            json_labels(&s.labels),
+            type_of(&s.value)
+        );
+        let body = match &s.value {
+            MetricValue::Counter(v) => format!("\"value\":{v}}}"),
+            MetricValue::Gauge(v) => format!("\"value\":{v}}}"),
+            MetricValue::Histogram(h) => {
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b > 0)
+                    .map(|(i, &b)| format!("[{i},{},{b}]", h.cfg.upper_bound(i)))
+                    .collect();
+                format!(
+                    "\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                    h.count,
+                    h.sum,
+                    buckets.join(",")
+                )
+            }
+        };
+        entries.push(format!("  {head}{body}"));
+    }
+    format!("{{\"metrics\":[\n{}\n]}}\n", entries.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::HistogramConfig;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        let c0 = reg.counter("pages_total", "pages served", &[("disk", "0")]);
+        let c1 = reg.counter("pages_total", "pages served", &[("disk", "1")]);
+        let g = reg.gauge("queue_depth", "tasks waiting", &[("disk", "0")]);
+        let h = reg.histogram(
+            "latency_micros",
+            "modeled latency",
+            &[],
+            HistogramConfig::new(2, 8),
+        );
+        c0.add(7);
+        c1.add(3);
+        g.set(2);
+        h.record(1);
+        h.record(9);
+        h.record(9);
+        reg
+    }
+
+    #[test]
+    fn prometheus_output_matches_golden() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        let expected = "\
+# HELP pages_total pages served
+# TYPE pages_total counter
+pages_total{disk=\"0\"} 7
+pages_total{disk=\"1\"} 3
+# HELP queue_depth tasks waiting
+# TYPE queue_depth gauge
+queue_depth{disk=\"0\"} 2
+# HELP latency_micros modeled latency
+# TYPE latency_micros histogram
+latency_micros_bucket{le=\"1\"} 1
+latency_micros_bucket{le=\"9\"} 3
+latency_micros_bucket{le=\"+Inf\"} 3
+latency_micros_sum 19
+latency_micros_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn json_output_matches_golden() {
+        let json = to_json(&sample_registry().snapshot());
+        let expected = "{\"metrics\":[\n  \
+{\"name\":\"pages_total\",\"help\":\"pages served\",\"labels\":{\"disk\":\"0\"},\"type\":\"counter\",\"value\":7},\n  \
+{\"name\":\"pages_total\",\"help\":\"pages served\",\"labels\":{\"disk\":\"1\"},\"type\":\"counter\",\"value\":3},\n  \
+{\"name\":\"queue_depth\",\"help\":\"tasks waiting\",\"labels\":{\"disk\":\"0\"},\"type\":\"gauge\",\"value\":2},\n  \
+{\"name\":\"latency_micros\",\"help\":\"modeled latency\",\"labels\":{},\"type\":\"histogram\",\"count\":3,\"sum\":19,\"buckets\":[[1,1,1],[8,9,2]]}\n\
+]}\n";
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn equal_snapshots_render_identically() {
+        let reg = sample_registry();
+        let a = reg.snapshot();
+        let b = reg.snapshot();
+        assert_eq!(prometheus_text(&a), prometheus_text(&b));
+        assert_eq!(to_json(&a), to_json(&b));
+        assert_eq!(a.to_prometheus(), prometheus_text(&a));
+        assert_eq!(a.to_json(), to_json(&a));
+    }
+
+    #[test]
+    fn bucket_lines_are_cumulative_and_monotone() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h", "", &[], HistogramConfig::new(2, 8));
+        for v in [0u64, 0, 5, 200, 200, 200] {
+            h.record(v);
+        }
+        let text = prometheus_text(&reg.snapshot());
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("h_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative count decreased in {line}");
+            last = v;
+        }
+        assert_eq!(last, 6);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", "x", &[("path", "a\"b\\c")]);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("c{path=\"a\\\"b\\\\c\"} 0"));
+        let json = to_json(&reg.snapshot());
+        assert!(json.contains("\"path\":\"a\\\"b\\\\c\""));
+    }
+}

@@ -1,0 +1,315 @@
+//! A lock-free log-linear histogram of `u64` samples.
+//!
+//! The layout is the classic HdrHistogram-style compromise between a
+//! linear histogram (constant absolute resolution, unbounded bucket
+//! count) and a logarithmic one (bounded buckets, terrible resolution at
+//! the top): every power-of-two magnitude `[2^m, 2^{m+1})` is split into
+//! `2^sub_bits` equal **linear** sub-buckets, so the relative error of a
+//! recorded sample is bounded by `2^-sub_bits` across the whole range.
+//! Values at or above `2^limit_bits` clamp into the last bucket.
+//!
+//! [`Histogram::record`] is two relaxed atomic adds plus one to a bucket
+//! — no locks, no allocation — so it is safe to leave on the query path.
+//! [`Histogram::snapshot`] copies the buckets out into a plain
+//! [`HistogramSnapshot`], and snapshots [`HistogramSnapshot::merge`]
+//! elementwise, which makes merging **associative and commutative** and
+//! lets per-shard or per-engine histograms aggregate without coordination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket layout of a [`Histogram`]: `2^sub_bits` linear sub-buckets per
+/// power-of-two magnitude, clamping at `2^limit_bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramConfig {
+    /// log2 of the sub-buckets per power-of-two magnitude.
+    pub sub_bits: u32,
+    /// Values `>= 2^limit_bits` clamp into the last bucket.
+    pub limit_bits: u32,
+}
+
+impl HistogramConfig {
+    /// A layout with `2^sub_bits` sub-buckets per magnitude covering
+    /// values below `2^limit_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sub_bits < limit_bits <= 63` and `sub_bits <= 8`.
+    pub fn new(sub_bits: u32, limit_bits: u32) -> Self {
+        assert!(sub_bits <= 8, "sub_bits {sub_bits} too large");
+        assert!(
+            sub_bits < limit_bits && limit_bits <= 63,
+            "limit_bits {limit_bits} must be in ({sub_bits}, 63]"
+        );
+        HistogramConfig {
+            sub_bits,
+            limit_bits,
+        }
+    }
+
+    /// Layout for latencies in microseconds: 25 % relative resolution up
+    /// to ~71 minutes (`2^32` µs).
+    pub fn latency_micros() -> Self {
+        HistogramConfig::new(2, 32)
+    }
+
+    /// Layout for sizes in pages (or any small count): 25 % relative
+    /// resolution up to ~16 M pages (`2^24`).
+    pub fn pages() -> Self {
+        HistogramConfig::new(2, 24)
+    }
+
+    /// Number of buckets this layout produces.
+    pub fn bucket_count(&self) -> usize {
+        (((self.limit_bits - self.sub_bits + 1) as u64) << self.sub_bits) as usize
+    }
+
+    /// The bucket a value lands in.
+    pub fn index(&self, v: u64) -> usize {
+        let subs = 1u64 << self.sub_bits;
+        if v < subs {
+            return v as usize;
+        }
+        let top = 63 - v.leading_zeros(); // floor(log2 v), >= sub_bits
+        if top >= self.limit_bits {
+            return self.bucket_count() - 1;
+        }
+        let exp = top - self.sub_bits;
+        (((exp as u64 + 1) << self.sub_bits) + ((v >> exp) - subs)) as usize
+    }
+
+    /// The largest value that lands in bucket `i` (the Prometheus `le`
+    /// bound). The last bucket additionally absorbs every clamped value,
+    /// so exporters render its bound as `+Inf`.
+    pub fn upper_bound(&self, i: usize) -> u64 {
+        let subs = 1u64 << self.sub_bits;
+        if (i as u64) < subs {
+            return i as u64;
+        }
+        let e = (i as u64 / subs) - 1;
+        let r = i as u64 % subs;
+        ((subs + r + 1) << e) - 1
+    }
+}
+
+/// A fixed-layout concurrent histogram (see the module docs).
+#[derive(Debug)]
+pub struct Histogram {
+    cfg: HistogramConfig,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given layout.
+    pub fn new(cfg: HistogramConfig) -> Self {
+        Histogram {
+            cfg,
+            buckets: (0..cfg.bucket_count()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket layout.
+    pub fn config(&self) -> HistogramConfig {
+        self.cfg
+    }
+
+    /// Records one sample: two relaxed atomic adds plus one bucket add.
+    pub fn record(&self, v: u64) {
+        self.buckets[self.cfg.index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records `n` occurrences of the same sample.
+    pub fn record_n(&self, v: u64, n: u64) {
+        self.buckets[self.cfg.index(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.wrapping_mul(n), Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state out into a plain snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            cfg: self.cfg,
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+
+    /// Adds another histogram's current contents into this one. Both must
+    /// share the same layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts differ.
+    pub fn merge_from(&self, other: &Histogram) {
+        assert_eq!(self.cfg, other.cfg, "histogram layouts must match");
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// The bucket layout the counts were recorded under.
+    pub cfg: HistogramConfig,
+    /// Per-bucket sample counts (length [`HistogramConfig::bucket_count`]).
+    pub buckets: Vec<u64>,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot with the given layout.
+    pub fn empty(cfg: HistogramConfig) -> Self {
+        HistogramSnapshot {
+            cfg,
+            buckets: vec![0; cfg.bucket_count()],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Elementwise sum of two snapshots — associative and commutative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts differ.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(self.cfg, other.cfg, "histogram layouts must match");
+        HistogramSnapshot {
+            cfg: self.cfg,
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+        }
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        let cfg = HistogramConfig::new(2, 8);
+        for v in 0..4u64 {
+            assert_eq!(cfg.index(v), v as usize);
+            assert_eq!(cfg.upper_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn log_region_splits_each_magnitude() {
+        let cfg = HistogramConfig::new(2, 8);
+        // [8, 16) has 4 sub-buckets of width 2.
+        assert_eq!(cfg.index(8), 8);
+        assert_eq!(cfg.index(9), 8);
+        assert_eq!(cfg.index(10), 9);
+        assert_eq!(cfg.index(15), 11);
+        assert_eq!(cfg.upper_bound(8), 9);
+        assert_eq!(cfg.upper_bound(11), 15);
+    }
+
+    #[test]
+    fn index_is_monotone_and_bounds_are_consistent() {
+        let cfg = HistogramConfig::new(3, 16);
+        let mut prev = 0usize;
+        for v in 0..100_000u64 {
+            let i = cfg.index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            assert!(v <= cfg.upper_bound(i) || i == cfg.bucket_count() - 1);
+            if i > 0 {
+                assert!(v > cfg.upper_bound(i - 1), "value {v} below bucket {i}");
+            }
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn overflow_clamps_into_the_last_bucket() {
+        let cfg = HistogramConfig::new(2, 8);
+        assert_eq!(cfg.index(255), cfg.bucket_count() - 1);
+        assert_eq!(cfg.index(256), cfg.bucket_count() - 1);
+        assert_eq!(cfg.index(u64::MAX), cfg.bucket_count() - 1);
+        let h = Histogram::new(cfg);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn record_preserves_count_and_sum() {
+        let h = Histogram::new(HistogramConfig::latency_micros());
+        for v in [0u64, 1, 7, 130, 999_999] {
+            h.record(v);
+        }
+        h.record_n(50, 3);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1 + 7 + 130 + 999_999 + 150);
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn merge_from_accumulates() {
+        let cfg = HistogramConfig::pages();
+        let (a, b) = (Histogram::new(cfg), Histogram::new(cfg));
+        a.record(10);
+        b.record(20);
+        b.record(30);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 60);
+        assert_eq!(
+            a.snapshot(),
+            a.snapshot().merge(&HistogramSnapshot::empty(cfg))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "layouts must match")]
+    fn mismatched_layouts_refuse_to_merge() {
+        let a = Histogram::new(HistogramConfig::new(2, 8));
+        let b = Histogram::new(HistogramConfig::new(2, 9));
+        a.merge_from(&b);
+    }
+}

@@ -1,0 +1,38 @@
+//! Engine-wide observability primitives for the parallel search system.
+//!
+//! The per-query `QueryTrace` of the parallel engine answers "what did
+//! *this* query cost?" and dies with the query. This crate answers the
+//! steady-state question — what has the engine done since it started? —
+//! with cumulative metrics cheap enough to leave on in production:
+//!
+//! * [`Counter`] — a monotonically increasing `AtomicU64`.
+//! * [`Gauge`] — an `AtomicI64` that can go up and down (queue depths).
+//! * [`Histogram`] — a fixed-size **log-linear** histogram of `u64`
+//!   samples (latencies in microseconds, sizes in pages): every
+//!   power-of-two magnitude is split into a fixed number of linear
+//!   sub-buckets, so relative resolution is constant across nine orders
+//!   of magnitude while `record` stays two atomic adds with no locks.
+//! * [`MetricsRegistry`] — names the instruments and snapshots them all
+//!   at once into a [`RegistrySnapshot`] with deterministic
+//!   Prometheus-text and JSON exporters.
+//!
+//! **Hot-path discipline.** Recording never takes a lock and never
+//! allocates: handles are `Arc`s handed out at registration time, and the
+//! registry's own mutex is touched only when registering instruments or
+//! taking a snapshot. Everything recorded here is *deterministic* for a
+//! seeded workload (counts and modeled durations, never wall-clock), so
+//! two runs of the same workload export byte-identical snapshots — which
+//! is what makes the conformance suites able to golden-file them.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod export;
+pub mod histogram;
+pub mod instrument;
+pub mod registry;
+
+pub use export::{prometheus_text, to_json};
+pub use histogram::{Histogram, HistogramConfig, HistogramSnapshot};
+pub use instrument::{Counter, Gauge};
+pub use registry::{MetricValue, MetricsRegistry, RegistrySnapshot};

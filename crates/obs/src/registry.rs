@@ -1,0 +1,290 @@
+//! Naming, grouping, and snapshotting of instruments.
+//!
+//! A [`MetricsRegistry`] owns the list of registered instruments; the
+//! instruments themselves are handed back to callers as `Arc` handles so
+//! the hot path records through a plain atomic without ever touching the
+//! registry again. The registry's internal mutex is taken only when an
+//! instrument is registered or when [`MetricsRegistry::snapshot`] copies
+//! everything out.
+//!
+//! Snapshots preserve **registration order**, which is what makes the
+//! exporters deterministic: the same program registering the same
+//! instruments and replaying the same seeded workload produces the same
+//! byte sequence.
+
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{Histogram, HistogramConfig, HistogramSnapshot};
+use crate::instrument::{Counter, Gauge};
+
+/// A label set: `(key, value)` pairs attached to one instrument, e.g.
+/// `[("disk", "3")]`.
+pub type Labels = Vec<(String, String)>;
+
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Registered {
+    name: String,
+    help: String,
+    labels: Labels,
+    handle: Handle,
+}
+
+/// A named collection of instruments that can be snapshotted atomically
+/// enough for reporting (each instrument is read once, in registration
+/// order).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Vec<Registered>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.inner.lock().map(|v| v.len()).unwrap_or(0);
+        write!(f, "MetricsRegistry({n} instruments)")
+    }
+}
+
+fn label_pairs(labels: &[(&str, &str)]) -> Labels {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers a counter and returns its recording handle.
+    ///
+    /// Multiple registrations may share a `name` as long as their label
+    /// sets differ (e.g. one `pages_served` counter per disk).
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.push(name, help, labels, Handle::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Registers a gauge and returns its recording handle.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.push(name, help, labels, Handle::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Registers a histogram with the given bucket layout and returns its
+    /// recording handle.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        cfg: HistogramConfig,
+    ) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new(cfg));
+        self.push(name, help, labels, Handle::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    fn push(&self, name: &str, help: &str, labels: &[(&str, &str)], handle: Handle) {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .push(Registered {
+                name: name.to_string(),
+                help: help.to_string(),
+                labels: label_pairs(labels),
+                handle,
+            });
+    }
+
+    /// Reads every instrument once, in registration order.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        RegistrySnapshot {
+            samples: inner
+                .iter()
+                .map(|r| MetricSample {
+                    name: r.name.clone(),
+                    help: r.help.clone(),
+                    labels: r.labels.clone(),
+                    value: match &r.handle {
+                        Handle::Counter(c) => MetricValue::Counter(c.get()),
+                        Handle::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Handle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The value read from one instrument at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Cumulative total of a [`Counter`].
+    Counter(u64),
+    /// Instantaneous value of a [`Gauge`].
+    Gauge(i64),
+    /// Full bucket state of a [`Histogram`].
+    Histogram(HistogramSnapshot),
+}
+
+/// One instrument's identity and value inside a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name (Prometheus-style `snake_case`).
+    pub name: String,
+    /// One-line human description.
+    pub help: String,
+    /// Label set distinguishing this instrument from same-named ones.
+    pub labels: Labels,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+impl MetricSample {
+    /// True when this sample carries exactly the given labels, in order.
+    pub fn has_labels(&self, labels: &[(&str, &str)]) -> bool {
+        self.labels.len() == labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(labels)
+                .all(|((k, v), (wk, wv))| k == wk && v == wv)
+    }
+}
+
+/// A point-in-time copy of every instrument in a [`MetricsRegistry`],
+/// in registration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrySnapshot {
+    /// The samples, one per registered instrument.
+    pub samples: Vec<MetricSample>,
+}
+
+impl RegistrySnapshot {
+    /// Sum of all counters named `name`, across label sets.
+    ///
+    /// Returns 0 when no such counter exists, so parity checks read
+    /// naturally (`snapshot.counter_total("x") == expected`).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match s.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The counter named `name` carrying exactly the given labels.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name && s.has_labels(labels))
+            .find_map(|s| match s.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+    }
+
+    /// All gauges named `name` as `(labels, value)` pairs.
+    pub fn gauges(&self, name: &str) -> Vec<(&Labels, i64)> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match s.value {
+                MetricValue::Gauge(v) => Some((&s.labels, v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The first histogram named `name` carrying exactly the given labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name && s.has_labels(labels))
+            .find_map(|s| match &s.value {
+                MetricValue::Histogram(h) => Some(h),
+                _ => None,
+            })
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Deterministic: same snapshot, same bytes.
+    pub fn to_prometheus(&self) -> String {
+        crate::export::prometheus_text(self)
+    }
+
+    /// Renders the snapshot as a JSON document. Deterministic: same
+    /// snapshot, same bytes.
+    pub fn to_json(&self) -> String {
+        crate::export::to_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_preserves_registration_order_and_values() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("alpha_total", "first", &[]);
+        let g = reg.gauge("queue_depth", "second", &[("disk", "0")]);
+        let h = reg.histogram("lat", "third", &[], HistogramConfig::new(2, 8));
+        a.add(5);
+        g.set(-2);
+        h.record(3);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.samples.len(), 3);
+        assert_eq!(snap.samples[0].name, "alpha_total");
+        assert_eq!(snap.samples[0].value, MetricValue::Counter(5));
+        assert_eq!(snap.samples[1].value, MetricValue::Gauge(-2));
+        assert!(matches!(
+            &snap.samples[2].value,
+            MetricValue::Histogram(hs) if hs.count == 1 && hs.sum == 3
+        ));
+    }
+
+    #[test]
+    fn counter_total_sums_across_label_sets() {
+        let reg = MetricsRegistry::new();
+        let d0 = reg.counter("pages_total", "pages", &[("disk", "0")]);
+        let d1 = reg.counter("pages_total", "pages", &[("disk", "1")]);
+        d0.add(10);
+        d1.add(32);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("pages_total"), 42);
+        assert_eq!(snap.counter_with("pages_total", &[("disk", "1")]), Some(32));
+        assert_eq!(snap.counter_with("pages_total", &[("disk", "9")]), None);
+        assert_eq!(snap.counter_total("missing"), 0);
+    }
+
+    #[test]
+    fn handles_keep_recording_after_snapshot() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x_total", "", &[]);
+        c.inc();
+        let first = reg.snapshot();
+        c.inc();
+        let second = reg.snapshot();
+        assert_eq!(first.counter_total("x_total"), 1);
+        assert_eq!(second.counter_total("x_total"), 2);
+    }
+}

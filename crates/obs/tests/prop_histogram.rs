@@ -1,0 +1,146 @@
+//! Property tests of the log-linear [`Histogram`]: conservation (count
+//! and sum survive recording and snapshotting), monotonicity of merge,
+//! and the algebra that makes shard aggregation safe — merge is
+//! associative, commutative, and commutes with snapshotting.
+
+use parsim_obs::{Histogram, HistogramConfig, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// A random but valid bucket layout: `sub_bits < limit_bits`, small
+/// enough to allocate freely.
+fn config() -> impl Strategy<Value = HistogramConfig> {
+    (0u32..=4).prop_flat_map(|sub| {
+        ((sub + 1)..=24).prop_map(move |limit| HistogramConfig::new(sub, limit))
+    })
+}
+
+fn fill(cfg: HistogramConfig, samples: &[u64]) -> Histogram {
+    let h = Histogram::new(cfg);
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every recorded sample lands in exactly one bucket, and count/sum
+    /// are conserved through recording and snapshotting.
+    #[test]
+    fn count_and_sum_are_preserved(
+        cfg in config(),
+        samples in prop::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let h = fill(cfg, &samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, h.count());
+        prop_assert_eq!(s.sum, h.sum());
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+
+    /// Arbitrary u64s (including clamped outliers) still conserve count,
+    /// and every index stays in range.
+    #[test]
+    fn extreme_values_clamp_without_losing_samples(
+        cfg in config(),
+        samples in prop::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let h = fill(cfg, &samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        for &v in &samples {
+            prop_assert!(cfg.index(v) < cfg.bucket_count());
+        }
+        prop_assert_eq!(
+            h.snapshot().buckets.iter().sum::<u64>(),
+            samples.len() as u64
+        );
+    }
+
+    /// The bucket index is monotone in the value, and each value lies
+    /// within its bucket's bounds (except in the clamping last bucket).
+    #[test]
+    fn index_is_monotone_and_bounded(
+        cfg in config(),
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+    ) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(cfg.index(lo) <= cfg.index(hi));
+        let i = cfg.index(lo);
+        if i < cfg.bucket_count() - 1 {
+            prop_assert!(lo <= cfg.upper_bound(i));
+        }
+        if i > 0 {
+            prop_assert!(lo > cfg.upper_bound(i - 1));
+        }
+    }
+
+    /// Merging never decreases any bucket: the merge of two snapshots
+    /// dominates both inputs elementwise.
+    #[test]
+    fn merge_is_elementwise_monotone(
+        cfg in config(),
+        xs in prop::collection::vec(0u64..100_000, 0..48),
+        ys in prop::collection::vec(0u64..100_000, 0..48),
+    ) {
+        let (a, b) = (fill(cfg, &xs).snapshot(), fill(cfg, &ys).snapshot());
+        let m = a.merge(&b);
+        for i in 0..cfg.bucket_count() {
+            prop_assert!(m.buckets[i] >= a.buckets[i]);
+            prop_assert!(m.buckets[i] >= b.buckets[i]);
+            prop_assert_eq!(m.buckets[i], a.buckets[i] + b.buckets[i]);
+        }
+        prop_assert_eq!(m.count, a.count + b.count);
+        prop_assert_eq!(m.sum, a.sum + b.sum);
+    }
+
+    /// Merge is commutative and associative, with the empty snapshot as
+    /// identity — per-shard histograms can aggregate in any order.
+    #[test]
+    fn merge_is_commutative_associative_with_identity(
+        cfg in config(),
+        xs in prop::collection::vec(0u64..100_000, 0..32),
+        ys in prop::collection::vec(0u64..100_000, 0..32),
+        zs in prop::collection::vec(0u64..100_000, 0..32),
+    ) {
+        let a = fill(cfg, &xs).snapshot();
+        let b = fill(cfg, &ys).snapshot();
+        let c = fill(cfg, &zs).snapshot();
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        prop_assert_eq!(a.merge(&HistogramSnapshot::empty(cfg)), a);
+    }
+
+    /// Snapshot commutes with merge: merging live histograms and then
+    /// snapshotting equals snapshotting first and merging the snapshots.
+    #[test]
+    fn snapshot_of_merge_equals_merge_of_snapshots(
+        cfg in config(),
+        xs in prop::collection::vec(0u64..100_000, 0..48),
+        ys in prop::collection::vec(0u64..100_000, 0..48),
+    ) {
+        let (ha, hb) = (fill(cfg, &xs), fill(cfg, &ys));
+        let merged_snapshots = ha.snapshot().merge(&hb.snapshot());
+        ha.merge_from(&hb);
+        prop_assert_eq!(ha.snapshot(), merged_snapshots);
+    }
+
+    /// record_n(v, n) is indistinguishable from n calls to record(v).
+    #[test]
+    fn record_n_equals_repeated_record(
+        cfg in config(),
+        v in 0u64..1_000_000,
+        n in 1u64..50,
+    ) {
+        let bulk = Histogram::new(cfg);
+        bulk.record_n(v, n);
+        let loop_h = Histogram::new(cfg);
+        for _ in 0..n {
+            loop_h.record(v);
+        }
+        prop_assert_eq!(bulk.snapshot(), loop_h.snapshot());
+    }
+}

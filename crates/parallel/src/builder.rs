@@ -46,6 +46,7 @@ pub struct EngineBuilder {
     cache_shards: usize,
     fault_policy: FaultPolicy,
     execution: ExecutionMode,
+    metrics: bool,
 }
 
 impl EngineBuilder {
@@ -60,6 +61,7 @@ impl EngineBuilder {
             cache_shards: DEFAULT_CACHE_SHARDS,
             fault_policy: FaultPolicy::default(),
             execution: ExecutionMode::default(),
+            metrics: false,
         }
     }
 
@@ -129,6 +131,18 @@ impl EngineBuilder {
     /// budget and flaky-read retry policy).
     pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
         self.fault_policy = policy;
+        self
+    }
+
+    /// Turns the engine-wide metrics registry on or off (default **off**).
+    ///
+    /// With metrics on, every layer records cumulative counters, gauges,
+    /// and modeled-latency histograms readable through
+    /// [`crate::ParallelKnnEngine::metrics`] /
+    /// [`crate::EngineMetrics::snapshot`]. With the default off, the
+    /// query path carries no extra atomic operations at all.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
         self
     }
 
@@ -224,6 +238,7 @@ impl EngineBuilder {
             self.page_cache,
             self.cache_shards,
             self.execution,
+            self.metrics,
         )
     }
 }

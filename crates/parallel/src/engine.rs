@@ -25,6 +25,7 @@ use parsim_storage::{DiskArray, DiskModel, FaultInjector, FaultKind, QueryCost};
 use crate::builder::EngineBuilder;
 use crate::config::{EngineConfig, SplitStrategy};
 use crate::metrics::{DegradedInfo, QueryTrace};
+use crate::obs::EngineMetrics;
 use crate::options::{ExecutionMode, FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
 use crate::pool::{Completion, PendingQuery, Phase, QueryTask, Stage, WorkerPool};
 use crate::EngineError;
@@ -82,6 +83,9 @@ pub(crate) struct EngineCore {
     /// are touched only on failover, so caching them would let rare
     /// degraded queries evict the hot primary working set.
     pub(crate) mirrors: Vec<RwLock<BTreeMap<usize, SpatialTree>>>,
+    /// The engine-wide metrics registry; `None` (the default) keeps the
+    /// query path free of any additional atomic operations.
+    pub(crate) metrics: Option<Arc<EngineMetrics>>,
 }
 
 /// The mutable state of one degraded-mode query, shared verbatim by the
@@ -329,41 +333,6 @@ impl ParallelKnnEngine {
         EngineBuilder::new(dim)
     }
 
-    /// Builds an engine over `points` with an explicit declusterer.
-    #[deprecated(note = "use ParallelKnnEngine::builder(dim).declusterer(..).build(points)")]
-    pub fn build(
-        points: &[Point],
-        declusterer: Arc<dyn Declusterer>,
-        config: EngineConfig,
-    ) -> Result<Self, EngineError> {
-        Self::builder(config.dim)
-            .config(config)
-            .declusterer(declusterer)
-            .build(points)
-    }
-
-    /// Builds an engine with the paper's **near-optimal declustering**
-    /// (folded to `disks` disks) and the configured split strategy.
-    #[deprecated(note = "use ParallelKnnEngine::builder(dim).disks(n).build(points)")]
-    pub fn build_near_optimal(
-        points: &[Point],
-        disks: usize,
-        config: EngineConfig,
-    ) -> Result<Self, EngineError> {
-        Self::builder(config.dim)
-            .config(config)
-            .disks(disks)
-            .build(points)
-    }
-
-    /// Installs an LRU page cache of `capacity` pages in front of every
-    /// disk.
-    #[deprecated(note = "use EngineBuilder::page_cache before building")]
-    pub fn with_page_cache(mut self, capacity: usize) -> Self {
-        self.install_page_cache(capacity);
-        self
-    }
-
     /// The workhorse constructor behind [`EngineBuilder::build`]: bulk-
     /// loads one primary tree per disk and, when a replica router is
     /// supplied, one mirror tree per (source disk, mirror disk) pair.
@@ -379,6 +348,7 @@ impl ParallelKnnEngine {
         page_cache: Option<usize>,
         cache_shards: usize,
         execution: ExecutionMode,
+        metrics: bool,
     ) -> Result<Self, EngineError> {
         if points.is_empty() {
             return Err(EngineError::EmptyDataSet);
@@ -394,6 +364,10 @@ impl ParallelKnnEngine {
         let disks = declusterer.disks();
         let array = DiskArray::new(disks, config.disk_model)
             .map_err(|e| EngineError::Internal(e.to_string()))?;
+        let metrics = metrics.then(|| Arc::new(EngineMetrics::new(disks, cache_shards)));
+        if let Some(m) = &metrics {
+            array.faults().set_metrics(m.fault_metrics());
+        }
 
         // Partition the points over the disks; with replication every
         // point also lands in the mirror partition its router picks.
@@ -444,6 +418,7 @@ impl ParallelKnnEngine {
                 array,
                 trees: trees.into_iter().map(RwLock::new).collect(),
                 mirrors: mirrors.into_iter().map(RwLock::new).collect(),
+                metrics,
             }),
             declusterer,
             replica_router,
@@ -484,7 +459,8 @@ impl ParallelKnnEngine {
             .map(|i| {
                 let disk_sink: Arc<dyn NodeSink> =
                     Arc::new(DiskSink(Arc::clone(core.array.disk(i))));
-                Arc::new(CachingSink::with_shards(disk_sink, capacity, shards))
+                let cm = core.metrics.as_ref().map(|m| m.cache_metrics(i));
+                Arc::new(CachingSink::with_metrics(disk_sink, capacity, shards, cm))
             })
             .collect();
         core.trees = std::mem::take(&mut core.trees)
@@ -545,6 +521,14 @@ impl ParallelKnnEngine {
     /// The engine-wide degraded-mode defaults set at build time.
     pub fn fault_policy(&self) -> &FaultPolicy {
         &self.fault_policy
+    }
+
+    /// The engine-wide metrics registry, or `None` unless the engine was
+    /// built with [`EngineBuilder::metrics`]`(true)`. Snapshot through
+    /// [`EngineMetrics::snapshot`]; export with
+    /// [`parsim_obs::prometheus_text`] / [`parsim_obs::to_json`].
+    pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.core.metrics.as_ref()
     }
 
     /// True if the engine keeps replica copies of every bucket.
@@ -683,6 +667,9 @@ impl ParallelKnnEngine {
         let (timeout, retry) = self.resolve_policy(opts);
         let degraded = timeout.is_some() || self.core.array.faults().any_armed();
         let model = *self.core.array.model();
+        if let Some(m) = &self.core.metrics {
+            m.record_start();
+        }
         let Some(pool) = &self.pool else {
             // Scoped: answer now, return an already-complete handle.
             let answer = if degraded {
@@ -690,6 +677,12 @@ impl ParallelKnnEngine {
             } else {
                 Ok(self.knn_healthy(query, opts.k))
             };
+            if let Some(m) = &self.core.metrics {
+                match &answer {
+                    Ok((_, trace)) => m.record_query(trace, &model),
+                    Err(_) => m.record_failure(),
+                }
+            }
             return PendingQuery::completed(answer, opts.trace, model);
         };
 
@@ -714,6 +707,9 @@ impl ParallelKnnEngine {
                         // forest search's early return.
                         let stats = vec![SearchStats::default(); n];
                         let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
+                        if let Some(m) = &self.core.metrics {
+                            m.record_query(&trace, &model);
+                        }
                         completion.complete(Ok((Vec::new(), trace)));
                         return pending;
                     }
@@ -731,6 +727,9 @@ impl ParallelKnnEngine {
                     if opts.k == 0 {
                         let stats = vec![SearchStats::default(); n];
                         let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
+                        if let Some(m) = &self.core.metrics {
+                            m.record_query(&trace, &model);
+                        }
                         completion.complete(Ok((Vec::new(), trace)));
                         return pending;
                     }
@@ -828,6 +827,13 @@ impl ParallelKnnEngine {
                                 let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
                                 Ok((res, trace))
                             };
+                            if let Some(m) = &core.metrics {
+                                m.record_start();
+                                match &answer {
+                                    Ok((_, trace)) => m.record_query(trace, &model),
+                                    Err(_) => m.record_failure(),
+                                }
+                            }
                             out.push((i, answer));
                         }
                     })
@@ -1009,7 +1015,8 @@ impl ParallelKnnEngine {
     /// the per-disk trees, preserving the disk count, replication, fault
     /// policy, page-cache setup, and execution mode. The rebuilt engine
     /// starts with a fresh, healthy disk array — injected faults do not
-    /// carry over.
+    /// carry over, and metrics (when enabled) restart from a fresh
+    /// registry with all counters at zero.
     ///
     /// This is the paper's reorganization step for data whose distribution
     /// drifted after many insertions.
@@ -1033,7 +1040,8 @@ impl ParallelKnnEngine {
             .replicas(usize::from(self.replica_router.is_some()))
             .fault_policy(self.fault_policy)
             .cache_shards(self.cache_shards)
-            .execution(self.execution);
+            .execution(self.execution)
+            .metrics(self.core.metrics.is_some());
         if let Some(capacity) = self.page_cache_capacity {
             builder = builder.page_cache(capacity);
         }
@@ -1253,16 +1261,25 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_constructors_still_work() {
-        #![allow(deprecated)]
+    fn metrics_are_off_by_default_and_survive_reorganize() {
         let pts = UniformGenerator::new(4).generate(300, 9);
-        let config = EngineConfig::paper_defaults(4);
-        let e = ParallelKnnEngine::build_near_optimal(&pts, 4, config).unwrap();
-        let via_builder = ParallelKnnEngine::builder(4).disks(4).build(&pts).unwrap();
-        assert_eq!(e.load_distribution(), via_builder.load_distribution());
+        let plain = ParallelKnnEngine::builder(4).disks(4).build(&pts).unwrap();
+        assert!(plain.metrics().is_none());
+        let metered = ParallelKnnEngine::builder(4)
+            .disks(4)
+            .metrics(true)
+            .build(&pts)
+            .unwrap();
         let q = Point::new(vec![0.4; 4]).unwrap();
-        let (a, _) = e.knn(&q, 5).unwrap();
-        let (b, _) = via_builder.knn(&q, 5).unwrap();
-        assert_eq!(a, b);
+        metered.knn(&q, 5).unwrap();
+        let m = metered.metrics().expect("metrics were enabled");
+        let s = m.snapshot();
+        assert_eq!(s.counter_total("parsim_queries_started_total"), 1);
+        assert_eq!(s.counter_total("parsim_queries_completed_total"), 1);
+        assert!(s.counter_total("parsim_disk_pages_total") > 0);
+        // Reorganize keeps metrics enabled but resets the registry.
+        let metered = metered.reorganize().unwrap();
+        let s = metered.metrics().expect("still enabled").snapshot();
+        assert_eq!(s.counter_total("parsim_queries_started_total"), 0);
     }
 }

@@ -21,6 +21,7 @@ pub mod config;
 pub mod declustered;
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod options;
 pub mod pool;
 pub mod sequential;
@@ -31,6 +32,7 @@ pub use config::{EngineConfig, SplitStrategy};
 pub use declustered::DeclusteredXTree;
 pub use engine::ParallelKnnEngine;
 pub use metrics::{run_knn_workload, run_traced_workload, DegradedInfo, QueryTrace, WorkloadCost};
+pub use obs::EngineMetrics;
 pub use options::{ExecutionMode, FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
 pub use pool::PendingQuery;
 pub use sequential::SequentialEngine;

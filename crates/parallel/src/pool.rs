@@ -32,6 +32,7 @@ use parsim_storage::DiskModel;
 
 use crate::engine::{merge_candidates, DegradedState, EngineCore, TracedAnswer};
 use crate::metrics::QueryTrace;
+use crate::obs::EngineMetrics;
 use crate::options::QueryResult;
 use crate::EngineError;
 
@@ -238,6 +239,7 @@ pub(crate) struct WorkerPool {
     senders: Vec<Sender<Task>>,
     handles: Vec<JoinHandle<()>>,
     inflight: Arc<Inflight>,
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl WorkerPool {
@@ -247,6 +249,7 @@ impl WorkerPool {
         let (senders, receivers): (Vec<Sender<Task>>, Vec<Receiver<Task>>) =
             (0..disks).map(|_| channel()).unzip();
         let inflight = Arc::new(Inflight::new());
+        let metrics = core.metrics.clone();
         let handles = receivers
             .into_iter()
             .enumerate()
@@ -264,12 +267,19 @@ impl WorkerPool {
             senders,
             handles,
             inflight,
+            metrics,
         }
     }
 
     /// Enqueues a task with worker `first` (its first itinerary stop).
+    /// The queue-depth gauge is raised before the send and lowered by the
+    /// receiving worker, so the gauges drain back to zero exactly when
+    /// the pool does.
     pub(crate) fn submit(&self, first: usize, task: QueryTask) {
         self.inflight.inc();
+        if let Some(m) = &self.metrics {
+            m.queue_depth(first).inc();
+        }
         self.senders[first]
             .send(Task::Run(Box::new(task)))
             .expect("workers outlive the pool handle");
@@ -303,14 +313,22 @@ fn worker_loop(
     while let Ok(task) = rx.recv() {
         match task {
             Task::Shutdown => break,
-            Task::Run(task) => match step(core, disk, task) {
-                Outcome::Forward(next, task) => {
-                    senders[next]
-                        .send(Task::Run(task))
-                        .expect("workers only stop after the pool drained");
+            Task::Run(task) => {
+                if let Some(m) = &core.metrics {
+                    m.queue_depth(disk).dec();
                 }
-                Outcome::Done => inflight.dec(),
-            },
+                match step(core, disk, task) {
+                    Outcome::Forward(next, task) => {
+                        if let Some(m) = &core.metrics {
+                            m.queue_depth(next).inc();
+                        }
+                        senders[next]
+                            .send(Task::Run(task))
+                            .expect("workers only stop after the pool drained");
+                    }
+                    Outcome::Done => inflight.dec(),
+                }
+            }
         }
     }
 }
@@ -408,6 +426,11 @@ fn step(core: &EngineCore, disk: usize, mut task: Box<QueryTask>) -> Outcome {
         },
     }
     if let Some(e) = error {
+        // Record before delivery so a snapshot taken after `wait` returns
+        // always sees this query.
+        if let Some(m) = &core.metrics {
+            m.record_failure();
+        }
         task.completion.complete(Err(e));
         return Outcome::Done;
     }
@@ -443,5 +466,13 @@ fn complete(core: &EngineCore, task: QueryTask) {
         }
         Stage::Degraded { state, .. } => core.assemble_degraded(state, k, &stats, wall),
     };
+    // Record before delivery so a snapshot taken after `wait` returns
+    // always sees this query.
+    if let Some(m) = &core.metrics {
+        match &answer {
+            Ok((_, trace)) => m.record_query(trace, core.array.model()),
+            Err(_) => m.record_failure(),
+        }
+    }
     completion.complete(answer);
 }

@@ -161,6 +161,46 @@ fn pooled_degraded_retries_match_scoped() {
     }
 }
 
+/// The worker queue-depth gauges drain back to exactly zero once the
+/// pool does: every submit/forward increment is matched by a receive
+/// decrement, even when the engine is dropped with the batch still
+/// queued. The snapshot is taken through a kept registry handle after
+/// the drain-then-join drop completes.
+#[test]
+fn queue_depth_gauges_return_to_zero_after_drain_then_drop() {
+    let pts = points();
+    let queries = UniformGenerator::new(DIM).generate(80, 37);
+    let engine = ParallelKnnEngine::builder(DIM)
+        .disks(DISKS)
+        .execution(ExecutionMode::Pooled)
+        .metrics(true)
+        .build(&pts)
+        .unwrap();
+    let metrics = std::sync::Arc::clone(engine.metrics().expect("metrics enabled"));
+    let disks = engine.disks(); // capped below DISKS without replicas
+    let opts = QueryOptions::new(K);
+    let pending: Vec<PendingQuery> = queries
+        .iter()
+        .map(|q| engine.submit(q, &opts).unwrap())
+        .collect();
+    // Drop mid-batch: the pool drains every accepted query, so by the
+    // time drop returns each gauge has seen matched inc/dec pairs.
+    drop(engine);
+    let snapshot = metrics.snapshot();
+    let depths = snapshot.gauges("parsim_worker_queue_depth");
+    assert_eq!(depths.len(), disks);
+    for (labels, depth) in depths {
+        assert_eq!(depth, 0, "gauge {labels:?} did not drain");
+    }
+    assert_eq!(
+        snapshot.counter_total("parsim_queries_completed_total"),
+        queries.len() as u64
+    );
+    for handle in pending {
+        handle.wait().unwrap();
+    }
+}
+
 /// An unavailable bucket is the same typed error through the pool, and an
 /// error mid-batch does not wedge the shutdown.
 #[test]

@@ -106,9 +106,9 @@ pub mod prelude {
     };
     pub use parsim_parallel::{
         run_knn_workload, run_traced_workload, DeclusteredXTree, DegradedInfo, EngineBuilder,
-        EngineConfig, ExecutionMode, FaultPolicy, ParallelKnnEngine, PendingQuery, QueryOptions,
-        QueryResult, QueryTrace, RetryPolicy, SequentialEngine, SplitStrategy, ThroughputReport,
-        WorkloadCost,
+        EngineConfig, EngineMetrics, ExecutionMode, FaultPolicy, ParallelKnnEngine, PendingQuery,
+        QueryOptions, QueryResult, QueryTrace, RetryPolicy, SequentialEngine, SplitStrategy,
+        ThroughputReport, WorkloadCost,
     };
     pub use parsim_storage::{
         DiskArray, DiskModel, FaultInjector, FaultKind, LruTracker, QueryCost, ShardedLru, SimDisk,

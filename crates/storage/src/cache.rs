@@ -11,6 +11,15 @@ use std::collections::HashMap;
 
 const NIL: usize = usize::MAX;
 
+/// What one [`LruTracker::touch_reporting`] access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchOutcome {
+    /// The key was already resident.
+    pub hit: bool,
+    /// Inserting the key displaced the least recently used resident.
+    pub evicted: bool,
+}
+
 /// An exact LRU set of page keys with fixed capacity.
 #[derive(Debug)]
 pub struct LruTracker {
@@ -62,15 +71,31 @@ impl LruTracker {
     /// miss the key is inserted, evicting the least recently used key if
     /// the tracker is full.
     pub fn touch(&mut self, key: u64) -> bool {
+        self.touch_reporting(key).hit
+    }
+
+    /// Like [`LruTracker::touch`], but also reports whether the miss
+    /// displaced a resident key — the signal behind per-shard eviction
+    /// counters.
+    pub fn touch_reporting(&mut self, key: u64) -> TouchOutcome {
+        const HIT: TouchOutcome = TouchOutcome {
+            hit: true,
+            evicted: false,
+        };
+        const MISS: TouchOutcome = TouchOutcome {
+            hit: false,
+            evicted: false,
+        };
         if self.capacity == 0 {
-            return false;
+            return MISS;
         }
         if let Some(&slot) = self.map.get(&key) {
             self.unlink(slot);
             self.push_front(slot);
-            return true;
+            return HIT;
         }
         // Miss: insert, evicting if needed.
+        let mut outcome = MISS;
         if self.map.len() == self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL);
@@ -78,6 +103,7 @@ impl LruTracker {
             self.unlink(lru);
             self.map.remove(&old_key);
             self.free.push(lru);
+            outcome.evicted = true;
         }
         let slot = match self.free.pop() {
             Some(s) => {
@@ -99,7 +125,7 @@ impl LruTracker {
         };
         self.map.insert(key, slot);
         self.push_front(slot);
-        false
+        outcome
     }
 
     /// Empties the cache.
@@ -176,6 +202,43 @@ mod tests {
         assert!(lru.touch(3));
         assert!(lru.touch(4));
         assert!(!lru.touch(2));
+    }
+
+    #[test]
+    fn touch_reporting_flags_evictions() {
+        let mut lru = LruTracker::new(2);
+        assert_eq!(
+            lru.touch_reporting(1),
+            TouchOutcome {
+                hit: false,
+                evicted: false
+            }
+        );
+        lru.touch(2);
+        // Full: the next miss displaces key 1 (the LRU).
+        assert_eq!(
+            lru.touch_reporting(3),
+            TouchOutcome {
+                hit: false,
+                evicted: true
+            }
+        );
+        assert_eq!(
+            lru.touch_reporting(3),
+            TouchOutcome {
+                hit: true,
+                evicted: false
+            }
+        );
+        // Zero capacity misses without evicting.
+        let mut none = LruTracker::new(0);
+        assert_eq!(
+            none.touch_reporting(9),
+            TouchOutcome {
+                hit: false,
+                evicted: false
+            }
+        );
     }
 
     #[test]

@@ -16,9 +16,30 @@
 //! ([`FaultInjector::any_armed`]) while the array is healthy.
 
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use parsim_obs::Counter;
 
 use crate::model::DiskModel;
+
+/// Cumulative counters recording what a [`FaultInjector`] has done.
+///
+/// Attached after construction via [`FaultInjector::set_metrics`]; the
+/// handles usually come from a `parsim_obs::MetricsRegistry` owned by the
+/// parallel engine. All three are control-plane or degraded-path events,
+/// so the healthy hot path never touches them.
+#[derive(Debug, Clone)]
+pub struct FaultMetrics {
+    /// Faults armed via [`FaultInjector::inject`] (replacing an armed
+    /// fault counts as a new injection).
+    pub faults_injected: Arc<Counter>,
+    /// Armed faults cleared via [`FaultInjector::heal`] (no-op heals are
+    /// not counted).
+    pub faults_healed: Arc<Counter>,
+    /// Flaky reads that came up as errors in
+    /// [`FaultInjector::draw_read_error`].
+    pub read_errors: Arc<Counter>,
+}
 
 /// The failure mode injected into one simulated disk.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,6 +134,10 @@ pub struct FaultInjector {
     /// Number of disks with a fault currently armed — lets hot paths skip
     /// all per-disk checks while the array is healthy.
     armed: Arc<AtomicUsize>,
+    /// Optional cumulative counters, shared by all clones. `OnceLock::get`
+    /// is a single atomic load, and it is only consulted on control-plane
+    /// calls and flaky-read draws — never on the healthy query path.
+    metrics: Arc<OnceLock<FaultMetrics>>,
 }
 
 impl FaultInjector {
@@ -121,7 +146,14 @@ impl FaultInjector {
         FaultInjector {
             cells: (0..disks).map(|i| Arc::new(FaultCell::new(i))).collect(),
             armed: Arc::new(AtomicUsize::new(0)),
+            metrics: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Attaches cumulative counters to this injector (and every clone of
+    /// it). Can be set at most once; later calls are ignored.
+    pub fn set_metrics(&self, metrics: FaultMetrics) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// Number of disks covered.
@@ -138,7 +170,7 @@ impl FaultInjector {
         Arc::clone(&self.cells[disk])
     }
 
-    fn set_mode(&self, disk: usize, mode: u8, param: f64) {
+    fn set_mode(&self, disk: usize, mode: u8, param: f64) -> bool {
         let cell = &self.cells[disk];
         cell.param.store(param.to_bits(), Ordering::SeqCst);
         let prev = cell.mode.swap(mode, Ordering::SeqCst);
@@ -149,6 +181,7 @@ impl FaultInjector {
         } else if !is_armed && was_armed {
             self.armed.fetch_sub(1, Ordering::SeqCst);
         }
+        was_armed
     }
 
     /// Injects `fault` into `disk`, replacing any previous fault.
@@ -159,7 +192,9 @@ impl FaultInjector {
     /// or if a flaky probability is outside `[0, 1]`.
     pub fn inject(&self, disk: usize, fault: FaultKind) {
         match fault {
-            FaultKind::Failed => self.set_mode(disk, MODE_FAILED, 0.0),
+            FaultKind::Failed => {
+                self.set_mode(disk, MODE_FAILED, 0.0);
+            }
             FaultKind::Slow { multiplier } => {
                 assert!(
                     multiplier.is_finite() && multiplier >= 1.0,
@@ -174,6 +209,9 @@ impl FaultInjector {
                 );
                 self.set_mode(disk, MODE_FLAKY, error_probability);
             }
+        }
+        if let Some(m) = self.metrics.get() {
+            m.faults_injected.inc();
         }
     }
 
@@ -195,7 +233,12 @@ impl FaultInjector {
 
     /// Clears any fault on `disk`.
     pub fn heal(&self, disk: usize) {
-        self.set_mode(disk, MODE_HEALTHY, 0.0);
+        let was_armed = self.set_mode(disk, MODE_HEALTHY, 0.0);
+        if was_armed {
+            if let Some(m) = self.metrics.get() {
+                m.faults_healed.inc();
+            }
+        }
     }
 
     /// Clears all faults.
@@ -245,12 +288,18 @@ impl FaultInjector {
     /// if the read fails. Always false unless the disk is flaky; each call
     /// advances the deterministic per-disk stream.
     pub fn draw_read_error(&self, disk: usize) -> bool {
-        match self.fault(disk) {
+        let error = match self.fault(disk) {
             Some(FaultKind::Flaky { error_probability }) => {
                 self.cells[disk].next_unit() < error_probability
             }
             _ => false,
+        };
+        if error {
+            if let Some(m) = self.metrics.get() {
+                m.read_errors.inc();
+            }
         }
+        error
     }
 
     /// The effective service-time model of `disk`: `base` scaled by the
@@ -348,6 +397,28 @@ mod tests {
         let t = base.service_time(10).as_secs_f64();
         let ts = scaled.service_time(10).as_secs_f64();
         assert!((ts / t - 3.0).abs() < 1e-6, "ratio {}", ts / t);
+    }
+
+    #[test]
+    fn metrics_count_injections_heals_and_read_errors() {
+        let f = FaultInjector::new(2);
+        let m = FaultMetrics {
+            faults_injected: Arc::new(Counter::new()),
+            faults_healed: Arc::new(Counter::new()),
+            read_errors: Arc::new(Counter::new()),
+        };
+        f.set_metrics(m.clone());
+        let clone = f.clone(); // counters are shared by clones
+        clone.fail(0);
+        f.slow(0, 2.0); // replacement counts as a new injection
+        f.flaky(1, 1.0);
+        assert_eq!(m.faults_injected.get(), 3);
+        assert!(f.draw_read_error(1));
+        assert!(!f.draw_read_error(0)); // slow disks never error
+        assert_eq!(m.read_errors.get(), 1);
+        f.heal_all();
+        f.heal(0); // no-op heal is not counted
+        assert_eq!(m.faults_healed.get(), 2);
     }
 
     #[test]

@@ -42,12 +42,12 @@ pub mod sharded;
 
 pub use arena::VectorArena;
 pub use array::{DiskArray, QueryCost, QueryScope};
-pub use cache::LruTracker;
+pub use cache::{LruTracker, TouchOutcome};
 pub use disk::{DiskStats, SimDisk};
-pub use fault::{FaultInjector, FaultKind};
+pub use fault::{FaultInjector, FaultKind, FaultMetrics};
 pub use model::DiskModel;
 pub use page::{PageId, PAGE_SIZE};
-pub use sharded::ShardedLru;
+pub use sharded::{CacheMetrics, ShardedLru};
 
 /// Errors produced by the simulated storage layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -16,9 +16,53 @@
 //! parallel. Node page ids are dense sequential integers, so the modulo
 //! split spreads both capacity and traffic evenly.
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
+use parsim_obs::Counter;
 
 use crate::cache::LruTracker;
+
+/// Per-shard hit/miss/eviction counters attached to a [`ShardedLru`].
+///
+/// The counter handles usually come from a `parsim_obs::MetricsRegistry`
+/// owned by a higher layer (the parallel engine registers one triple per
+/// shard, labeled with disk and shard ids); the cache itself only records
+/// through them. Cloning shares the underlying counters.
+#[derive(Debug, Clone)]
+pub struct CacheMetrics {
+    hits: Vec<Arc<Counter>>,
+    misses: Vec<Arc<Counter>>,
+    evictions: Vec<Arc<Counter>>,
+}
+
+impl CacheMetrics {
+    /// Bundles one hit/miss/eviction counter per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three vectors differ in length or are empty.
+    pub fn new(
+        hits: Vec<Arc<Counter>>,
+        misses: Vec<Arc<Counter>>,
+        evictions: Vec<Arc<Counter>>,
+    ) -> Self {
+        assert!(
+            !hits.is_empty() && hits.len() == misses.len() && hits.len() == evictions.len(),
+            "cache metrics need one counter triple per shard"
+        );
+        CacheMetrics {
+            hits,
+            misses,
+            evictions,
+        }
+    }
+
+    /// Number of shards the counters cover.
+    pub fn shard_count(&self) -> usize {
+        self.hits.len()
+    }
+}
 
 /// An exact-per-shard LRU set of page keys with fixed total capacity.
 ///
@@ -30,6 +74,7 @@ use crate::cache::LruTracker;
 pub struct ShardedLru {
     shards: Vec<Mutex<LruTracker>>,
     capacity: usize,
+    metrics: Option<CacheMetrics>,
 }
 
 impl ShardedLru {
@@ -37,13 +82,37 @@ impl ShardedLru {
     /// independently locked LRU shards. A shard count of 0 is clamped
     /// to 1; a capacity of 0 disables caching (every access misses).
     pub fn new(capacity: usize, shards: usize) -> Self {
+        ShardedLru::with_metrics(capacity, shards, None)
+    }
+
+    /// Like [`ShardedLru::new`], but every access also bumps the matching
+    /// per-shard counter in `metrics`. With `None` this is exactly
+    /// [`ShardedLru::new`] — the hot path pays one untaken branch and no
+    /// atomics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metrics` is present but covers a different number of
+    /// shards than the (clamped) `shards` count.
+    pub fn with_metrics(capacity: usize, shards: usize, metrics: Option<CacheMetrics>) -> Self {
         let shards = shards.max(1);
+        if let Some(m) = &metrics {
+            assert_eq!(
+                m.shard_count(),
+                shards,
+                "cache metrics must cover exactly the shard count"
+            );
+        }
         let base = capacity / shards;
         let extra = capacity % shards;
         let shards = (0..shards)
             .map(|i| Mutex::new(LruTracker::new(base + usize::from(i < extra))))
             .collect();
-        ShardedLru { shards, capacity }
+        ShardedLru {
+            shards,
+            capacity,
+            metrics,
+        }
     }
 
     /// Total capacity in pages across all shards.
@@ -72,7 +141,18 @@ impl ShardedLru {
     /// full.
     pub fn touch(&self, key: u64) -> bool {
         let shard = (key % self.shards.len() as u64) as usize;
-        self.shards[shard].lock().touch(key)
+        let outcome = self.shards[shard].lock().touch_reporting(key);
+        if let Some(m) = &self.metrics {
+            if outcome.hit {
+                m.hits[shard].inc();
+            } else {
+                m.misses[shard].inc();
+                if outcome.evicted {
+                    m.evictions[shard].inc();
+                }
+            }
+        }
+        outcome.hit
     }
 
     /// Empties every shard.
@@ -142,6 +222,33 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert!(!c.touch(3));
+    }
+
+    #[test]
+    fn metrics_count_hits_misses_and_evictions_per_shard() {
+        let triple = |n: usize| (0..n).map(|_| Arc::new(Counter::new())).collect::<Vec<_>>();
+        let (hits, misses, evictions) = (triple(2), triple(2), triple(2));
+        let m = CacheMetrics::new(hits.clone(), misses.clone(), evictions.clone());
+        // Two shards of capacity 1 each.
+        let c = ShardedLru::with_metrics(2, 2, Some(m));
+        c.touch(0); // shard 0 miss
+        c.touch(0); // shard 0 hit
+        c.touch(2); // shard 0 miss + eviction of 0
+        c.touch(1); // shard 1 miss
+        assert_eq!(hits[0].get(), 1);
+        assert_eq!(misses[0].get(), 2);
+        assert_eq!(evictions[0].get(), 1);
+        assert_eq!(hits[1].get(), 0);
+        assert_eq!(misses[1].get(), 1);
+        assert_eq!(evictions[1].get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn metrics_shard_mismatch_is_rejected() {
+        let triple = |n: usize| (0..n).map(|_| Arc::new(Counter::new())).collect::<Vec<_>>();
+        let m = CacheMetrics::new(triple(3), triple(3), triple(3));
+        ShardedLru::with_metrics(8, 2, Some(m));
     }
 
     #[test]
