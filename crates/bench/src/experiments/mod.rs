@@ -11,6 +11,7 @@ pub mod ext07;
 pub mod ext08;
 pub mod ext09;
 pub mod ext10;
+pub mod ext11;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;
@@ -31,9 +32,10 @@ use crate::ExperimentReport;
 
 /// All experiment ids: the paper's figures in order, then the extension
 /// experiments.
-pub const ALL: [&str; 22] = [
+pub const ALL: [&str; 23] = [
     "fig1", "fig2", "fig3", "fig5", "fig7", "fig10", "fig12", "fig13", "fig14", "fig15", "fig16",
     "fig17", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9", "ext10",
+    "ext11",
 ];
 
 /// Runs an experiment by id. `scale` multiplies the default dataset sizes.
@@ -61,6 +63,7 @@ pub fn run(id: &str, scale: f64) -> Option<ExperimentReport> {
         "ext8" => Some(ext08::run(scale)),
         "ext9" => Some(ext09::run(scale)),
         "ext10" => Some(ext10::run(scale)),
+        "ext11" => Some(ext11::run(scale)),
         _ => None,
     }
 }

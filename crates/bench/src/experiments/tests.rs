@@ -7,7 +7,7 @@ use super::*;
 
 #[test]
 fn dispatcher_covers_all_and_rejects_unknown() {
-    assert_eq!(ALL.len(), 22);
+    assert_eq!(ALL.len(), 23);
     assert!(run("nonsense", 1.0).is_none());
     assert!(run("fig99", 1.0).is_none());
 }
@@ -144,6 +144,51 @@ fn ext10_registry_totals_match_trace_sums() {
         "degraded condition never touched replicas"
     );
     assert!(report.notes[1].contains("mismatching rows: 0"));
+}
+
+#[test]
+fn ext11_coalescing_raises_saturation_and_reconciles() {
+    let m = ext11::measure(0.05);
+    // Live batch: answers were asserted bit-identical inside measure();
+    // here the bookkeeping must reconcile and the effect must exist.
+    assert!(m.queries > 0 && m.logical_pages > 0);
+    assert_eq!(
+        m.registry_coalesced, m.trace_coalesced,
+        "registry counter must equal the per-query trace sum"
+    );
+    assert!(
+        m.trace_coalesced > 0,
+        "waves of near-identical queries must coalesce"
+    );
+    assert!(
+        m.sat_coalesced_qps > m.sat_plain_qps,
+        "coalescing must raise modeled saturation ({} vs {})",
+        m.sat_coalesced_qps,
+        m.sat_plain_qps
+    );
+    // Open-loop sweep: 5 offered loads x 2 modes, and at every load the
+    // coalesced tail is no worse than the plain tail.
+    assert_eq!(m.rows.len(), 10);
+    for pair in m.rows.chunks(2) {
+        assert_eq!(pair[0].mode, "plain");
+        assert_eq!(pair[1].mode, "coalesced");
+        assert!(
+            pair[1].p99_ms <= pair[0].p99_ms,
+            "coalesced p99 {} must not exceed plain p99 {} at load {}",
+            pair[1].p99_ms,
+            pair[0].p99_ms,
+            pair[0].offered
+        );
+    }
+    // The JSON record carries the reconciliation facts.
+    let json = ext11::to_json(&m, 0.05);
+    assert!(json.contains("\"bench\": \"pr6-open-loop-serve\""));
+    assert_eq!(json.matches("\"mode\": \"coalesced\"").count(), 5);
+    assert_eq!(json.matches("\"mode\": \"plain\"").count(), 5);
+    // And the tabulated report is well-formed.
+    let report = run("ext11", 0.05).expect("ext11");
+    assert_eq!(report.rows.len(), 10);
+    assert!(report.notes[0].contains("reconciles exactly"));
 }
 
 #[test]

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use parsim_storage::{CacheMetrics, ShardedLru};
 
 use crate::node::{Node, NodeId};
-use crate::tree::NodeSink;
+use crate::tree::{NodeSink, VisitOutcome};
 
 /// Default shard count of [`CachingSink::new`] — enough to keep a handful
 /// of concurrent same-disk searches from colliding while each shard stays
@@ -98,11 +98,11 @@ impl CachingSink {
 }
 
 impl NodeSink for CachingSink {
-    fn visit(&self, id: NodeId, node: &Node) -> bool {
+    fn visit(&self, id: NodeId, node: &Node) -> VisitOutcome {
         let hit = self.cache.touch(id.0 as u64);
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            true
+            VisitOutcome::CacheHit
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.inner.visit(id, node)

@@ -1,0 +1,85 @@
+//! Cross-query page coalescing for visit accounting.
+//!
+//! Wraps any [`NodeSink`] with a [`ReadCombiner`]: within one submission
+//! **wave** (a group of queries admitted together — see the parallel
+//! engine's serve layer), the first query to request a page performs the
+//! physical read through the inner sink, and every later request of the
+//! same page by the same wave is reported as
+//! [`VisitOutcome::Coalesced`] — no disk charge, and the inner layers
+//! (page cache, disk) are not touched at all, so the cache's LRU order is
+//! not perturbed by reads that never physically happened.
+//!
+//! Coalescing changes only the *physical* cost of execution: each query
+//! still runs its own full search (its logical page and distance-\
+//! evaluation counts are identical to uncoalesced execution), which is
+//! why the parallel engine can promise bit-identical answers and traces
+//! with coalescing on.
+
+use std::sync::Arc;
+
+use parsim_storage::ReadCombiner;
+
+use crate::node::{Node, NodeId};
+use crate::tree::{NodeSink, VisitOutcome};
+
+/// A read-combining layer in front of another sink. See the module docs.
+pub struct CoalescingSink {
+    inner: Arc<dyn NodeSink>,
+    combiner: ReadCombiner,
+}
+
+impl CoalescingSink {
+    /// Wraps `inner` with an empty combining window (wave 0).
+    pub fn new(inner: Arc<dyn NodeSink>) -> Self {
+        CoalescingSink {
+            inner,
+            combiner: ReadCombiner::new(),
+        }
+    }
+
+    /// Opens `wave`'s combining window; a wave change clears the window.
+    /// Queries that should never coalesce with each other (e.g. two
+    /// independent submissions) simply use distinct wave ids.
+    pub fn begin_wave(&self, wave: u64) {
+        self.combiner.begin_wave(wave);
+    }
+
+    /// Total visits coalesced since the sink was created (monotone across
+    /// waves).
+    pub fn coalesced_reads(&self) -> u64 {
+        self.combiner.coalesced_reads()
+    }
+}
+
+impl NodeSink for CoalescingSink {
+    fn visit(&self, id: NodeId, node: &Node) -> VisitOutcome {
+        if self.combiner.claim(id.0 as u64) {
+            self.inner.visit(id, node)
+        } else {
+            VisitOutcome::Coalesced
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DiskSink;
+    use parsim_storage::SimDisk;
+
+    #[test]
+    fn repeat_visits_within_a_wave_charge_once() {
+        let disk = Arc::new(SimDisk::new(0));
+        let sink = CoalescingSink::new(Arc::new(DiskSink(Arc::clone(&disk))));
+        let node = Node::empty_leaf(2);
+        sink.begin_wave(1);
+        assert_eq!(sink.visit(NodeId(4), &node), VisitOutcome::Charged);
+        assert_eq!(sink.visit(NodeId(4), &node), VisitOutcome::Coalesced);
+        assert_eq!(disk.read_count(), 1);
+        // A new wave charges the page again.
+        sink.begin_wave(2);
+        assert_eq!(sink.visit(NodeId(4), &node), VisitOutcome::Charged);
+        assert_eq!(disk.read_count(), 2);
+        assert_eq!(sink.coalesced_reads(), 1);
+    }
+}

@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use parsim_geometry::{kernel, Point};
 
 use crate::node::{Node, NodeId};
-use crate::tree::SpatialTree;
+use crate::tree::{SpatialTree, VisitOutcome};
 
 /// Which k-NN algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,6 +66,11 @@ pub struct SearchStats {
     /// Node visits served from a page cache (counted here, in the search
     /// thread, so concurrent queries cannot blend their hits together).
     pub cache_hits: u64,
+    /// Node visits that rode a physical read another in-flight query of
+    /// the same submission wave already performed (cross-query page
+    /// coalescing; no disk charged, cache untouched). Like `cache_hits`,
+    /// counted in the search thread so the figure is exact per query.
+    pub coalesced: u64,
     /// Candidate points whose distance to the query was evaluated.
     pub dist_evals: u64,
     /// Candidate points abandoned mid-distance: a partial sum already
@@ -80,6 +85,7 @@ impl SearchStats {
         self.pages += other.pages;
         self.pruned += other.pruned;
         self.cache_hits += other.cache_hits;
+        self.coalesced += other.coalesced;
         self.dist_evals += other.dist_evals;
         self.dist_evals_saved += other.dist_evals_saved;
     }
@@ -177,8 +183,10 @@ impl SpatialTree {
         shared: Option<&SharedBound>,
         stats: &mut SearchStats,
     ) {
-        if self.charge_visit(id) {
-            stats.cache_hits += 1;
+        match self.charge_visit(id) {
+            VisitOutcome::CacheHit => stats.cache_hits += 1,
+            VisitOutcome::Coalesced => stats.coalesced += 1,
+            VisitOutcome::Charged => {}
         }
         stats.pages += self.node(id).pages() as u64;
         match self.node(id) {
@@ -416,8 +424,10 @@ fn hs_search(
             break;
         }
         let tree = trees[entry.tree];
-        if tree.charge_visit(entry.node) {
-            stats[entry.tree].cache_hits += 1;
+        match tree.charge_visit(entry.node) {
+            VisitOutcome::CacheHit => stats[entry.tree].cache_hits += 1,
+            VisitOutcome::Coalesced => stats[entry.tree].coalesced += 1,
+            VisitOutcome::Charged => {}
         }
         stats[entry.tree].pages += tree.node(entry.node).pages() as u64;
         match tree.node(entry.node) {

@@ -25,6 +25,7 @@
 
 pub mod bulk;
 pub mod caching;
+pub mod coalesce;
 pub mod costmodel;
 pub mod graphnn;
 pub mod gridfile;
@@ -41,6 +42,7 @@ pub mod tree;
 pub mod tvtree;
 
 pub use caching::{CachingSink, DEFAULT_CACHE_SHARDS};
+pub use coalesce::CoalescingSink;
 pub use costmodel::{predict_leaf_accesses, CostPrediction};
 pub use graphnn::GraphIndex;
 pub use gridfile::GridFile;
@@ -53,7 +55,7 @@ pub use knn::{
 pub use params::{TreeParams, TreeVariant};
 pub use persist::{PersistError, PersistedTree};
 pub use stats::TreeStats;
-pub use tree::{DiskSink, NodeSink, SpatialTree};
+pub use tree::{DiskSink, NodeSink, SpatialTree, VisitOutcome};
 pub use tvtree::TvTree;
 
 /// Errors produced by the index.

@@ -10,6 +10,28 @@ use crate::node::{InnerEntry, LeafEntries, LeafEntry, Node, NodeId};
 use crate::params::{TreeParams, TreeVariant};
 use crate::IndexError;
 
+/// How a sink served one node visit — whether the disk was physically
+/// charged or the read was absorbed by a layer above it.
+///
+/// Searches fold the outcome into their own per-thread [`SearchStats`]
+/// (`cache_hits` / `coalesced`), so the per-query accounting stays exact
+/// even when many queries run against the same disks concurrently. The
+/// *logical* page count of a visit is charged by the search itself
+/// regardless of the outcome; only the physical disk charge is skipped.
+///
+/// [`SearchStats`]: crate::knn::SearchStats
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisitOutcome {
+    /// The visit reached the disk and was charged to it.
+    Charged,
+    /// The visit was served from a page cache (no disk charged).
+    CacheHit,
+    /// The visit rode a physical read another in-flight query of the same
+    /// submission wave already performed (no disk charged, cache
+    /// untouched) — see `CoalescingSink`.
+    Coalesced,
+}
+
 /// Receives every node visit performed by queries on a [`SpatialTree`].
 ///
 /// The default sink charges a [`SimDisk`]; the parallel engine installs a
@@ -18,9 +40,10 @@ use crate::IndexError;
 /// directory is cached in RAM in the paper's setting).
 pub trait NodeSink: Send + Sync {
     /// Called once per node visit with the node's id and contents. Returns
-    /// `true` if the visit was served from a cache (no disk charged), so
-    /// searches can count cache hits into their own per-thread statistics.
-    fn visit(&self, id: NodeId, node: &Node) -> bool;
+    /// how the visit was served ([`VisitOutcome`]), so searches can count
+    /// cache hits and coalesced reads into their own per-thread
+    /// statistics.
+    fn visit(&self, id: NodeId, node: &Node) -> VisitOutcome;
 }
 
 /// The default sink: every visited node charges its page count to one
@@ -28,9 +51,9 @@ pub trait NodeSink: Send + Sync {
 pub struct DiskSink(pub Arc<SimDisk>);
 
 impl NodeSink for DiskSink {
-    fn visit(&self, _id: NodeId, node: &Node) -> bool {
+    fn visit(&self, _id: NodeId, node: &Node) -> VisitOutcome {
         self.0.touch_read(node.pages() as u64);
-        false
+        VisitOutcome::Charged
     }
 }
 
@@ -112,11 +135,11 @@ impl SpatialTree {
     }
 
     /// Charges the I/O cost of visiting `id` to the attached sink. Returns
-    /// `true` if the sink reports the visit was served from a cache.
-    pub fn charge_visit(&self, id: NodeId) -> bool {
+    /// how the sink served the visit (charged, cached, or coalesced).
+    pub fn charge_visit(&self, id: NodeId) -> VisitOutcome {
         match &self.sink {
             Some(sink) => sink.visit(id, self.node(id)),
-            None => false,
+            None => VisitOutcome::Charged,
         }
     }
 

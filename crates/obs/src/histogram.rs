@@ -222,6 +222,26 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile of the recorded samples by nearest rank: the
+    /// upper bound of the first bucket whose cumulative count reaches
+    /// `ceil(q × count)`. `q` is clamped to `[0, 1]`; 0 when empty. The
+    /// answer carries the layout's relative error (`2^-sub_bits`), like
+    /// any bucketed quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return self.cfg.upper_bound(i);
+            }
+        }
+        self.cfg.upper_bound(self.buckets.len() - 1)
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +323,30 @@ mod tests {
             a.snapshot(),
             a.snapshot().merge(&HistogramSnapshot::empty(cfg))
         );
+    }
+
+    #[test]
+    fn quantiles_by_nearest_rank() {
+        let cfg = HistogramConfig::new(2, 16);
+        let h = Histogram::new(cfg);
+        assert_eq!(h.snapshot().quantile(0.5), 0);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Exact in the linear region, bounded relative error above it.
+        assert_eq!(s.quantile(0.0), cfg.upper_bound(cfg.index(1)));
+        let p50 = s.quantile(0.5);
+        assert!((48..=63).contains(&p50), "p50 {p50}");
+        let p99 = s.quantile(0.99);
+        assert!((96..=127).contains(&p99), "p99 {p99}");
+        assert_eq!(s.quantile(1.0), s.quantile(0.999));
+        // Quantiles are monotone in q.
+        let qs: Vec<u64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| s.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ use parsim_storage::DiskModel;
 use crate::config::{EngineConfig, SplitStrategy};
 use crate::engine::ParallelKnnEngine;
 use crate::options::{ExecutionMode, FaultPolicy};
+use crate::serve::AdmissionConfig;
 use crate::EngineError;
 
 /// Builds a [`ParallelKnnEngine`], replacing the former
@@ -47,6 +48,7 @@ pub struct EngineBuilder {
     fault_policy: FaultPolicy,
     execution: ExecutionMode,
     metrics: bool,
+    admission: Option<AdmissionConfig>,
 }
 
 impl EngineBuilder {
@@ -62,6 +64,7 @@ impl EngineBuilder {
             fault_policy: FaultPolicy::default(),
             execution: ExecutionMode::default(),
             metrics: false,
+            admission: None,
         }
     }
 
@@ -143,6 +146,18 @@ impl EngineBuilder {
     /// query path carries no extra atomic operations at all.
     pub fn metrics(mut self, enabled: bool) -> Self {
         self.metrics = enabled;
+        self
+    }
+
+    /// Turns on the serve layer: bounded per-disk admission queues with
+    /// backpressure, optional per-query modeled deadlines, and optional
+    /// cross-query page coalescing (see
+    /// [`AdmissionConfig`] and the [`crate::serve`] module docs).
+    /// Implies [`ExecutionMode::Pooled`] — admission control is a
+    /// property of the persistent worker pool's queues.
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self.execution = ExecutionMode::Pooled;
         self
     }
 
@@ -239,6 +254,7 @@ impl EngineBuilder {
             self.cache_shards,
             self.execution,
             self.metrics,
+            self.admission,
         )
     }
 }

@@ -26,7 +26,7 @@ use parsim_decluster::{BucketDecluster, Declusterer, NearOptimal};
 use parsim_geometry::{Point, QuadrantSplitter};
 use parsim_index::knn::Neighbor;
 use parsim_index::node::{Node, NodeId};
-use parsim_index::{NodeSink, SpatialTree, TreeParams};
+use parsim_index::{NodeSink, SpatialTree, TreeParams, VisitOutcome};
 use parsim_storage::{DiskArray, QueryCost, SimDisk};
 
 use crate::config::{EngineConfig, SplitStrategy};
@@ -82,7 +82,7 @@ impl DeclusterSink {
 }
 
 impl NodeSink for DeclusterSink {
-    fn visit(&self, id: NodeId, node: &Node) -> bool {
+    fn visit(&self, id: NodeId, node: &Node) -> VisitOutcome {
         if node.is_leaf() {
             let disk = self.disk_of_leaf(id, node);
             self.disks[disk].touch_read(node.pages() as u64);
@@ -90,7 +90,7 @@ impl NodeSink for DeclusterSink {
             self.directory_reads
                 .fetch_add(node.pages() as u64, Ordering::Relaxed);
         }
-        false
+        VisitOutcome::Charged
     }
 }
 

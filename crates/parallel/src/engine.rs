@@ -19,7 +19,9 @@ use parsim_geometry::{Point, QuadrantSplitter};
 use parsim_index::knn::{
     forest_itinerary, forest_knn_traced, ForestCursor, Neighbor, SearchStats, SharedBound,
 };
-use parsim_index::{CachingSink, DiskSink, KnnAlgorithm, NodeSink, SpatialTree, TreeParams};
+use parsim_index::{
+    CachingSink, CoalescingSink, DiskSink, KnnAlgorithm, NodeSink, SpatialTree, TreeParams,
+};
 use parsim_storage::{DiskArray, DiskModel, FaultInjector, FaultKind, QueryCost};
 
 use crate::builder::EngineBuilder;
@@ -28,6 +30,7 @@ use crate::metrics::{DegradedInfo, QueryTrace};
 use crate::obs::EngineMetrics;
 use crate::options::{ExecutionMode, FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
 use crate::pool::{Completion, PendingQuery, Phase, QueryTask, Stage, WorkerPool};
+use crate::serve::AdmissionConfig;
 use crate::EngineError;
 
 /// One query's answer on the batch path: neighbors plus the exact trace.
@@ -86,6 +89,13 @@ pub(crate) struct EngineCore {
     /// The engine-wide metrics registry; `None` (the default) keeps the
     /// query path free of any additional atomic operations.
     pub(crate) metrics: Option<Arc<EngineMetrics>>,
+    /// Serve-layer admission policy; `None` (the default) keeps the pool
+    /// on unbounded FIFO queues with no deadlines and no coalescing.
+    pub(crate) admission: Option<AdmissionConfig>,
+    /// Per-disk read-combining sinks; non-empty iff
+    /// [`AdmissionConfig::coalescing`] is on. Workers open each popped
+    /// task's wave on its disk's combiner before searching.
+    pub(crate) coalescers: Vec<Arc<CoalescingSink>>,
 }
 
 /// The mutable state of one degraded-mode query, shared verbatim by the
@@ -129,6 +139,16 @@ impl DegradedState {
 }
 
 impl EngineCore {
+    /// Opens coalescing wave `wave` on `disk`'s read-combining window —
+    /// a no-op without coalescing sinks installed. Correctness never
+    /// depends on the window state: a reset window only forgoes
+    /// read-sharing, it cannot mis-coalesce.
+    pub(crate) fn begin_wave(&self, disk: usize, wave: u64) {
+        if let Some(c) = self.coalescers.get(disk) {
+            c.begin_wave(wave);
+        }
+    }
+
     /// Runs the deterministic forest search (the canonical batch path):
     /// all trees under one bounded heap, visited in MINDIST order.
     pub(crate) fn forest_search(
@@ -349,6 +369,7 @@ impl ParallelKnnEngine {
         cache_shards: usize,
         execution: ExecutionMode,
         metrics: bool,
+        admission: Option<AdmissionConfig>,
     ) -> Result<Self, EngineError> {
         if points.is_empty() {
             return Err(EngineError::EmptyDataSet);
@@ -419,20 +440,20 @@ impl ParallelKnnEngine {
                 trees: trees.into_iter().map(RwLock::new).collect(),
                 mirrors: mirrors.into_iter().map(RwLock::new).collect(),
                 metrics,
+                admission,
+                coalescers: Vec::new(),
             }),
             declusterer,
             replica_router,
             fault_policy,
-            page_cache_capacity: None,
+            page_cache_capacity: page_cache,
             cache_shards,
             next_seq: points.len() as u64,
             caches: Vec::new(),
             execution,
             pool: None,
         };
-        if let Some(capacity) = page_cache {
-            engine.install_page_cache(capacity);
-        }
+        engine.install_sinks();
         engine.start_pool();
         Ok(engine)
     }
@@ -444,32 +465,50 @@ impl ParallelKnnEngine {
         }
     }
 
-    /// Puts a sharded LRU page cache of `capacity` pages in front of every
-    /// primary tree. Cached node visits no longer charge the disk;
-    /// per-query cache hits are reported in the [`QueryTrace`]. Mirror
-    /// trees stay uncached (see the [`EngineCore::mirrors`] docs).
-    fn install_page_cache(&mut self, capacity: usize) {
-        // Reconfiguring swaps the trees' sinks, which needs the core to
-        // ourselves: drain + join any pool first, restart it after.
+    /// Rebuilds every primary tree's sink chain from the engine's knobs:
+    /// `DiskSink`, optionally wrapped by a sharded LRU [`CachingSink`]
+    /// ([`EngineBuilder::page_cache`]), optionally wrapped by a
+    /// [`CoalescingSink`] ([`AdmissionConfig::coalescing`]) — outermost
+    /// first, so a coalesced visit skips the cache entirely and leaves
+    /// the LRU state exactly as an uncoalesced replay would expect.
+    /// Mirror trees keep the bare disk sink (see the
+    /// [`EngineCore::mirrors`] docs).
+    fn install_sinks(&mut self) {
+        let capacity = self.page_cache_capacity;
+        let coalescing = self.core.admission.map(|a| a.coalescing).unwrap_or(false);
+        if capacity.is_none() && !coalescing {
+            return;
+        }
+        // Swapping the trees' sinks needs the core to ourselves: drain +
+        // join any pool first, restart it after.
         self.pool = None;
         let shards = self.cache_shards;
         let core = Arc::get_mut(&mut self.core)
             .expect("no queries are in flight while the engine is reconfigured");
-        let caches: Vec<Arc<CachingSink>> = (0..core.trees.len())
-            .map(|i| {
-                let disk_sink: Arc<dyn NodeSink> =
-                    Arc::new(DiskSink(Arc::clone(core.array.disk(i))));
-                let cm = core.metrics.as_ref().map(|m| m.cache_metrics(i));
-                Arc::new(CachingSink::with_metrics(disk_sink, capacity, shards, cm))
-            })
-            .collect();
+        let mut caches = Vec::new();
+        let mut coalescers = Vec::new();
         core.trees = std::mem::take(&mut core.trees)
             .into_iter()
-            .zip(&caches)
-            .map(|(t, c)| RwLock::new(t.into_inner().with_sink(Arc::clone(c) as Arc<dyn NodeSink>)))
+            .enumerate()
+            .map(|(i, t)| {
+                let mut sink: Arc<dyn NodeSink> =
+                    Arc::new(DiskSink(Arc::clone(core.array.disk(i))));
+                if let Some(capacity) = capacity {
+                    let cm = core.metrics.as_ref().map(|m| m.cache_metrics(i));
+                    let cache = Arc::new(CachingSink::with_metrics(sink, capacity, shards, cm));
+                    caches.push(Arc::clone(&cache));
+                    sink = cache;
+                }
+                if coalescing {
+                    let combiner = Arc::new(CoalescingSink::new(sink));
+                    coalescers.push(Arc::clone(&combiner));
+                    sink = combiner;
+                }
+                RwLock::new(t.into_inner().with_sink(sink))
+            })
             .collect();
+        core.coalescers = coalescers;
         self.caches = caches;
-        self.page_cache_capacity = Some(capacity);
         self.start_pool();
     }
 
@@ -521,6 +560,12 @@ impl ParallelKnnEngine {
     /// The engine-wide degraded-mode defaults set at build time.
     pub fn fault_policy(&self) -> &FaultPolicy {
         &self.fault_policy
+    }
+
+    /// The serve-layer admission policy, or `None` when the engine runs
+    /// without backpressure, deadlines, or coalescing (the default).
+    pub fn admission(&self) -> Option<AdmissionConfig> {
+        self.core.admission
     }
 
     /// The engine-wide metrics registry, or `None` unless the engine was
@@ -658,12 +703,67 @@ impl ParallelKnnEngine {
                 got: query.dim(),
             });
         }
-        Ok(self.submit_unchecked(query, opts))
+        self.submit_with_wave(query, opts, None)
+    }
+
+    /// Submits a group of queries as one **coalescing wave**: with
+    /// [`AdmissionConfig::coalescing`] on, the wave's queries share
+    /// physical page reads — the first to touch a page charges the disk,
+    /// the rest ride that read ([`QueryTrace::per_disk_coalesced`]).
+    /// Answers and logical traces are bit-identical to submitting the
+    /// queries individually.
+    ///
+    /// The outer `Err` is a whole-batch input error (dimension mismatch);
+    /// the inner per-query results surface admission rejections — an
+    /// [`EngineError::Overloaded`] query was never admitted, the rest of
+    /// the wave still runs. Waiting on a handle can further return
+    /// [`EngineError::DeadlineExceeded`] for queries shed mid-pipeline.
+    ///
+    /// On a scoped (non-pooled) engine this degrades to per-query
+    /// submission: there are no waves to share reads within.
+    pub fn submit_wave(
+        &self,
+        queries: &[Point],
+        opts: &QueryOptions,
+    ) -> Result<Vec<Result<PendingQuery, EngineError>>, EngineError> {
+        for q in queries {
+            if q.dim() != self.core.config.dim {
+                return Err(EngineError::DimensionMismatch {
+                    expected: self.core.config.dim,
+                    got: q.dim(),
+                });
+            }
+        }
+        let wave = self.pool.as_ref().map(|p| p.next_wave());
+        Ok(queries
+            .iter()
+            .map(|q| self.submit_with_wave(q, opts, wave))
+            .collect())
+    }
+
+    /// [`ParallelKnnEngine::submit_wave`] followed by a wait on every
+    /// admitted handle: one result per query, in query order.
+    pub fn query_wave(
+        &self,
+        queries: &[Point],
+        opts: &QueryOptions,
+    ) -> Result<Vec<Result<QueryResult, EngineError>>, EngineError> {
+        let pending = self.submit_wave(queries, opts)?;
+        Ok(pending
+            .into_iter()
+            .map(|p| p.and_then(PendingQuery::wait))
+            .collect())
     }
 
     /// Dispatches a dimension-checked query to the pool (pooled mode) or
-    /// computes it synchronously (scoped mode).
-    fn submit_unchecked(&self, query: &Point, opts: &QueryOptions) -> PendingQuery {
+    /// computes it synchronously (scoped mode). `wave` groups queries
+    /// into one coalescing wave; `None` draws a fresh (private) wave.
+    fn submit_with_wave(
+        &self,
+        query: &Point,
+        opts: &QueryOptions,
+        wave: Option<u64>,
+    ) -> Result<PendingQuery, EngineError> {
         let (timeout, retry) = self.resolve_policy(opts);
         let degraded = timeout.is_some() || self.core.array.faults().any_armed();
         let model = *self.core.array.model();
@@ -683,7 +783,7 @@ impl ParallelKnnEngine {
                     Err(_) => m.record_failure(),
                 }
             }
-            return PendingQuery::completed(answer, opts.trace, model);
+            return Ok(PendingQuery::completed(answer, opts.trace, model));
         };
 
         let n = self.core.trees.len();
@@ -711,7 +811,7 @@ impl ParallelKnnEngine {
                             m.record_query(&trace, &model);
                         }
                         completion.complete(Ok((Vec::new(), trace)));
-                        return pending;
+                        return Ok(pending);
                     }
                     let first = itinerary[0].1;
                     (
@@ -731,7 +831,7 @@ impl ParallelKnnEngine {
                             m.record_query(&trace, &model);
                         }
                         completion.complete(Ok((Vec::new(), trace)));
-                        return pending;
+                        return Ok(pending);
                     }
                     (
                         0,
@@ -744,7 +844,10 @@ impl ParallelKnnEngine {
                 }
             }
         };
-        pool.submit(
+        let deadline = opts
+            .deadline
+            .or(self.core.admission.and_then(|a| a.deadline));
+        let outcome = pool.submit(
             first,
             QueryTask {
                 query: query.clone(),
@@ -753,9 +856,23 @@ impl ParallelKnnEngine {
                 start,
                 stage,
                 completion,
+                wave: wave.unwrap_or_else(|| pool.next_wave()),
+                deadline_micros: deadline.map(|d| d.as_micros() as u64),
+                spent_micros: 0,
+                seq: 0,
             },
         );
-        pending
+        match outcome {
+            Ok(()) => Ok(pending),
+            Err(e) => {
+                // The task never entered the system: surface the typed
+                // rejection instead of the (never-completing) handle.
+                if let Some(m) = &self.core.metrics {
+                    m.record_shed_overloaded();
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Answers a batch of queries. In [`ExecutionMode::Pooled`] every
@@ -787,10 +904,14 @@ impl ParallelKnnEngine {
             }
         }
         if self.pool.is_some() {
+            // Each query gets a private wave (batches don't coalesce —
+            // use `query_wave` for read-sharing); the first admission
+            // rejection aborts the batch, already-submitted queries
+            // drain normally with their answers discarded.
             let pending: Vec<PendingQuery> = queries
                 .iter()
-                .map(|q| self.submit_unchecked(q, opts))
-                .collect();
+                .map(|q| self.submit_with_wave(q, opts, None))
+                .collect::<Result<_, _>>()?;
             return pending.into_iter().map(PendingQuery::wait).collect();
         }
         let (timeout, retry) = self.resolve_policy(opts);
@@ -1013,7 +1134,7 @@ impl ParallelKnnEngine {
     /// Reorganizes the engine for the current data: recomputes the
     /// declustering (median splits from the stored points) and rebuilds
     /// the per-disk trees, preserving the disk count, replication, fault
-    /// policy, page-cache setup, and execution mode. The rebuilt engine
+    /// policy, page-cache setup, execution mode, and admission policy. The rebuilt engine
     /// starts with a fresh, healthy disk array — injected faults do not
     /// carry over, and metrics (when enabled) restart from a fresh
     /// registry with all counters at zero.
@@ -1044,6 +1165,9 @@ impl ParallelKnnEngine {
             .metrics(self.core.metrics.is_some());
         if let Some(capacity) = self.page_cache_capacity {
             builder = builder.page_cache(capacity);
+        }
+        if let Some(admission) = self.core.admission {
+            builder = builder.admission(admission);
         }
         builder.build(&pts)
     }

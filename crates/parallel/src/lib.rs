@@ -25,6 +25,7 @@ pub mod obs;
 pub mod options;
 pub mod pool;
 pub mod sequential;
+pub mod serve;
 pub mod throughput;
 
 pub use builder::EngineBuilder;
@@ -36,6 +37,7 @@ pub use obs::EngineMetrics;
 pub use options::{ExecutionMode, FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
 pub use pool::PendingQuery;
 pub use sequential::SequentialEngine;
+pub use serve::AdmissionConfig;
 pub use throughput::{run_batch, ThroughputReport};
 
 /// Errors produced when building or querying an engine.
@@ -64,6 +66,26 @@ pub enum EngineError {
         /// The unavailable disk whose buckets could not be served.
         disk: usize,
     },
+    /// The submission was load-shed at admission: the first disk of the
+    /// query's itinerary had a full queue (see
+    /// [`AdmissionConfig::queue_capacity`]). The query never entered the
+    /// system; the caller decides whether to retry, degrade, or drop.
+    Overloaded {
+        /// The disk whose queue was full.
+        disk: usize,
+        /// The queue depth observed at rejection.
+        depth: usize,
+    },
+    /// The query was shed mid-pipeline because the *modeled* service time
+    /// it had already consumed exceeded its deadline budget — the rest of
+    /// its work was doomed to miss and was not performed.
+    DeadlineExceeded {
+        /// The query's modeled budget, in µs.
+        budget_micros: u64,
+        /// The modeled service time consumed when the query was shed, in
+        /// µs (always greater than the budget).
+        spent_micros: u64,
+    },
     /// An underlying component failed.
     Internal(String),
 }
@@ -85,6 +107,18 @@ impl std::fmt::Display for EngineError {
             EngineError::BucketUnavailable { disk } => write!(
                 f,
                 "disk {disk} is unavailable and holds buckets with no healthy replica"
+            ),
+            EngineError::Overloaded { disk, depth } => write!(
+                f,
+                "overloaded: disk {disk}'s admission queue is full ({depth} waiting)"
+            ),
+            EngineError::DeadlineExceeded {
+                budget_micros,
+                spent_micros,
+            } => write!(
+                f,
+                "deadline exceeded: {spent_micros}µs modeled service consumed \
+                 against a {budget_micros}µs budget"
             ),
             EngineError::Internal(msg) => write!(f, "internal error: {msg}"),
         }

@@ -53,6 +53,14 @@ pub struct QueryTrace {
     /// themselves, so the figure is exact for this query even when other
     /// cached queries run against the same disks concurrently.
     pub cache_hits: u64,
+    /// Per-disk node visits that rode a physical read another query of
+    /// the same submission wave already performed (always all-zero
+    /// without [`crate::AdmissionConfig::coalescing`]). Which query of a
+    /// wave charges a shared page and which ones coalesce is
+    /// execution-order dependent, but the wave's **sum** is not: for a
+    /// page requested by `m` queries, exactly `m − 1` visits coalesce.
+    /// Logical `per_disk_pages` are unaffected either way.
+    pub per_disk_coalesced: Vec<u64>,
     /// Point-distance evaluations started in leaf scans.
     pub dist_evals: u64,
     /// Of [`QueryTrace::dist_evals`], how many the partial-distance
@@ -81,6 +89,7 @@ impl QueryTrace {
             per_disk_pages,
             candidates_pruned: stats.iter().map(|s| s.pruned).sum(),
             cache_hits: stats.iter().map(|s| s.cache_hits).sum(),
+            per_disk_coalesced: stats.iter().map(|s| s.coalesced).collect(),
             dist_evals: stats.iter().map(|s| s.dist_evals).sum(),
             dist_evals_saved: stats.iter().map(|s| s.dist_evals_saved).sum(),
             wall_time,
@@ -98,6 +107,12 @@ impl QueryTrace {
     /// Pages requested across all disks.
     pub fn total_pages(&self) -> u64 {
         self.per_disk_pages.iter().copied().sum()
+    }
+
+    /// Visits coalesced onto another query's physical read, across all
+    /// disks (see [`QueryTrace::per_disk_coalesced`]).
+    pub fn coalesced_reads(&self) -> u64 {
+        self.per_disk_coalesced.iter().copied().sum()
     }
 
     /// The modeled speed-up of this query: sequential over parallel

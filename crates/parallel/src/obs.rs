@@ -4,8 +4,9 @@
 //! [`EngineMetrics`] owns a [`MetricsRegistry`] and pre-registers every
 //! instrument the engine records into: query lifecycle counters,
 //! per-disk page and busy-time counters, modeled latency histograms,
-//! pool queue-depth gauges, per-shard page-cache counters, and the fault
-//! injector's counters. It is created only when
+//! pool queue-depth gauges, serve-layer shed counters and the
+//! deadline-overshoot histogram, per-disk coalesced-read counters,
+//! per-shard page-cache counters, and the fault injector's counters. It is created only when
 //! [`EngineBuilder::metrics`](crate::EngineBuilder::metrics) asks for it;
 //! the default engine carries `None` and pays **zero** additional atomic
 //! operations on the query path.
@@ -47,6 +48,10 @@ pub struct EngineMetrics {
     cache_hits: Arc<Counter>,
     retries: Arc<Counter>,
     replica_pages: Arc<Counter>,
+    shed_overloaded: Arc<Counter>,
+    shed_deadline: Arc<Counter>,
+    coalesced: Vec<Arc<Counter>>,
+    deadline_overshoot: Arc<Histogram>,
     latency: Arc<Histogram>,
     disk_service: Vec<Arc<Histogram>>,
     busy_micros: Vec<Arc<Counter>>,
@@ -118,6 +123,32 @@ impl EngineMetrics {
             "parsim_replica_pages_total",
             "Pages read from replica trees instead of primaries",
             &[],
+        );
+        let shed_overloaded = r.counter(
+            "parsim_queries_shed_total",
+            "Queries shed by the serve layer, by reason",
+            &[("reason", "overloaded")],
+        );
+        let shed_deadline = r.counter(
+            "parsim_queries_shed_total",
+            "Queries shed by the serve layer, by reason",
+            &[("reason", "deadline")],
+        );
+        let coalesced = disk_labels
+            .iter()
+            .map(|d| {
+                r.counter(
+                    "parsim_coalesced_reads_total",
+                    "Node visits that rode another wave member's physical read, per disk",
+                    &[("disk", d)],
+                )
+            })
+            .collect();
+        let deadline_overshoot = r.histogram(
+            "parsim_deadline_overshoot_micros",
+            "Modeled service time past the budget when a query was deadline-shed",
+            &[],
+            HistogramConfig::latency_micros(),
         );
         let latency = r.histogram(
             "parsim_query_latency_micros",
@@ -217,6 +248,10 @@ impl EngineMetrics {
             cache_hits,
             retries,
             replica_pages,
+            shed_overloaded,
+            shed_deadline,
+            coalesced,
+            deadline_overshoot,
             latency,
             disk_service,
             busy_micros,
@@ -255,6 +290,11 @@ impl EngineMetrics {
         self.dist_evals.add(trace.dist_evals);
         self.dist_evals_saved.add(trace.dist_evals_saved);
         self.cache_hits.add(trace.cache_hits);
+        for (disk, &c) in trace.per_disk_coalesced.iter().enumerate() {
+            if c > 0 {
+                self.coalesced[disk].add(c);
+            }
+        }
         self.latency
             .record(trace.modeled_parallel.as_micros() as u64);
         if let Some(d) = &trace.degraded {
@@ -267,6 +307,20 @@ impl EngineMetrics {
     /// Counts one query that finished with an error.
     pub(crate) fn record_failure(&self) {
         self.queries_failed.inc();
+    }
+
+    /// Counts one submission rejected at admission (full queue). Sheds
+    /// are not failures: `parsim_queries_failed_total` stays untouched so
+    /// the two causes reconcile separately against the typed errors.
+    pub(crate) fn record_shed_overloaded(&self) {
+        self.shed_overloaded.inc();
+    }
+
+    /// Counts one query shed mid-pipeline for blowing its modeled
+    /// deadline, recording how far past the budget it was when caught.
+    pub(crate) fn record_shed_deadline(&self, overshoot_micros: u64) {
+        self.shed_deadline.inc();
+        self.deadline_overshoot.record(overshoot_micros);
     }
 
     /// The queue-depth gauge of `disk`'s pool worker.
@@ -294,10 +348,12 @@ mod tests {
 
     fn trace(pages: Vec<u64>, model: &DiskModel) -> QueryTrace {
         let max = pages.iter().copied().max().unwrap_or(0);
+        let disks = pages.len();
         QueryTrace {
             per_disk_pages: pages,
             candidates_pruned: 3,
             cache_hits: 2,
+            per_disk_coalesced: vec![0; disks],
             dist_evals: 40,
             dist_evals_saved: 10,
             wall_time: Duration::from_millis(1),

@@ -121,6 +121,13 @@ pub struct QueryOptions {
     /// (clamped to at least 1; defaults to the host's available
     /// parallelism). Ignored by single-query execution.
     pub workers: Option<usize>,
+    /// Modeled end-to-end service-time budget for this query on the
+    /// serve layer: overrides [`crate::AdmissionConfig::deadline`] when
+    /// set. At every pipeline hop the pool compares the modeled service
+    /// time the query has consumed against the budget and sheds doomed
+    /// work with [`crate::EngineError::DeadlineExceeded`]. Ignored by
+    /// scoped execution (which computes eagerly).
+    pub deadline: Option<Duration>,
 }
 
 impl QueryOptions {
@@ -132,6 +139,7 @@ impl QueryOptions {
             timeout: None,
             retry: None,
             workers: None,
+            deadline: None,
         }
     }
 
@@ -164,6 +172,12 @@ impl QueryOptions {
     /// Sets the batch worker-pool size.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Sets the modeled deadline budget for the serve layer.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -199,12 +213,14 @@ mod tests {
             .with_timeout(Duration::from_millis(80))
             .with_retry(RetryPolicy::none())
             .with_workers(4)
+            .with_deadline(Duration::from_millis(9))
             .with_trace(true);
         assert_eq!(o.k, 5);
         assert!(o.trace);
         assert_eq!(o.timeout, Some(Duration::from_millis(80)));
         assert_eq!(o.retry, Some(RetryPolicy::none()));
         assert_eq!(o.workers, Some(4));
+        assert_eq!(o.deadline, Some(Duration::from_millis(9)));
         assert!(QueryOptions::traced(3).trace);
         assert!(!QueryOptions::new(3).trace);
         let p = FaultPolicy::with_timeout(Duration::from_secs(1));

@@ -3,25 +3,26 @@
 //!
 //! One long-lived worker thread per disk, each owning that disk's subtree
 //! set: a worker only ever touches its own disk's primary tree and the
-//! mirror trees *hosted* on its disk. Workers are fed by unbounded MPSC
-//! task channels; a query is one `QueryTask` that travels worker to
-//! worker along its execution itinerary (a **pipeline**, not a fan-out),
-//! carrying all of its mutable search state with it. Because the task
-//! hops disks in exactly the order the single-threaded reference search
-//! visits them, the pooled answer *and* trace are bit-identical to the
-//! deterministic forest search — while many queries pipeline through the
-//! disks concurrently with no per-query thread spawn and no per-batch
-//! barrier.
+//! mirror trees *hosted* on its disk. Workers are fed by per-disk
+//! `DiskQueue`s (bounded priority queues — FIFO by submission order
+//! until an [`crate::serve::AdmissionConfig`] asks for more); a query is
+//! one `QueryTask` that travels worker to worker along its execution
+//! itinerary (a **pipeline**, not a fan-out), carrying all of its mutable
+//! search state with it. Because the task hops disks in exactly the order
+//! the single-threaded reference search visits them, the pooled answer
+//! *and* trace are bit-identical to the deterministic forest search —
+//! while many queries pipeline through the disks concurrently with no
+//! per-query thread spawn and no per-batch barrier.
 //!
 //! Shutdown protocol: dropping the `WorkerPool` first **drains** — it
-//! waits until the in-flight counter hits zero, so no task can be lost in
-//! a channel behind the shutdown marker — then sends every worker a
-//! shutdown task and joins it. Workers never block on sends (channels are
-//! unbounded) and every hop strictly advances a task's itinerary, so the
-//! drain always terminates: engine drop cannot deadlock even with queued
-//! queries.
+//! waits until the in-flight counter hits zero, so no queued task can be
+//! abandoned — then signals every queue's shutdown flag and joins the
+//! workers. Workers never block on enqueue (hops are exempt from the
+//! admission bound) and every hop strictly advances a task's itinerary,
+//! so the drain always terminates: engine drop cannot deadlock even with
+//! queued queries.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -34,15 +35,8 @@ use crate::engine::{merge_candidates, DegradedState, EngineCore, TracedAnswer};
 use crate::metrics::QueryTrace;
 use crate::obs::EngineMetrics;
 use crate::options::QueryResult;
+use crate::serve::DiskQueue;
 use crate::EngineError;
-
-/// What flows through a worker's channel.
-pub(crate) enum Task {
-    /// A query (or a later pipeline hop of one).
-    Run(Box<QueryTask>),
-    /// Exit the worker loop. Only sent after the pool drained.
-    Shutdown,
-}
 
 /// One in-flight query: its immutable inputs plus all mutable search
 /// state, boxed so a hop moves a pointer, not the state.
@@ -59,6 +53,19 @@ pub(crate) struct QueryTask {
     pub(crate) stage: Stage,
     /// Where the answer goes.
     pub(crate) completion: Arc<Completion>,
+    /// Coalescing wave: queries sharing a wave id may share physical page
+    /// reads (unique per submission unless the query came in through
+    /// [`crate::ParallelKnnEngine::submit_wave`]).
+    pub(crate) wave: u64,
+    /// Modeled service-time budget in µs; `None` disables deadline
+    /// shedding for this query.
+    pub(crate) deadline_micros: Option<u64>,
+    /// Modeled service time the query has consumed over its hops so far,
+    /// in µs — compared against the budget at every hop.
+    pub(crate) spent_micros: u64,
+    /// Admission sequence number (assigned by the pool at submit; reused
+    /// by every later hop as the FIFO tie-break).
+    pub(crate) seq: u64,
 }
 
 /// The execution state machine of a pooled query.
@@ -234,65 +241,95 @@ impl Inflight {
 }
 
 /// The persistent pool: one pinned worker per disk plus its feeding
-/// channels. Created eagerly at engine build, drained and joined on drop.
+/// queues. Created eagerly at engine build, drained and joined on drop.
 pub(crate) struct WorkerPool {
-    senders: Vec<Sender<Task>>,
+    queues: Vec<Arc<DiskQueue>>,
     handles: Vec<JoinHandle<()>>,
     inflight: Arc<Inflight>,
     metrics: Option<Arc<EngineMetrics>>,
+    /// Global admission order; also the hop-priority tie-break.
+    seq: AtomicU64,
+    /// Coalescing wave ids; unique per submission unless a wave groups
+    /// several (wave 0 is never handed out, so single submissions on an
+    /// engine without coalescing can never alias a real wave).
+    wave: AtomicU64,
 }
 
 impl WorkerPool {
-    /// Spawns one worker per disk of `core`.
+    /// Spawns one worker per disk of `core`. The queue capacity comes
+    /// from the core's admission config (`usize::MAX` — never reject —
+    /// without one).
     pub(crate) fn start(core: Arc<EngineCore>) -> Self {
         let disks = core.trees.len();
-        let (senders, receivers): (Vec<Sender<Task>>, Vec<Receiver<Task>>) =
-            (0..disks).map(|_| channel()).unzip();
+        let capacity = core
+            .admission
+            .map(|a| a.queue_capacity)
+            .unwrap_or(usize::MAX);
+        let queues: Vec<Arc<DiskQueue>> = (0..disks)
+            .map(|_| Arc::new(DiskQueue::new(capacity)))
+            .collect();
         let inflight = Arc::new(Inflight::new());
         let metrics = core.metrics.clone();
-        let handles = receivers
-            .into_iter()
-            .enumerate()
-            .map(|(disk, rx)| {
+        let handles = (0..disks)
+            .map(|disk| {
                 let core = Arc::clone(&core);
-                let senders = senders.clone();
+                let queues = queues.clone();
                 let inflight = Arc::clone(&inflight);
                 std::thread::Builder::new()
                     .name(format!("parsim-disk-{disk}"))
-                    .spawn(move || worker_loop(disk, &core, &rx, &senders, &inflight))
+                    .spawn(move || worker_loop(disk, &core, &queues, &inflight))
                     .expect("worker thread spawns")
             })
             .collect();
         WorkerPool {
-            senders,
+            queues,
             handles,
             inflight,
             metrics,
+            seq: AtomicU64::new(0),
+            wave: AtomicU64::new(1),
         }
     }
 
-    /// Enqueues a task with worker `first` (its first itinerary stop).
-    /// The queue-depth gauge is raised before the send and lowered by the
-    /// receiving worker, so the gauges drain back to zero exactly when
-    /// the pool does.
-    pub(crate) fn submit(&self, first: usize, task: QueryTask) {
+    /// A fresh coalescing wave id.
+    pub(crate) fn next_wave(&self) -> u64 {
+        self.wave.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Admits a task with worker `first` (its first itinerary stop), or
+    /// rejects it with [`EngineError::Overloaded`] when that disk's queue
+    /// is at capacity. The queue-depth gauge is raised before the push
+    /// and lowered by the receiving worker, so the gauges drain back to
+    /// zero exactly when the pool does (a rejected push lowers it again
+    /// itself).
+    pub(crate) fn submit(&self, first: usize, mut task: QueryTask) -> Result<(), EngineError> {
+        task.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let budget = task.deadline_micros.unwrap_or(u64::MAX);
+        let seq = task.seq;
         self.inflight.inc();
         if let Some(m) = &self.metrics {
             m.queue_depth(first).inc();
         }
-        self.senders[first]
-            .send(Task::Run(Box::new(task)))
-            .expect("workers outlive the pool handle");
+        match self.queues[first].push_submit(budget, seq, Box::new(task)) {
+            Ok(()) => Ok(()),
+            Err(depth) => {
+                if let Some(m) = &self.metrics {
+                    m.queue_depth(first).dec();
+                }
+                self.inflight.dec();
+                Err(EngineError::Overloaded { disk: first, depth })
+            }
+        }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Drain-then-stop: once inflight is zero no task exists in any
-        // channel, so a Shutdown can never overtake a live query.
+        // queue, so the shutdown flag can never overtake a live query.
         self.inflight.wait_zero();
-        for sender in &self.senders {
-            let _ = sender.send(Task::Shutdown);
+        for queue in &self.queues {
+            queue.shutdown();
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -300,35 +337,45 @@ impl Drop for WorkerPool {
     }
 }
 
-/// One worker: receive a task, run every consecutive step that belongs to
-/// this disk, then either forward the task to the next disk's worker or
-/// complete it.
-fn worker_loop(
-    disk: usize,
-    core: &EngineCore,
-    rx: &Receiver<Task>,
-    senders: &[Sender<Task>],
-    inflight: &Inflight,
-) {
-    while let Ok(task) = rx.recv() {
-        match task {
-            Task::Shutdown => break,
-            Task::Run(task) => {
+/// One worker: pop a task, shed it if its modeled deadline already
+/// passed, open its coalescing wave, run every consecutive step that
+/// belongs to this disk, then either forward the task to the next disk's
+/// worker or complete it.
+fn worker_loop(disk: usize, core: &EngineCore, queues: &[Arc<DiskQueue>], inflight: &Inflight) {
+    while let Some(task) = queues[disk].pop() {
+        if let Some(m) = &core.metrics {
+            m.queue_depth(disk).dec();
+        }
+        // Deadline shed: the modeled service time already consumed
+        // exceeds the budget, so every further page read is wasted work —
+        // deliver the typed error now instead of a late answer.
+        if let Some(budget) = task.deadline_micros {
+            if task.spent_micros > budget {
                 if let Some(m) = &core.metrics {
-                    m.queue_depth(disk).dec();
+                    m.record_shed_deadline(task.spent_micros - budget);
                 }
-                match step(core, disk, task) {
-                    Outcome::Forward(next, task) => {
-                        if let Some(m) = &core.metrics {
-                            m.queue_depth(next).inc();
-                        }
-                        senders[next]
-                            .send(Task::Run(task))
-                            .expect("workers only stop after the pool drained");
-                    }
-                    Outcome::Done => inflight.dec(),
-                }
+                task.completion.complete(Err(EngineError::DeadlineExceeded {
+                    budget_micros: budget,
+                    spent_micros: task.spent_micros,
+                }));
+                inflight.dec();
+                continue;
             }
+        }
+        core.begin_wave(disk, task.wave);
+        let pages_before = task.stats[disk].pages;
+        match step(core, disk, task) {
+            Outcome::Forward(next, mut task) => {
+                let read = task.stats[disk].pages - pages_before;
+                task.spent_micros += core.array.model().service_time(read).as_micros() as u64;
+                if let Some(m) = &core.metrics {
+                    m.queue_depth(next).inc();
+                }
+                let budget = task.deadline_micros.unwrap_or(u64::MAX);
+                let seq = task.seq;
+                queues[next].push_hop(budget, seq, task);
+            }
+            Outcome::Done => inflight.dec(),
         }
     }
 }

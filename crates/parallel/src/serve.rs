@@ -1,0 +1,267 @@
+//! The serve layer: admission control, deadlines, and bounded per-disk
+//! queues for the open-loop front door of the pooled engine.
+//!
+//! The worker pool of [`crate::pool`] *executes* queries; this module
+//! decides **which** submissions the pool accepts and in what order the
+//! accepted ones run. Enabled with
+//! [`EngineBuilder::admission`](crate::EngineBuilder::admission) (which
+//! implies [`ExecutionMode::Pooled`](crate::ExecutionMode::Pooled)), it
+//! replaces the pool's unbounded FIFO channels with bounded per-disk
+//! priority queues and adds three behaviors:
+//!
+//! * **Backpressure.** Each disk's queue holds at most
+//!   [`AdmissionConfig::queue_capacity`] waiting entries. A submission
+//!   whose first disk is full is rejected immediately with the typed
+//!   [`EngineError::Overloaded`](crate::EngineError::Overloaded) — the
+//!   open-loop contract: the caller
+//!   learns *now* that the engine is saturated instead of the query
+//!   silently joining an ever-growing queue.
+//! * **Deadlines.** A query may carry a *modeled* service-time budget
+//!   ([`QueryOptions::with_deadline`](crate::QueryOptions::with_deadline),
+//!   default [`AdmissionConfig::deadline`]). At every pipeline hop the
+//!   worker compares the modeled time the query has already consumed
+//!   against the budget and **sheds** doomed work with
+//!   [`EngineError::DeadlineExceeded`](crate::EngineError::DeadlineExceeded)
+//!   rather than finishing an answer
+//!   nobody is waiting for. Budgets are modeled (host-independent), so
+//!   shedding is reproducible; queues order entries smallest-budget-first
+//!   (EDF on the modeled clock) with FIFO submission order as tie-break.
+//! * **Coalescing.** With [`AdmissionConfig::coalescing`], queries
+//!   submitted as one *wave*
+//!   ([`ParallelKnnEngine::submit_wave`](crate::ParallelKnnEngine::submit_wave))
+//!   share physical page reads: the first query of the wave to touch a
+//!   page charges the disk, every other one rides that read (its trace
+//!   records a `coalesced` visit instead). Answers and logical traces
+//!   (pages, distance evaluations) stay bit-identical to uncoalesced
+//!   execution — each query still runs its own full search; only the
+//!   physical disk charge is shared.
+//!
+//! Every decision point is observable through the engine's
+//! [`parsim-obs`](parsim_obs) registry: `parsim_worker_queue_depth`,
+//! `parsim_queries_shed_total{reason}`, `parsim_coalesced_reads_total`,
+//! and the `parsim_deadline_overshoot_micros` histogram.
+//!
+//! # Submit → backpressure → shed handling
+//!
+//! ```
+//! use parsim_datagen::{DataGenerator, UniformGenerator};
+//! use parsim_parallel::{AdmissionConfig, EngineError, ParallelKnnEngine, QueryOptions};
+//!
+//! let points = UniformGenerator::new(6).generate(2000, 1);
+//! let engine = ParallelKnnEngine::builder(6)
+//!     .disks(8)
+//!     .admission(AdmissionConfig::new(4)) // at most 4 waiting per disk
+//!     .build(&points)
+//!     .unwrap();
+//!
+//! let queries = UniformGenerator::new(6).generate(64, 2);
+//! let opts = QueryOptions::new(10);
+//! let mut pending = Vec::new();
+//! let mut shed = 0usize;
+//! for q in &queries {
+//!     match engine.submit(q, &opts) {
+//!         Ok(handle) => pending.push(handle),
+//!         // The queue was full: shed the query now and let the caller
+//!         // retry, degrade, or drop — the open-loop contract.
+//!         Err(EngineError::Overloaded { .. }) => shed += 1,
+//!         Err(other) => panic!("unexpected error: {other}"),
+//!     }
+//! }
+//! let answered = pending
+//!     .into_iter()
+//!     .map(|p| p.wait())
+//!     .collect::<Result<Vec<_>, _>>()
+//!     .unwrap();
+//! // Every submission was either answered or typed-shed, never lost.
+//! assert_eq!(answered.len() + shed, queries.len());
+//! ```
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::pool::QueryTask;
+
+/// Admission-control policy of the serve layer. Passing one to
+/// [`EngineBuilder::admission`](crate::EngineBuilder::admission) turns the
+/// pooled engine into an open-loop server; see the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum entries waiting in each disk's queue. A submission whose
+    /// first disk is at capacity is rejected with
+    /// [`EngineError::Overloaded`](crate::EngineError::Overloaded).
+    /// Pipeline hops of already-admitted queries are exempt (a hop can
+    /// never deadlock the pipeline), so the bound applies exactly where
+    /// load enters the system.
+    pub queue_capacity: usize,
+    /// Default modeled service-time budget per query; `None` disables
+    /// deadlines unless a query sets its own
+    /// ([`QueryOptions::deadline`](crate::QueryOptions::deadline)
+    /// overrides this in either direction).
+    pub deadline: Option<Duration>,
+    /// Share physical page reads between the queries of one submission
+    /// wave (see [`ParallelKnnEngine::submit_wave`](crate::ParallelKnnEngine::submit_wave)).
+    pub coalescing: bool,
+}
+
+impl AdmissionConfig {
+    /// Admission with a per-disk queue bound, no default deadline, and
+    /// coalescing off.
+    pub fn new(queue_capacity: usize) -> Self {
+        AdmissionConfig {
+            queue_capacity,
+            deadline: None,
+            coalescing: false,
+        }
+    }
+
+    /// Admission that never rejects (unbounded queues) — useful to get
+    /// deadlines or coalescing without backpressure.
+    pub fn unbounded() -> Self {
+        AdmissionConfig::new(usize::MAX)
+    }
+
+    /// Sets the default modeled deadline budget per query.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Turns cross-query page coalescing on or off.
+    pub fn with_coalescing(mut self, coalescing: bool) -> Self {
+        self.coalescing = coalescing;
+        self
+    }
+}
+
+/// A queued entry: the task plus its scheduling key.
+struct Rank {
+    /// Modeled deadline budget in µs (`u64::MAX` when the query carries
+    /// none) — the EDF key on the modeled clock.
+    budget_micros: u64,
+    /// Admission sequence number: global submission order, reused by
+    /// every later hop of the same query so pipeline progress outranks
+    /// newly admitted work of equal urgency.
+    seq: u64,
+    task: Box<QueryTask>,
+}
+
+impl Rank {
+    fn key(&self) -> (u64, u64) {
+        (self.budget_micros, self.seq)
+    }
+}
+
+impl PartialEq for Rank {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Rank {}
+
+impl PartialOrd for Rank {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rank {
+    // Reversed: BinaryHeap is a max-heap, we pop the smallest key —
+    // tightest budget first, then first-submitted first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// The bounded priority queue feeding one disk's pool worker.
+///
+/// Without an [`AdmissionConfig`] the pool uses capacity `usize::MAX` and
+/// every entry carries `budget_micros == u64::MAX`, which makes the queue
+/// order exactly the FIFO submission order the former unbounded channels
+/// had — the serve layer is behavior-neutral until it is asked for.
+pub(crate) struct DiskQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    heap: BinaryHeap<Rank>,
+    shutdown: bool,
+}
+
+impl DiskQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        DiskQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admits a new submission, or rejects it with the current depth when
+    /// the queue is at capacity. The rejected task is dropped (its
+    /// completion is never filled; the engine surfaces the typed error to
+    /// the submitter instead).
+    pub(crate) fn push_submit(
+        &self,
+        budget_micros: u64,
+        seq: u64,
+        task: Box<QueryTask>,
+    ) -> Result<(), usize> {
+        let mut s = self.state.lock().expect("queue lock is never poisoned");
+        if s.heap.len() >= self.capacity {
+            return Err(s.heap.len());
+        }
+        s.heap.push(Rank {
+            budget_micros,
+            seq,
+            task,
+        });
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues a pipeline hop of an already-admitted query. Never
+    /// rejects: hops only move existing load between disks, and bounding
+    /// them could deadlock the pipeline.
+    pub(crate) fn push_hop(&self, budget_micros: u64, seq: u64, task: Box<QueryTask>) {
+        let mut s = self.state.lock().expect("queue lock is never poisoned");
+        s.heap.push(Rank {
+            budget_micros,
+            seq,
+            task,
+        });
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the highest-priority entry; `None` once the queue was
+    /// shut down *and* drained (shutdown is only signaled after the pool
+    /// drained, so no task is ever abandoned behind it).
+    pub(crate) fn pop(&self) -> Option<Box<QueryTask>> {
+        let mut s = self.state.lock().expect("queue lock is never poisoned");
+        loop {
+            if let Some(rank) = s.heap.pop() {
+                return Some(rank.task);
+            }
+            if s.shutdown {
+                return None;
+            }
+            s = self.ready.wait(s).expect("queue lock is never poisoned");
+        }
+    }
+
+    /// Signals shutdown and wakes the worker. Entries still queued are
+    /// served first ([`DiskQueue::pop`] drains before returning `None`).
+    pub(crate) fn shutdown(&self) {
+        self.state
+            .lock()
+            .expect("queue lock is never poisoned")
+            .shutdown = true;
+        self.ready.notify_all();
+    }
+}

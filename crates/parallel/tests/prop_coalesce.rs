@@ -1,0 +1,125 @@
+//! Property tests of cross-query page coalescing: a coalesced wave must
+//! return bit-identical RKV answers and bit-identical *logical* traces
+//! (per-disk pages, distance evaluations, pruning) to the uncoalesced
+//! pooled pipeline — on clustered and correlated data, healthy and with
+//! a failed disk serving from replicas. Coalescing may only change which
+//! physical reads are charged, never what the search computes.
+
+use proptest::prelude::*;
+
+use parsim_datagen::{ClusteredGenerator, CorrelatedGenerator, DataGenerator};
+use parsim_geometry::Point;
+use parsim_parallel::{
+    AdmissionConfig, ExecutionMode, ParallelKnnEngine, QueryOptions, QueryResult, QueryTrace,
+};
+
+const DIM: usize = 6;
+const DISKS: usize = 8;
+const N: usize = 1500;
+
+fn data(correlated: bool, seed: u64, n: usize) -> Vec<Point> {
+    if correlated {
+        CorrelatedGenerator::new(DIM, 0.05).generate(n, seed)
+    } else {
+        ClusteredGenerator::new(DIM, 8, 0.05).generate(n, seed)
+    }
+}
+
+fn build(pts: &[Point], coalescing: bool, replicas: usize) -> ParallelKnnEngine {
+    let mut b = ParallelKnnEngine::builder(DIM)
+        .disks(DISKS)
+        .replicas(replicas)
+        .execution(ExecutionMode::Pooled);
+    if coalescing {
+        b = b.admission(AdmissionConfig::unbounded().with_coalescing(true));
+    }
+    b.build(pts).unwrap()
+}
+
+/// Waits out a wave and pairs each answer with its trace.
+fn run_wave(
+    engine: &ParallelKnnEngine,
+    queries: &[Point],
+    opts: &QueryOptions,
+) -> Vec<QueryResult> {
+    engine
+        .query_wave(queries, opts)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect()
+}
+
+/// The logical view of a trace: everything coalescing must NOT change.
+fn logical(t: &QueryTrace) -> (Vec<u64>, u64, u64, u64) {
+    (
+        t.per_disk_pages.clone(),
+        t.dist_evals,
+        t.dist_evals_saved,
+        t.candidates_pruned,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Healthy engines: a coalesced wave answers bit-identically to the
+    /// uncoalesced pooled pipeline, query by query, with identical
+    /// logical traces.
+    #[test]
+    fn coalesced_waves_match_uncoalesced_pipeline(
+        seed in any::<u64>(),
+        correlated in any::<bool>(),
+        wave in 2usize..=6,
+        k in 1usize..=12,
+    ) {
+        let pts = data(correlated, seed, N);
+        let queries = data(correlated, seed.wrapping_add(1), wave);
+        let coalesced = build(&pts, true, 0);
+        let plain = build(&pts, false, 0);
+        let opts = QueryOptions::traced(k);
+        let got = run_wave(&coalesced, &queries, &opts);
+        for (q, r) in queries.iter().zip(&got) {
+            let want = plain.submit(q, &opts).unwrap().wait().unwrap();
+            prop_assert_eq!(&r.neighbors, &want.neighbors);
+            let (t, wt) = (r.trace.as_ref().unwrap(), want.trace.unwrap());
+            prop_assert_eq!(logical(t), logical(&wt));
+            // Coalescing can never claim more visits than the disk's
+            // logical page requests.
+            for (c, p) in t.per_disk_coalesced.iter().zip(&t.per_disk_pages) {
+                prop_assert!(c <= p, "coalesced {} > pages {}", c, p);
+            }
+        }
+    }
+
+    /// Degraded engines (one hard-failed disk, replicas serving its
+    /// buckets): coalescing on the surviving primaries still leaves
+    /// answers and logical traces bit-identical to the uncoalesced
+    /// degraded pipeline.
+    #[test]
+    fn degraded_coalesced_waves_stay_exact(
+        seed in any::<u64>(),
+        correlated in any::<bool>(),
+        failed in 0usize..DISKS,
+        wave in 2usize..=4,
+    ) {
+        let pts = data(correlated, seed, N);
+        let queries = data(correlated, seed.wrapping_add(1), wave);
+        let coalesced = build(&pts, true, 1);
+        let plain = build(&pts, false, 1);
+        coalesced.faults().fail(failed);
+        plain.faults().fail(failed);
+        let opts = QueryOptions::traced(10);
+        let got = run_wave(&coalesced, &queries, &opts);
+        for (q, r) in queries.iter().zip(&got) {
+            let want = plain.submit(q, &opts).unwrap().wait().unwrap();
+            prop_assert_eq!(&r.neighbors, &want.neighbors);
+            let (t, wt) = (r.trace.as_ref().unwrap(), want.trace.unwrap());
+            prop_assert_eq!(logical(t), logical(&wt));
+            let d = t.degraded.as_ref().unwrap();
+            let wd = wt.degraded.as_ref().unwrap();
+            prop_assert_eq!(&d.failed_over, &wd.failed_over);
+            prop_assert_eq!(d.replica_pages, wd.replica_pages);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Serve-layer tests: admission backpressure, modeled-deadline shedding,
+//! wave coalescing, and the exact reconciliation of the shed metrics
+//! against the typed errors the callers saw.
+
+use std::time::Duration;
+
+use parsim_datagen::{ClusteredGenerator, DataGenerator, UniformGenerator};
+use parsim_geometry::Point;
+use parsim_parallel::{
+    AdmissionConfig, EngineError, ExecutionMode, ParallelKnnEngine, PendingQuery, QueryOptions,
+    QueryResult,
+};
+
+const DIM: usize = 6;
+const DISKS: usize = 8;
+const K: usize = 10;
+
+fn points() -> Vec<Point> {
+    UniformGenerator::new(DIM).generate(3000, 7)
+}
+
+fn builder() -> parsim_parallel::EngineBuilder {
+    ParallelKnnEngine::builder(DIM).disks(DISKS)
+}
+
+/// Capacity-zero queues reject every submission with the typed error —
+/// deterministically, since nothing can ever be admitted — and the
+/// overloaded-shed counter matches the rejection count exactly.
+#[test]
+fn zero_capacity_rejects_every_submission() {
+    let pts = points();
+    let engine = builder()
+        .admission(AdmissionConfig::new(0))
+        .metrics(true)
+        .build(&pts)
+        .unwrap();
+    assert_eq!(engine.execution(), ExecutionMode::Pooled);
+    let queries = UniformGenerator::new(DIM).generate(12, 31);
+    let opts = QueryOptions::new(K);
+    let mut rejected = 0u64;
+    for q in &queries {
+        match engine.submit(q, &opts) {
+            Err(EngineError::Overloaded { disk, depth }) => {
+                assert!(disk < DISKS);
+                assert_eq!(depth, 0);
+                rejected += 1;
+            }
+            Err(other) => panic!("expected Overloaded, got {other}"),
+            Ok(_) => panic!("expected Overloaded, got an admitted query"),
+        }
+    }
+    assert_eq!(rejected, queries.len() as u64);
+    let s = engine.metrics().unwrap().snapshot();
+    assert_eq!(
+        s.counter_with("parsim_queries_shed_total", &[("reason", "overloaded")]),
+        Some(rejected)
+    );
+    // Sheds are not failures, and nothing completed.
+    assert_eq!(s.counter_total("parsim_queries_failed_total"), 0);
+    assert_eq!(s.counter_total("parsim_queries_completed_total"), 0);
+    assert_eq!(s.counter_total("parsim_queries_started_total"), rejected);
+}
+
+/// Under a tiny queue bound every submission is either answered or
+/// typed-rejected — never lost, never deadlocked — and the shed counter
+/// reconciles with the rejections the caller saw.
+#[test]
+fn bounded_queues_answer_or_reject_every_query() {
+    let pts = points();
+    let engine = builder()
+        .admission(AdmissionConfig::new(1))
+        .metrics(true)
+        .build(&pts)
+        .unwrap();
+    let reference = builder().build(&pts).unwrap();
+    let queries = UniformGenerator::new(DIM).generate(200, 32);
+    let opts = QueryOptions::new(K);
+    let mut pending: Vec<(usize, PendingQuery)> = Vec::new();
+    let mut rejected = 0u64;
+    for (i, q) in queries.iter().enumerate() {
+        match engine.submit(q, &opts) {
+            Ok(handle) => pending.push((i, handle)),
+            Err(EngineError::Overloaded { .. }) => rejected += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    let answered = pending.len() as u64;
+    assert_eq!(answered + rejected, queries.len() as u64);
+    // Every admitted query completes with the exact answer.
+    for (i, handle) in pending {
+        let result = handle.wait().unwrap();
+        let want = reference.knn(&queries[i], K).unwrap().0;
+        assert_eq!(result.neighbors, want);
+    }
+    let s = engine.metrics().unwrap().snapshot();
+    assert_eq!(
+        s.counter_with("parsim_queries_shed_total", &[("reason", "overloaded")]),
+        Some(rejected)
+    );
+    assert_eq!(s.counter_total("parsim_queries_completed_total"), answered);
+    assert_eq!(s.counter_total("parsim_queries_failed_total"), 0);
+    // The queue-depth gauges drained back to zero with the pool idle.
+    let depths = s.gauges("parsim_worker_queue_depth");
+    assert_eq!(depths.len(), DISKS);
+    assert!(depths.iter().all(|(_, v)| *v == 0), "depths: {depths:?}");
+}
+
+/// A zero deadline budget sheds every query that needs more than one
+/// pipeline hop; each shed surfaces as the typed error, and the deadline
+/// shed counter plus the overshoot histogram reconcile exactly.
+#[test]
+fn zero_deadline_sheds_multi_hop_queries() {
+    let pts = points();
+    let engine = builder()
+        .admission(AdmissionConfig::unbounded().with_deadline(Duration::ZERO))
+        .metrics(true)
+        .build(&pts)
+        .unwrap();
+    let queries = UniformGenerator::new(DIM).generate(40, 33);
+    let opts = QueryOptions::new(K);
+    let mut shed = 0u64;
+    let mut completed = 0u64;
+    for q in &queries {
+        match engine.submit(q, &opts).unwrap().wait() {
+            Ok(_) => completed += 1,
+            Err(EngineError::DeadlineExceeded {
+                budget_micros,
+                spent_micros,
+            }) => {
+                assert_eq!(budget_micros, 0);
+                assert!(spent_micros > 0);
+                shed += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    // On 8 disks a k-NN query virtually always needs several disks; at
+    // least some queries must hop (and therefore shed).
+    assert!(shed > 0, "no query was shed under a zero budget");
+    let s = engine.metrics().unwrap().snapshot();
+    assert_eq!(
+        s.counter_with("parsim_queries_shed_total", &[("reason", "deadline")]),
+        Some(shed)
+    );
+    assert_eq!(s.counter_total("parsim_queries_completed_total"), completed);
+    assert_eq!(s.counter_total("parsim_queries_failed_total"), 0);
+    let h = s
+        .histogram_with("parsim_deadline_overshoot_micros", &[])
+        .unwrap();
+    assert_eq!(h.count, shed);
+}
+
+/// A generous budget never sheds, and the per-query deadline override
+/// beats the engine-wide default in both directions.
+#[test]
+fn deadline_overrides_compose() {
+    let pts = points();
+    let engine = builder()
+        .admission(AdmissionConfig::unbounded().with_deadline(Duration::ZERO))
+        .build(&pts)
+        .unwrap();
+    let q = UniformGenerator::new(DIM).generate(1, 34).pop().unwrap();
+    // Per-query override relaxes the impossible engine default.
+    let relaxed = QueryOptions::new(K).with_deadline(Duration::from_secs(3600));
+    let result = engine.submit(&q, &relaxed).unwrap().wait().unwrap();
+    assert_eq!(result.neighbors.len(), K);
+    // And a fresh engine without a default still sheds under a per-query
+    // zero budget (multi-hop queries only, as above).
+    let engine = builder()
+        .admission(AdmissionConfig::unbounded())
+        .build(&pts)
+        .unwrap();
+    let strict = QueryOptions::new(K).with_deadline(Duration::ZERO);
+    let queries = UniformGenerator::new(DIM).generate(20, 35);
+    let shed = queries
+        .iter()
+        .filter(|q| {
+            matches!(
+                engine.submit(q, &strict).unwrap().wait(),
+                Err(EngineError::DeadlineExceeded { .. })
+            )
+        })
+        .count();
+    assert!(shed > 0);
+}
+
+/// An admission engine with no pressure (unbounded queues, no deadline,
+/// no coalescing) answers bit-identically — neighbors and logical trace —
+/// to the plain pooled engine: the serve layer is behavior-neutral.
+#[test]
+fn unpressured_admission_engine_matches_plain_pooled() {
+    let pts = points();
+    let plain = builder()
+        .execution(ExecutionMode::Pooled)
+        .build(&pts)
+        .unwrap();
+    let served = builder()
+        .admission(AdmissionConfig::unbounded())
+        .build(&pts)
+        .unwrap();
+    let queries = UniformGenerator::new(DIM).generate(24, 36);
+    let opts = QueryOptions::traced(K);
+    for q in &queries {
+        let a = plain.submit(q, &opts).unwrap().wait().unwrap();
+        let b = served.submit(q, &opts).unwrap().wait().unwrap();
+        assert_eq!(a.neighbors, b.neighbors);
+        let (ta, tb) = (a.trace.unwrap(), b.trace.unwrap());
+        assert_eq!(ta.per_disk_pages, tb.per_disk_pages);
+        assert_eq!(ta.dist_evals, tb.dist_evals);
+        assert_eq!(ta.candidates_pruned, tb.candidates_pruned);
+        assert_eq!(tb.coalesced_reads(), 0);
+    }
+}
+
+/// A wave of identical queries with coalescing on: answers and logical
+/// page traces are bit-identical to individual submission, the wave
+/// shares physical reads (coalesced visits observed), and the per-wave
+/// coalesced total matches the m−1 rule for fully overlapping queries.
+#[test]
+fn wave_coalesces_shared_pages_without_changing_answers() {
+    let pts = ClusteredGenerator::new(DIM, 10, 0.05).generate(4000, 8);
+    let engine = builder()
+        .admission(AdmissionConfig::unbounded().with_coalescing(true))
+        .metrics(true)
+        .build(&pts)
+        .unwrap();
+    // The uncoalesced reference must run the same pooled RKV pipeline
+    // (the scoped single-query path is the shared-bound Var. 3 search,
+    // whose page traces are legitimately different).
+    let reference = builder()
+        .execution(ExecutionMode::Pooled)
+        .build(&pts)
+        .unwrap();
+    let q = ClusteredGenerator::new(DIM, 10, 0.05)
+        .generate(1, 9)
+        .pop()
+        .unwrap();
+    let m = 6usize;
+    let wave: Vec<Point> = std::iter::repeat(q.clone()).take(m).collect();
+    let opts = QueryOptions::traced(K);
+    let results: Vec<QueryResult> = engine
+        .query_wave(&wave, &opts)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    let (want, want_trace) = {
+        let r = reference.submit(&q, &opts).unwrap().wait().unwrap();
+        (r.neighbors, r.trace.unwrap())
+    };
+    let mut coalesced_total = 0u64;
+    for r in &results {
+        assert_eq!(r.neighbors, want);
+        let t = r.trace.as_ref().unwrap();
+        // Logical traces are bit-identical: coalescing only skips the
+        // physical charge, never the search work.
+        assert_eq!(t.per_disk_pages, want_trace.per_disk_pages);
+        assert_eq!(t.dist_evals, want_trace.dist_evals);
+        coalesced_total += t.coalesced_reads();
+    }
+    // m identical queries in one wave: whichever member charges a page,
+    // the other m−1 requests of that page coalesce — but only where wave
+    // members actually overlapped on a disk's window at the same time,
+    // so the total is bounded by (m−1) × pages and must be positive for
+    // fully identical queries pipelined back-to-back.
+    let pages: u64 = want_trace.per_disk_pages.iter().sum();
+    assert!(coalesced_total > 0, "no read was coalesced across the wave");
+    assert!(coalesced_total <= (m as u64 - 1) * pages);
+    // The registry saw exactly the traces' coalesced visits.
+    let s = engine.metrics().unwrap().snapshot();
+    assert_eq!(
+        s.counter_total("parsim_coalesced_reads_total"),
+        coalesced_total
+    );
+}
+
+/// Distinct waves never share reads: back-to-back single submissions on
+/// a coalescing engine behave exactly like a coalescing-off engine.
+#[test]
+fn separate_submissions_never_coalesce() {
+    let pts = points();
+    let engine = builder()
+        .admission(AdmissionConfig::unbounded().with_coalescing(true))
+        .build(&pts)
+        .unwrap();
+    let q = UniformGenerator::new(DIM).generate(1, 40).pop().unwrap();
+    let opts = QueryOptions::traced(K);
+    let a = engine.submit(&q, &opts).unwrap().wait().unwrap();
+    let b = engine.submit(&q, &opts).unwrap().wait().unwrap();
+    assert_eq!(a.neighbors, b.neighbors);
+    assert_eq!(b.trace.unwrap().coalesced_reads(), 0);
+}
+
+/// Dropping an admission engine with queries still queued drains them
+/// (priority queues run the same drain-then-stop shutdown as the FIFO
+/// pool) and every accepted handle stays resolvable.
+#[test]
+fn drop_with_queued_serve_queries_drains() {
+    let pts = points();
+    let engine = builder()
+        .admission(AdmissionConfig::new(64))
+        .build(&pts)
+        .unwrap();
+    let queries = UniformGenerator::new(DIM).generate(64, 41);
+    let opts = QueryOptions::new(K);
+    let pending: Vec<PendingQuery> = queries
+        .iter()
+        .filter_map(|q| engine.submit(q, &opts).ok())
+        .collect();
+    assert!(!pending.is_empty());
+    drop(engine);
+    for handle in pending {
+        let result = handle.wait().unwrap();
+        assert_eq!(result.neighbors.len(), K);
+    }
+}
+
+/// Reorganization preserves the admission policy, like every other
+/// builder knob.
+#[test]
+fn reorganize_preserves_admission() {
+    let pts = points();
+    let cfg = AdmissionConfig::new(32)
+        .with_deadline(Duration::from_secs(1))
+        .with_coalescing(true);
+    let engine = builder().admission(cfg).build(&pts).unwrap();
+    assert_eq!(engine.admission(), Some(cfg));
+    let engine = engine.reorganize().unwrap();
+    assert_eq!(engine.admission(), Some(cfg));
+    assert_eq!(engine.execution(), ExecutionMode::Pooled);
+    let q = UniformGenerator::new(DIM).generate(1, 42).pop().unwrap();
+    let r = engine
+        .submit(&q, &QueryOptions::new(K))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(r.neighbors.len(), K);
+}

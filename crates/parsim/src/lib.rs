@@ -105,10 +105,10 @@ pub mod prelude {
         SearchStats, SharedBound, SpatialTree, TreeParams, TreeVariant,
     };
     pub use parsim_parallel::{
-        run_knn_workload, run_traced_workload, DeclusteredXTree, DegradedInfo, EngineBuilder,
-        EngineConfig, EngineMetrics, ExecutionMode, FaultPolicy, ParallelKnnEngine, PendingQuery,
-        QueryOptions, QueryResult, QueryTrace, RetryPolicy, SequentialEngine, SplitStrategy,
-        ThroughputReport, WorkloadCost,
+        run_knn_workload, run_traced_workload, AdmissionConfig, DeclusteredXTree, DegradedInfo,
+        EngineBuilder, EngineConfig, EngineError, EngineMetrics, ExecutionMode, FaultPolicy,
+        ParallelKnnEngine, PendingQuery, QueryOptions, QueryResult, QueryTrace, RetryPolicy,
+        SequentialEngine, SplitStrategy, ThroughputReport, WorkloadCost,
     };
     pub use parsim_storage::{
         DiskArray, DiskModel, FaultInjector, FaultKind, LruTracker, QueryCost, ShardedLru, SimDisk,

@@ -1,0 +1,117 @@
+//! Cross-query read combining for one disk.
+//!
+//! When many queries of one submission **wave** are in flight against the
+//! same disk, they frequently need the same hot pages (root, upper
+//! directory levels, popular leaves). A [`ReadCombiner`] tracks which
+//! pages the current wave has already physically read: the first claim of
+//! a page wins (and performs the read), every later claim within the same
+//! wave is **coalesced** — it rides the earlier read instead of charging
+//! the disk again.
+//!
+//! The combiner is deliberately dumb about *what* a wave is: callers hand
+//! it an opaque wave id and the window resets whenever the id changes.
+//! Correctness never depends on the window — a reset merely means the
+//! next claim of a page is charged again — so wave ids only shape the
+//! *cost* of execution, never its answers.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The pages one wave of queries has already read from a disk. See the
+/// module docs.
+#[derive(Debug, Default)]
+pub struct ReadCombiner {
+    window: Mutex<Window>,
+    coalesced: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Window {
+    wave: u64,
+    seen: HashSet<u64>,
+}
+
+impl ReadCombiner {
+    /// A combiner with an empty window on wave 0.
+    pub fn new() -> Self {
+        ReadCombiner::default()
+    }
+
+    /// Opens `wave`'s window: if it differs from the current wave the set
+    /// of seen pages is cleared. Idempotent within a wave.
+    pub fn begin_wave(&self, wave: u64) {
+        let mut w = self.window.lock().expect("combiner lock is never poisoned");
+        if w.wave != wave {
+            w.wave = wave;
+            w.seen.clear();
+        }
+    }
+
+    /// Claims `page` for the current wave. Returns `true` if this is the
+    /// wave's first claim — the caller must perform the physical read —
+    /// and `false` if the page was already read by this wave (the caller
+    /// coalesces).
+    pub fn claim(&self, page: u64) -> bool {
+        let mut w = self.window.lock().expect("combiner lock is never poisoned");
+        let first = w.seen.insert(page);
+        if !first {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        first
+    }
+
+    /// Total claims that were coalesced (served by an earlier read of the
+    /// same wave) since the combiner was created.
+    pub fn coalesced_reads(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Pages in the current wave's window (physically read so far).
+    pub fn window_len(&self) -> usize {
+        self.window
+            .lock()
+            .expect("combiner lock is never poisoned")
+            .seen
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_claim_reads_later_claims_coalesce() {
+        let c = ReadCombiner::new();
+        c.begin_wave(1);
+        assert!(c.claim(7));
+        assert!(!c.claim(7));
+        assert!(!c.claim(7));
+        assert!(c.claim(8));
+        assert_eq!(c.coalesced_reads(), 2);
+        assert_eq!(c.window_len(), 2);
+    }
+
+    #[test]
+    fn new_wave_resets_the_window_but_not_the_counter() {
+        let c = ReadCombiner::new();
+        c.begin_wave(1);
+        assert!(c.claim(3));
+        assert!(!c.claim(3));
+        c.begin_wave(2);
+        // Same page charges again under the new wave.
+        assert!(c.claim(3));
+        assert!(!c.claim(3));
+        assert_eq!(c.coalesced_reads(), 2);
+    }
+
+    #[test]
+    fn begin_wave_is_idempotent_within_a_wave() {
+        let c = ReadCombiner::new();
+        c.begin_wave(5);
+        assert!(c.claim(1));
+        c.begin_wave(5);
+        assert!(!c.claim(1), "re-opening the same wave must keep the window");
+    }
+}

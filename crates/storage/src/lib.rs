@@ -34,6 +34,7 @@
 pub mod arena;
 pub mod array;
 pub mod cache;
+pub mod combiner;
 pub mod disk;
 pub mod fault;
 pub mod model;
@@ -43,6 +44,7 @@ pub mod sharded;
 pub use arena::VectorArena;
 pub use array::{DiskArray, QueryCost, QueryScope};
 pub use cache::{LruTracker, TouchOutcome};
+pub use combiner::ReadCombiner;
 pub use disk::{DiskStats, SimDisk};
 pub use fault::{FaultInjector, FaultKind, FaultMetrics};
 pub use model::DiskModel;
