@@ -4,6 +4,11 @@
 //! The abandon rows use the median full distance of the workload as the
 //! bound, so roughly half the evaluations can stop at a checkpoint —
 //! a stand-in for the k-th-best bound the k-NN scan prunes against.
+//!
+//! The `f32_lower_bound` and `q8_lower_bound` rows measure the tiered
+//! scan's phase 1 under the same median bound: the low-precision bounded
+//! kernel against the certified prune threshold — the per-row cost that
+//! replaces a full f64 evaluation for every row the tier proves away.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -57,6 +62,73 @@ fn bench_kernels(c: &mut Criterion) {
                     }
                 }
                 kept
+            })
+        });
+
+        // Phase-1 f32 mirror scan: certified threshold, bounded kernel.
+        let rows32: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&c| c as f32).collect())
+            .collect();
+        let query32: Vec<f32> = query.iter().map(|&c| c as f32).collect();
+        let rq32 = kernel::displacement_norm_f32(&query, &query32);
+        let rx32 = rows
+            .iter()
+            .zip(&rows32)
+            .map(|(r, m)| kernel::displacement_norm_f32(r, m))
+            .fold(0.0f64, f64::max);
+        let t32 = kernel::f32_prune_threshold(bound, rq32, rx32, dim);
+        let b32 = kernel::f32_kernel_bound(t32);
+        group.bench_with_input(BenchmarkId::new("f32_lower_bound", dim), &dim, |b, _| {
+            b.iter(|| {
+                let mut pruned = 0usize;
+                for m in &rows32 {
+                    if kernel::f32_row_prunable(
+                        kernel::dist2_f32_bounded(black_box(&query32), m, b32),
+                        t32,
+                    ) {
+                        pruned += 1;
+                    }
+                }
+                pruned
+            })
+        });
+
+        // Phase-1 q8 code scan: one shared grid over the whole block.
+        let lo = rows.iter().flatten().cloned().fold(f64::INFINITY, f64::min);
+        let hi = rows
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let scale = (hi - lo) / 255.0;
+        let q8 = |v: &[f64]| -> Vec<u8> {
+            v.iter()
+                .map(|&c| ((c - lo) / scale).round().clamp(0.0, 255.0) as u8)
+                .collect()
+        };
+        let codes: Vec<Vec<u8>> = rows.iter().map(|r| q8(r)).collect();
+        let qcodes = q8(&query);
+        let rq8 = kernel::displacement_norm_q8(&query, &qcodes, lo, scale);
+        let rx8 = rows
+            .iter()
+            .zip(&codes)
+            .map(|(r, c)| kernel::displacement_norm_q8(r, c, lo, scale))
+            .fold(0.0f64, f64::max);
+        let t8 = kernel::q8_prune_threshold(bound, rq8, rx8, scale);
+        let b8 = kernel::q8_kernel_bound(t8);
+        group.bench_with_input(BenchmarkId::new("q8_lower_bound", dim), &dim, |b, _| {
+            b.iter(|| {
+                let mut pruned = 0usize;
+                for c in &codes {
+                    if kernel::q8_row_prunable(
+                        kernel::dist2_q8_bounded(black_box(&qcodes), c, b8),
+                        t8,
+                    ) {
+                        pruned += 1;
+                    }
+                }
+                pruned
             })
         });
     }

@@ -7,7 +7,7 @@ use super::*;
 
 #[test]
 fn dispatcher_covers_all_and_rejects_unknown() {
-    assert_eq!(ALL.len(), 23);
+    assert_eq!(ALL.len(), 24);
     assert!(run("nonsense", 1.0).is_none());
     assert!(run("fig99", 1.0).is_none());
 }
@@ -189,6 +189,61 @@ fn ext11_coalescing_raises_saturation_and_reconciles() {
     let report = run("ext11", 0.05).expect("ext11");
     assert_eq!(report.rows.len(), 10);
     assert!(report.notes[0].contains("reconciles exactly"));
+}
+
+#[test]
+fn ext12_reduces_f64_evals_and_stays_exact() {
+    let m = ext12::measure(0.05);
+    // 3 datasets x 3 tiers; answers were asserted bit-identical inside
+    // measure(), and the rows record that fact.
+    assert_eq!(m.rows.len(), 9);
+    assert!(m.rows.iter().all(|r| r.exact), "a tier diverged from f64");
+    let cell = |dataset: &str, tier: &str| {
+        m.rows
+            .iter()
+            .find(|r| r.dataset == dataset && r.tier == tier)
+            .unwrap()
+    };
+    for dataset in ["uniform", "clustered", "correlated"] {
+        let base = cell(dataset, "f64");
+        assert!(base.f64_evals > 0, "{dataset}: f64 scan did no work");
+        assert_eq!(base.lb_evals, 0, "{dataset}: f64 tier has no phase 1");
+        assert_eq!(base.rerank_evals, 0);
+        for tier in ["f32", "q8"] {
+            let c = cell(dataset, tier);
+            assert!(c.lb_evals > 0, "{dataset}/{tier}: phase 1 never ran");
+            assert!(
+                c.rerank_evals <= c.lb_evals,
+                "{dataset}/{tier}: more survivors than rows scanned"
+            );
+            assert!(
+                c.f64_evals <= base.f64_evals,
+                "{dataset}/{tier}: cheap tier did more f64 work"
+            );
+        }
+    }
+    // The acceptance bar: on uniform data both cheap tiers cut exact f64
+    // row evaluations by at least 2x.
+    let base = cell("uniform", "f64").f64_evals;
+    for tier in ["f32", "q8"] {
+        let c = cell("uniform", tier);
+        assert!(
+            c.f64_evals * 2 <= base,
+            "uniform/{tier}: {} f64 evals vs baseline {base} — under 2x",
+            c.f64_evals
+        );
+    }
+    // The JSON record carries the schema and every cell.
+    let json = ext12::to_json(&m, 0.05);
+    assert!(json.contains("\"bench\": \"pr7-two-tier-leaf-scan\""));
+    assert_eq!(json.matches("\"exact\": true").count(), 9);
+    for tier in ["f64", "f32", "q8"] {
+        assert_eq!(json.matches(&format!("\"tier\": \"{tier}\"")).count(), 3);
+    }
+    // And the tabulated report is well-formed.
+    let report = run("ext12", 0.05).expect("ext12");
+    assert_eq!(report.rows.len(), 9);
+    assert!(report.notes[0].contains("bit-identical"));
 }
 
 #[test]

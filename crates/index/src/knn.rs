@@ -20,6 +20,13 @@
 //! pruning bound of the paper's parallel variant 3, where every disk runs
 //! its local search concurrently and publishes its k-th-best distance so
 //! the other disks can prune against the global state of the query.
+//!
+//! Leaf scans run through a [`LeafScanner`] at a configurable
+//! [`ScanTier`]: the cheap tiers first sweep the leaf's f32 or int8 mirror
+//! with certified lower-bound kernels and re-rank only the survivors with
+//! the canonical f64 kernels, so the answers stay bit-identical to the
+//! pure-f64 scan while most rows never pay for f64 arithmetic (see
+//! `DESIGN.md`, "Precision tiers").
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -27,7 +34,7 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use parsim_geometry::{kernel, Point};
 
-use crate::node::{Node, NodeId};
+use crate::node::{LeafEntries, Node, NodeId};
 use crate::tree::{SpatialTree, VisitOutcome};
 
 /// Which k-NN algorithm to run.
@@ -38,6 +45,27 @@ pub enum KnnAlgorithm {
     Rkv,
     /// Best-first incremental search \[HS 95\].
     Hs,
+}
+
+/// Arithmetic precision of the phase-1 leaf scan (see `DESIGN.md`,
+/// "Precision tiers").
+///
+/// Every tier returns answers **bit-identical** to [`ScanTier::F64`]: the
+/// cheap tiers only *filter* leaf rows using certified lower bounds on the
+/// f64 distance (low-precision kernel sum widened by per-block error
+/// bounds), and every survivor is re-ranked by the canonical f64 batch
+/// kernel. A filtered row is provably at least as far as the current
+/// pruning radius, exactly like a row abandoned by the early-abandon f64
+/// kernel — same contract, cheaper arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScanTier {
+    /// Canonical f64 kernels only (the default; no phase 1).
+    #[default]
+    F64,
+    /// Phase 1 over the f32 mirror of each leaf block.
+    F32,
+    /// Phase 1 over the 8-bit scalar-quantized mirror of each leaf block.
+    Q8,
 }
 
 /// One answer of a k-NN query.
@@ -71,12 +99,26 @@ pub struct SearchStats {
     /// coalescing; no disk charged, cache untouched). Like `cache_hits`,
     /// counted in the search thread so the figure is exact per query.
     pub coalesced: u64,
-    /// Candidate points whose distance to the query was evaluated.
+    /// Candidate points whose **f64** distance evaluation was started. On
+    /// [`ScanTier::F64`] this is every leaf row scanned (abandoned rows
+    /// included); on the cheap tiers only phase-1 survivors start an f64
+    /// evaluation, so this counter *is* the f64 kernel cost of the query.
     pub dist_evals: u64,
-    /// Candidate points abandoned mid-distance: a partial sum already
-    /// exceeded the pruning bound, so the full distance was never computed
-    /// (see `parsim_geometry::kernel`).
+    /// Candidate points whose full f64 distance was never computed. On
+    /// [`ScanTier::F64`]: abandoned mid-distance by a partial-sum
+    /// checkpoint (a subset of `dist_evals`). On the cheap tiers: rows
+    /// whose certified lower bound already cleared the pruning radius, so
+    /// the f64 kernel was skipped entirely (disjoint from `dist_evals`).
     pub dist_evals_saved: u64,
+    /// Phase-1 lower-bound kernel evaluations (f32 or q8 rows scanned).
+    /// Zero on [`ScanTier::F64`], and zero for leaf blocks the cheap tiers
+    /// route to the f64 path (no finite pruning radius yet, or a
+    /// degenerate quantization grid).
+    pub lb_evals: u64,
+    /// Phase-1 survivors re-ranked by the exact f64 batch kernel. Always
+    /// `≤ lb_evals`; each re-rank also counts into `dist_evals`. Zero on
+    /// [`ScanTier::F64`].
+    pub rerank_evals: u64,
 }
 
 impl SearchStats {
@@ -88,6 +130,8 @@ impl SearchStats {
         self.coalesced += other.coalesced;
         self.dist_evals += other.dist_evals;
         self.dist_evals_saved += other.dist_evals_saved;
+        self.lb_evals += other.lb_evals;
+        self.rerank_evals += other.rerank_evals;
     }
 }
 
@@ -154,26 +198,60 @@ impl SpatialTree {
         algorithm: KnnAlgorithm,
         shared: Option<&SharedBound>,
     ) -> (Vec<Neighbor>, SearchStats) {
+        self.knn_traced_tiered(query, k, algorithm, shared, ScanTier::F64)
+    }
+
+    /// Like [`SpatialTree::knn_traced`], with an explicit precision tier
+    /// for the leaf scan.
+    ///
+    /// The answer list is identical for every tier — the cheap tiers only
+    /// skip rows certified farther than the pruning radius — but the work
+    /// counters move: on [`ScanTier::F32`] / [`ScanTier::Q8`] most leaf
+    /// rows cost one [`SearchStats::lb_evals`] instead of an f64
+    /// [`SearchStats::dist_evals`].
+    pub fn knn_traced_tiered(
+        &self,
+        query: &Point,
+        k: usize,
+        algorithm: KnnAlgorithm,
+        shared: Option<&SharedBound>,
+        tier: ScanTier,
+    ) -> (Vec<Neighbor>, SearchStats) {
         assert_eq!(query.dim(), self.params().dim, "query dimension mismatch");
         let mut stats = SearchStats::default();
         if k == 0 || self.is_empty() {
             return (Vec::new(), stats);
         }
+        let mut scanner = LeafScanner::new(tier);
         let result = match algorithm {
             KnnAlgorithm::Rkv => {
                 let mut best = BoundedMaxHeap::new(k);
-                self.rkv_visit(self.root_id(), query, k, &mut best, shared, &mut stats);
+                self.rkv_visit(
+                    self.root_id(),
+                    query,
+                    k,
+                    &mut best,
+                    shared,
+                    &mut scanner,
+                    &mut stats,
+                );
                 best.into_sorted()
             }
-            KnnAlgorithm::Hs => {
-                hs_search(&[self], query, k, shared, std::slice::from_mut(&mut stats))
-            }
+            KnnAlgorithm::Hs => hs_search(
+                &[self],
+                query,
+                k,
+                shared,
+                &mut scanner,
+                std::slice::from_mut(&mut stats),
+            ),
         };
         (result, stats)
     }
 
     // ----- RKV ------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn rkv_visit(
         &self,
         id: NodeId,
@@ -181,6 +259,7 @@ impl SpatialTree {
         k: usize,
         best: &mut BoundedMaxHeap,
         shared: Option<&SharedBound>,
+        scanner: &mut LeafScanner,
         stats: &mut SearchStats,
     ) {
         match self.charge_visit(id) {
@@ -191,22 +270,7 @@ impl SpatialTree {
         stats.pages += self.node(id).pages() as u64;
         match self.node(id) {
             Node::Leaf { entries, .. } => {
-                // One linear sweep over the leaf's flat coordinate arena,
-                // abandoning each candidate as soon as its partial distance
-                // exceeds the current pruning radius. A dropped point is
-                // provably farther than the k-th best already known
-                // (locally or published by a concurrent search), so the
-                // merged answer stays exact.
-                for (row, item) in entries.iter() {
-                    stats.dist_evals += 1;
-                    match kernel::dist2_bounded(query.coords(), row, prune_bound(best, shared)) {
-                        Some(d2) => best.offer(d2, row, item),
-                        None => stats.dist_evals_saved += 1,
-                    }
-                }
-                if let (true, Some(bound)) = (best.is_full(), shared) {
-                    bound.tighten(best.worst());
-                }
+                scanner.scan(entries, query, best, shared, stats);
             }
             Node::Inner { entries, .. } => {
                 // Build the active branch list ordered by MINDIST.
@@ -230,7 +294,7 @@ impl SpatialTree {
                         stats.pruned += (branches.len() - i) as u64;
                         break;
                     }
-                    self.rkv_visit(child, query, k, best, shared, stats);
+                    self.rkv_visit(child, query, k, best, shared, scanner, stats);
                 }
             }
         }
@@ -248,6 +312,237 @@ fn prune_bound(best: &BoundedMaxHeap, shared: Option<&SharedBound>) -> f64 {
     match shared {
         Some(s) => local.min(s.get()),
         None => local,
+    }
+}
+
+/// The unified leaf scan of every k-NN algorithm: one [`ScanTier`] plus
+/// the per-query scratch buffers of the two-phase scan.
+///
+/// One scanner serves one query. The f32 query mirror is cast once, on the
+/// first leaf; the per-block state — query codes on the leaf's
+/// quantization grid, phase-1 sums, the survivor gather — is overwritten
+/// by each `scan` call. The search driver ([`ForestCursor`], the
+/// traced entry points) owns the scanner so the scratch allocations
+/// amortize over every leaf of the search.
+#[derive(Debug)]
+pub struct LeafScanner {
+    tier: ScanTier,
+    /// The query cast to f32, built on first use (constant per query).
+    q32: Vec<f32>,
+    /// Overestimate of `‖q − q32‖` (constant per query).
+    rq32: f64,
+    /// The query encoded on the current block's q8 grid (per block).
+    qcodes: Vec<u8>,
+    /// Phase-1 sums (per block; `None` = abandoned at a checkpoint).
+    lb32: Vec<Option<f32>>,
+    lbq8: Vec<Option<u64>>,
+    /// Row indices that survived phase 1 (per block).
+    survivors: Vec<usize>,
+    /// Survivor rows gathered contiguously for the f64 re-rank batch.
+    gather: Vec<f64>,
+    /// f64 batch kernel outputs (whole block, or survivors).
+    d2: Vec<f64>,
+}
+
+impl LeafScanner {
+    /// A fresh scanner running leaf scans at `tier`.
+    pub fn new(tier: ScanTier) -> Self {
+        LeafScanner {
+            tier,
+            q32: Vec::new(),
+            rq32: 0.0,
+            qcodes: Vec::new(),
+            lb32: Vec::new(),
+            lbq8: Vec::new(),
+            survivors: Vec::new(),
+            gather: Vec::new(),
+            d2: Vec::new(),
+        }
+    }
+
+    /// The tier this scanner runs at.
+    pub fn tier(&self) -> ScanTier {
+        self.tier
+    }
+
+    /// Scans one leaf block, offering every non-filtered candidate to
+    /// `best` and publishing the tightened k-th best to `shared`. A
+    /// filtered row is *certified* to have computed f64 `dist2 ≥` the
+    /// pruning radius at block start, so — like the early-abandoned rows of
+    /// the f64 tier — it can never displace a k-nearest candidate and the
+    /// merged answer stays exact.
+    fn scan(
+        &mut self,
+        entries: &LeafEntries,
+        query: &Point,
+        best: &mut BoundedMaxHeap,
+        shared: Option<&SharedBound>,
+        stats: &mut SearchStats,
+    ) {
+        match self.tier {
+            ScanTier::F64 => self.scan_f64(entries, query, best, shared, stats),
+            ScanTier::F32 => self.scan_f32(entries, query, best, shared, stats),
+            ScanTier::Q8 => self.scan_q8(entries, query, best, shared, stats),
+        }
+        if let (true, Some(bound)) = (best.is_full(), shared) {
+            bound.tighten(best.worst());
+        }
+    }
+
+    /// The canonical f64 scan, also the fallback of the cheap tiers.
+    ///
+    /// When the candidate heap cannot fill mid-block and no concurrent
+    /// search has published a bound, the pruning radius is `+∞` for every
+    /// row — early abandonment is provably a no-op — so the whole block
+    /// runs through the batch kernel: per-row sums bit-identical to
+    /// [`kernel::dist2_bounded`], identical counters, one straight-line
+    /// sweep. Otherwise the per-row bounded kernel runs, re-reading the
+    /// pruning radius between rows so candidates admitted earlier in the
+    /// block tighten the abandonment of later ones.
+    fn scan_f64(
+        &mut self,
+        entries: &LeafEntries,
+        query: &Point,
+        best: &mut BoundedMaxHeap,
+        shared: Option<&SharedBound>,
+        stats: &mut SearchStats,
+    ) {
+        let n = entries.len();
+        let batchable =
+            best.len() + n <= best.k && shared.map_or(true, |s| s.get() == f64::INFINITY);
+        if batchable {
+            self.d2.resize(n, 0.0);
+            kernel::dist2_batch(
+                query.coords(),
+                entries.flat_coords(),
+                entries.dim(),
+                &mut self.d2,
+            );
+            stats.dist_evals += n as u64;
+            for (i, &d2) in self.d2.iter().enumerate() {
+                best.offer(d2, entries.row(i), entries.item(i));
+            }
+        } else {
+            for (row, item) in entries.iter() {
+                stats.dist_evals += 1;
+                match kernel::dist2_bounded(query.coords(), row, prune_bound(best, shared)) {
+                    Some(d2) => best.offer(d2, row, item),
+                    None => stats.dist_evals_saved += 1,
+                }
+            }
+        }
+    }
+
+    /// Phase 1 over the block's f32 mirror: one bounded batch sweep against
+    /// the certified prune threshold, then the exact re-rank of survivors.
+    fn scan_f32(
+        &mut self,
+        entries: &LeafEntries,
+        query: &Point,
+        best: &mut BoundedMaxHeap,
+        shared: Option<&SharedBound>,
+        stats: &mut SearchStats,
+    ) {
+        let bound = prune_bound(best, shared);
+        if bound == f64::INFINITY {
+            // No finite pruning radius yet: phase 1 could certify nothing,
+            // so skip straight to the exact scan.
+            return self.scan_f64(entries, query, best, shared, stats);
+        }
+        let dim = entries.dim();
+        let n = entries.len();
+        if self.q32.len() != dim {
+            self.q32 = query.coords().iter().map(|&c| c as f32).collect();
+            self.rq32 = kernel::displacement_norm_f32(query.coords(), &self.q32);
+        }
+        // The threshold is frozen at block start: a later (tighter) radius
+        // only makes rows certified against this one *more* prunable.
+        let t = kernel::f32_prune_threshold(bound, self.rq32, entries.f32_radius(), dim);
+        self.lb32.resize(n, None);
+        kernel::dist2_batch_f32_bounded(
+            &self.q32,
+            entries.flat_f32(),
+            dim,
+            kernel::f32_kernel_bound(t),
+            &mut self.lb32,
+        );
+        stats.lb_evals += n as u64;
+        self.survivors.clear();
+        for (i, &s) in self.lb32.iter().enumerate() {
+            if kernel::f32_row_prunable(s, t) {
+                stats.dist_evals_saved += 1;
+            } else {
+                self.survivors.push(i);
+            }
+        }
+        self.rerank(entries, query, best, stats);
+    }
+
+    /// Phase 1 over the block's 8-bit scalar-quantized mirror. Blocks with
+    /// a degenerate grid (constant coordinates, or a coordinate range too
+    /// wide for the grid arithmetic) certify nothing and stay exact.
+    fn scan_q8(
+        &mut self,
+        entries: &LeafEntries,
+        query: &Point,
+        best: &mut BoundedMaxHeap,
+        shared: Option<&SharedBound>,
+        stats: &mut SearchStats,
+    ) {
+        let bound = prune_bound(best, shared);
+        let Some((_, scale)) = entries.q8_grid() else {
+            return self.scan_f64(entries, query, best, shared, stats);
+        };
+        if bound == f64::INFINITY {
+            return self.scan_f64(entries, query, best, shared, stats);
+        }
+        let dim = entries.dim();
+        let n = entries.len();
+        let rq = entries.quantize_query(query.coords(), &mut self.qcodes);
+        let t = kernel::q8_prune_threshold(bound, rq, entries.q8_radius(), scale);
+        self.lbq8.resize(n, None);
+        kernel::dist2_batch_q8_bounded(
+            &self.qcodes,
+            entries.codes(),
+            dim,
+            kernel::q8_kernel_bound(t),
+            &mut self.lbq8,
+        );
+        stats.lb_evals += n as u64;
+        self.survivors.clear();
+        for (i, &s) in self.lbq8.iter().enumerate() {
+            if kernel::q8_row_prunable(s, t) {
+                stats.dist_evals_saved += 1;
+            } else {
+                self.survivors.push(i);
+            }
+        }
+        self.rerank(entries, query, best, stats);
+    }
+
+    /// Phase 2: the exact f64 batch kernel over the phase-1 survivors.
+    /// [`kernel::dist2_batch`] is bit-identical to [`kernel::dist2`] per
+    /// row, so tiered answers match the f64 tier exactly.
+    fn rerank(
+        &mut self,
+        entries: &LeafEntries,
+        query: &Point,
+        best: &mut BoundedMaxHeap,
+        stats: &mut SearchStats,
+    ) {
+        let dim = entries.dim();
+        let m = self.survivors.len();
+        self.gather.clear();
+        for &i in &self.survivors {
+            self.gather.extend_from_slice(entries.row(i));
+        }
+        self.d2.resize(m, 0.0);
+        kernel::dist2_batch(query.coords(), &self.gather, dim, &mut self.d2);
+        stats.rerank_evals += m as u64;
+        stats.dist_evals += m as u64;
+        for (j, &i) in self.survivors.iter().enumerate() {
+            best.offer(self.d2[j], entries.row(i), entries.item(i));
+        }
     }
 }
 
@@ -274,13 +569,28 @@ pub fn forest_knn_traced(
     k: usize,
     algorithm: KnnAlgorithm,
 ) -> (Vec<Neighbor>, Vec<SearchStats>) {
+    forest_knn_traced_tiered(trees, query, k, algorithm, ScanTier::F64)
+}
+
+/// Like [`forest_knn_traced`], with an explicit [`ScanTier`] for the leaf
+/// scans. Answers are identical across tiers; only the work counters move.
+pub fn forest_knn_traced_tiered(
+    trees: &[&SpatialTree],
+    query: &Point,
+    k: usize,
+    algorithm: KnnAlgorithm,
+    tier: ScanTier,
+) -> (Vec<Neighbor>, Vec<SearchStats>) {
     let mut stats = vec![SearchStats::default(); trees.len()];
     if k == 0 {
         return (Vec::new(), stats);
     }
     let result = match algorithm {
-        KnnAlgorithm::Rkv => forest_knn_rkv(trees, query, k, &mut stats),
-        KnnAlgorithm::Hs => hs_search(trees, query, k, None, &mut stats),
+        KnnAlgorithm::Rkv => forest_knn_rkv(trees, query, k, tier, &mut stats),
+        KnnAlgorithm::Hs => {
+            let mut scanner = LeafScanner::new(tier);
+            hs_search(trees, query, k, None, &mut scanner, &mut stats)
+        }
     };
     (result, stats)
 }
@@ -291,9 +601,10 @@ fn forest_knn_rkv(
     trees: &[&SpatialTree],
     query: &Point,
     k: usize,
+    tier: ScanTier,
     stats: &mut [SearchStats],
 ) -> Vec<Neighbor> {
-    let mut cursor = ForestCursor::new(k);
+    let mut cursor = ForestCursor::with_tier(k, tier);
     let itinerary = forest_itinerary(trees, query);
     for (i, &(min_dist, ti)) in itinerary.iter().enumerate() {
         if cursor.prunable(min_dist) {
@@ -346,14 +657,30 @@ pub fn forest_itinerary(trees: &[&SpatialTree], query: &Point) -> Vec<(f64, usiz
 /// single-threaded reference path.
 pub struct ForestCursor {
     best: BoundedMaxHeap,
+    scanner: LeafScanner,
 }
 
 impl ForestCursor {
-    /// A fresh cursor searching for the `k` nearest neighbors.
+    /// A fresh cursor searching for the `k` nearest neighbors at the
+    /// default [`ScanTier::F64`].
     pub fn new(k: usize) -> Self {
+        ForestCursor::with_tier(k, ScanTier::F64)
+    }
+
+    /// A fresh cursor whose leaf scans run at `tier`. The neighbors found
+    /// are identical for every tier; the per-tree [`SearchStats`] report
+    /// the tier's cost split across `lb_evals` / `rerank_evals` /
+    /// `dist_evals`.
+    pub fn with_tier(k: usize, tier: ScanTier) -> Self {
         ForestCursor {
             best: BoundedMaxHeap::new(k),
+            scanner: LeafScanner::new(tier),
         }
+    }
+
+    /// The tier this cursor's leaf scans run at.
+    pub fn tier(&self) -> ScanTier {
+        self.scanner.tier()
     }
 
     /// True once every tree whose root MINDIST² is at least `min_dist2`
@@ -375,6 +702,7 @@ impl ForestCursor {
             self.best.k,
             &mut self.best,
             None,
+            &mut self.scanner,
             stats,
         );
     }
@@ -396,6 +724,7 @@ fn hs_search(
     query: &Point,
     k: usize,
     shared: Option<&SharedBound>,
+    scanner: &mut LeafScanner,
     stats: &mut [SearchStats],
 ) -> Vec<Neighbor> {
     let mut best = BoundedMaxHeap::new(k);
@@ -432,16 +761,7 @@ fn hs_search(
         stats[entry.tree].pages += tree.node(entry.node).pages() as u64;
         match tree.node(entry.node) {
             Node::Leaf { entries, .. } => {
-                for (row, item) in entries.iter() {
-                    stats[entry.tree].dist_evals += 1;
-                    match kernel::dist2_bounded(query.coords(), row, prune_bound(&best, shared)) {
-                        Some(d2) => best.offer(d2, row, item),
-                        None => stats[entry.tree].dist_evals_saved += 1,
-                    }
-                }
-                if let (true, Some(bound)) = (best.is_full(), shared) {
-                    bound.tighten(best.worst());
-                }
+                scanner.scan(entries, query, &mut best, shared, &mut stats[entry.tree]);
             }
             Node::Inner { entries, .. } => {
                 for e in entries {
@@ -540,6 +860,11 @@ impl BoundedMaxHeap {
 
     fn is_full(&self) -> bool {
         self.heap.len() == self.k
+    }
+
+    /// Number of candidates currently held (≤ k).
+    fn len(&self) -> usize {
+        self.heap.len()
     }
 
     /// The current k-th best squared distance (∞ until full).
@@ -851,6 +1176,155 @@ mod tests {
             let got = cursor.finish();
             assert_eq!(got, want, "neighbors diverged at query {qi}");
             assert_eq!(stats, want_stats, "stats diverged at query {qi}");
+        }
+    }
+
+    #[test]
+    fn tiered_scans_are_bit_identical_to_brute_force() {
+        // The tentpole contract: every tier returns the same answers, bit
+        // for bit — the cheap tiers only skip certified-far rows and
+        // re-rank survivors with the same f64 arithmetic brute force uses.
+        for (dim, pts) in [
+            (8, UniformGenerator::new(8).generate(1500, 41)),
+            (8, ClusteredGenerator::new(8, 5, 0.04).generate(1500, 43)),
+        ] {
+            let tree = build_tree(&pts, dim, TreeVariant::xtree_default());
+            let data: Vec<(Point, u64)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.clone(), i as u64))
+                .collect();
+            for q in &UniformGenerator::new(dim).generate(8, 42) {
+                let want = brute_force_knn(&data, q, 7);
+                for tier in [ScanTier::F64, ScanTier::F32, ScanTier::Q8] {
+                    for algo in [KnnAlgorithm::Rkv, KnnAlgorithm::Hs] {
+                        let (got, stats) = tree.knn_traced_tiered(q, 7, algo, None, tier);
+                        assert_eq!(got.len(), want.len());
+                        for (g, w) in got.iter().zip(&want) {
+                            assert_eq!(
+                                g.dist.to_bits(),
+                                w.dist.to_bits(),
+                                "{tier:?} {algo:?}: {} vs {}",
+                                g.dist,
+                                w.dist
+                            );
+                            assert_eq!(g.item, w.item, "{tier:?} {algo:?}");
+                        }
+                        assert!(stats.rerank_evals <= stats.lb_evals);
+                        match tier {
+                            ScanTier::F64 => {
+                                assert_eq!(stats.lb_evals, 0);
+                                assert_eq!(stats.rerank_evals, 0);
+                            }
+                            _ => {
+                                assert!(stats.lb_evals > 0, "{tier:?} {algo:?}: phase 1 never ran")
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cheap_tiers_reduce_f64_evaluations() {
+        // On uniform data (where early abandonment is weakest) the cheap
+        // tiers must shift most leaf rows from f64 evaluations to
+        // lower-bound evaluations.
+        let dim = 8;
+        let pts = UniformGenerator::new(dim).generate(2000, 51);
+        let tree = build_tree(&pts, dim, TreeVariant::xtree_default());
+        for tier in [ScanTier::F32, ScanTier::Q8] {
+            let (mut base, mut tiered) = (0u64, 0u64);
+            for q in &UniformGenerator::new(dim).generate(10, 52) {
+                base += tree.knn_traced(q, 10, KnnAlgorithm::Rkv, None).1.dist_evals;
+                tiered += tree
+                    .knn_traced_tiered(q, 10, KnnAlgorithm::Rkv, None, tier)
+                    .1
+                    .dist_evals;
+            }
+            assert!(
+                tiered * 2 <= base,
+                "{tier:?}: {tiered} f64 evals vs {base} on the f64 tier"
+            );
+        }
+    }
+
+    #[test]
+    fn tiered_partial_searches_merge_to_the_exact_answer() {
+        // SharedBound + cheap tiers: the certified prune threshold is
+        // derived from the bound at block start, so concurrent tightening
+        // must never cost a k-nearest candidate.
+        let dim = 7;
+        let k = 8;
+        let pts = UniformGenerator::new(dim).generate(2000, 61);
+        let (left, right): (Vec<_>, Vec<_>) = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i as u64))
+            .partition(|(_, i)| i % 2 == 0);
+        let lt = build_tree_items(&left, dim);
+        let rt = build_tree_items(&right, dim);
+        let data: Vec<(Point, u64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i as u64))
+            .collect();
+        for tier in [ScanTier::F32, ScanTier::Q8] {
+            for q in &UniformGenerator::new(dim).generate(10, 62) {
+                let bound = SharedBound::new();
+                let (lres, _) = lt.knn_traced_tiered(q, k, KnnAlgorithm::Rkv, Some(&bound), tier);
+                let (rres, _) = rt.knn_traced_tiered(q, k, KnnAlgorithm::Rkv, Some(&bound), tier);
+                let mut merged: Vec<Neighbor> = lres.into_iter().chain(rres).collect();
+                merged.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.item.cmp(&b.item)));
+                merged.truncate(k);
+                let want = brute_force_knn(&data, q, k);
+                assert_eq!(merged.len(), want.len());
+                for (g, w) in merged.iter().zip(&want) {
+                    assert_eq!(g.dist.to_bits(), w.dist.to_bits(), "{tier:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiered_cursor_replays_the_tiered_forest_search_exactly() {
+        let dim = 8;
+        let pts = ClusteredGenerator::new(dim, 5, 0.04).generate(1800, 71);
+        let trees: Vec<SpatialTree> = (0..4)
+            .map(|d| {
+                let items: Vec<(Point, u64)> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 4 == d)
+                    .map(|(i, p)| (p.clone(), i as u64))
+                    .collect();
+                build_tree_items(&items, dim)
+            })
+            .collect();
+        let refs: Vec<&SpatialTree> = trees.iter().collect();
+        for tier in [ScanTier::F32, ScanTier::Q8] {
+            for q in &UniformGenerator::new(dim).generate(6, 72) {
+                let k = 5;
+                let (want, want_stats) =
+                    forest_knn_traced_tiered(&refs, q, k, KnnAlgorithm::Rkv, tier);
+                let mut stats = vec![SearchStats::default(); refs.len()];
+                let mut cursor = ForestCursor::with_tier(k, tier);
+                assert_eq!(cursor.tier(), tier);
+                let itinerary = forest_itinerary(&refs, q);
+                for (i, &(min_dist, ti)) in itinerary.iter().enumerate() {
+                    if cursor.prunable(min_dist) {
+                        for &(_, tj) in &itinerary[i..] {
+                            stats[tj].pruned += 1;
+                        }
+                        break;
+                    }
+                    cursor.visit(refs[ti], q, &mut stats[ti]);
+                }
+                let got = cursor.finish();
+                assert_eq!(got, want, "{tier:?}: neighbors diverged");
+                assert_eq!(stats, want_stats, "{tier:?}: stats diverged");
+            }
         }
     }
 

@@ -101,6 +101,44 @@ impl LeafEntries {
         self.coords.as_flat()
     }
 
+    /// The block's f32 mirror, flat row-major (phase-1 scan view).
+    #[inline]
+    pub fn flat_f32(&self) -> &[f32] {
+        self.coords.as_flat_f32()
+    }
+
+    /// Overestimate of the largest `‖row − f32 mirror row‖₂` in the block.
+    #[inline]
+    pub fn f32_radius(&self) -> f64 {
+        self.coords.f32_radius()
+    }
+
+    /// The block's 8-bit quantization codes, flat row-major.
+    #[inline]
+    pub fn codes(&self) -> &[u8] {
+        self.coords.as_codes()
+    }
+
+    /// `(min, scale)` of the block's quantization grid, or `None` while
+    /// the grid is degenerate (empty or constant block, range overflow).
+    #[inline]
+    pub fn q8_grid(&self) -> Option<(f64, f64)> {
+        self.coords.q8_grid()
+    }
+
+    /// Overestimate of the largest `‖row − q8 reconstruction‖₂`.
+    #[inline]
+    pub fn q8_radius(&self) -> f64 {
+        self.coords.q8_radius()
+    }
+
+    /// Encodes `query` on the block's quantization grid into `out` and
+    /// returns an overestimate of `‖query − reconstruction‖₂`.
+    #[inline]
+    pub fn quantize_query(&self, query: &[f64], out: &mut Vec<u8>) -> f64 {
+        self.coords.quantize_query(query, out)
+    }
+
     /// Iterates over `(coordinate row, item id)` pairs in storage order.
     #[inline]
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (&[f64], u64)> {

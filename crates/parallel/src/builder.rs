@@ -22,7 +22,7 @@ use parsim_decluster::near_optimal::colors_required;
 use parsim_decluster::replica::{ChainedReplica, ReplicaRouting};
 use parsim_decluster::{BucketBased, Declusterer, NearOptimal, ReplicaDeclusterer};
 use parsim_geometry::Point;
-use parsim_index::{KnnAlgorithm, TreeVariant, DEFAULT_CACHE_SHARDS};
+use parsim_index::{KnnAlgorithm, ScanTier, TreeVariant, DEFAULT_CACHE_SHARDS};
 use parsim_storage::DiskModel;
 
 use crate::config::{EngineConfig, SplitStrategy};
@@ -167,6 +167,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the engine-wide leaf-scan precision tier (default
+    /// [`ScanTier::F64`]). Every tier returns bit-identical answers;
+    /// the cheap tiers trade f64 kernel work for certified low-precision
+    /// lower-bound scans. Individual queries can override via
+    /// [`crate::QueryOptions::with_tier`]. See `docs/TUNING.md`.
+    pub fn scan_tier(mut self, tier: ScanTier) -> Self {
+        self.config.tier = tier;
+        self
+    }
+
     /// Sets the index variant of the per-disk trees.
     pub fn variant(mut self, variant: TreeVariant) -> Self {
         self.config.variant = variant;
@@ -306,6 +316,18 @@ mod tests {
         for d in 0..6 {
             assert_eq!(e.replica_disks_of(d), vec![(d + 1) % 6]);
         }
+    }
+
+    #[test]
+    fn scan_tier_knob_sets_the_config() {
+        let pts = UniformGenerator::new(4).generate(100, 5);
+        let e = ParallelKnnEngine::builder(4)
+            .scan_tier(ScanTier::F32)
+            .build(&pts)
+            .unwrap();
+        assert_eq!(e.config().tier, ScanTier::F32);
+        let d = ParallelKnnEngine::builder(4).build(&pts).unwrap();
+        assert_eq!(d.config().tier, ScanTier::F64);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Engine configuration.
 
-use parsim_index::{KnnAlgorithm, TreeVariant};
+use parsim_index::{KnnAlgorithm, ScanTier, TreeVariant};
 use parsim_storage::DiskModel;
 
 /// How the quadrant split values are chosen.
@@ -27,6 +27,11 @@ pub struct EngineConfig {
     pub algorithm: KnnAlgorithm,
     /// Split-value strategy for bucket-based declustering.
     pub splits: SplitStrategy,
+    /// Precision tier of the leaf scans (default:
+    /// [`ScanTier::F64`] — pure f64, the paper's arithmetic). The cheap
+    /// tiers return bit-identical answers; individual queries can override
+    /// via [`crate::QueryOptions::with_tier`].
+    pub tier: ScanTier,
     /// Disk service-time model.
     pub disk_model: DiskModel,
 }
@@ -40,6 +45,7 @@ impl EngineConfig {
             variant: TreeVariant::xtree_default(),
             algorithm: KnnAlgorithm::Rkv,
             splits: SplitStrategy::DataMedian,
+            tier: ScanTier::F64,
             disk_model: DiskModel::hp_workstation_1997(),
         }
     }
@@ -55,6 +61,7 @@ mod tests {
         assert_eq!(c.dim, 16);
         assert_eq!(c.algorithm, KnnAlgorithm::Rkv);
         assert_eq!(c.splits, SplitStrategy::DataMedian);
+        assert_eq!(c.tier, ScanTier::F64);
         assert!(matches!(c.variant, TreeVariant::XTree { .. }));
     }
 }

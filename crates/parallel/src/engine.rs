@@ -17,7 +17,8 @@ use parsim_decluster::replica::ReplicaRouting;
 use parsim_decluster::Declusterer;
 use parsim_geometry::{Point, QuadrantSplitter};
 use parsim_index::knn::{
-    forest_itinerary, forest_knn_traced, ForestCursor, Neighbor, SearchStats, SharedBound,
+    forest_itinerary, forest_knn_traced_tiered, ForestCursor, Neighbor, ScanTier, SearchStats,
+    SharedBound,
 };
 use parsim_index::{
     CachingSink, CoalescingSink, DiskSink, KnnAlgorithm, NodeSink, SpatialTree, TreeParams,
@@ -105,6 +106,9 @@ pub(crate) struct EngineCore {
 pub(crate) struct DegradedState {
     pub(crate) timeout: Option<Duration>,
     pub(crate) retry: RetryPolicy,
+    /// Leaf-scan precision tier; rides in the state so primary and
+    /// failover searches of one query always scan at the same tier.
+    pub(crate) tier: ScanTier,
     pub(crate) bound: SharedBound,
     pub(crate) extra_time: Vec<Duration>,
     pub(crate) candidates: Vec<Vec<Neighbor>>,
@@ -121,10 +125,16 @@ pub(crate) struct DegradedState {
 }
 
 impl DegradedState {
-    pub(crate) fn new(disks: usize, timeout: Option<Duration>, retry: RetryPolicy) -> Self {
+    pub(crate) fn new(
+        disks: usize,
+        timeout: Option<Duration>,
+        retry: RetryPolicy,
+        tier: ScanTier,
+    ) -> Self {
         DegradedState {
             timeout,
             retry,
+            tier,
             bound: SharedBound::new(),
             extra_time: vec![Duration::ZERO; disks],
             candidates: vec![Vec::new(); disks],
@@ -155,10 +165,11 @@ impl EngineCore {
         &self,
         query: &Point,
         k: usize,
+        tier: ScanTier,
     ) -> (Vec<Neighbor>, Vec<SearchStats>) {
         let guards: Vec<_> = self.trees.iter().map(|t| t.read()).collect();
         let refs: Vec<&SpatialTree> = guards.iter().map(|g| &**g).collect();
-        forest_knn_traced(&refs, query, k, self.config.algorithm)
+        forest_knn_traced_tiered(&refs, query, k, self.config.algorithm, tier)
     }
 
     /// The RKV itinerary of the current trees (see
@@ -188,10 +199,11 @@ impl EngineCore {
         query: &Point,
         k: usize,
         bound: &SharedBound,
+        tier: ScanTier,
     ) -> (Vec<Neighbor>, SearchStats) {
         self.trees[disk]
             .read()
-            .knn_traced(query, k, KnnAlgorithm::Hs, Some(bound))
+            .knn_traced_tiered(query, k, KnnAlgorithm::Hs, Some(bound), tier)
     }
 
     /// The degraded primary step of one disk: skip it if hard-failed,
@@ -210,10 +222,13 @@ impl EngineCore {
             state.down.push(disk);
             return;
         }
-        let (cands, s) =
-            self.trees[disk]
-                .read()
-                .knn_traced(query, k, self.config.algorithm, Some(&state.bound));
+        let (cands, s) = self.trees[disk].read().knn_traced_tiered(
+            query,
+            k,
+            self.config.algorithm,
+            Some(&state.bound),
+            state.tier,
+        );
         stats[disk].merge(s);
         let mut alive = true;
         if matches!(faults.fault(disk), Some(FaultKind::Flaky { .. })) {
@@ -283,7 +298,13 @@ impl EngineCore {
         let (cands, s) = {
             let mirrors = self.mirrors[d].read();
             let mirror = mirrors.get(&host).expect("planned failover host exists");
-            mirror.knn_traced(query, k, self.config.algorithm, Some(&state.bound))
+            mirror.knn_traced_tiered(
+                query,
+                k,
+                self.config.algorithm,
+                Some(&state.bound),
+                state.tier,
+            )
         };
         if matches!(faults.fault(host), Some(FaultKind::Flaky { .. })) {
             let (retries, extra, ok) =
@@ -765,6 +786,7 @@ impl ParallelKnnEngine {
         wave: Option<u64>,
     ) -> Result<PendingQuery, EngineError> {
         let (timeout, retry) = self.resolve_policy(opts);
+        let tier = opts.tier.unwrap_or(self.core.config.tier);
         let degraded = timeout.is_some() || self.core.array.faults().any_armed();
         let model = *self.core.array.model();
         if let Some(m) = &self.core.metrics {
@@ -773,9 +795,9 @@ impl ParallelKnnEngine {
         let Some(pool) = &self.pool else {
             // Scoped: answer now, return an already-complete handle.
             let answer = if degraded {
-                self.knn_degraded(query, opts.k, timeout, &retry)
+                self.knn_degraded(query, opts.k, timeout, &retry, tier)
             } else {
-                Ok(self.knn_healthy(query, opts.k))
+                Ok(self.knn_healthy(query, opts.k, tier))
             };
             if let Some(m) = &self.core.metrics {
                 match &answer {
@@ -794,7 +816,7 @@ impl ParallelKnnEngine {
             (
                 0,
                 Stage::Degraded {
-                    state: DegradedState::new(n, timeout, retry),
+                    state: DegradedState::new(n, timeout, retry, tier),
                     phase: Phase::Primaries { next: 0 },
                 },
             )
@@ -817,7 +839,7 @@ impl ParallelKnnEngine {
                     (
                         first,
                         Stage::Rkv {
-                            cursor: ForestCursor::new(opts.k),
+                            cursor: ForestCursor::with_tier(opts.k, tier),
                             itinerary,
                             pos: 0,
                         },
@@ -852,6 +874,7 @@ impl ParallelKnnEngine {
             QueryTask {
                 query: query.clone(),
                 k: opts.k,
+                tier,
                 stats: vec![SearchStats::default(); n],
                 start,
                 stage,
@@ -915,6 +938,7 @@ impl ParallelKnnEngine {
             return pending.into_iter().map(PendingQuery::wait).collect();
         }
         let (timeout, retry) = self.resolve_policy(opts);
+        let tier = opts.tier.unwrap_or(self.core.config.tier);
         let degraded = timeout.is_some() || self.core.array.faults().any_armed();
         let model = *self.core.array.model();
         let next = AtomicUsize::new(0);
@@ -941,10 +965,10 @@ impl ParallelKnnEngine {
                                 return out;
                             }
                             let answer = if degraded {
-                                self.knn_degraded(&queries[i], opts.k, timeout, retry)
+                                self.knn_degraded(&queries[i], opts.k, timeout, retry, tier)
                             } else {
                                 let start = Instant::now();
-                                let (res, stats) = core.forest_search(&queries[i], opts.k);
+                                let (res, stats) = core.forest_search(&queries[i], opts.k, tier);
                                 let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
                                 Ok((res, trace))
                             };
@@ -1033,7 +1057,7 @@ impl ParallelKnnEngine {
 
     /// The scoped healthy fast path: one scoped thread per disk, shared
     /// pruning bound, exact per-query trace — the paper's Var. 3 search.
-    fn knn_healthy(&self, query: &Point, k: usize) -> (Vec<Neighbor>, QueryTrace) {
+    fn knn_healthy(&self, query: &Point, k: usize, tier: ScanTier) -> (Vec<Neighbor>, QueryTrace) {
         let algorithm = self.core.config.algorithm;
         let start = Instant::now();
         let shared = SharedBound::new();
@@ -1046,7 +1070,10 @@ impl ParallelKnnEngine {
                 .trees
                 .iter()
                 .map(|tree| {
-                    s.spawn(move || tree.read().knn_traced(query, k, algorithm, Some(shared)))
+                    s.spawn(move || {
+                        tree.read()
+                            .knn_traced_tiered(query, k, algorithm, Some(shared), tier)
+                    })
                 })
                 .collect();
             handles
@@ -1072,12 +1099,13 @@ impl ParallelKnnEngine {
         k: usize,
         timeout: Option<Duration>,
         retry: &RetryPolicy,
+        tier: ScanTier,
     ) -> Result<(Vec<Neighbor>, QueryTrace), EngineError> {
         let core = &self.core;
         let n = core.trees.len();
         let start = Instant::now();
         let mut stats = vec![SearchStats::default(); n];
-        let mut state = DegradedState::new(n, timeout, *retry);
+        let mut state = DegradedState::new(n, timeout, *retry, tier);
         for disk in 0..n {
             core.degraded_primary(disk, query, k, &mut state, &mut stats);
         }

@@ -35,6 +35,7 @@ pub use engine::ParallelKnnEngine;
 pub use metrics::{run_knn_workload, run_traced_workload, DegradedInfo, QueryTrace, WorkloadCost};
 pub use obs::EngineMetrics;
 pub use options::{ExecutionMode, FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
+pub use parsim_index::ScanTier;
 pub use pool::PendingQuery;
 pub use sequential::SequentialEngine;
 pub use serve::AdmissionConfig;

@@ -61,11 +61,21 @@ pub struct QueryTrace {
     /// page requested by `m` queries, exactly `m − 1` visits coalesce.
     /// Logical `per_disk_pages` are unaffected either way.
     pub per_disk_coalesced: Vec<u64>,
-    /// Point-distance evaluations started in leaf scans.
+    /// f64 point-distance evaluations started in leaf scans. On the cheap
+    /// scan tiers only phase-1 survivors start one, so this counter is the
+    /// query's f64 kernel cost on every tier.
     pub dist_evals: u64,
-    /// Of [`QueryTrace::dist_evals`], how many the partial-distance
-    /// early-abandon kernel cut short before completing the sum.
+    /// Candidate points whose full f64 distance was never computed: cut
+    /// short by the early-abandon kernel (f64 tier) or filtered by a
+    /// certified low-precision lower bound (cheap tiers).
     pub dist_evals_saved: u64,
+    /// Phase-1 lower-bound kernel evaluations (f32 or q8 rows scanned).
+    /// Zero on [`parsim_index::ScanTier::F64`].
+    pub lb_evals: u64,
+    /// Phase-1 survivors re-ranked by the exact f64 batch kernel (each
+    /// also counts into [`QueryTrace::dist_evals`]). Zero on
+    /// [`parsim_index::ScanTier::F64`].
+    pub rerank_evals: u64,
     /// Measured wall-clock time of the query on the host.
     pub wall_time: Duration,
     /// Modeled parallel service time: all disks read concurrently, the
@@ -92,6 +102,8 @@ impl QueryTrace {
             per_disk_coalesced: stats.iter().map(|s| s.coalesced).collect(),
             dist_evals: stats.iter().map(|s| s.dist_evals).sum(),
             dist_evals_saved: stats.iter().map(|s| s.dist_evals_saved).sum(),
+            lb_evals: stats.iter().map(|s| s.lb_evals).sum(),
+            rerank_evals: stats.iter().map(|s| s.rerank_evals).sum(),
             wall_time,
             modeled_parallel: model.service_time(max),
             modeled_sequential: model.service_time(total),

@@ -45,6 +45,8 @@ pub struct EngineMetrics {
     candidates_pruned: Arc<Counter>,
     dist_evals: Arc<Counter>,
     dist_evals_saved: Arc<Counter>,
+    lb_evals: Arc<Counter>,
+    rerank_evals: Arc<Counter>,
     cache_hits: Arc<Counter>,
     retries: Arc<Counter>,
     replica_pages: Arc<Counter>,
@@ -106,7 +108,17 @@ impl EngineMetrics {
         );
         let dist_evals_saved = r.counter(
             "parsim_dist_evals_saved_total",
-            "Distance evaluations cut short by early abandoning",
+            "Candidates whose full f64 distance was never computed (early abandon or lower-bound filter)",
+            &[],
+        );
+        let lb_evals = r.counter(
+            "parsim_lb_evals_total",
+            "Phase-1 low-precision lower-bound kernel evaluations in leaf scans",
+            &[],
+        );
+        let rerank_evals = r.counter(
+            "parsim_rerank_evals_total",
+            "Phase-1 survivors re-ranked by the exact f64 batch kernel",
             &[],
         );
         let cache_hits = r.counter(
@@ -245,6 +257,8 @@ impl EngineMetrics {
             candidates_pruned,
             dist_evals,
             dist_evals_saved,
+            lb_evals,
+            rerank_evals,
             cache_hits,
             retries,
             replica_pages,
@@ -289,6 +303,8 @@ impl EngineMetrics {
         self.candidates_pruned.add(trace.candidates_pruned);
         self.dist_evals.add(trace.dist_evals);
         self.dist_evals_saved.add(trace.dist_evals_saved);
+        self.lb_evals.add(trace.lb_evals);
+        self.rerank_evals.add(trace.rerank_evals);
         self.cache_hits.add(trace.cache_hits);
         for (disk, &c) in trace.per_disk_coalesced.iter().enumerate() {
             if c > 0 {
@@ -356,6 +372,8 @@ mod tests {
             per_disk_coalesced: vec![0; disks],
             dist_evals: 40,
             dist_evals_saved: 10,
+            lb_evals: 25,
+            rerank_evals: 15,
             wall_time: Duration::from_millis(1),
             modeled_parallel: model.service_time(max),
             modeled_sequential: Duration::ZERO,
@@ -380,6 +398,8 @@ mod tests {
             Some(6)
         );
         assert_eq!(s.counter_total("parsim_dist_evals_total"), 80);
+        assert_eq!(s.counter_total("parsim_lb_evals_total"), 50);
+        assert_eq!(s.counter_total("parsim_rerank_evals_total"), 30);
         assert_eq!(s.counter_total("parsim_query_cache_hits_total"), 4);
         assert_eq!(s.counter_total("parsim_queries_degraded_total"), 0);
         let h = s

@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use parsim_index::knn::Neighbor;
+use parsim_index::knn::{Neighbor, ScanTier};
 use parsim_storage::QueryCost;
 
 use crate::metrics::QueryTrace;
@@ -128,6 +128,12 @@ pub struct QueryOptions {
     /// work with [`crate::EngineError::DeadlineExceeded`]. Ignored by
     /// scoped execution (which computes eagerly).
     pub deadline: Option<Duration>,
+    /// Precision tier of the leaf scans for this query; overrides the
+    /// engine's [`crate::EngineConfig::tier`] when set. Every tier
+    /// returns bit-identical answers — the cheap tiers only trade f64
+    /// kernel work for certified low-precision lower-bound work (see
+    /// `docs/TUNING.md`).
+    pub tier: Option<ScanTier>,
 }
 
 impl QueryOptions {
@@ -140,6 +146,7 @@ impl QueryOptions {
             retry: None,
             workers: None,
             deadline: None,
+            tier: None,
         }
     }
 
@@ -180,6 +187,12 @@ impl QueryOptions {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Sets the leaf-scan precision tier for this query.
+    pub fn with_tier(mut self, tier: ScanTier) -> Self {
+        self.tier = Some(tier);
+        self
+    }
 }
 
 /// The answer to one query: the neighbors, the classic per-disk page cost,
@@ -214,9 +227,12 @@ mod tests {
             .with_retry(RetryPolicy::none())
             .with_workers(4)
             .with_deadline(Duration::from_millis(9))
+            .with_tier(ScanTier::Q8)
             .with_trace(true);
         assert_eq!(o.k, 5);
         assert!(o.trace);
+        assert_eq!(o.tier, Some(ScanTier::Q8));
+        assert_eq!(QueryOptions::new(3).tier, None);
         assert_eq!(o.timeout, Some(Duration::from_millis(80)));
         assert_eq!(o.retry, Some(RetryPolicy::none()));
         assert_eq!(o.workers, Some(4));

@@ -28,7 +28,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use parsim_geometry::Point;
-use parsim_index::knn::{ForestCursor, Neighbor, SearchStats, SharedBound};
+use parsim_index::knn::{ForestCursor, Neighbor, ScanTier, SearchStats, SharedBound};
 use parsim_storage::DiskModel;
 
 use crate::engine::{merge_candidates, DegradedState, EngineCore, TracedAnswer};
@@ -45,6 +45,9 @@ pub(crate) struct QueryTask {
     pub(crate) query: Point,
     /// Result count.
     pub(crate) k: usize,
+    /// Leaf-scan precision tier (the RKV cursor and degraded state carry
+    /// their own copy; this one feeds the HS per-disk searches).
+    pub(crate) tier: ScanTier,
     /// Per-disk work counters, accumulated as the task hops.
     pub(crate) stats: Vec<SearchStats>,
     /// Submission instant (the trace's wall time spans queueing too).
@@ -427,7 +430,7 @@ fn step(core: &EngineCore, disk: usize, mut task: Box<QueryTask>) -> Outcome {
                     forward = Some(*next);
                     break;
                 }
-                let (cands, s) = core.hs_visit(disk, &task.query, task.k, bound);
+                let (cands, s) = core.hs_visit(disk, &task.query, task.k, bound, task.tier);
                 task.stats[disk].merge(s);
                 candidates[disk] = cands;
                 *next += 1;

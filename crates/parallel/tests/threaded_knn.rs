@@ -11,7 +11,9 @@ use parsim_datagen::{ClusteredGenerator, CorrelatedGenerator, DataGenerator, Uni
 use parsim_geometry::Point;
 use parsim_index::knn::{brute_force_knn, Neighbor};
 use parsim_index::KnnAlgorithm;
-use parsim_parallel::{EngineConfig, ExecutionMode, ParallelKnnEngine, SequentialEngine};
+use parsim_parallel::{
+    EngineConfig, ExecutionMode, ParallelKnnEngine, QueryOptions, ScanTier, SequentialEngine,
+};
 
 const DIM: usize = 8;
 const DISKS: usize = 8;
@@ -369,6 +371,93 @@ fn pooled_batch_pipelines_without_reordering_results() {
         }
     }
     assert_eq!(summed, cost.per_disk_reads);
+}
+
+#[test]
+fn tiered_engines_are_bit_identical_to_brute_force() {
+    // The two-phase leaf scan's whole contract: every tier — engine-wide
+    // or per-query — returns the f64 tier's answer bit for bit, while the
+    // trace proves the cheap phase actually ran.
+    let pts = ClusteredGenerator::new(DIM, 8, 0.03).generate(3000, 31);
+    let data: Vec<(Point, u64)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+    let queries = ClusteredGenerator::new(DIM, 8, 0.03).generate(12, 81);
+    let config = EngineConfig::paper_defaults(DIM);
+    let base = ParallelKnnEngine::builder(DIM)
+        .config(config)
+        .disks(DISKS)
+        .build(&pts)
+        .unwrap();
+    for tier in [ScanTier::F32, ScanTier::Q8] {
+        let tiered = ParallelKnnEngine::builder(DIM)
+            .config(config)
+            .disks(DISKS)
+            .scan_tier(tier)
+            .build(&pts)
+            .unwrap();
+        let mut lb = 0u64;
+        let mut rerank = 0u64;
+        for q in &queries {
+            let (want, _) = base.knn_traced(q, 10).unwrap();
+            let got = tiered.query(q, &QueryOptions::traced(10)).unwrap();
+            // Per-query override on the f64-default engine takes the same
+            // tiered path.
+            let over = base
+                .query(q, &QueryOptions::traced(10).with_tier(tier))
+                .unwrap();
+            let brute = brute_force_knn(&data, q, 10);
+            for (((g, w), o), b) in got
+                .neighbors
+                .iter()
+                .zip(&want)
+                .zip(&over.neighbors)
+                .zip(&brute)
+            {
+                assert_eq!(g.dist.to_bits(), w.dist.to_bits(), "{tier:?} vs f64");
+                assert_eq!(g.dist.to_bits(), o.dist.to_bits(), "{tier:?} vs override");
+                assert_eq!(g.dist.to_bits(), b.dist.to_bits(), "{tier:?} vs brute");
+            }
+            let trace = got.trace.unwrap();
+            lb += trace.lb_evals;
+            rerank += trace.rerank_evals;
+        }
+        assert!(lb > 0, "{tier:?}: phase 1 never scanned a row");
+        assert!(rerank <= lb, "{tier:?}: more re-ranks than phase-1 rows");
+    }
+}
+
+#[test]
+fn tiered_degraded_queries_stay_exact() {
+    // Failover searches inherit the query's tier and the merged degraded
+    // answer must still be bit-identical to brute force.
+    let pts = ClusteredGenerator::new(DIM, 8, 0.03).generate(2500, 33);
+    let data: Vec<(Point, u64)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+    let queries = ClusteredGenerator::new(DIM, 8, 0.03).generate(8, 83);
+    for tier in [ScanTier::F32, ScanTier::Q8] {
+        let e = ParallelKnnEngine::builder(DIM)
+            .disks(DISKS)
+            .replicas(1)
+            .scan_tier(tier)
+            .build(&pts)
+            .unwrap();
+        e.faults().fail(0);
+        for q in &queries {
+            let got = e.query(q, &QueryOptions::traced(10)).unwrap();
+            let brute = brute_force_knn(&data, q, 10);
+            for (g, b) in got.neighbors.iter().zip(&brute) {
+                assert_eq!(g.dist.to_bits(), b.dist.to_bits(), "{tier:?} degraded");
+            }
+            let trace = got.trace.unwrap();
+            assert!(trace.degraded.is_some(), "fault never engaged");
+        }
+    }
 }
 
 #[test]

@@ -15,12 +15,76 @@
 //! so a leaf scan is one linear sweep the prefetcher can follow, and the
 //! whole block can be handed to the batch distance kernel
 //! (`parsim_geometry::kernel::dist2_batch`) at once.
+//!
+//! # Precision mirrors
+//!
+//! Next to the canonical f64 rows the arena maintains two cheap mirrors,
+//! kept in sync on every [`VectorArena::push`] / `swap_remove` / `clear`
+//! so bulk load, persistence and incremental inserts all get them for
+//! free:
+//!
+//! * an **f32 mirror** (same row-major layout, each coordinate cast), with
+//!   [`VectorArena::f32_radius`] — the largest certified displacement
+//!   `‖row − row₃₂‖₂` over all rows, and
+//! * a **q8 mirror**: every coordinate scalar-quantized to a u8 code on a
+//!   per-block uniform grid `value ≈ q8_min + code·q8_scale`, the grid
+//!   spanning the block's global coordinate min/max, with
+//!   [`VectorArena::q8_radius`] the matching displacement bound.
+//!
+//! The mirrors never answer anything on their own; the two-phase leaf
+//! scan uses them with the certified lower-bound helpers in
+//! `parsim_geometry::kernel` and re-ranks every surviving row with the
+//! f64 kernels. The radii are deliberately maintained as *overestimates*
+//! (a `swap_remove` keeps the old maximum, a grid widened by requantize
+//! keeps its new radius): a too-large radius only weakens pruning, never
+//! correctness. Pushing a row outside the current q8 grid requantizes the
+//! whole block — O(len·dim), acceptable for page-sized leaf blocks.
 
-/// A row-major block of `len()` vectors of `dim` coordinates each.
-#[derive(Clone, Debug, PartialEq)]
+use parsim_geometry::kernel::{displacement_norm_f32, displacement_norm_q8};
+
+/// A row-major block of `len()` vectors of `dim` coordinates each, plus
+/// f32 and q8 mirrors for the cheap scan tiers (see the module docs).
+#[derive(Clone, Debug)]
 pub struct VectorArena {
     dim: usize,
     data: Vec<f64>,
+    /// Row-major f32 casts of `data`.
+    mirror32: Vec<f32>,
+    /// Max over rows of the certified displacement `‖row − row₃₂‖₂`.
+    r32: f64,
+    /// Row-major u8 codes of `data` on the block grid.
+    codes: Vec<u8>,
+    /// Grid origin (block-global coordinate minimum at last requantize).
+    qmin: f64,
+    /// Block-global coordinate maximum at last requantize.
+    qmax: f64,
+    /// Grid step `(qmax − qmin) / 255`; `0` while degenerate.
+    qscale: f64,
+    /// Max over rows of the certified displacement `‖row − roŵ‖₂`.
+    rq8: f64,
+}
+
+/// Two arenas are equal when they hold the same rows. The mirror state is
+/// excluded on purpose: it is a derived cache whose exact radii and grid
+/// depend on the *history* of pushes and removals (overestimates are kept
+/// across `swap_remove`), so two arenas with identical contents built
+/// along different paths still compare equal.
+impl PartialEq for VectorArena {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim && self.data == other.data
+    }
+}
+
+/// Encodes one coordinate on a grid; degenerate grids map everything to
+/// code 0 (the block is then excluded from q8 scanning via
+/// [`VectorArena::q8_grid`]).
+#[inline]
+fn encode(v: f64, qmin: f64, qscale: f64) -> u8 {
+    if qscale > 0.0 && qscale.is_finite() {
+        ((v - qmin) / qscale).round().clamp(0.0, 255.0) as u8
+    } else {
+        0
+    }
 }
 
 impl VectorArena {
@@ -34,6 +98,13 @@ impl VectorArena {
         VectorArena {
             dim,
             data: Vec::new(),
+            mirror32: Vec::new(),
+            r32: 0.0,
+            codes: Vec::new(),
+            qmin: f64::INFINITY,
+            qmax: f64::NEG_INFINITY,
+            qscale: 0.0,
+            rq8: 0.0,
         }
     }
 
@@ -43,6 +114,13 @@ impl VectorArena {
         VectorArena {
             dim,
             data: Vec::with_capacity(dim * rows),
+            mirror32: Vec::with_capacity(dim * rows),
+            r32: 0.0,
+            codes: Vec::with_capacity(dim * rows),
+            qmin: f64::INFINITY,
+            qmax: f64::NEG_INFINITY,
+            qscale: 0.0,
+            rq8: 0.0,
         }
     }
 
@@ -73,6 +151,61 @@ impl VectorArena {
     pub fn push(&mut self, row: &[f64]) {
         assert_eq!(row.len(), self.dim, "row dimension mismatch");
         self.data.extend_from_slice(row);
+        // f32 mirror: cast the row, fold its displacement into the radius.
+        let start32 = self.mirror32.len();
+        self.mirror32.extend(row.iter().map(|&v| v as f32));
+        self.r32 = self
+            .r32
+            .max(displacement_norm_f32(row, &self.mirror32[start32..]));
+        // q8 mirror: encode on the current grid when the row fits,
+        // otherwise widen the grid and requantize the whole block.
+        let (mut lo, mut hi) = (self.qmin, self.qmax);
+        for &v in row {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo >= self.qmin && hi <= self.qmax {
+            let startq = self.codes.len();
+            self.codes
+                .extend(row.iter().map(|&v| encode(v, self.qmin, self.qscale)));
+            self.rq8 = self.rq8.max(displacement_norm_q8(
+                row,
+                &self.codes[startq..],
+                self.qmin,
+                self.qscale,
+            ));
+        } else {
+            self.requantize(lo, hi);
+        }
+    }
+
+    /// Rebuilds the whole q8 mirror on the grid spanning `[lo, hi]`.
+    fn requantize(&mut self, lo: f64, hi: f64) {
+        self.qmin = lo;
+        self.qmax = hi;
+        self.qscale = (hi - lo) / 255.0;
+        self.codes.clear();
+        if !self.qscale.is_finite() {
+            // Range overflow (coords near ±f64::MAX): no usable grid. Keep
+            // placeholder codes and an infinite radius so the q8 tier
+            // certifies nothing for this block.
+            self.codes.resize(self.data.len(), 0);
+            self.rq8 = f64::INFINITY;
+            return;
+        }
+        let mut r = 0.0f64;
+        for row in self.data.chunks_exact(self.dim) {
+            let start = self.codes.len();
+            self.codes
+                .extend(row.iter().map(|&v| encode(v, self.qmin, self.qscale)));
+            r = r.max(displacement_norm_q8(
+                row,
+                &self.codes[start..],
+                self.qmin,
+                self.qscale,
+            ));
+        }
+        self.rq8 = r;
     }
 
     /// The `i`-th row.
@@ -90,6 +223,66 @@ impl VectorArena {
     #[inline]
     pub fn as_flat(&self) -> &[f64] {
         &self.data
+    }
+
+    /// The f32 mirror as one flat row-major slice (same layout as
+    /// [`VectorArena::as_flat`], one cast coordinate per f64 coordinate).
+    #[inline]
+    pub fn as_flat_f32(&self) -> &[f32] {
+        &self.mirror32
+    }
+
+    /// Certified overestimate of `max_rows ‖row − row₃₂‖₂` — the `r_x`
+    /// input of the f32 lower-bound helpers. May be stale-high after
+    /// removals (overestimates are always safe).
+    #[inline]
+    pub fn f32_radius(&self) -> f64 {
+        self.r32
+    }
+
+    /// The q8 code mirror as one flat row-major slice.
+    #[inline]
+    pub fn as_codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// The q8 grid `(min, scale)` when it is usable for certified
+    /// pruning, `None` while degenerate (empty block, all coordinates
+    /// equal, or a coordinate range too wide for a finite scale). Callers
+    /// must scan degenerate blocks on the f64 path.
+    #[inline]
+    pub fn q8_grid(&self) -> Option<(f64, f64)> {
+        if self.qscale > 0.0 && self.qscale.is_finite() {
+            Some((self.qmin, self.qscale))
+        } else {
+            None
+        }
+    }
+
+    /// Certified overestimate of `max_rows ‖row − roŵ‖₂` over the q8
+    /// reconstructions — the `r_x` input of the q8 lower-bound helpers.
+    #[inline]
+    pub fn q8_radius(&self) -> f64 {
+        self.rq8
+    }
+
+    /// Quantizes a query onto this block's grid (clamping out-of-range
+    /// coordinates to the grid edge) and returns the certified
+    /// displacement `‖query − querŷ‖₂` — the `r_q` input of the q8
+    /// helpers. Clamping keeps the bound valid for out-of-range queries;
+    /// it just loosens it, so far-away queries prune less via q8.
+    ///
+    /// Call only when [`VectorArena::q8_grid`] is `Some`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.dim()`.
+    pub fn quantize_query(&self, query: &[f64], out: &mut Vec<u8>) -> f64 {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        debug_assert!(self.q8_grid().is_some(), "degenerate q8 grid");
+        out.clear();
+        out.extend(query.iter().map(|&v| encode(v, self.qmin, self.qscale)));
+        displacement_norm_q8(query, out, self.qmin, self.qscale)
     }
 
     /// Iterates over the rows in order.
@@ -110,14 +303,27 @@ impl VectorArena {
         if i < last {
             for c in 0..self.dim {
                 self.data[i * self.dim + c] = self.data[last * self.dim + c];
+                self.mirror32[i * self.dim + c] = self.mirror32[last * self.dim + c];
+                self.codes[i * self.dim + c] = self.codes[last * self.dim + c];
             }
         }
         self.data.truncate(last * self.dim);
+        self.mirror32.truncate(last * self.dim);
+        self.codes.truncate(last * self.dim);
+        // The radii and the grid stay: they remain valid overestimates for
+        // the surviving rows (shrinking them would require a rescan).
     }
 
     /// Removes all rows, keeping the allocation and the dimension.
     pub fn clear(&mut self) {
         self.data.clear();
+        self.mirror32.clear();
+        self.r32 = 0.0;
+        self.codes.clear();
+        self.qmin = f64::INFINITY;
+        self.qmax = f64::NEG_INFINITY;
+        self.qscale = 0.0;
+        self.rq8 = 0.0;
     }
 }
 
@@ -171,6 +377,124 @@ mod tests {
     #[should_panic(expected = "row dimension mismatch")]
     fn push_rejects_wrong_dimension() {
         VectorArena::new(3).push(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn f32_mirror_tracks_rows_and_radius() {
+        let mut a = VectorArena::new(2);
+        a.push(&[0.1, 0.2]);
+        a.push(&[0.3, 0.4]);
+        assert_eq!(a.as_flat_f32().len(), 4);
+        for (v, m) in a.as_flat().iter().zip(a.as_flat_f32()) {
+            assert_eq!(*m, *v as f32);
+        }
+        // The radius bounds every row's actual displacement.
+        for (row, m) in a
+            .iter()
+            .zip(a.as_flat_f32().chunks_exact(2))
+            .collect::<Vec<_>>()
+        {
+            let d: f64 = row
+                .iter()
+                .zip(m)
+                .map(|(x, y)| (x - *y as f64).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(d <= a.f32_radius());
+        }
+        // swap_remove keeps the mirror aligned.
+        a.push(&[0.5, 0.6]);
+        a.swap_remove(0);
+        for (v, m) in a.as_flat().iter().zip(a.as_flat_f32()) {
+            assert_eq!(*m, *v as f32);
+        }
+    }
+
+    #[test]
+    fn q8_mirror_reconstructs_within_radius() {
+        let mut a = VectorArena::new(3);
+        a.push(&[0.0, 0.5, 1.0]);
+        a.push(&[0.25, 0.75, 0.1]);
+        a.push(&[0.9, 0.2, 0.6]);
+        let (min, scale) = a.q8_grid().expect("non-degenerate block");
+        for (row, codes) in a.iter().zip(a.as_codes().chunks_exact(3)) {
+            let d: f64 = row
+                .iter()
+                .zip(codes)
+                .map(|(x, c)| (x - (min + *c as f64 * scale)).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(d <= a.q8_radius(), "row {row:?}: {d} > {}", a.q8_radius());
+            // Scalar quantization on a 255-step grid: each coordinate is
+            // within half a step of its reconstruction.
+            for (x, c) in row.iter().zip(codes) {
+                assert!((x - (min + *c as f64 * scale)).abs() <= scale * 0.51);
+            }
+        }
+    }
+
+    #[test]
+    fn q8_grid_widens_on_out_of_range_push() {
+        let mut a = VectorArena::new(1);
+        a.push(&[0.0]);
+        a.push(&[1.0]);
+        let (_, scale_before) = a.q8_grid().unwrap();
+        a.push(&[10.0]); // outside [0, 1] — must requantize
+        let (min, scale) = a.q8_grid().unwrap();
+        assert_eq!(min, 0.0);
+        assert!(scale > scale_before);
+        // All rows are re-encoded on the new grid.
+        for (row, c) in a.iter().zip(a.as_codes()) {
+            assert!((row[0] - (min + *c as f64 * scale)).abs() <= scale);
+        }
+    }
+
+    #[test]
+    fn degenerate_blocks_opt_out_of_q8() {
+        let mut a = VectorArena::new(2);
+        assert!(a.q8_grid().is_none(), "empty block has no grid");
+        a.push(&[0.5, 0.5]);
+        assert!(a.q8_grid().is_none(), "constant block has no grid");
+        a.push(&[0.5, 0.6]);
+        assert!(a.q8_grid().is_some(), "two distinct values span a grid");
+    }
+
+    #[test]
+    fn quantize_query_clamps_and_bounds_displacement() {
+        let mut a = VectorArena::new(2);
+        a.push(&[0.0, 0.0]);
+        a.push(&[1.0, 1.0]);
+        let (min, scale) = a.q8_grid().unwrap();
+        let mut codes = Vec::new();
+        // In-range query: displacement within half a grid step per axis.
+        let q = [0.25, 0.75];
+        let rq = a.quantize_query(&q, &mut codes);
+        let actual: f64 = q
+            .iter()
+            .zip(&codes)
+            .map(|(x, c)| (x - (min + *c as f64 * scale)).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(actual <= rq && rq <= scale * 2.0);
+        // Out-of-range query: codes clamp to the grid edge, the radius
+        // honestly reports the (large) displacement.
+        let far = [5.0, -5.0];
+        let rq = a.quantize_query(&far, &mut codes);
+        assert_eq!(codes, vec![255, 0]);
+        assert!(rq >= 4.0);
+    }
+
+    #[test]
+    fn clear_resets_mirrors() {
+        let mut a = VectorArena::new(2);
+        a.push(&[0.0, 1.0]);
+        a.push(&[0.5, 0.25]);
+        a.clear();
+        assert!(a.as_flat_f32().is_empty());
+        assert!(a.as_codes().is_empty());
+        assert_eq!(a.f32_radius(), 0.0);
+        assert_eq!(a.q8_radius(), 0.0);
+        assert!(a.q8_grid().is_none());
     }
 
     #[test]

@@ -96,8 +96,10 @@ macro_rules! impl_sample_range_int {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
-                let span = (hi as u128) - (lo as u128) + 1;
-                lo + (rng.next_u64() as u128 % span) as $t
+                // Wrapping arithmetic: sign-extending casts would underflow
+                // the plain subtraction for negative `lo`.
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
             }
         }
     )*};
@@ -226,6 +228,23 @@ mod tests {
             let x = rng.random_range(-1.0f64..1.0);
             assert!((-1.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn signed_inclusive_ranges_span_negative_bounds() {
+        // Regression: `lo as u128` sign-extends, so a plain
+        // `hi - lo + 1` span underflowed for negative `lo`.
+        let mut rng = StdRng::seed_from_u64(6);
+        let (mut lo_seen, mut hi_seen) = (i32::MAX, i32::MIN);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-60i32..=60);
+            assert!((-60..=60).contains(&v));
+            lo_seen = lo_seen.min(v);
+            hi_seen = hi_seen.max(v);
+        }
+        assert_eq!((lo_seen, hi_seen), (-60, 60));
+        assert_eq!(rng.random_range(i64::MIN..=i64::MIN), i64::MIN);
+        assert_eq!(rng.random_range(-5i8..=-5), -5);
     }
 
     #[test]
