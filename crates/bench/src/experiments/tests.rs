@@ -7,7 +7,7 @@ use super::*;
 
 #[test]
 fn dispatcher_covers_all_and_rejects_unknown() {
-    assert_eq!(ALL.len(), 24);
+    assert_eq!(ALL.len(), 25);
     assert!(run("nonsense", 1.0).is_none());
     assert!(run("fig99", 1.0).is_none());
 }
@@ -31,6 +31,20 @@ fn fig16_runs_at_tiny_scale() {
     assert_eq!(report.rows.len(), 2);
     // The improvement note must be present.
     assert!(report.notes[0].contains("improvement factor"));
+}
+
+#[test]
+fn ext13_runs_at_tiny_scale() {
+    let report = run("ext13", 0.05).expect("ext13");
+    assert_eq!(report.rows.len(), 3);
+    // The in-measure bit-identity assertions passed in every phase.
+    let verdicts: Vec<&str> = report
+        .rows
+        .iter()
+        .map(|r| r.last().unwrap().as_str())
+        .collect();
+    assert_eq!(verdicts, ["yes", "yes", "yes"]);
+    assert!(report.notes[1].contains("reconciled exactly"));
 }
 
 #[test]

@@ -42,7 +42,7 @@ pub use methods::{
     BucketBased, BucketDecluster, Declusterer, DiskModulo, FxXor, HilbertDecluster, RoundRobin,
 };
 pub use near_optimal::NearOptimal;
-pub use quantile::{median_splits, AdaptiveQuantile};
+pub use quantile::{median_splits, median_splits_of, AdaptiveQuantile};
 pub use recursive::{RecursiveDeclusterer, RecursiveStats};
 pub use replica::{ChainedReplica, ReplicaDeclusterer, ReplicaPlacement, ReplicaRouting};
 pub use striped::StripedNearOptimal;

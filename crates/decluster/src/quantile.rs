@@ -17,13 +17,30 @@ use parsim_geometry::{GeometryError, Point, QuadrantSplitter};
 ///
 /// Panics if `points` is empty or contains mixed dimensionalities.
 pub fn median_splits(points: &[Point]) -> Result<QuadrantSplitter, GeometryError> {
-    assert!(!points.is_empty(), "cannot take quantiles of an empty set");
-    let dim = points[0].dim();
+    median_splits_of(points.iter())
+}
+
+/// [`median_splits`] over any re-iterable view of the points — the
+/// engine's online reorganize computes fresh splits directly from its
+/// `(point, item)` pairs without materializing a second point vector.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or contains mixed dimensionalities.
+pub fn median_splits_of<'a, I>(points: I) -> Result<QuadrantSplitter, GeometryError>
+where
+    I: Iterator<Item = &'a Point> + Clone,
+{
+    let dim = points
+        .clone()
+        .next()
+        .expect("cannot take quantiles of an empty set")
+        .dim();
     let mut splits = Vec::with_capacity(dim);
-    let mut column: Vec<f64> = Vec::with_capacity(points.len());
+    let mut column: Vec<f64> = Vec::new();
     for axis in 0..dim {
         column.clear();
-        column.extend(points.iter().map(|p| {
+        column.extend(points.clone().map(|p| {
             assert_eq!(p.dim(), dim, "mixed dimensionalities");
             p[axis]
         }));

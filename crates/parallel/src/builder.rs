@@ -16,20 +16,56 @@
 //! assert!(engine.has_replicas());
 //! ```
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use parsim_decluster::near_optimal::colors_required;
 use parsim_decluster::replica::{ChainedReplica, ReplicaRouting};
 use parsim_decluster::{BucketBased, Declusterer, NearOptimal, ReplicaDeclusterer};
-use parsim_geometry::Point;
+use parsim_geometry::{Point, QuadrantSplitter};
 use parsim_index::{KnnAlgorithm, ScanTier, TreeVariant, DEFAULT_CACHE_SHARDS};
 use parsim_storage::DiskModel;
 
 use crate::config::{EngineConfig, SplitStrategy};
-use crate::engine::ParallelKnnEngine;
+use crate::engine::{make_splitter_of, ParallelKnnEngine};
+use crate::ingest::IngestConfig;
 use crate::options::{ExecutionMode, FaultPolicy};
 use crate::serve::AdmissionConfig;
 use crate::EngineError;
+
+/// A resolved declustering: the placement plus, when replicated, the
+/// mirror router.
+pub(crate) type ResolvedDecluster = (Arc<dyn Declusterer>, Option<Arc<dyn ReplicaRouting>>);
+
+/// The default declustering for `disks` disks: the paper's near-optimal
+/// coloring behind a quadrant partition, or — with replication — the
+/// [`ReplicaDeclusterer`] that places both copies. Shared by the builder
+/// and the engine's online reorganize (which re-derives the declustering
+/// from the then-current data).
+pub(crate) fn resolve_default_decluster(
+    config: &EngineConfig,
+    disks: usize,
+    replicated: bool,
+    splitter: QuadrantSplitter,
+) -> Result<ResolvedDecluster, EngineError> {
+    if replicated {
+        let rd = Arc::new(
+            ReplicaDeclusterer::new(config.dim, disks, splitter)
+                .map_err(|e| EngineError::Internal(e.to_string()))?,
+        );
+        Ok((
+            Arc::clone(&rd) as Arc<dyn Declusterer>,
+            Some(rd as Arc<dyn ReplicaRouting>),
+        ))
+    } else {
+        // `col` can use at most nextpow2(d+1) disks; extra disks could
+        // never receive data, so the engine is capped to the usable count.
+        let capped = disks.min(colors_required(config.dim) as usize);
+        let method = NearOptimal::new(config.dim, capped)
+            .map_err(|e| EngineError::Internal(e.to_string()))?;
+        Ok((Arc::new(BucketBased::new(method, splitter)), None))
+    }
+}
 
 /// Builds a [`ParallelKnnEngine`], replacing the former
 /// `build` / `build_near_optimal` / `with_page_cache` constructor sprawl.
@@ -49,6 +85,7 @@ pub struct EngineBuilder {
     execution: ExecutionMode,
     metrics: bool,
     admission: Option<AdmissionConfig>,
+    ingest: Option<IngestConfig>,
 }
 
 impl EngineBuilder {
@@ -65,6 +102,7 @@ impl EngineBuilder {
             execution: ExecutionMode::default(),
             metrics: false,
             admission: None,
+            ingest: None,
         }
     }
 
@@ -161,6 +199,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Turns on streaming ingest: the engine accepts
+    /// [`crate::ParallelKnnEngine::insert`] /
+    /// [`crate::ParallelKnnEngine::remove`] while queries run, buffering
+    /// writes in a bounded delta overlay that every query merges exactly
+    /// (see [`IngestConfig`] and the [`crate::ingest`] module docs).
+    /// Without this knob the engine is read-only after bulk load and
+    /// writes fail with [`EngineError::ReadOnly`].
+    pub fn ingest(mut self, ingest: IngestConfig) -> Self {
+        self.ingest = Some(ingest);
+        self
+    }
+
     /// Sets the k-NN algorithm (RKV or HS).
     pub fn algorithm(mut self, algorithm: KnnAlgorithm) -> Self {
         self.config.algorithm = algorithm;
@@ -199,7 +249,25 @@ impl EngineBuilder {
     /// (plus mirror trees when replicas are on). Item ids are the indexes
     /// into `points`.
     pub fn build(&self, points: &[Point]) -> Result<ParallelKnnEngine, EngineError> {
-        if points.is_empty() {
+        self.build_with_items(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.clone(), i as u64))
+                .collect(),
+        )
+    }
+
+    /// Builds the engine over explicitly identified items — `(point, id)`
+    /// pairs with caller-chosen ids. This is [`EngineBuilder::build`] with
+    /// control over the item ids, which matters when reconstructing an
+    /// engine from a prior engine's contents (where ids must survive the
+    /// round trip). Duplicate ids are rejected.
+    pub fn build_with_items(
+        &self,
+        items: Vec<(Point, u64)>,
+    ) -> Result<ParallelKnnEngine, EngineError> {
+        if items.is_empty() {
             return Err(EngineError::EmptyDataSet);
         }
         if self.replicas > 1 {
@@ -207,55 +275,44 @@ impl EngineBuilder {
                 "at most one replica per bucket is supported".to_owned(),
             ));
         }
-        let (declusterer, router): (Arc<dyn Declusterer>, Option<Arc<dyn ReplicaRouting>>) =
-            match &self.declusterer {
-                Some(d) => {
-                    if let Some(n) = self.disks {
-                        if n != d.disks() {
-                            return Err(EngineError::DiskCountMismatch {
-                                engine: n,
-                                declusterer: d.disks(),
-                            });
-                        }
-                    }
-                    let router: Option<Arc<dyn ReplicaRouting>> = if self.replicas == 1 {
-                        if d.disks() < 2 {
-                            return Err(EngineError::Internal(
-                                "replication needs at least two disks".to_owned(),
-                            ));
-                        }
-                        Some(Arc::new(ChainedReplica::new(Arc::clone(d))))
-                    } else {
-                        None
-                    };
-                    (Arc::clone(d), router)
-                }
-                None => {
-                    let splitter = ParallelKnnEngine::make_splitter(points, &self.config)?;
-                    let colors = colors_required(self.config.dim) as usize;
-                    let disks = self.disks.unwrap_or(colors);
-                    if self.replicas == 1 {
-                        let rd = Arc::new(
-                            ReplicaDeclusterer::new(self.config.dim, disks, splitter)
-                                .map_err(|e| EngineError::Internal(e.to_string()))?,
-                        );
-                        (
-                            Arc::clone(&rd) as Arc<dyn Declusterer>,
-                            Some(rd as Arc<dyn ReplicaRouting>),
-                        )
-                    } else {
-                        // `col` can use at most nextpow2(d+1) disks; extra
-                        // disks could never receive data, so the engine is
-                        // capped to the usable count.
-                        let capped = disks.min(colors);
-                        let method = NearOptimal::new(self.config.dim, capped)
-                            .map_err(|e| EngineError::Internal(e.to_string()))?;
-                        (Arc::new(BucketBased::new(method, splitter)), None)
+        let mut seen = BTreeSet::new();
+        for &(_, id) in &items {
+            if !seen.insert(id) {
+                return Err(EngineError::Internal(format!("duplicate item id {id}")));
+            }
+        }
+        let (declusterer, router): ResolvedDecluster = match &self.declusterer {
+            Some(d) => {
+                if let Some(n) = self.disks {
+                    if n != d.disks() {
+                        return Err(EngineError::DiskCountMismatch {
+                            engine: n,
+                            declusterer: d.disks(),
+                        });
                     }
                 }
-            };
+                let router: Option<Arc<dyn ReplicaRouting>> = if self.replicas == 1 {
+                    if d.disks() < 2 {
+                        return Err(EngineError::Internal(
+                            "replication needs at least two disks".to_owned(),
+                        ));
+                    }
+                    Some(Arc::new(ChainedReplica::new(Arc::clone(d))))
+                } else {
+                    None
+                };
+                (Arc::clone(d), router)
+            }
+            None => {
+                let splitter = make_splitter_of(items.iter().map(|(p, _)| p), &self.config)?;
+                let disks = self
+                    .disks
+                    .unwrap_or(colors_required(self.config.dim) as usize);
+                resolve_default_decluster(&self.config, disks, self.replicas == 1, splitter)?
+            }
+        };
         ParallelKnnEngine::build_internal(
-            points,
+            items,
             declusterer,
             router,
             self.config,
@@ -265,6 +322,8 @@ impl EngineBuilder {
             self.execution,
             self.metrics,
             self.admission,
+            self.ingest,
+            self.declusterer.is_some(),
         )
     }
 }

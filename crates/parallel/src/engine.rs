@@ -4,15 +4,26 @@
 //! mirror trees) lives in an `EngineCore` behind an `Arc`, so both the
 //! scoped reference paths and the persistent worker pool of
 //! [`crate::pool`] execute the same per-disk steps against the same data.
-//! See `DESIGN.md` ("Query execution backbone") for the full picture.
+//!
+//! Since the streaming-ingest redesign the engine itself is a thin handle
+//! over an `EngineShared`: the swappable `EngineInner` (core + pool +
+//! build recipe) behind a `RwLock`, next to the write-path state — the
+//! delta buffer of [`crate::ingest`], the id allocator, and the shadow-
+//! rebuild machinery. Every maintenance operation takes `&self`;
+//! [`ParallelKnnEngine::reorganize`] bulk-loads a replacement inner off
+//! to the side and swaps it in atomically while queries keep running.
+//! See `DESIGN.md` ("Query execution backbone", "Streaming ingest &
+//! online reorganize") for the full picture.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
-use parsim_decluster::quantile::median_splits;
+use parking_lot::{Mutex, RwLock};
+use parsim_decluster::quantile::median_splits_of;
 use parsim_decluster::replica::ReplicaRouting;
 use parsim_decluster::Declusterer;
 use parsim_geometry::{Point, QuadrantSplitter};
@@ -25,8 +36,9 @@ use parsim_index::{
 };
 use parsim_storage::{DiskArray, DiskModel, FaultInjector, FaultKind, QueryCost};
 
-use crate::builder::EngineBuilder;
+use crate::builder::{resolve_default_decluster, EngineBuilder};
 use crate::config::{EngineConfig, SplitStrategy};
+use crate::ingest::{DeltaOp, DeltaState, IngestConfig, QueryOverlay};
 use crate::metrics::{DegradedInfo, QueryTrace};
 use crate::obs::EngineMetrics;
 use crate::options::{ExecutionMode, FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
@@ -52,21 +64,71 @@ pub(crate) type TracedAnswer = Result<(Vec<Neighbor>, QueryTrace), EngineError>;
 /// engine keeps one persistent worker thread per disk and queries are
 /// enqueued ([`ParallelKnnEngine::submit`]) instead of spawning threads;
 /// dropping the engine drains in-flight queries and joins the pool.
+///
+/// With [`EngineBuilder::ingest`] the engine additionally accepts writes
+/// while queries run: [`ParallelKnnEngine::insert`] /
+/// [`ParallelKnnEngine::remove`] land in a bounded delta buffer that
+/// every query merges into its answer (always exact over
+/// `index ∪ delta`), and [`ParallelKnnEngine::reorganize`] — now
+/// non-consuming — drains the buffer through a background-capable shadow
+/// rebuild with an atomic state swap.
 pub struct ParallelKnnEngine {
+    shared: Arc<EngineShared>,
+}
+
+/// Everything behind the engine handle that must be shared with the
+/// background rebuild thread: the swappable inner under its lock, the
+/// write-path state, and the registry that outlives every swap.
+pub(crate) struct EngineShared {
+    /// The swappable engine state. Queries take the read lock for the
+    /// duration of submission (pooled) or execution (scoped);
+    /// [`EngineShared::rebuild`] takes the write lock only for the final
+    /// pointer swap.
+    inner: RwLock<EngineInner>,
+    /// Write-path configuration; `None` means the engine is read-only
+    /// and the delta buffer stays empty forever (queries skip it).
+    ingest: Option<IngestConfig>,
+    /// The delta buffer. Lock order: `inner` before `delta`, always.
+    delta: Mutex<DeltaState>,
+    /// Item-id allocator; seeded past the largest bulk-loaded id.
+    next_seq: AtomicU64,
+    /// Serializes rebuilds: trigger storms and concurrent explicit
+    /// `reorganize()` calls queue here instead of racing.
+    maintenance: Mutex<()>,
+    /// True while a triggered background rebuild is queued or running —
+    /// collapses a burst of triggering writes into one rebuild.
+    rebuild_running: AtomicBool,
+    /// The most recent background rebuild thread, joined on engine drop
+    /// (and opportunistically when the next one starts).
+    rebuild_handle: Mutex<Option<JoinHandle<()>>>,
+    /// The engine-wide metrics registry. Held here — above the swappable
+    /// inner — so cumulative totals survive every reorganize.
+    metrics: Option<Arc<EngineMetrics>>,
+}
+
+/// The swappable unit of engine state: the query-facing core plus the
+/// build recipe needed to reconstruct it (declusterer, caches, pool).
+/// A shadow rebuild constructs a complete replacement `EngineInner` and
+/// swaps it behind [`EngineShared::inner`]; dropping the old one drains
+/// its worker pool against the old core (the PR-4 in-flight counter).
+pub(crate) struct EngineInner {
     core: Arc<EngineCore>,
     declusterer: Arc<dyn Declusterer>,
     replica_router: Option<Arc<dyn ReplicaRouting>>,
     fault_policy: FaultPolicy,
     page_cache_capacity: Option<usize>,
     cache_shards: usize,
-    next_seq: u64,
     /// Per-disk page caches; empty unless [`EngineBuilder::page_cache`]
     /// was set.
     caches: Vec<Arc<CachingSink>>,
     execution: ExecutionMode,
+    /// True when the declusterer was supplied explicitly at build time —
+    /// a rebuild then reuses it verbatim instead of re-deriving the
+    /// default declustering from the current data.
+    explicit_declusterer: bool,
     /// The persistent per-disk worker pool; `Some` iff `execution` is
     /// [`ExecutionMode::Pooled`]. Dropped (drained + joined) before the
-    /// core when the engine goes away.
+    /// core when this inner is replaced or the engine goes away.
     pool: Option<WorkerPool>,
 }
 
@@ -75,8 +137,9 @@ pub struct ParallelKnnEngine {
 ///
 /// Trees sit behind [`RwLock`]s because pool workers outlive any `&mut
 /// self` borrow of the engine: queries take read locks (one tree at a
-/// time), dynamic [`ParallelKnnEngine::insert`]/
-/// [`ParallelKnnEngine::delete`] take write locks.
+/// time). Since the streaming-ingest redesign the trees are never
+/// mutated in place — writes go to the delta buffer and materialize
+/// through the shadow rebuild.
 pub(crate) struct EngineCore {
     pub(crate) config: EngineConfig,
     pub(crate) array: DiskArray,
@@ -145,6 +208,30 @@ impl DegradedState {
             itinerary: Vec::new(),
             error_after: None,
         }
+    }
+}
+
+/// A cloneable handle on the engine's fault injector, valid across
+/// reorganize swaps of the engine that produced it (it pins the core it
+/// was taken from). Dereferences to [`FaultInjector`].
+pub struct FaultsHandle(Arc<EngineCore>);
+
+impl Deref for FaultsHandle {
+    type Target = FaultInjector;
+    fn deref(&self) -> &FaultInjector {
+        self.0.array.faults()
+    }
+}
+
+/// A handle on the engine's simulated disk array (for experiment
+/// accounting), pinning the core it was taken from. Dereferences to
+/// [`DiskArray`].
+pub struct ArrayHandle(Arc<EngineCore>);
+
+impl Deref for ArrayHandle {
+    type Target = DiskArray;
+    fn deref(&self) -> &DiskArray {
+        &self.0.array
     }
 }
 
@@ -367,21 +454,17 @@ impl EngineCore {
     }
 }
 
-impl ParallelKnnEngine {
-    /// Starts building an engine for `dim`-dimensional data with the
-    /// paper's default configuration. See [`EngineBuilder`].
-    pub fn builder(dim: usize) -> EngineBuilder {
-        EngineBuilder::new(dim)
-    }
-
-    /// The workhorse constructor behind [`EngineBuilder::build`]: bulk-
-    /// loads one primary tree per disk and, when a replica router is
-    /// supplied, one mirror tree per (source disk, mirror disk) pair.
-    /// With [`ExecutionMode::Pooled`] the per-disk worker pool starts
-    /// eagerly, before the first query.
+impl EngineInner {
+    /// Bulk-loads one complete engine state: one primary tree per disk
+    /// and, when a replica router is supplied, one mirror tree per
+    /// (source disk, mirror disk) pair; sink chains (`DiskSink`,
+    /// optionally wrapped by a sharded LRU [`CachingSink`], optionally
+    /// wrapped by a [`CoalescingSink`] — outermost first) installed at
+    /// construction. With [`ExecutionMode::Pooled`] the per-disk worker
+    /// pool starts eagerly, before the first query.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn build_internal(
-        points: &[Point],
+    fn build(
+        items: Vec<(Point, u64)>,
         declusterer: Arc<dyn Declusterer>,
         replica_router: Option<Arc<dyn ReplicaRouting>>,
         config: EngineConfig,
@@ -389,13 +472,14 @@ impl ParallelKnnEngine {
         page_cache: Option<usize>,
         cache_shards: usize,
         execution: ExecutionMode,
-        metrics: bool,
+        metrics: Option<Arc<EngineMetrics>>,
         admission: Option<AdmissionConfig>,
-    ) -> Result<Self, EngineError> {
-        if points.is_empty() {
+        explicit_declusterer: bool,
+    ) -> Result<EngineInner, EngineError> {
+        if items.is_empty() {
             return Err(EngineError::EmptyDataSet);
         }
-        for p in points {
+        for (p, _) in &items {
             if p.dim() != config.dim {
                 return Err(EngineError::DimensionMismatch {
                     expected: config.dim,
@@ -406,36 +490,57 @@ impl ParallelKnnEngine {
         let disks = declusterer.disks();
         let array = DiskArray::new(disks, config.disk_model)
             .map_err(|e| EngineError::Internal(e.to_string()))?;
-        let metrics = metrics.then(|| Arc::new(EngineMetrics::new(disks, cache_shards)));
         if let Some(m) = &metrics {
             array.faults().set_metrics(m.fault_metrics());
         }
 
-        // Partition the points over the disks; with replication every
+        // Partition the items over the disks; with replication every
         // point also lands in the mirror partition its router picks.
         let mut partitions: Vec<Vec<(Point, u64)>> = vec![Vec::new(); disks];
         let mut mirror_parts: Vec<BTreeMap<usize, Vec<(Point, u64)>>> =
             vec![BTreeMap::new(); disks];
-        for (i, p) in points.iter().enumerate() {
-            let disk = declusterer.assign(i as u64, p);
-            partitions[disk].push((p.clone(), i as u64));
+        for (p, item) in items {
+            let disk = declusterer.assign(item, &p);
             if let Some(router) = &replica_router {
-                let mirror = router.replica_disk(i as u64, p);
+                let mirror = router.replica_disk(item, &p);
                 mirror_parts[disk]
                     .entry(mirror)
                     .or_default()
-                    .push((p.clone(), i as u64));
+                    .push((p.clone(), item));
             }
+            partitions[disk].push((p, item));
         }
 
-        // One bulk-loaded tree per disk, charging that disk.
+        // One bulk-loaded tree per disk, charging that disk. The sink
+        // chain wraps the disk at construction: a coalesced visit skips
+        // the cache entirely and leaves the LRU state exactly as an
+        // uncoalesced replay would expect.
+        let coalescing = admission.map(|a| a.coalescing).unwrap_or(false);
+        let mut caches = Vec::new();
+        let mut coalescers = Vec::new();
         let mut trees = Vec::with_capacity(disks);
         for (i, part) in partitions.into_iter().enumerate() {
             let params = TreeParams::for_dim(config.dim, config.variant)
                 .map_err(|e| EngineError::Internal(e.to_string()))?;
-            let tree = SpatialTree::bulk_load(params, part)
+            let mut tree = SpatialTree::bulk_load(params, part)
                 .map_err(|e| EngineError::Internal(e.to_string()))?
                 .with_disk(Arc::clone(array.disk(i)));
+            if page_cache.is_some() || coalescing {
+                let mut sink: Arc<dyn NodeSink> = Arc::new(DiskSink(Arc::clone(array.disk(i))));
+                if let Some(capacity) = page_cache {
+                    let cm = metrics.as_ref().map(|m| m.cache_metrics(i));
+                    let cache =
+                        Arc::new(CachingSink::with_metrics(sink, capacity, cache_shards, cm));
+                    caches.push(Arc::clone(&cache));
+                    sink = cache;
+                }
+                if coalescing {
+                    let combiner = Arc::new(CoalescingSink::new(sink));
+                    coalescers.push(Arc::clone(&combiner));
+                    sink = combiner;
+                }
+                tree = tree.with_sink(sink);
+            }
             trees.push(tree);
         }
 
@@ -454,228 +559,756 @@ impl ParallelKnnEngine {
             mirrors.push(per_host);
         }
 
-        let mut engine = ParallelKnnEngine {
-            core: Arc::new(EngineCore {
-                config,
-                array,
-                trees: trees.into_iter().map(RwLock::new).collect(),
-                mirrors: mirrors.into_iter().map(RwLock::new).collect(),
-                metrics,
-                admission,
-                coalescers: Vec::new(),
-            }),
+        let core = Arc::new(EngineCore {
+            config,
+            array,
+            trees: trees.into_iter().map(RwLock::new).collect(),
+            mirrors: mirrors.into_iter().map(RwLock::new).collect(),
+            metrics: metrics.clone(),
+            admission,
+            coalescers,
+        });
+        let pool =
+            (execution == ExecutionMode::Pooled).then(|| WorkerPool::start(Arc::clone(&core)));
+        Ok(EngineInner {
+            core,
             declusterer,
             replica_router,
             fault_policy,
             page_cache_capacity: page_cache,
             cache_shards,
-            next_seq: points.len() as u64,
-            caches: Vec::new(),
+            caches,
             execution,
-            pool: None,
+            explicit_declusterer,
+            pool,
+        })
+    }
+
+    /// Dispatches a dimension-checked query to the pool (pooled mode) or
+    /// computes it synchronously (scoped mode). `wave` groups queries
+    /// into one coalescing wave; `None` draws a fresh (private) wave.
+    /// `overlay` is the query's delta-buffer snapshot: the search runs
+    /// with `k` inflated by its tombstone count and the handle merges the
+    /// snapshot into the answer on [`PendingQuery::wait`].
+    pub(crate) fn submit_with_wave(
+        &self,
+        query: &Point,
+        opts: &QueryOptions,
+        wave: Option<u64>,
+        overlay: Option<QueryOverlay>,
+    ) -> Result<PendingQuery, EngineError> {
+        let (timeout, retry) = self.resolve_policy(opts);
+        let tier = opts.tier.unwrap_or(self.core.config.tier);
+        let k = opts.k + overlay.as_ref().map_or(0, QueryOverlay::extra_k);
+        let degraded = timeout.is_some() || self.core.array.faults().any_armed();
+        let model = *self.core.array.model();
+        if let Some(m) = &self.core.metrics {
+            m.record_start();
+        }
+        let Some(pool) = &self.pool else {
+            // Scoped: answer now, return an already-complete handle.
+            let answer = if degraded {
+                self.knn_degraded(query, k, timeout, &retry, tier)
+            } else {
+                Ok(self.knn_healthy(query, k, tier))
+            };
+            if let Some(m) = &self.core.metrics {
+                match &answer {
+                    Ok((_, trace)) => m.record_query(trace, &model),
+                    Err(_) => m.record_failure(),
+                }
+            }
+            return Ok(PendingQuery::completed(answer, opts.trace, model).with_overlay(overlay));
         };
-        engine.install_sinks();
-        engine.start_pool();
-        Ok(engine)
-    }
 
-    /// Starts the per-disk worker pool when the engine runs pooled.
-    fn start_pool(&mut self) {
-        if self.execution == ExecutionMode::Pooled && self.pool.is_none() {
-            self.pool = Some(WorkerPool::start(Arc::clone(&self.core)));
-        }
-    }
-
-    /// Rebuilds every primary tree's sink chain from the engine's knobs:
-    /// `DiskSink`, optionally wrapped by a sharded LRU [`CachingSink`]
-    /// ([`EngineBuilder::page_cache`]), optionally wrapped by a
-    /// [`CoalescingSink`] ([`AdmissionConfig::coalescing`]) — outermost
-    /// first, so a coalesced visit skips the cache entirely and leaves
-    /// the LRU state exactly as an uncoalesced replay would expect.
-    /// Mirror trees keep the bare disk sink (see the
-    /// [`EngineCore::mirrors`] docs).
-    fn install_sinks(&mut self) {
-        let capacity = self.page_cache_capacity;
-        let coalescing = self.core.admission.map(|a| a.coalescing).unwrap_or(false);
-        if capacity.is_none() && !coalescing {
-            return;
-        }
-        // Swapping the trees' sinks needs the core to ourselves: drain +
-        // join any pool first, restart it after.
-        self.pool = None;
-        let shards = self.cache_shards;
-        let core = Arc::get_mut(&mut self.core)
-            .expect("no queries are in flight while the engine is reconfigured");
-        let mut caches = Vec::new();
-        let mut coalescers = Vec::new();
-        core.trees = std::mem::take(&mut core.trees)
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| {
-                let mut sink: Arc<dyn NodeSink> =
-                    Arc::new(DiskSink(Arc::clone(core.array.disk(i))));
-                if let Some(capacity) = capacity {
-                    let cm = core.metrics.as_ref().map(|m| m.cache_metrics(i));
-                    let cache = Arc::new(CachingSink::with_metrics(sink, capacity, shards, cm));
-                    caches.push(Arc::clone(&cache));
-                    sink = cache;
+        let n = self.core.trees.len();
+        let completion = Arc::new(Completion::new());
+        let pending =
+            PendingQuery::new(Arc::clone(&completion), opts.trace, model).with_overlay(overlay);
+        let start = Instant::now();
+        let (first, stage) = if degraded {
+            (
+                0,
+                Stage::Degraded {
+                    state: DegradedState::new(n, timeout, retry, tier),
+                    phase: Phase::Primaries { next: 0 },
+                },
+            )
+        } else {
+            match self.core.config.algorithm {
+                KnnAlgorithm::Rkv => {
+                    let itinerary = self.core.itinerary(query);
+                    if k == 0 || itinerary.is_empty() {
+                        // Nothing to search: complete inline, matching the
+                        // forest search's early return. The overlay (if
+                        // any) still applies on wait.
+                        let stats = vec![SearchStats::default(); n];
+                        let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
+                        if let Some(m) = &self.core.metrics {
+                            m.record_query(&trace, &model);
+                        }
+                        completion.complete(Ok((Vec::new(), trace)));
+                        return Ok(pending);
+                    }
+                    let first = itinerary[0].1;
+                    (
+                        first,
+                        Stage::Rkv {
+                            cursor: ForestCursor::with_tier(k, tier),
+                            itinerary,
+                            pos: 0,
+                        },
+                    )
                 }
-                if coalescing {
-                    let combiner = Arc::new(CoalescingSink::new(sink));
-                    coalescers.push(Arc::clone(&combiner));
-                    sink = combiner;
+                KnnAlgorithm::Hs => {
+                    if k == 0 {
+                        let stats = vec![SearchStats::default(); n];
+                        let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
+                        if let Some(m) = &self.core.metrics {
+                            m.record_query(&trace, &model);
+                        }
+                        completion.complete(Ok((Vec::new(), trace)));
+                        return Ok(pending);
+                    }
+                    (
+                        0,
+                        Stage::Hs {
+                            bound: SharedBound::new(),
+                            candidates: vec![Vec::new(); n],
+                            next: 0,
+                        },
+                    )
                 }
-                RwLock::new(t.into_inner().with_sink(sink))
-            })
-            .collect();
-        core.coalescers = coalescers;
-        self.caches = caches;
-        self.start_pool();
-    }
-
-    /// The per-disk page caches (empty for an uncached engine).
-    pub fn caches(&self) -> &[Arc<CachingSink>] {
-        &self.caches
-    }
-
-    pub(crate) fn make_splitter(
-        points: &[Point],
-        config: &EngineConfig,
-    ) -> Result<QuadrantSplitter, EngineError> {
-        match config.splits {
-            SplitStrategy::Midpoint => QuadrantSplitter::midpoint(config.dim)
-                .map_err(|e| EngineError::Internal(e.to_string())),
-            SplitStrategy::DataMedian => {
-                median_splits(points).map_err(|e| EngineError::Internal(e.to_string()))
+            }
+        };
+        let deadline = opts
+            .deadline
+            .or(self.core.admission.and_then(|a| a.deadline));
+        let outcome = pool.submit(
+            first,
+            QueryTask {
+                query: query.clone(),
+                k,
+                tier,
+                stats: vec![SearchStats::default(); n],
+                start,
+                stage,
+                completion,
+                wave: wave.unwrap_or_else(|| pool.next_wave()),
+                deadline_micros: deadline.map(|d| d.as_micros() as u64),
+                spent_micros: 0,
+                seq: 0,
+            },
+        );
+        match outcome {
+            Ok(()) => Ok(pending),
+            Err(e) => {
+                // The task never entered the system: surface the typed
+                // rejection instead of the (never-completing) handle.
+                if let Some(m) = &self.core.metrics {
+                    m.record_shed_overloaded();
+                }
+                Err(e)
             }
         }
     }
 
+    /// The scoped healthy fast path: one scoped thread per disk, shared
+    /// pruning bound, exact per-query trace — the paper's Var. 3 search.
+    fn knn_healthy(&self, query: &Point, k: usize, tier: ScanTier) -> (Vec<Neighbor>, QueryTrace) {
+        let algorithm = self.core.config.algorithm;
+        let start = Instant::now();
+        let shared = SharedBound::new();
+        // One scoped thread per disk; each returns its local candidates
+        // and locally-counted work so the trace is exact per query.
+        let locals: Vec<_> = std::thread::scope(|s| {
+            let shared = &shared;
+            let handles: Vec<_> = self
+                .core
+                .trees
+                .iter()
+                .map(|tree| {
+                    s.spawn(move || {
+                        tree.read()
+                            .knn_traced_tiered(query, k, algorithm, Some(shared), tier)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("per-disk search does not panic"))
+                .collect()
+        });
+        let wall = start.elapsed();
+        let merged = merge_candidates(locals.iter().map(|(c, _)| c.as_slice()), k);
+        let stats: Vec<_> = locals.iter().map(|(_, s)| *s).collect();
+        let trace = QueryTrace::from_stats(&stats, wall, self.core.array.model());
+        (merged, trace)
+    }
+
+    /// Degraded execution, scoped flavor: the same per-disk steps the
+    /// pooled pipeline runs ([`EngineCore::degraded_primary`] /
+    /// [`EngineCore::degraded_failover`]), driven sequentially so the
+    /// retry draws — and therefore the whole trace — are deterministic
+    /// for a given injector seed.
+    fn knn_degraded(
+        &self,
+        query: &Point,
+        k: usize,
+        timeout: Option<Duration>,
+        retry: &RetryPolicy,
+        tier: ScanTier,
+    ) -> Result<(Vec<Neighbor>, QueryTrace), EngineError> {
+        let core = &self.core;
+        let n = core.trees.len();
+        let start = Instant::now();
+        let mut stats = vec![SearchStats::default(); n];
+        let mut state = DegradedState::new(n, timeout, *retry, tier);
+        for disk in 0..n {
+            core.degraded_primary(disk, query, k, &mut state, &mut stats);
+        }
+        core.plan_failover(&mut state);
+        for pos in 0..state.itinerary.len() {
+            core.degraded_failover(pos, query, k, &mut state, &mut stats)?;
+        }
+        core.assemble_degraded(state, k, &stats, start.elapsed())
+    }
+
+    fn resolve_policy(&self, opts: &QueryOptions) -> (Option<Duration>, RetryPolicy) {
+        (
+            opts.timeout.or(self.fault_policy.timeout),
+            opts.retry.unwrap_or(self.fault_policy.retry),
+        )
+    }
+}
+
+impl EngineShared {
+    /// The query's delta snapshot, taken under the delta lock — its
+    /// linearization point. `None` (the common read-only / empty-delta
+    /// case) keeps the query path allocation- and merge-free.
+    fn overlay_for(&self, query: &Point, k: usize) -> Option<QueryOverlay> {
+        if self.ingest.is_none() || k == 0 {
+            return None;
+        }
+        self.delta.lock().overlay(query, k)
+    }
+
+    /// True when the write that just applied should trigger a rebuild:
+    /// the delta crossed its size threshold, or the projected per-disk
+    /// load imbalance (`max/avg`, counting buffered inserts toward the
+    /// disks the current declusterer gives them) crossed the skew knob.
+    fn rebuild_due(&self, cfg: &IngestConfig, inner: &EngineInner, delta: &DeltaState) -> bool {
+        if cfg.rebuild_threshold.is_some_and(|t| delta.size() >= t) {
+            return true;
+        }
+        let Some(threshold) = cfg.imbalance_threshold else {
+            return false;
+        };
+        let per_disk = delta.per_disk();
+        let loads: Vec<usize> = inner
+            .core
+            .trees
+            .iter()
+            .enumerate()
+            .map(|(d, t)| t.read().len() + per_disk.get(d).copied().unwrap_or(0))
+            .collect();
+        let total: usize = loads.iter().sum();
+        if total == 0 || loads.is_empty() {
+            return false;
+        }
+        let max = *loads.iter().max().expect("non-empty") as f64;
+        let avg = total as f64 / loads.len() as f64;
+        max / avg > threshold
+    }
+
+    /// Launches (or coalesces into) a background shadow rebuild. A burst
+    /// of triggering writes starts one rebuild: the `rebuild_running`
+    /// flag stays up until the thread finishes, and the maintenance lock
+    /// serializes it against explicit `reorganize()` calls.
+    fn spawn_rebuild(self: &Arc<Self>) {
+        if self
+            .rebuild_running
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        let shared = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("parsim-rebuild".into())
+            .spawn(move || {
+                // A failed background rebuild (e.g. every point removed)
+                // leaves the delta intact and is already recorded in the
+                // rebuild-failure counter; there is no caller to surface
+                // the error to.
+                let _ = EngineShared::rebuild(&shared);
+                shared.rebuild_running.store(false, Ordering::Release);
+            })
+            .expect("spawn rebuild thread");
+        let prev = self.rebuild_handle.lock().replace(handle);
+        if let Some(prev) = prev {
+            let _ = prev.join();
+        }
+    }
+
+    /// The shadow rebuild: bulk-loads a complete replacement
+    /// `EngineInner` from `index ∪ delta` off to the side — queries
+    /// and writes keep running the whole time — then swaps it in
+    /// atomically and replays the writes that arrived during the build
+    /// into the fresh delta buffer. Dropping the old inner drains its
+    /// worker pool (the PR-4 in-flight counter), so in-flight queries
+    /// finish against the state they started on.
+    ///
+    /// The metrics registry is *carried over*, not reset: cumulative
+    /// totals span the swap.
+    fn rebuild(shared: &EngineShared) -> Result<(), EngineError> {
+        let _guard = shared.maintenance.lock();
+        let (
+            old_core,
+            declusterer,
+            replica_router,
+            fault_policy,
+            page_cache,
+            cache_shards,
+            execution,
+            explicit,
+        ) = {
+            let inner = shared.inner.read();
+            (
+                Arc::clone(&inner.core),
+                Arc::clone(&inner.declusterer),
+                inner.replica_router.clone(),
+                inner.fault_policy,
+                inner.page_cache_capacity,
+                inner.cache_shards,
+                inner.execution,
+                inner.explicit_declusterer,
+            )
+        };
+        let config = old_core.config;
+        let admission = old_core.admission;
+        let disks = old_core.array.len();
+
+        // Snapshot the delta and open the journal capture: from here on
+        // every write keeps applying to the buffer *and* is recorded for
+        // post-swap replay.
+        let (live, tombstones) = shared.delta.lock().begin_rebuild();
+
+        // The rebuild input: every non-tombstoned main-index point plus
+        // the buffered live points, in item order (so a rebuild of the
+        // same logical set is bit-identical to a fresh bulk load).
+        let mut items: Vec<(Point, u64)> = Vec::new();
+        for tree in &old_core.trees {
+            let tree = tree.read();
+            for node in tree.iter_nodes() {
+                if let parsim_index::node::Node::Leaf { entries, .. } = node {
+                    for (row, item) in entries.iter() {
+                        if !tombstones.contains(&item) {
+                            items.push((Point::from_vec(row.to_vec()), item));
+                        }
+                    }
+                }
+            }
+        }
+        items.extend(live);
+        items.sort_by_key(|&(_, item)| item);
+        let total_points = items.len();
+
+        let replicated = replica_router.is_some();
+        let built = (move || -> Result<EngineInner, EngineError> {
+            if items.is_empty() {
+                return Err(EngineError::EmptyDataSet);
+            }
+            let (declusterer, replica_router) = if explicit {
+                (declusterer, replica_router)
+            } else {
+                let splitter = make_splitter_of(items.iter().map(|(p, _)| p), &config)?;
+                resolve_default_decluster(&config, disks, replicated, splitter)?
+            };
+            EngineInner::build(
+                items,
+                declusterer,
+                replica_router,
+                config,
+                fault_policy,
+                page_cache,
+                cache_shards,
+                execution,
+                shared.metrics.clone(),
+                admission,
+                explicit,
+            )
+        })();
+        let new_inner = match built {
+            Ok(inner) => inner,
+            Err(e) => {
+                // Abort: close the capture window (the buffer tracked
+                // everything normally, so no recovery is needed) and
+                // leave the old state serving.
+                shared.delta.lock().end_rebuild();
+                if let Some(m) = &shared.metrics {
+                    m.record_rebuild_failed();
+                }
+                return Err(e);
+            }
+        };
+
+        // The atomic swap. Holding the inner write lock excludes new
+        // query submissions for the duration of the pointer swap and the
+        // journal replay only; in-flight pooled queries are untouched —
+        // their workers hold their own Arc to the old core.
+        let old = {
+            let mut inner = shared.inner.write();
+            let old = std::mem::replace(&mut *inner, new_inner);
+            let mut delta = shared.delta.lock();
+            let tail = delta.end_rebuild();
+            *delta = DeltaState::new(disks);
+            for op in tail {
+                match op {
+                    DeltaOp::Insert(point, item) => {
+                        let disk = inner.declusterer.assign(item, &point);
+                        delta.apply_insert(point, item, disk);
+                    }
+                    DeltaOp::Remove(item) => {
+                        let d = Arc::clone(&inner.declusterer);
+                        delta.apply_remove(item, &|id, p| d.assign(id, p));
+                    }
+                }
+            }
+            if let Some(m) = &shared.metrics {
+                m.record_rebuild(total_points as u64, delta.live_len(), delta.tombstone_len());
+            }
+            old
+        };
+        // Dropping the old inner outside every lock: its pool drain
+        // (joining worker threads mid-query) must not block writers.
+        drop(old);
+        Ok(())
+    }
+}
+
+impl ParallelKnnEngine {
+    /// Starts building an engine for `dim`-dimensional data with the
+    /// paper's default configuration. See [`EngineBuilder`].
+    pub fn builder(dim: usize) -> EngineBuilder {
+        EngineBuilder::new(dim)
+    }
+
+    /// The workhorse constructor behind [`EngineBuilder::build`]: sets up
+    /// the shared write-path state and bulk-loads the first
+    /// `EngineInner`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build_internal(
+        items: Vec<(Point, u64)>,
+        declusterer: Arc<dyn Declusterer>,
+        replica_router: Option<Arc<dyn ReplicaRouting>>,
+        config: EngineConfig,
+        fault_policy: FaultPolicy,
+        page_cache: Option<usize>,
+        cache_shards: usize,
+        execution: ExecutionMode,
+        metrics: bool,
+        admission: Option<AdmissionConfig>,
+        ingest: Option<IngestConfig>,
+        explicit_declusterer: bool,
+    ) -> Result<Self, EngineError> {
+        let disks = declusterer.disks();
+        let metrics = metrics.then(|| Arc::new(EngineMetrics::new(disks, cache_shards)));
+        let next_seq = items.iter().map(|&(_, id)| id + 1).max().unwrap_or(0);
+        let inner = EngineInner::build(
+            items,
+            declusterer,
+            replica_router,
+            config,
+            fault_policy,
+            page_cache,
+            cache_shards,
+            execution,
+            metrics.clone(),
+            admission,
+            explicit_declusterer,
+        )?;
+        Ok(ParallelKnnEngine {
+            shared: Arc::new(EngineShared {
+                inner: RwLock::new(inner),
+                ingest,
+                delta: Mutex::new(DeltaState::new(disks)),
+                next_seq: AtomicU64::new(next_seq),
+                maintenance: Mutex::new(()),
+                rebuild_running: AtomicBool::new(false),
+                rebuild_handle: Mutex::new(None),
+                metrics,
+            }),
+        })
+    }
+
+    /// The per-disk page caches (empty for an uncached engine), as of
+    /// the current engine state — a reorganize swap installs fresh ones.
+    pub fn caches(&self) -> Vec<Arc<CachingSink>> {
+        self.shared.inner.read().caches.clone()
+    }
+
     /// The engine's configuration.
-    pub fn config(&self) -> &EngineConfig {
-        &self.core.config
+    pub fn config(&self) -> EngineConfig {
+        self.shared.inner.read().core.config
     }
 
     /// Number of disks.
     pub fn disks(&self) -> usize {
-        self.core.array.len()
+        self.shared.inner.read().core.array.len()
     }
 
     /// How this engine executes queries (set at build time).
     pub fn execution(&self) -> ExecutionMode {
-        self.execution
+        self.shared.inner.read().execution
     }
 
-    /// The declusterer in use.
-    pub fn declusterer(&self) -> &Arc<dyn Declusterer> {
-        &self.declusterer
+    /// The declusterer in use. After a reorganize of a default-built
+    /// engine this is the freshly re-derived declustering.
+    pub fn declusterer(&self) -> Arc<dyn Declusterer> {
+        Arc::clone(&self.shared.inner.read().declusterer)
     }
 
     /// The fault injector of the underlying disk array: mark disks
     /// failed, slow, or flaky here and the engine's degraded execution
-    /// takes over.
-    pub fn faults(&self) -> &FaultInjector {
-        self.core.array.faults()
+    /// takes over. The handle pins the current engine state; a
+    /// [`ParallelKnnEngine::reorganize`] swap starts a fresh, healthy
+    /// array — re-take the handle to inject into the rebuilt state.
+    pub fn faults(&self) -> FaultsHandle {
+        FaultsHandle(Arc::clone(&self.shared.inner.read().core))
     }
 
     /// The engine-wide degraded-mode defaults set at build time.
-    pub fn fault_policy(&self) -> &FaultPolicy {
-        &self.fault_policy
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.shared.inner.read().fault_policy
     }
 
     /// The serve-layer admission policy, or `None` when the engine runs
     /// without backpressure, deadlines, or coalescing (the default).
     pub fn admission(&self) -> Option<AdmissionConfig> {
-        self.core.admission
+        self.shared.inner.read().core.admission
     }
 
     /// The engine-wide metrics registry, or `None` unless the engine was
-    /// built with [`EngineBuilder::metrics`]`(true)`. Snapshot through
+    /// built with [`EngineBuilder::metrics`]`(true)`. The registry lives
+    /// above the swappable engine state: cumulative totals survive
+    /// [`ParallelKnnEngine::reorganize`]. Snapshot through
     /// [`EngineMetrics::snapshot`]; export with
     /// [`parsim_obs::prometheus_text`] / [`parsim_obs::to_json`].
     pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
-        self.core.metrics.as_ref()
+        self.shared.metrics.as_ref()
+    }
+
+    /// The write-path configuration, or `None` for a read-only engine.
+    pub fn ingest_config(&self) -> Option<IngestConfig> {
+        self.shared.ingest
     }
 
     /// True if the engine keeps replica copies of every bucket.
     pub fn has_replicas(&self) -> bool {
-        self.replica_router.is_some()
+        self.shared.inner.read().replica_router.is_some()
     }
 
     /// The disks hosting replica copies of `disk`'s buckets (empty for an
     /// un-replicated engine or a disk with no data).
     pub fn replica_disks_of(&self, disk: usize) -> Vec<usize> {
-        self.core
+        self.shared
+            .inner
+            .read()
+            .core
             .mirrors
             .get(disk)
             .map(|m| m.read().keys().copied().collect())
             .unwrap_or_default()
     }
 
-    /// Total number of indexed points (primaries only; replicas are
-    /// copies, not extra points).
+    /// Total number of logically present points: main-index primaries
+    /// plus buffered inserts, minus tombstones. (A tombstone replayed
+    /// for an id that was already purged — possible only for a remove
+    /// re-removed across a rebuild swap — can undercount by one until
+    /// the next rebuild.)
     pub fn len(&self) -> usize {
-        self.core.trees.iter().map(|t| t.read().len()).sum()
+        let inner = self.shared.inner.read();
+        let main: usize = inner.core.trees.iter().map(|t| t.read().len()).sum();
+        let delta = self.shared.delta.lock();
+        (main + delta.live_len()).saturating_sub(delta.tombstone_len())
     }
 
-    /// True if no points are indexed.
+    /// True if no points are logically present.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Per-disk point counts — the load-balance view (primaries only).
-    pub fn load_distribution(&self) -> Vec<usize> {
-        self.core.trees.iter().map(|t| t.read().len()).collect()
+    /// Number of buffered writes (live points + tombstones) waiting for
+    /// the next reorganize. Always 0 for a read-only engine.
+    pub fn delta_size(&self) -> usize {
+        self.shared.delta.lock().size()
     }
 
-    /// Inserts a point dynamically (the system "is completely dynamical",
-    /// Section 4.3). With replication the mirror copy is inserted too.
-    /// Safe while pooled queries are in flight: the touched trees are
-    /// write-locked for the duration of the insert.
-    pub fn insert(&mut self, point: Point) -> Result<u64, EngineError> {
-        if point.dim() != self.core.config.dim {
-            return Err(EngineError::DimensionMismatch {
-                expected: self.core.config.dim,
-                got: point.dim(),
-            });
+    /// Per-disk point counts — the load-balance view (main-index
+    /// primaries only; buffered inserts are not yet placed).
+    pub fn load_distribution(&self) -> Vec<usize> {
+        self.shared
+            .inner
+            .read()
+            .core
+            .trees
+            .iter()
+            .map(|t| t.read().len())
+            .collect()
+    }
+
+    /// Inserts a point through the streaming-ingest write path (the
+    /// system "is completely dynamical", Section 4.3): the point lands
+    /// in the delta buffer, becomes visible to every subsequent query
+    /// immediately, and is bulk-loaded into the main index by the next
+    /// [`ParallelKnnEngine::reorganize`]. Safe while queries are in
+    /// flight on any thread.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ReadOnly`] when the engine was built without
+    /// [`EngineBuilder::ingest`]; [`EngineError::DeltaFull`] when the
+    /// buffer is at capacity (typed write backpressure — retry after a
+    /// flush/reorganize); [`EngineError::DimensionMismatch`] for a point
+    /// of the wrong dimension. When the write trips a foreground rebuild
+    /// trigger, rebuild errors propagate — the write itself was applied.
+    pub fn insert(&self, point: Point) -> Result<u64, EngineError> {
+        let Some(cfg) = self.shared.ingest else {
+            return Err(EngineError::ReadOnly);
+        };
+        let (item, due) = {
+            let inner = self.shared.inner.read();
+            if point.dim() != inner.core.config.dim {
+                return Err(EngineError::DimensionMismatch {
+                    expected: inner.core.config.dim,
+                    got: point.dim(),
+                });
+            }
+            let mut delta = self.shared.delta.lock();
+            if delta.size() >= cfg.delta_capacity {
+                if let Some(m) = &self.shared.metrics {
+                    m.record_ingest_rejected();
+                }
+                return Err(EngineError::DeltaFull {
+                    capacity: cfg.delta_capacity,
+                });
+            }
+            let item = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
+            let disk = inner.declusterer.assign(item, &point);
+            delta.apply_insert(point, item, disk);
+            if let Some(m) = &self.shared.metrics {
+                m.record_ingest_insert(delta.live_len(), delta.tombstone_len());
+            }
+            (item, self.shared.rebuild_due(&cfg, &inner, &delta))
+        };
+        if due {
+            if cfg.background {
+                self.shared.spawn_rebuild();
+            } else {
+                EngineShared::rebuild(&self.shared)?;
+            }
         }
-        let item = self.next_seq;
-        self.next_seq += 1;
-        let disk = self.declusterer.assign(item, &point);
-        if let Some(router) = &self.replica_router {
-            let host = router.replica_disk(item, &point);
-            let params = TreeParams::for_dim(self.core.config.dim, self.core.config.variant)
-                .map_err(|e| EngineError::Internal(e.to_string()))?;
-            let mut mirrors = self.core.mirrors[disk].write();
-            let mirror = mirrors.entry(host).or_insert_with(|| {
-                SpatialTree::new(params).with_disk(Arc::clone(self.core.array.disk(host)))
-            });
-            mirror
-                .insert(point.clone(), item)
-                .map_err(|e| EngineError::Internal(e.to_string()))?;
-        }
-        self.core.trees[disk]
-            .write()
-            .insert(point, item)
-            .map_err(|e| EngineError::Internal(e.to_string()))?;
         Ok(item)
     }
 
-    /// Deletes a previously inserted point (and its replica, if any).
-    pub fn delete(&mut self, point: &Point, item: u64) -> Result<(), EngineError> {
-        let disk = self.declusterer.assign(item, point);
-        if let Some(router) = &self.replica_router {
-            let host = router.replica_disk(item, point);
-            if let Some(mirror) = self.core.mirrors[disk].write().get_mut(&host) {
-                mirror
-                    .delete(point, item)
-                    .map_err(|e| EngineError::Internal(e.to_string()))?;
+    /// Removes a point by the item id [`ParallelKnnEngine::insert`] (or
+    /// bulk-load order) gave it: a buffered insert is dropped on the
+    /// spot, a main-index point is masked by a tombstone until the next
+    /// reorganize purges it. Idempotent; visible to every subsequent
+    /// query immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ReadOnly`] without an ingest config;
+    /// [`EngineError::DeltaFull`] when the removal would need a new
+    /// tombstone and the buffer is at capacity;
+    /// [`EngineError::Internal`] for an id that was never allocated.
+    /// Foreground rebuild-trigger errors propagate as for `insert`.
+    pub fn remove(&self, item: u64) -> Result<(), EngineError> {
+        let Some(cfg) = self.shared.ingest else {
+            return Err(EngineError::ReadOnly);
+        };
+        let due = {
+            let inner = self.shared.inner.read();
+            if item >= self.shared.next_seq.load(Ordering::Relaxed) {
+                return Err(EngineError::Internal(format!(
+                    "item {item} was never allocated"
+                )));
+            }
+            let mut delta = self.shared.delta.lock();
+            if !delta.contains_live(item) && delta.size() >= cfg.delta_capacity {
+                if let Some(m) = &self.shared.metrics {
+                    m.record_ingest_rejected();
+                }
+                return Err(EngineError::DeltaFull {
+                    capacity: cfg.delta_capacity,
+                });
+            }
+            let d = Arc::clone(&inner.declusterer);
+            delta.apply_remove(item, &|id, p| d.assign(id, p));
+            if let Some(m) = &self.shared.metrics {
+                m.record_ingest_remove(delta.live_len(), delta.tombstone_len());
+            }
+            self.shared.rebuild_due(&cfg, &inner, &delta)
+        };
+        if due {
+            if cfg.background {
+                self.shared.spawn_rebuild();
+            } else {
+                EngineShared::rebuild(&self.shared)?;
             }
         }
-        self.core.trees[disk]
-            .write()
-            .delete(point, item)
-            .map_err(|e| EngineError::Internal(e.to_string()))
+        Ok(())
+    }
+
+    /// Drains the delta buffer into the main index now (a synchronous
+    /// [`ParallelKnnEngine::reorganize`]); a no-op when the buffer is
+    /// empty or the engine is read-only.
+    pub fn flush(&self) -> Result<(), EngineError> {
+        if self.shared.ingest.is_none() || self.shared.delta.lock().is_empty() {
+            return Ok(());
+        }
+        self.reorganize()
+    }
+
+    /// Reorganizes the engine **in place** for the current data: bulk-
+    /// loads a complete replacement state from `index ∪ delta` (for a
+    /// default-built engine the declustering is re-derived — median
+    /// splits from the current points — exactly as a fresh build would),
+    /// then swaps it in atomically. Queries and writes keep running
+    /// throughout the build; writes that land mid-build are journaled
+    /// and replayed into the fresh delta buffer at swap time, so nothing
+    /// is lost or duplicated. Disk count, replication, fault policy,
+    /// page-cache setup, execution mode, and admission policy are
+    /// preserved; the rebuilt state starts with a fresh, healthy disk
+    /// array (injected faults do not carry over) and rebuilt caches. The
+    /// metrics registry (when enabled) is **carried over** — cumulative
+    /// totals span the swap.
+    ///
+    /// This is the paper's reorganization step for data whose
+    /// distribution drifted after many insertions, made non-stop-the-
+    /// world. Concurrent calls serialize; a failed rebuild (e.g. every
+    /// point removed) leaves the engine serving its old state with the
+    /// delta intact.
+    pub fn reorganize(&self) -> Result<(), EngineError> {
+        EngineShared::rebuild(&self.shared)
+    }
+
+    /// Consuming shim for the pre-ingest API: reorganizes in place and
+    /// hands the engine back.
+    #[deprecated(note = "reorganize() is now non-consuming: call `engine.reorganize()` directly")]
+    pub fn into_reorganized(self) -> Result<Self, EngineError> {
+        self.reorganize()?;
+        Ok(self)
+    }
+
+    /// Shim for the pre-ingest delete API, which addressed points by
+    /// value and id; the point is no longer needed.
+    #[deprecated(note = "use remove(item): the write path addresses points by item id alone")]
+    pub fn delete(&self, point: &Point, item: u64) -> Result<(), EngineError> {
+        let _ = point;
+        self.remove(item)
     }
 
     /// Answers one k-NN query under `opts` — the single entry point
@@ -690,6 +1323,9 @@ impl ParallelKnnEngine {
     /// merged answer is bit-identical to the healthy one as long as a
     /// healthy replica exists for every lost bucket
     /// ([`EngineError::BucketUnavailable`] otherwise).
+    ///
+    /// On an ingesting engine the answer is always exact over
+    /// `index ∪ delta`, linearized at submission.
     pub fn query(&self, query: &Point, opts: &QueryOptions) -> Result<QueryResult, EngineError> {
         self.submit(query, opts)?.wait()
     }
@@ -718,13 +1354,15 @@ impl ParallelKnnEngine {
     /// interleaves all disks through one global queue). Cache-hit
     /// counters are execution-order dependent in all modes.
     pub fn submit(&self, query: &Point, opts: &QueryOptions) -> Result<PendingQuery, EngineError> {
-        if query.dim() != self.core.config.dim {
+        let inner = self.shared.inner.read();
+        if query.dim() != inner.core.config.dim {
             return Err(EngineError::DimensionMismatch {
-                expected: self.core.config.dim,
+                expected: inner.core.config.dim,
                 got: query.dim(),
             });
         }
-        self.submit_with_wave(query, opts, None)
+        let overlay = self.shared.overlay_for(query, opts.k);
+        inner.submit_with_wave(query, opts, None, overlay)
     }
 
     /// Submits a group of queries as one **coalescing wave**: with
@@ -747,18 +1385,22 @@ impl ParallelKnnEngine {
         queries: &[Point],
         opts: &QueryOptions,
     ) -> Result<Vec<Result<PendingQuery, EngineError>>, EngineError> {
+        let inner = self.shared.inner.read();
         for q in queries {
-            if q.dim() != self.core.config.dim {
+            if q.dim() != inner.core.config.dim {
                 return Err(EngineError::DimensionMismatch {
-                    expected: self.core.config.dim,
+                    expected: inner.core.config.dim,
                     got: q.dim(),
                 });
             }
         }
-        let wave = self.pool.as_ref().map(|p| p.next_wave());
+        let wave = inner.pool.as_ref().map(|p| p.next_wave());
         Ok(queries
             .iter()
-            .map(|q| self.submit_with_wave(q, opts, wave))
+            .map(|q| {
+                let overlay = self.shared.overlay_for(q, opts.k);
+                inner.submit_with_wave(q, opts, wave, overlay)
+            })
             .collect())
     }
 
@@ -774,128 +1416,6 @@ impl ParallelKnnEngine {
             .into_iter()
             .map(|p| p.and_then(PendingQuery::wait))
             .collect())
-    }
-
-    /// Dispatches a dimension-checked query to the pool (pooled mode) or
-    /// computes it synchronously (scoped mode). `wave` groups queries
-    /// into one coalescing wave; `None` draws a fresh (private) wave.
-    fn submit_with_wave(
-        &self,
-        query: &Point,
-        opts: &QueryOptions,
-        wave: Option<u64>,
-    ) -> Result<PendingQuery, EngineError> {
-        let (timeout, retry) = self.resolve_policy(opts);
-        let tier = opts.tier.unwrap_or(self.core.config.tier);
-        let degraded = timeout.is_some() || self.core.array.faults().any_armed();
-        let model = *self.core.array.model();
-        if let Some(m) = &self.core.metrics {
-            m.record_start();
-        }
-        let Some(pool) = &self.pool else {
-            // Scoped: answer now, return an already-complete handle.
-            let answer = if degraded {
-                self.knn_degraded(query, opts.k, timeout, &retry, tier)
-            } else {
-                Ok(self.knn_healthy(query, opts.k, tier))
-            };
-            if let Some(m) = &self.core.metrics {
-                match &answer {
-                    Ok((_, trace)) => m.record_query(trace, &model),
-                    Err(_) => m.record_failure(),
-                }
-            }
-            return Ok(PendingQuery::completed(answer, opts.trace, model));
-        };
-
-        let n = self.core.trees.len();
-        let completion = Arc::new(Completion::new());
-        let pending = PendingQuery::new(Arc::clone(&completion), opts.trace, model);
-        let start = Instant::now();
-        let (first, stage) = if degraded {
-            (
-                0,
-                Stage::Degraded {
-                    state: DegradedState::new(n, timeout, retry, tier),
-                    phase: Phase::Primaries { next: 0 },
-                },
-            )
-        } else {
-            match self.core.config.algorithm {
-                KnnAlgorithm::Rkv => {
-                    let itinerary = self.core.itinerary(query);
-                    if opts.k == 0 || itinerary.is_empty() {
-                        // Nothing to search: complete inline, matching the
-                        // forest search's early return.
-                        let stats = vec![SearchStats::default(); n];
-                        let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
-                        if let Some(m) = &self.core.metrics {
-                            m.record_query(&trace, &model);
-                        }
-                        completion.complete(Ok((Vec::new(), trace)));
-                        return Ok(pending);
-                    }
-                    let first = itinerary[0].1;
-                    (
-                        first,
-                        Stage::Rkv {
-                            cursor: ForestCursor::with_tier(opts.k, tier),
-                            itinerary,
-                            pos: 0,
-                        },
-                    )
-                }
-                KnnAlgorithm::Hs => {
-                    if opts.k == 0 {
-                        let stats = vec![SearchStats::default(); n];
-                        let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
-                        if let Some(m) = &self.core.metrics {
-                            m.record_query(&trace, &model);
-                        }
-                        completion.complete(Ok((Vec::new(), trace)));
-                        return Ok(pending);
-                    }
-                    (
-                        0,
-                        Stage::Hs {
-                            bound: SharedBound::new(),
-                            candidates: vec![Vec::new(); n],
-                            next: 0,
-                        },
-                    )
-                }
-            }
-        };
-        let deadline = opts
-            .deadline
-            .or(self.core.admission.and_then(|a| a.deadline));
-        let outcome = pool.submit(
-            first,
-            QueryTask {
-                query: query.clone(),
-                k: opts.k,
-                tier,
-                stats: vec![SearchStats::default(); n],
-                start,
-                stage,
-                completion,
-                wave: wave.unwrap_or_else(|| pool.next_wave()),
-                deadline_micros: deadline.map(|d| d.as_micros() as u64),
-                spent_micros: 0,
-                seq: 0,
-            },
-        );
-        match outcome {
-            Ok(()) => Ok(pending),
-            Err(e) => {
-                // The task never entered the system: surface the typed
-                // rejection instead of the (never-completing) handle.
-                if let Some(m) = &self.core.metrics {
-                    m.record_shed_overloaded();
-                }
-                Err(e)
-            }
-        }
     }
 
     /// Answers a batch of queries. In [`ExecutionMode::Pooled`] every
@@ -918,29 +1438,34 @@ impl ParallelKnnEngine {
         queries: &[Point],
         opts: &QueryOptions,
     ) -> Result<Vec<QueryResult>, EngineError> {
+        let inner = self.shared.inner.read();
         for q in queries {
-            if q.dim() != self.core.config.dim {
+            if q.dim() != inner.core.config.dim {
                 return Err(EngineError::DimensionMismatch {
-                    expected: self.core.config.dim,
+                    expected: inner.core.config.dim,
                     got: q.dim(),
                 });
             }
         }
-        if self.pool.is_some() {
+        if inner.pool.is_some() {
             // Each query gets a private wave (batches don't coalesce —
             // use `query_wave` for read-sharing); the first admission
             // rejection aborts the batch, already-submitted queries
             // drain normally with their answers discarded.
             let pending: Vec<PendingQuery> = queries
                 .iter()
-                .map(|q| self.submit_with_wave(q, opts, None))
+                .map(|q| {
+                    let overlay = self.shared.overlay_for(q, opts.k);
+                    inner.submit_with_wave(q, opts, None, overlay)
+                })
                 .collect::<Result<_, _>>()?;
+            drop(inner);
             return pending.into_iter().map(PendingQuery::wait).collect();
         }
-        let (timeout, retry) = self.resolve_policy(opts);
-        let tier = opts.tier.unwrap_or(self.core.config.tier);
-        let degraded = timeout.is_some() || self.core.array.faults().any_armed();
-        let model = *self.core.array.model();
+        let (timeout, retry) = inner.resolve_policy(opts);
+        let tier = opts.tier.unwrap_or(inner.core.config.tier);
+        let degraded = timeout.is_some() || inner.core.array.faults().any_armed();
+        let model = *inner.core.array.model();
         let next = AtomicUsize::new(0);
         let workers = opts
             .workers
@@ -951,10 +1476,12 @@ impl ParallelKnnEngine {
             })
             .clamp(1, queries.len().max(1));
         let mut results: Vec<Option<TracedAnswer>> = (0..queries.len()).map(|_| None).collect();
+        let shared = &*self.shared;
+        let inner_ref = &*inner;
         std::thread::scope(|s| {
             let next = &next;
             let retry = &retry;
-            let core = &self.core;
+            let core = &inner_ref.core;
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(move || {
@@ -964,14 +1491,23 @@ impl ParallelKnnEngine {
                             if i >= queries.len() {
                                 return out;
                             }
+                            let overlay = shared.overlay_for(&queries[i], opts.k);
+                            let k = opts.k + overlay.as_ref().map_or(0, QueryOverlay::extra_k);
                             let answer = if degraded {
-                                self.knn_degraded(&queries[i], opts.k, timeout, retry, tier)
+                                inner_ref.knn_degraded(&queries[i], k, timeout, retry, tier)
                             } else {
                                 let start = Instant::now();
-                                let (res, stats) = core.forest_search(&queries[i], opts.k, tier);
+                                let (res, stats) = core.forest_search(&queries[i], k, tier);
                                 let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
                                 Ok((res, trace))
                             };
+                            let answer = answer.map(|(neighbors, trace)| {
+                                let neighbors = match &overlay {
+                                    Some(o) => o.apply(neighbors),
+                                    None => neighbors,
+                                };
+                                (neighbors, trace)
+                            });
                             if let Some(m) = &core.metrics {
                                 m.record_start();
                                 match &answer {
@@ -1055,74 +1591,6 @@ impl ParallelKnnEngine {
             .collect())
     }
 
-    /// The scoped healthy fast path: one scoped thread per disk, shared
-    /// pruning bound, exact per-query trace — the paper's Var. 3 search.
-    fn knn_healthy(&self, query: &Point, k: usize, tier: ScanTier) -> (Vec<Neighbor>, QueryTrace) {
-        let algorithm = self.core.config.algorithm;
-        let start = Instant::now();
-        let shared = SharedBound::new();
-        // One scoped thread per disk; each returns its local candidates
-        // and locally-counted work so the trace is exact per query.
-        let locals: Vec<_> = std::thread::scope(|s| {
-            let shared = &shared;
-            let handles: Vec<_> = self
-                .core
-                .trees
-                .iter()
-                .map(|tree| {
-                    s.spawn(move || {
-                        tree.read()
-                            .knn_traced_tiered(query, k, algorithm, Some(shared), tier)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("per-disk search does not panic"))
-                .collect()
-        });
-        let wall = start.elapsed();
-        let merged = merge_candidates(locals.iter().map(|(c, _)| c.as_slice()), k);
-        let stats: Vec<_> = locals.iter().map(|(_, s)| *s).collect();
-        let trace = QueryTrace::from_stats(&stats, wall, self.core.array.model());
-        (merged, trace)
-    }
-
-    /// Degraded execution, scoped flavor: the same per-disk steps the
-    /// pooled pipeline runs ([`EngineCore::degraded_primary`] /
-    /// [`EngineCore::degraded_failover`]), driven sequentially so the
-    /// retry draws — and therefore the whole trace — are deterministic
-    /// for a given injector seed.
-    fn knn_degraded(
-        &self,
-        query: &Point,
-        k: usize,
-        timeout: Option<Duration>,
-        retry: &RetryPolicy,
-        tier: ScanTier,
-    ) -> Result<(Vec<Neighbor>, QueryTrace), EngineError> {
-        let core = &self.core;
-        let n = core.trees.len();
-        let start = Instant::now();
-        let mut stats = vec![SearchStats::default(); n];
-        let mut state = DegradedState::new(n, timeout, *retry, tier);
-        for disk in 0..n {
-            core.degraded_primary(disk, query, k, &mut state, &mut stats);
-        }
-        core.plan_failover(&mut state);
-        for pos in 0..state.itinerary.len() {
-            core.degraded_failover(pos, query, k, &mut state, &mut stats)?;
-        }
-        core.assemble_degraded(state, k, &stats, start.elapsed())
-    }
-
-    fn resolve_policy(&self, opts: &QueryOptions) -> (Option<Duration>, RetryPolicy) {
-        (
-            opts.timeout.or(self.fault_policy.timeout),
-            opts.retry.unwrap_or(self.fault_policy.retry),
-        )
-    }
-
     /// Runs a k-NN query with **independent** per-disk searches: every
     /// disk finds its local top-`k` to completion (no shared bound) and
     /// the candidates are merged. This models a share-nothing cluster
@@ -1133,84 +1601,85 @@ impl ParallelKnnEngine {
         query: &Point,
         k: usize,
     ) -> Result<(Vec<Neighbor>, QueryCost), EngineError> {
-        if query.dim() != self.core.config.dim {
+        let inner = self.shared.inner.read();
+        if query.dim() != inner.core.config.dim {
             return Err(EngineError::DimensionMismatch {
-                expected: self.core.config.dim,
+                expected: inner.core.config.dim,
                 got: query.dim(),
             });
         }
-        let scope = self.core.array.begin_query();
-        let algorithm = self.core.config.algorithm;
+        let overlay = self.shared.overlay_for(query, k);
+        let k_eff = k + overlay.as_ref().map_or(0, QueryOverlay::extra_k);
+        let scope = inner.core.array.begin_query();
+        let algorithm = inner.core.config.algorithm;
 
-        let mut locals: Vec<Vec<Neighbor>> = Vec::with_capacity(self.core.trees.len());
+        let mut locals: Vec<Vec<Neighbor>> = Vec::with_capacity(inner.core.trees.len());
         std::thread::scope(|s| {
-            let handles: Vec<_> = self
+            let handles: Vec<_> = inner
                 .core
                 .trees
                 .iter()
-                .map(|tree| s.spawn(move || tree.read().knn(query, k, algorithm)))
+                .map(|tree| s.spawn(move || tree.read().knn(query, k_eff, algorithm)))
                 .collect();
             for h in handles {
                 locals.push(h.join().expect("local knn does not panic"));
             }
         });
 
-        let merged = merge_candidates(locals.iter().map(Vec::as_slice), k);
-        Ok((merged, scope.finish(&self.core.array)))
+        let merged = merge_candidates(locals.iter().map(Vec::as_slice), k_eff);
+        let merged = match &overlay {
+            Some(o) => o.apply(merged),
+            None => merged,
+        };
+        Ok((merged, scope.finish(&inner.core.array)))
     }
 
-    /// Reorganizes the engine for the current data: recomputes the
-    /// declustering (median splits from the stored points) and rebuilds
-    /// the per-disk trees, preserving the disk count, replication, fault
-    /// policy, page-cache setup, execution mode, and admission policy. The rebuilt engine
-    /// starts with a fresh, healthy disk array — injected faults do not
-    /// carry over, and metrics (when enabled) restart from a fresh
-    /// registry with all counters at zero.
-    ///
-    /// This is the paper's reorganization step for data whose distribution
-    /// drifted after many insertions.
-    pub fn reorganize(self) -> Result<Self, EngineError> {
-        let mut points: Vec<(u64, Point)> = Vec::with_capacity(self.len());
-        for tree in &self.core.trees {
-            let tree = tree.read();
-            for node in tree.iter_nodes() {
-                if let parsim_index::node::Node::Leaf { entries, .. } = node {
-                    for (row, item) in entries.iter() {
-                        points.push((item, Point::from_vec(row.to_vec())));
-                    }
-                }
-            }
-        }
-        points.sort_by_key(|(item, _)| *item);
-        let pts: Vec<Point> = points.into_iter().map(|(_, p)| p).collect();
-        let mut builder = Self::builder(self.core.config.dim)
-            .config(self.core.config)
-            .disks(self.disks())
-            .replicas(usize::from(self.replica_router.is_some()))
-            .fault_policy(self.fault_policy)
-            .cache_shards(self.cache_shards)
-            .execution(self.execution)
-            .metrics(self.core.metrics.is_some());
-        if let Some(capacity) = self.page_cache_capacity {
-            builder = builder.page_cache(capacity);
-        }
-        if let Some(admission) = self.core.admission {
-            builder = builder.admission(admission);
-        }
-        builder.build(&pts)
-    }
-
-    /// Immutable access to the disk array (for experiment accounting).
-    pub fn array(&self) -> &DiskArray {
-        &self.core.array
+    /// A handle on the simulated disk array (for experiment accounting).
+    /// Pins the current engine state; see [`ArrayHandle`].
+    pub fn array(&self) -> ArrayHandle {
+        ArrayHandle(Arc::clone(&self.shared.inner.read().core))
     }
 
     /// Runs `f` over every per-disk primary tree, in disk order, under
     /// that tree's read lock (the trees are shared with the worker pool,
-    /// so a borrowed slice can no longer be handed out).
+    /// so a borrowed slice can no longer be handed out). Buffered
+    /// (delta) points are not in any tree yet.
     pub fn for_each_tree(&self, mut f: impl FnMut(&SpatialTree)) {
-        for tree in &self.core.trees {
+        let inner = self.shared.inner.read();
+        for tree in &inner.core.trees {
             f(&tree.read());
+        }
+    }
+}
+
+impl Drop for ParallelKnnEngine {
+    /// Joins any background rebuild before the shared state goes away;
+    /// dropping the inner afterwards drains the worker pool.
+    fn drop(&mut self) {
+        let handle = self.shared.rebuild_handle.lock().take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Derives the quadrant splitter for a build from the configured
+/// [`SplitStrategy`], reading the points through any re-iterable view —
+/// the online reorganize feeds `(point, item)` pairs without
+/// materializing a second vector.
+pub(crate) fn make_splitter_of<'a, I>(
+    points: I,
+    config: &EngineConfig,
+) -> Result<QuadrantSplitter, EngineError>
+where
+    I: Iterator<Item = &'a Point> + Clone,
+{
+    match config.splits {
+        SplitStrategy::Midpoint => {
+            QuadrantSplitter::midpoint(config.dim).map_err(|e| EngineError::Internal(e.to_string()))
+        }
+        SplitStrategy::DataMedian => {
+            median_splits_of(points).map_err(|e| EngineError::Internal(e.to_string()))
         }
     }
 }
@@ -1325,20 +1794,74 @@ mod tests {
     }
 
     #[test]
-    fn dynamic_insert_and_delete() {
-        let (mut e, pts) = engine(4, 500, 5);
+    fn writes_require_an_ingest_config() {
+        let (e, pts) = engine(4, 200, 5);
+        assert!(matches!(
+            e.insert(pts[0].clone()),
+            Err(EngineError::ReadOnly)
+        ));
+        assert!(matches!(e.remove(0), Err(EngineError::ReadOnly)));
+        assert_eq!(e.delta_size(), 0);
+    }
+
+    #[test]
+    fn dynamic_insert_and_remove_through_the_delta() {
+        let pts = UniformGenerator::new(5).generate(500, 7);
+        let e = ParallelKnnEngine::builder(5)
+            .disks(4)
+            .ingest(IngestConfig::new(1000))
+            .build(&pts)
+            .unwrap();
         let extra = UniformGenerator::new(5).generate(100, 42);
         let mut ids = Vec::new();
         for p in &extra {
             ids.push(e.insert(p.clone()).unwrap());
         }
         assert_eq!(e.len(), 600);
-        for (p, id) in extra.iter().zip(&ids) {
-            e.delete(p, *id).unwrap();
+        assert_eq!(e.delta_size(), 100);
+        // Buffered points answer queries immediately and exactly.
+        let (res, _) = e.knn(&extra[3], 1).unwrap();
+        assert_eq!(res[0].dist, 0.0);
+        assert_eq!(res[0].item, ids[3]);
+        for id in &ids {
+            e.remove(*id).unwrap();
         }
         assert_eq!(e.len(), 500);
-        // Original points still answer queries.
+        assert_eq!(e.delta_size(), 0);
+        // Removing a main-index point masks it from answers.
+        e.remove(0).unwrap();
+        assert_eq!(e.len(), 499);
         let (res, _) = e.knn(&pts[0], 1).unwrap();
+        assert!(res[0].item != 0);
+        // Original points still answer queries.
+        let (res, _) = e.knn(&pts[1], 1).unwrap();
+        assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn a_full_delta_sheds_writes_with_typed_backpressure() {
+        let pts = UniformGenerator::new(3).generate(50, 3);
+        let e = ParallelKnnEngine::builder(3)
+            .disks(2)
+            .ingest(IngestConfig::new(2))
+            .build(&pts)
+            .unwrap();
+        let extra = UniformGenerator::new(3).generate(3, 9);
+        e.insert(extra[0].clone()).unwrap();
+        e.insert(extra[1].clone()).unwrap();
+        assert!(matches!(
+            e.insert(extra[2].clone()),
+            Err(EngineError::DeltaFull { capacity: 2 })
+        ));
+        // Removing a *buffered* point frees a slot without a tombstone...
+        e.remove(51).unwrap();
+        // ...so the next insert is admitted again.
+        e.insert(extra[2].clone()).unwrap();
+        // A flush drains everything into the main index.
+        e.flush().unwrap();
+        assert_eq!(e.delta_size(), 0);
+        assert_eq!(e.len(), 52);
+        let (res, _) = e.knn(&extra[2], 1).unwrap();
         assert_eq!(res[0].dist, 0.0);
     }
 
@@ -1375,10 +1898,34 @@ mod tests {
     fn reorganize_preserves_contents() {
         let (e, pts) = engine(4, 800, 6);
         let before = e.len();
-        let e = e.reorganize().unwrap();
+        e.reorganize().unwrap();
         assert_eq!(e.len(), before);
         let (res, _) = e.knn(&pts[5], 1).unwrap();
         assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn reorganize_drains_the_delta_into_the_main_index() {
+        let pts = UniformGenerator::new(4).generate(300, 5);
+        let e = ParallelKnnEngine::builder(4)
+            .disks(4)
+            .ingest(IngestConfig::new(500))
+            .build(&pts)
+            .unwrap();
+        let extra = UniformGenerator::new(4).generate(50, 21);
+        for p in &extra {
+            e.insert(p.clone()).unwrap();
+        }
+        e.remove(7).unwrap();
+        assert_eq!(e.delta_size(), 51);
+        e.reorganize().unwrap();
+        assert_eq!(e.delta_size(), 0);
+        assert_eq!(e.len(), 349);
+        assert_eq!(e.load_distribution().iter().sum::<usize>(), 349);
+        let (res, _) = e.knn(&extra[10], 1).unwrap();
+        assert_eq!(res[0].dist, 0.0);
+        let (res, _) = e.knn(&pts[7], 1).unwrap();
+        assert!(res[0].item != 7);
     }
 
     #[test]
@@ -1390,7 +1937,7 @@ mod tests {
             .build(&pts)
             .unwrap();
         assert!(e.has_replicas());
-        let e = e.reorganize().unwrap();
+        e.reorganize().unwrap();
         assert!(e.has_replicas());
         assert_eq!(e.len(), 600);
         e.faults().fail(0);
@@ -1406,14 +1953,33 @@ mod tests {
             .execution(ExecutionMode::Pooled)
             .build(&pts)
             .unwrap();
-        let e = e.reorganize().unwrap();
+        e.reorganize().unwrap();
         assert_eq!(e.execution(), ExecutionMode::Pooled);
         let (res, _) = e.knn(&pts[3], 1).unwrap();
         assert_eq!(res[0].dist, 0.0);
     }
 
     #[test]
-    fn metrics_are_off_by_default_and_survive_reorganize() {
+    fn removing_every_point_fails_the_rebuild_and_keeps_serving() {
+        let pts = UniformGenerator::new(3).generate(20, 5);
+        let e = ParallelKnnEngine::builder(3)
+            .disks(2)
+            .ingest(IngestConfig::new(64))
+            .build(&pts)
+            .unwrap();
+        for id in 0..20 {
+            e.remove(id).unwrap();
+        }
+        assert!(e.is_empty());
+        assert!(matches!(e.reorganize(), Err(EngineError::EmptyDataSet)));
+        // The delta survives the aborted rebuild; answers stay masked.
+        assert_eq!(e.delta_size(), 20);
+        let (res, _) = e.knn(&pts[0], 5).unwrap();
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn metrics_are_off_by_default_and_carry_over_reorganize() {
         let pts = UniformGenerator::new(4).generate(300, 9);
         let plain = ParallelKnnEngine::builder(4).disks(4).build(&pts).unwrap();
         assert!(plain.metrics().is_none());
@@ -1429,9 +1995,35 @@ mod tests {
         assert_eq!(s.counter_total("parsim_queries_started_total"), 1);
         assert_eq!(s.counter_total("parsim_queries_completed_total"), 1);
         assert!(s.counter_total("parsim_disk_pages_total") > 0);
-        // Reorganize keeps metrics enabled but resets the registry.
-        let metered = metered.reorganize().unwrap();
+        // Reorganize carries the registry over: cumulative totals span
+        // the swap instead of resetting.
+        metered.reorganize().unwrap();
         let s = metered.metrics().expect("still enabled").snapshot();
-        assert_eq!(s.counter_total("parsim_queries_started_total"), 0);
+        assert_eq!(s.counter_total("parsim_queries_started_total"), 1);
+        assert_eq!(s.counter_total("parsim_rebuilds_total"), 1);
+        metered.knn(&q, 5).unwrap();
+        let s = metered.metrics().expect("still enabled").snapshot();
+        assert_eq!(s.counter_total("parsim_queries_started_total"), 2);
+    }
+
+    #[test]
+    fn triggered_foreground_rebuild_fires_on_the_threshold() {
+        let pts = UniformGenerator::new(3).generate(100, 3);
+        let e = ParallelKnnEngine::builder(3)
+            .disks(2)
+            .ingest(
+                IngestConfig::new(64)
+                    .with_rebuild_threshold(10)
+                    .foreground(),
+            )
+            .build(&pts)
+            .unwrap();
+        let extra = UniformGenerator::new(3).generate(10, 77);
+        for p in &extra {
+            e.insert(p.clone()).unwrap();
+        }
+        // The 10th insert crossed the threshold and rebuilt synchronously.
+        assert_eq!(e.delta_size(), 0);
+        assert_eq!(e.load_distribution().iter().sum::<usize>(), 110);
     }
 }

@@ -20,6 +20,7 @@ pub mod builder;
 pub mod config;
 pub mod declustered;
 pub mod engine;
+pub mod ingest;
 pub mod metrics;
 pub mod obs;
 pub mod options;
@@ -31,7 +32,8 @@ pub mod throughput;
 pub use builder::EngineBuilder;
 pub use config::{EngineConfig, SplitStrategy};
 pub use declustered::DeclusteredXTree;
-pub use engine::ParallelKnnEngine;
+pub use engine::{ArrayHandle, FaultsHandle, ParallelKnnEngine};
+pub use ingest::IngestConfig;
 pub use metrics::{run_knn_workload, run_traced_workload, DegradedInfo, QueryTrace, WorkloadCost};
 pub use obs::EngineMetrics;
 pub use options::{ExecutionMode, FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
@@ -87,6 +89,18 @@ pub enum EngineError {
         /// µs (always greater than the budget).
         spent_micros: u64,
     },
+    /// A write (`insert`/`remove`) was attempted on an engine built
+    /// without [`EngineBuilder::ingest`]: there is no delta buffer to
+    /// accept it.
+    ReadOnly,
+    /// A write was shed because the delta buffer is at capacity — the
+    /// write-side analogue of [`EngineError::Overloaded`]. The write was
+    /// not applied; the caller decides whether to retry after a
+    /// flush/reorganize drains the buffer, or drop.
+    DeltaFull {
+        /// The configured [`IngestConfig::delta_capacity`].
+        capacity: usize,
+    },
     /// An underlying component failed.
     Internal(String),
 }
@@ -120,6 +134,14 @@ impl std::fmt::Display for EngineError {
                 f,
                 "deadline exceeded: {spent_micros}µs modeled service consumed \
                  against a {budget_micros}µs budget"
+            ),
+            EngineError::ReadOnly => write!(
+                f,
+                "engine is read-only: build it with .ingest(IngestConfig) to accept writes"
+            ),
+            EngineError::DeltaFull { capacity } => write!(
+                f,
+                "delta buffer full ({capacity} buffered writes): reorganize to drain it"
             ),
             EngineError::Internal(msg) => write!(f, "internal error: {msg}"),
         }

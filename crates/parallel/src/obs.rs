@@ -58,6 +58,14 @@ pub struct EngineMetrics {
     disk_service: Vec<Arc<Histogram>>,
     busy_micros: Vec<Arc<Counter>>,
     queue_depth: Vec<Arc<Gauge>>,
+    ingest_inserts: Arc<Counter>,
+    ingest_removes: Arc<Counter>,
+    ingest_rejected: Arc<Counter>,
+    rebuilds: Arc<Counter>,
+    rebuilds_failed: Arc<Counter>,
+    delta_points: Arc<Gauge>,
+    delta_tombstones: Arc<Gauge>,
+    rebuild_points: Arc<Histogram>,
     cache: Vec<CacheMetrics>,
     faults: FaultMetrics,
 }
@@ -199,6 +207,47 @@ impl EngineMetrics {
                 )
             })
             .collect();
+        let ingest_inserts = r.counter(
+            "parsim_ingest_inserts_total",
+            "Points accepted into the delta buffer",
+            &[],
+        );
+        let ingest_removes = r.counter(
+            "parsim_ingest_removes_total",
+            "Removals accepted (buffered point dropped or tombstone laid)",
+            &[],
+        );
+        let ingest_rejected = r.counter(
+            "parsim_ingest_rejected_total",
+            "Writes shed with typed backpressure, by reason",
+            &[("reason", "delta_full")],
+        );
+        let rebuilds = r.counter(
+            "parsim_rebuilds_total",
+            "Completed shadow rebuilds (explicit or triggered)",
+            &[],
+        );
+        let rebuilds_failed = r.counter(
+            "parsim_rebuilds_failed_total",
+            "Shadow rebuilds aborted with the old state left serving",
+            &[],
+        );
+        let delta_points = r.gauge(
+            "parsim_delta_points",
+            "Live (not yet bulk-loaded) points in the delta buffer",
+            &[],
+        );
+        let delta_tombstones = r.gauge(
+            "parsim_delta_tombstones",
+            "Tombstones masking main-index points until the next rebuild",
+            &[],
+        );
+        let rebuild_points = r.histogram(
+            "parsim_rebuild_points",
+            "Points bulk-loaded per shadow rebuild",
+            &[],
+            HistogramConfig::pages(),
+        );
         let shards = cache_shards.max(1);
         let shard_labels: Vec<String> = (0..shards).map(|s| s.to_string()).collect();
         let cache_counter = |name: &'static str, help: &'static str| -> Vec<Vec<Arc<Counter>>> {
@@ -270,6 +319,14 @@ impl EngineMetrics {
             disk_service,
             busy_micros,
             queue_depth,
+            ingest_inserts,
+            ingest_removes,
+            ingest_rejected,
+            rebuilds,
+            rebuilds_failed,
+            delta_points,
+            delta_tombstones,
+            rebuild_points,
             cache,
             faults,
         }
@@ -337,6 +394,39 @@ impl EngineMetrics {
     pub(crate) fn record_shed_deadline(&self, overshoot_micros: u64) {
         self.shed_deadline.inc();
         self.deadline_overshoot.record(overshoot_micros);
+    }
+
+    /// Counts one accepted insert and refreshes the delta-size gauges.
+    pub(crate) fn record_ingest_insert(&self, live: usize, tombstones: usize) {
+        self.ingest_inserts.inc();
+        self.delta_points.set(live as i64);
+        self.delta_tombstones.set(tombstones as i64);
+    }
+
+    /// Counts one accepted removal and refreshes the delta-size gauges.
+    pub(crate) fn record_ingest_remove(&self, live: usize, tombstones: usize) {
+        self.ingest_removes.inc();
+        self.delta_points.set(live as i64);
+        self.delta_tombstones.set(tombstones as i64);
+    }
+
+    /// Counts one write shed because the delta buffer was at capacity.
+    pub(crate) fn record_ingest_rejected(&self) {
+        self.ingest_rejected.inc();
+    }
+
+    /// Counts one completed shadow rebuild of `points` points, resetting
+    /// the delta gauges to the freshly replayed buffer's sizes.
+    pub(crate) fn record_rebuild(&self, points: u64, live: usize, tombstones: usize) {
+        self.rebuilds.inc();
+        self.rebuild_points.record(points);
+        self.delta_points.set(live as i64);
+        self.delta_tombstones.set(tombstones as i64);
+    }
+
+    /// Counts one aborted shadow rebuild (the old state kept serving).
+    pub(crate) fn record_rebuild_failed(&self) {
+        self.rebuilds_failed.inc();
     }
 
     /// The queue-depth gauge of `disk`'s pool worker.

@@ -32,6 +32,7 @@ use parsim_index::knn::{ForestCursor, Neighbor, ScanTier, SearchStats, SharedBou
 use parsim_storage::DiskModel;
 
 use crate::engine::{merge_candidates, DegradedState, EngineCore, TracedAnswer};
+use crate::ingest::QueryOverlay;
 use crate::metrics::QueryTrace;
 use crate::obs::EngineMetrics;
 use crate::options::QueryResult;
@@ -170,6 +171,11 @@ pub struct PendingQuery {
     completion: Arc<Completion>,
     trace: bool,
     model: DiskModel,
+    /// The query's delta-buffer snapshot, merged into the answer on
+    /// wait. The pipeline itself searches with `k` inflated by the
+    /// overlay's tombstone count; the merge here filters the tombstones,
+    /// folds in the delta hits, and truncates back to the caller's `k`.
+    overlay: Option<QueryOverlay>,
 }
 
 impl PendingQuery {
@@ -178,6 +184,7 @@ impl PendingQuery {
             completion,
             trace,
             model,
+            overlay: None,
         }
     }
 
@@ -186,6 +193,12 @@ impl PendingQuery {
         let completion = Arc::new(Completion::new());
         completion.complete(answer);
         PendingQuery::new(completion, trace, model)
+    }
+
+    /// Attaches the query's delta snapshot (see [`QueryOverlay`]).
+    pub(crate) fn with_overlay(mut self, overlay: Option<QueryOverlay>) -> Self {
+        self.overlay = overlay;
+        self
     }
 
     /// True once the answer is available and [`PendingQuery::wait`] will
@@ -197,6 +210,10 @@ impl PendingQuery {
     /// Blocks until the query finishes and returns its result.
     pub fn wait(self) -> Result<QueryResult, EngineError> {
         let (neighbors, trace) = self.completion.wait()?;
+        let neighbors = match &self.overlay {
+            Some(o) => o.apply(neighbors),
+            None => neighbors,
+        };
         let cost = trace.cost(&self.model);
         Ok(QueryResult {
             neighbors,

@@ -75,6 +75,55 @@
 //! // Every submission was either answered or typed-shed, never lost.
 //! assert_eq!(answered.len() + shed, queries.len());
 //! ```
+//!
+//! # Write-side backpressure
+//!
+//! The same open-loop contract covers writes. An engine built with
+//! [`EngineBuilder::ingest`](crate::EngineBuilder::ingest) buffers
+//! [`insert`](crate::ParallelKnnEngine::insert) /
+//! [`remove`](crate::ParallelKnnEngine::remove) in a bounded delta
+//! overlay; when the buffer is at
+//! [`IngestConfig::delta_capacity`](crate::IngestConfig::delta_capacity),
+//! further writes are shed immediately with the typed
+//! [`EngineError::DeltaFull`](crate::EngineError::DeltaFull) — the
+//! write-side analogue of `Overloaded`. The caller decides whether to
+//! retry after draining the buffer
+//! ([`flush`](crate::ParallelKnnEngine::flush) /
+//! [`reorganize`](crate::ParallelKnnEngine::reorganize)) or to drop the
+//! write; nothing is applied partially:
+//!
+//! ```
+//! use parsim_datagen::{DataGenerator, UniformGenerator};
+//! use parsim_parallel::{EngineError, IngestConfig, ParallelKnnEngine};
+//!
+//! let points = UniformGenerator::new(6).generate(500, 1);
+//! let engine = ParallelKnnEngine::builder(6)
+//!     .disks(4)
+//!     .ingest(IngestConfig::new(2)) // at most 2 buffered writes
+//!     .build(&points)
+//!     .unwrap();
+//!
+//! let stream = UniformGenerator::new(6).generate(8, 2);
+//! let mut accepted = 0usize;
+//! let mut shed = 0usize;
+//! for p in &stream {
+//!     match engine.insert(p.clone()) {
+//!         Ok(_) => accepted += 1,
+//!         // The delta buffer is full: the write was not applied, and
+//!         // the caller learns so *now* with the capacity attached.
+//!         Err(EngineError::DeltaFull { capacity }) => {
+//!             assert_eq!(capacity, 2);
+//!             shed += 1;
+//!         }
+//!         Err(other) => panic!("unexpected error: {other}"),
+//!     }
+//! }
+//! assert_eq!((accepted, shed), (2, 6));
+//!
+//! // Draining the buffer (here: a full reorganize) reopens the engine.
+//! engine.flush().unwrap();
+//! assert!(engine.insert(stream[0].clone()).is_ok());
+//! ```
 
 use std::collections::BinaryHeap;
 use std::sync::{Condvar, Mutex};

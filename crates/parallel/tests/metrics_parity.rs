@@ -303,6 +303,55 @@ fn degraded_workload_keeps_parity_in_both_modes() {
     }
 }
 
+/// The registry is carried across an online reorganize, not reset: totals
+/// accumulated before the swap and after it sum with the trace ground
+/// truth exactly as if no swap had happened. (Regression test — the
+/// consuming-rebuild era rebuilt the registry from scratch, silently
+/// zeroing every counter and orphaning any scrape handle the caller
+/// held.)
+#[test]
+fn registry_survives_reorganize_with_exact_parity() {
+    use parsim_parallel::IngestConfig;
+    let points = clustered_points();
+    let queries = clustered_queries();
+    for execution in [ExecutionMode::Scoped, ExecutionMode::Pooled] {
+        let engine = ParallelKnnEngine::builder(DIM)
+            .disks(DISKS)
+            .page_cache(128)
+            .cache_shards(SHARDS)
+            .execution(execution)
+            .metrics(true)
+            .ingest(IngestConfig::new(4096))
+            .build(&points)
+            .unwrap();
+        // The handle taken *before* the swap must stay live and shared.
+        let handle = std::sync::Arc::clone(engine.metrics().unwrap());
+
+        let mut traces: Vec<QueryTrace> = queries[..12]
+            .iter()
+            .map(|q| engine.knn_traced(q, K).unwrap().1)
+            .collect();
+        for p in ClusteredGenerator::new(DIM, 8, 0.05).generate(60, 77) {
+            engine.insert(p).unwrap();
+        }
+        engine.reorganize().unwrap();
+        traces.extend(
+            queries[12..]
+                .iter()
+                .map(|q| engine.knn_traced(q, K).unwrap().1),
+        );
+
+        let s = engine.metrics().unwrap().snapshot();
+        assert_parity(&s, &traces, &sum_traces(&traces));
+        // Same registry object on both sides of the swap, and the ingest
+        // ledger reconciles: every buffered write is counted exactly once.
+        assert_eq!(handle.snapshot().to_json(), s.to_json());
+        assert_eq!(s.counter_total("parsim_ingest_inserts_total"), 60);
+        assert_eq!(s.counter_total("parsim_rebuilds_total"), 1);
+        assert_eq!(s.counter_total("parsim_queries_started_total"), 24);
+    }
+}
+
 /// Two runs of the same seeded workload on fresh engines produce
 /// byte-identical Prometheus-text and JSON exports: nothing wall-clock
 /// leaks into the registry.

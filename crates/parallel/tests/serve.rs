@@ -325,7 +325,7 @@ fn reorganize_preserves_admission() {
         .with_coalescing(true);
     let engine = builder().admission(cfg).build(&pts).unwrap();
     assert_eq!(engine.admission(), Some(cfg));
-    let engine = engine.reorganize().unwrap();
+    engine.reorganize().unwrap();
     assert_eq!(engine.admission(), Some(cfg));
     assert_eq!(engine.execution(), ExecutionMode::Pooled);
     let q = UniformGenerator::new(DIM).generate(1, 42).pop().unwrap();

@@ -103,7 +103,7 @@ fn batch_traces_account_for_every_page_served() {
     let (par, _, queries) = setup(KnnAlgorithm::Rkv);
     let scope = par.array().begin_query();
     let results = par.knn_batch_with(&queries, 10, 8).unwrap();
-    let cost = scope.finish(par.array());
+    let cost = scope.finish(&par.array());
 
     let mut summed = vec![0u64; DISKS];
     for (_, trace) in &results {
@@ -130,7 +130,7 @@ fn threaded_traces_account_for_every_page_served() {
             *acc += p;
         }
     }
-    let cost = scope.finish(par.array());
+    let cost = scope.finish(&par.array());
     assert_eq!(summed, cost.per_disk_reads);
 }
 
@@ -360,7 +360,7 @@ fn pooled_batch_pipelines_without_reordering_results() {
     let queries = UniformGenerator::new(DIM).generate(32, 80);
     let scope = pooled.array().begin_query();
     let results = pooled.knn_batch(&queries, 5).unwrap();
-    let cost = scope.finish(pooled.array());
+    let cost = scope.finish(&pooled.array());
     assert_eq!(results.len(), queries.len());
     let mut summed = vec![0u64; DISKS];
     for (i, (res, trace)) in results.iter().enumerate() {

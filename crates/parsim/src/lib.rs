@@ -108,8 +108,8 @@ pub mod prelude {
     pub use parsim_parallel::{
         run_knn_workload, run_traced_workload, AdmissionConfig, DeclusteredXTree, DegradedInfo,
         EngineBuilder, EngineConfig, EngineError, EngineMetrics, ExecutionMode, FaultPolicy,
-        ParallelKnnEngine, PendingQuery, QueryOptions, QueryResult, QueryTrace, RetryPolicy,
-        SequentialEngine, SplitStrategy, ThroughputReport, WorkloadCost,
+        IngestConfig, ParallelKnnEngine, PendingQuery, QueryOptions, QueryResult, QueryTrace,
+        RetryPolicy, SequentialEngine, SplitStrategy, ThroughputReport, WorkloadCost,
     };
     pub use parsim_storage::{
         DiskArray, DiskModel, FaultInjector, FaultKind, LruTracker, QueryCost, ShardedLru, SimDisk,

@@ -40,6 +40,7 @@ pub mod fault;
 pub mod model;
 pub mod page;
 pub mod sharded;
+pub mod wal;
 
 pub use arena::VectorArena;
 pub use array::{DiskArray, QueryCost, QueryScope};
@@ -50,6 +51,7 @@ pub use fault::{FaultInjector, FaultKind, FaultMetrics};
 pub use model::DiskModel;
 pub use page::{PageId, PAGE_SIZE};
 pub use sharded::{CacheMetrics, ShardedLru};
+pub use wal::OpLog;
 
 /// Errors produced by the simulated storage layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,101 @@
+//! A minimal in-memory write-ahead operation log.
+//!
+//! [`OpLog`] backs the engine's streaming-ingest delta buffer: every
+//! mutation is appended while a **capture** is open, so a background
+//! shadow rebuild can snapshot the buffer, keep serving writes, and —
+//! once the rebuilt index swaps in — replay exactly the tail of
+//! operations that arrived during the build. Outside a capture the log
+//! records nothing and costs nothing.
+//!
+//! The log is deliberately not thread-safe on its own: it is always
+//! owned by the lock that guards the delta buffer it journals, so
+//! append order is the buffer's mutation order by construction.
+
+/// An append-only operation log with explicit capture windows.
+#[derive(Debug)]
+pub struct OpLog<T> {
+    ops: Vec<T>,
+    capturing: bool,
+}
+
+impl<T> OpLog<T> {
+    /// An empty log with capture off.
+    pub fn new() -> Self {
+        OpLog {
+            ops: Vec::new(),
+            capturing: false,
+        }
+    }
+
+    /// True while a capture window is open.
+    pub fn is_capturing(&self) -> bool {
+        self.capturing
+    }
+
+    /// Number of operations recorded in the open capture window.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends `op` if a capture window is open; drops it otherwise.
+    pub fn record(&mut self, op: T) {
+        if self.capturing {
+            self.ops.push(op);
+        }
+    }
+
+    /// Opens a capture window, discarding any previously captured tail.
+    pub fn begin_capture(&mut self) {
+        self.ops.clear();
+        self.capturing = true;
+    }
+
+    /// Closes the capture window and returns the captured tail in
+    /// append order.
+    pub fn end_capture(&mut self) -> Vec<T> {
+        self.capturing = false;
+        std::mem::take(&mut self.ops)
+    }
+}
+
+impl<T> Default for OpLog<T> {
+    fn default() -> Self {
+        OpLog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_inside_a_capture_window() {
+        let mut log: OpLog<u32> = OpLog::new();
+        log.record(1);
+        assert!(log.is_empty());
+        log.begin_capture();
+        log.record(2);
+        log.record(3);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.end_capture(), vec![2, 3]);
+        assert!(!log.is_capturing());
+        log.record(4);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn begin_capture_discards_a_stale_tail() {
+        let mut log: OpLog<&str> = OpLog::default();
+        log.begin_capture();
+        log.record("stale");
+        log.begin_capture();
+        log.record("fresh");
+        assert_eq!(log.end_capture(), vec!["fresh"]);
+        assert_eq!(log.end_capture(), Vec::<&str>::new());
+    }
+}

@@ -17,8 +17,9 @@ fn main() {
     let descriptors = gen.generate(n, 7);
     println!("text database: {n} substring descriptors (d = {dim})");
 
-    let mut engine = ParallelKnnEngine::builder(dim)
+    let engine = ParallelKnnEngine::builder(dim)
         .disks(16)
+        .ingest(IngestConfig::new(8_192))
         .build(&descriptors)
         .unwrap();
     println!(
@@ -55,7 +56,7 @@ fn main() {
     );
     if tracker.needs_reorganization() {
         println!("adaptive quantile tracker: distribution drifted -> reorganizing");
-        engine = engine.reorganize().unwrap();
+        engine.reorganize().unwrap();
         println!(
             "after reorganization: load {:?}",
             engine.load_distribution()

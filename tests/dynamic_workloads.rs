@@ -13,9 +13,10 @@ fn insert_delete_churn_stays_exact() {
     let initial = UniformGenerator::new(dim).generate(1_000, 1);
     let stream = UniformGenerator::new(dim).generate(600, 2);
     let config = EngineConfig::paper_defaults(dim);
-    let mut engine = ParallelKnnEngine::builder(dim)
+    let engine = ParallelKnnEngine::builder(dim)
         .config(config)
         .disks(8)
+        .ingest(IngestConfig::new(10_000))
         .build(&initial)
         .unwrap();
 
@@ -30,8 +31,8 @@ fn insert_delete_churn_stays_exact() {
     for (i, p) in stream.iter().enumerate() {
         if i % 3 == 2 {
             // Delete a previously inserted point.
-            if let Some((dp, id)) = inserted.pop() {
-                engine.delete(&dp, id).unwrap();
+            if let Some((_, id)) = inserted.pop() {
+                engine.remove(id).unwrap();
                 shadow.retain(|(_, sid)| *sid != id);
             }
         } else {
@@ -57,9 +58,10 @@ fn trees_stay_valid_under_churn() {
     let dim = 5;
     let initial = UniformGenerator::new(dim).generate(800, 4);
     let config = EngineConfig::paper_defaults(dim);
-    let mut engine = ParallelKnnEngine::builder(dim)
+    let engine = ParallelKnnEngine::builder(dim)
         .config(config)
         .disks(4)
+        .ingest(IngestConfig::new(10_000))
         .build(&initial)
         .unwrap();
     let stream = UniformGenerator::new(dim).generate(400, 5);
@@ -67,9 +69,15 @@ fn trees_stay_valid_under_churn() {
     for p in &stream {
         ids.push((p.clone(), engine.insert(p.clone()).unwrap()));
     }
-    for (p, id) in ids.iter().take(200) {
-        engine.delete(p, *id).unwrap();
+    for (_, id) in ids.iter().take(200) {
+        engine.remove(*id).unwrap();
     }
+    engine.for_each_tree(|tree| tree.validate());
+    assert_eq!(engine.len(), 800 + 400 - 200);
+    // Flushing drains the delta into freshly bulk-loaded trees, which must
+    // remain structurally valid and content-identical.
+    engine.flush().unwrap();
+    assert_eq!(engine.delta_size(), 0);
     engine.for_each_tree(|tree| tree.validate());
     assert_eq!(engine.len(), 800 + 400 - 200);
 }
@@ -81,9 +89,10 @@ fn drift_detection_and_reorganization() {
     let dim = 8;
     let initial = UniformGenerator::new(dim).generate(4_000, 6);
     let config = EngineConfig::paper_defaults(dim);
-    let mut engine = ParallelKnnEngine::builder(dim)
+    let engine = ParallelKnnEngine::builder(dim)
         .config(config)
         .disks(8)
+        .ingest(IngestConfig::new(10_000))
         .build(&initial)
         .unwrap();
 
@@ -91,9 +100,11 @@ fn drift_detection_and_reorganization() {
     let mut tracker = AdaptiveQuantile::new(&splitter, 2.0);
 
     // Phase 1: more uniform data — no drift.
+    let mut buffered: Vec<(Point, u64)> = Vec::new();
     for p in UniformGenerator::new(dim).generate(2_000, 7) {
         tracker.observe(&p);
-        engine.insert(p).unwrap();
+        let id = engine.insert(p.clone()).unwrap();
+        buffered.push((p, id));
     }
     assert!(!tracker.needs_reorganization());
 
@@ -103,17 +114,24 @@ fn drift_detection_and_reorganization() {
         .generate(4_000, 8);
     for p in &burst {
         tracker.observe(p);
-        engine.insert(p.clone()).unwrap();
+        let id = engine.insert(p.clone()).unwrap();
+        buffered.push((p.clone(), id));
     }
     assert!(tracker.needs_reorganization());
 
-    // Reorganize: loads even out relative to before.
-    let before = engine.load_distribution();
+    // Reorganize: loads even out relative to before. The "before" loads
+    // project the buffered writes onto the disks the stale declustering
+    // would have chosen for them.
+    let mut before = engine.load_distribution();
+    let stale = engine.declusterer();
+    for (p, id) in &buffered {
+        before[stale.assign(*id, p)] += 1;
+    }
     let imbalance = |loads: &[usize]| -> f64 {
         let total: usize = loads.iter().sum();
         *loads.iter().max().unwrap() as f64 / (total as f64 / loads.len() as f64)
     };
-    let engine = engine.reorganize().unwrap();
+    engine.reorganize().unwrap();
     let after = engine.load_distribution();
     assert_eq!(
         after.iter().sum::<usize>(),
