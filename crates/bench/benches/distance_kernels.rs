@@ -65,6 +65,39 @@ fn bench_kernels(c: &mut Criterion) {
             })
         });
 
+        // Energy-ordered abandon: the same rows with coordinates permuted
+        // by descending variance (the PR-9 leaf layout), scanned under the
+        // certified order-prune bound. High-energy lanes accumulate the
+        // partial sum fastest, so abandons fire at earlier checkpoints —
+        // this row's gap to `early_abandon` is the layout's win.
+        let mut lanes: Vec<usize> = (0..dim).collect();
+        let var: Vec<f64> = (0..dim)
+            .map(|d| {
+                let mean = rows.iter().map(|r| r[d]).sum::<f64>() / rows.len() as f64;
+                rows.iter().map(|r| (r[d] - mean).powi(2)).sum::<f64>()
+            })
+            .collect();
+        lanes.sort_by(|&a, &b| var[b].total_cmp(&var[a]));
+        let permute = |v: &[f64]| -> Vec<f64> { lanes.iter().map(|&d| v[d]).collect() };
+        let prows: Vec<Vec<f64>> = rows.iter().map(|r| permute(r)).collect();
+        let pquery = permute(&query);
+        let pbound = kernel::order_prune_bound(bound);
+        group.bench_with_input(
+            BenchmarkId::new("early_abandon_energy", dim),
+            &dim,
+            |b, _| {
+                b.iter(|| {
+                    let mut kept = 0usize;
+                    for r in &prows {
+                        if kernel::dist2_bounded(black_box(&pquery), r, pbound).is_some() {
+                            kept += 1;
+                        }
+                    }
+                    kept
+                })
+            },
+        );
+
         // Phase-1 f32 mirror scan: certified threshold, bounded kernel.
         let rows32: Vec<Vec<f32>> = rows
             .iter()

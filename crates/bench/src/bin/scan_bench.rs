@@ -1,0 +1,44 @@
+//! Regenerates `BENCH_pr9.json` — the energy-ordered scan-layout benchmark
+//! record (abandon depth, q8 re-rank fraction, and kernel work per
+//! (dataset, scan order, precision tier) cell, answers asserted
+//! bit-identical in every cell). See EXPERIMENTS.md for the format.
+//!
+//! ```sh
+//! cargo run --release -p parsim-bench --bin scan_bench -- BENCH_pr9.json
+//! cargo run --release -p parsim-bench --bin scan_bench -- out.json --scale 0.5
+//! ```
+
+use parsim_bench::experiments::ext14;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut scale = 1.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --scale needs a number");
+                    std::process::exit(2);
+                });
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let path = path.unwrap_or_else(|| "BENCH_pr9.json".to_string());
+    let m = ext14::measure(scale);
+    let json = ext14::to_json(&m, scale);
+    std::fs::write(&path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    print!("{json}");
+    eprintln!("written to {path}");
+}

@@ -176,11 +176,26 @@ pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
 /// radius must re-check.
 #[inline]
 pub fn dist2_bounded(a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+    dist2_bounded_depth(a, b, bound).0
+}
+
+/// [`dist2_bounded`] plus the number of checkpoint comparisons performed.
+///
+/// The second value is the **abandon depth** in units of
+/// [`CHECKPOINT_LANES`] coordinates: an abandon at the `c`-th checkpoint
+/// returns `(None, c)`, meaning `c · CHECKPOINT_LANES` coordinates were
+/// consumed before the partial sum cleared the bound; a survivor returns
+/// `(Some(d2), dim / CHECKPOINT_LANES)`. The `Option` is bit-identical to
+/// [`dist2_bounded`] — the counter only observes the checkpoints the
+/// shared accumulation already evaluates.
+#[inline]
+pub fn dist2_bounded_depth(a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, u64) {
     debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
     let mut s0 = 0.0f64;
     let mut s1 = 0.0f64;
     let mut s2 = 0.0f64;
     let mut s3 = 0.0f64;
+    let mut cp = 0u64;
     let ca = a.chunks_exact(4);
     let cb = b.chunks_exact(4);
     let (ta, tb) = (ca.remainder(), cb.remainder());
@@ -193,15 +208,16 @@ pub fn dist2_bounded(a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
         s1 = fmadd(d1, d1, s1);
         s2 = fmadd(d2, d2, s2);
         s3 = fmadd(d3, d3, s3);
+        cp += 1;
         if (s0 + s1) + (s2 + s3) > bound {
-            return None;
+            return (None, cp);
         }
     }
     for (x, y) in ta.iter().zip(tb) {
         let d = x - y;
         s0 = fmadd(d, d, s0);
     }
-    Some((s0 + s1) + (s2 + s3))
+    (Some((s0 + s1) + (s2 + s3)), cp)
 }
 
 /// Manhattan distance with partial-distance early abandon (see
@@ -326,11 +342,19 @@ pub fn dist2_f32(a: &[f32], b: &[f32]) -> f32 {
 /// `Some` sums as uncertified (see [`f32_row_prunable`]).
 #[inline]
 pub fn dist2_f32_bounded(a: &[f32], b: &[f32], bound: f32) -> Option<f32> {
+    dist2_f32_bounded_depth(a, b, bound).0
+}
+
+/// [`dist2_f32_bounded`] plus the number of checkpoint comparisons
+/// performed (see [`dist2_bounded_depth`] for the depth contract).
+#[inline]
+pub fn dist2_f32_bounded_depth(a: &[f32], b: &[f32], bound: f32) -> (Option<f32>, u64) {
     debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
     let mut s0 = 0.0f32;
     let mut s1 = 0.0f32;
     let mut s2 = 0.0f32;
     let mut s3 = 0.0f32;
+    let mut cp = 0u64;
     let ca = a.chunks_exact(4);
     let cb = b.chunks_exact(4);
     let (ta, tb) = (ca.remainder(), cb.remainder());
@@ -343,15 +367,16 @@ pub fn dist2_f32_bounded(a: &[f32], b: &[f32], bound: f32) -> Option<f32> {
         s1 += d1 * d1;
         s2 += d2 * d2;
         s3 += d3 * d3;
+        cp += 1;
         if (s0 + s1) + (s2 + s3) > bound {
-            return None;
+            return (None, cp);
         }
     }
     for (x, y) in ta.iter().zip(tb) {
         let d = x - y;
         s0 += d * d;
     }
-    Some((s0 + s1) + (s2 + s3))
+    (Some((s0 + s1) + (s2 + s3)), cp)
 }
 
 /// Scans a row-major f32 block against one f32 query, writing every row's
@@ -391,6 +416,39 @@ pub fn dist2_batch_f32_bounded(
     for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
         *slot = dist2_f32_bounded(query, row, bound);
     }
+}
+
+/// [`dist2_batch_f32_bounded`] plus abandon-depth accounting: returns
+/// `(abandoned_rows, abandon_checkpoints)`, where the second figure sums
+/// the checkpoint count of every **abandoned** row (survivor checkpoints
+/// are not counted, so `abandon_checkpoints / abandoned_rows` is the mean
+/// abandon depth in [`CHECKPOINT_LANES`] units). The per-row results are
+/// bit-identical to [`dist2_batch_f32_bounded`].
+///
+/// # Panics
+///
+/// Panics if `block.len() != out.len() * dim` or the query has the wrong
+/// dimension.
+pub fn dist2_batch_f32_bounded_depth(
+    query: &[f32],
+    block: &[f32],
+    dim: usize,
+    bound: f32,
+    out: &mut [Option<f32>],
+) -> (u64, u64) {
+    assert!(dim > 0, "zero-dimensional block");
+    assert_eq!(query.len(), dim, "query dimension mismatch");
+    assert_eq!(block.len(), out.len() * dim, "block/out shape mismatch");
+    let (mut rows, mut cps) = (0u64, 0u64);
+    for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+        let (s, cp) = dist2_f32_bounded_depth(query, row, bound);
+        if s.is_none() {
+            rows += 1;
+            cps += cp;
+        }
+        *slot = s;
+    }
+    (rows, cps)
 }
 
 /// Code-space squared distance between two 8-bit quantized rows: the
@@ -501,6 +559,154 @@ pub fn dist2_batch_q8_bounded(
     }
 }
 
+/// Weighted code-space squared distance for **per-dimension** q8 grids:
+/// `Σ_j w[j] · (a[j] − b[j])²` accumulated in f64, with `w[j]` the squared
+/// grid step of lane `j` (see `VectorArena::q8_weights`).
+///
+/// With per-lane scales the reconstruction distance is no longer
+/// `scale²·Σ d²` of one global grid; each lane contributes
+/// `(scale_j·d_j)²`. The integer code difference squared (`≤ 255² =
+/// 65025`) is exact in f64, so the only rounding is the weight product and
+/// the four-lane accumulation, budgeted by [`q8w_accum_slack`]. Same
+/// four-lane shape and checkpoint cadence as every other kernel here;
+/// plain mul+add (no FMA gate) like [`dist2_f32`], so one fixed rounding
+/// model backs the slack.
+///
+/// Degenerate lanes (constant coordinate, `scale = 0`) carry weight `0`
+/// and contribute nothing — their reconstruction is exact, so per-lane
+/// grids never force a whole block off the q8 tier the way a constant
+/// block did under the old scalar grid.
+///
+/// The query side `a` is **wide** i32 codes (see [`Q8W_CODE_CAP`]): a
+/// query coordinate outside the block's per-lane range encodes to a code
+/// beyond `[0, 255]` instead of clamping to the grid edge. Per-leaf lanes
+/// are narrow, so clamping would routinely inflate the query displacement
+/// `r_q` to the full query-to-leaf distance and destroy the pruning
+/// margin; wide codes keep `r_q` at half a grid step per lane. Code
+/// differences stay `≤ 2·Q8W_CODE_CAP`, so `d²` is exact in both i64 and
+/// f64.
+#[inline]
+pub fn dist2_q8w(a: &[i32], b: &[u8], w: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    debug_assert_eq!(a.len(), w.len(), "weight dimension mismatch");
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let cw = w.chunks_exact(4);
+    let (ta, tb, tw) = (ca.remainder(), cb.remainder(), cw.remainder());
+    for ((xa, xb), xw) in ca.zip(cb).zip(cw) {
+        let d0 = (xa[0] as i64 - xb[0] as i64).pow(2) as f64;
+        let d1 = (xa[1] as i64 - xb[1] as i64).pow(2) as f64;
+        let d2 = (xa[2] as i64 - xb[2] as i64).pow(2) as f64;
+        let d3 = (xa[3] as i64 - xb[3] as i64).pow(2) as f64;
+        s0 += xw[0] * d0;
+        s1 += xw[1] * d1;
+        s2 += xw[2] * d2;
+        s3 += xw[3] * d3;
+    }
+    for ((x, y), wj) in ta.iter().zip(tb).zip(tw) {
+        let d = (*x as i64 - *y as i64).pow(2) as f64;
+        s0 += wj * d;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Magnitude cap on the wide query codes of the weighted q8 kernels.
+///
+/// With `|code| ≤ 2²⁵` the difference against a row code (`∈ [0, 255]`)
+/// stays below `2²⁶`, so its square is below `2⁵²` — exactly representable
+/// in f64, preserving the "`d²` is exact" premise of
+/// [`q8w_accum_slack`]. Queries that would encode beyond the cap are
+/// clamped to it; the residual reconstruction error is charged to the
+/// query displacement `r_q` by the encoder, so certification stays valid
+/// (such a query is ≥ `2²⁵` grid steps outside the block — pruning power
+/// there is irrelevant).
+pub const Q8W_CODE_CAP: i32 = 1 << 25;
+
+/// [`dist2_q8w`] with early abandon at the [`CHECKPOINT_LANES`] cadence,
+/// plus the checkpoint count (see [`dist2_bounded_depth`]).
+///
+/// Every term `w[j]·d²` is non-negative and IEEE addition is monotone, so
+/// a checkpoint above `bound` certifies the full sum would be too. An
+/// overflowed (`+∞`) running sum abandons safely as well: reaching `∞`
+/// requires the exact sum to exceed `f64::MAX / 2`, astronomically above
+/// any threshold derived from a finite pruning bound.
+#[inline]
+pub fn dist2_q8w_bounded_depth(a: &[i32], b: &[u8], w: &[f64], bound: f64) -> (Option<f64>, u64) {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    debug_assert_eq!(a.len(), w.len(), "weight dimension mismatch");
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    let mut cp = 0u64;
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let cw = w.chunks_exact(4);
+    let (ta, tb, tw) = (ca.remainder(), cb.remainder(), cw.remainder());
+    for ((xa, xb), xw) in ca.zip(cb).zip(cw) {
+        let d0 = (xa[0] as i64 - xb[0] as i64).pow(2) as f64;
+        let d1 = (xa[1] as i64 - xb[1] as i64).pow(2) as f64;
+        let d2 = (xa[2] as i64 - xb[2] as i64).pow(2) as f64;
+        let d3 = (xa[3] as i64 - xb[3] as i64).pow(2) as f64;
+        s0 += xw[0] * d0;
+        s1 += xw[1] * d1;
+        s2 += xw[2] * d2;
+        s3 += xw[3] * d3;
+        cp += 1;
+        if (s0 + s1) + (s2 + s3) > bound {
+            return (None, cp);
+        }
+    }
+    for ((x, y), wj) in ta.iter().zip(tb).zip(tw) {
+        let d = (*x as i64 - *y as i64).pow(2) as f64;
+        s0 += wj * d;
+    }
+    (Some((s0 + s1) + (s2 + s3)), cp)
+}
+
+/// [`dist2_q8w_bounded_depth`] without the depth counter.
+#[inline]
+pub fn dist2_q8w_bounded(a: &[i32], b: &[u8], w: &[f64], bound: f64) -> Option<f64> {
+    dist2_q8w_bounded_depth(a, b, w, bound).0
+}
+
+/// Scans a row-major q8 code block against one quantized query with the
+/// weighted per-dimension kernel, abandoning rows at `bound` and returning
+/// `(abandoned_rows, abandon_checkpoints)` (see
+/// [`dist2_batch_f32_bounded_depth`] for the accounting contract).
+///
+/// # Panics
+///
+/// Panics if `block.len() != out.len() * dim`, or the query or weight
+/// vector has the wrong dimension.
+pub fn dist2_batch_q8w_bounded_depth(
+    query: &[i32],
+    block: &[u8],
+    w: &[f64],
+    dim: usize,
+    bound: f64,
+    out: &mut [Option<f64>],
+) -> (u64, u64) {
+    assert!(dim > 0, "zero-dimensional block");
+    assert_eq!(query.len(), dim, "query dimension mismatch");
+    assert_eq!(w.len(), dim, "weight dimension mismatch");
+    assert_eq!(block.len(), out.len() * dim, "block/out shape mismatch");
+    let (mut rows, mut cps) = (0u64, 0u64);
+    for (row, slot) in block.chunks_exact(dim).zip(out.iter_mut()) {
+        let (s, cp) = dist2_q8w_bounded_depth(query, row, w, bound);
+        if s.is_none() {
+            rows += 1;
+            cps += cp;
+        }
+        *slot = s;
+    }
+    (rows, cps)
+}
+
 /// Relative padding applied wherever the certification helpers do f64
 /// arithmetic of their own (a handful of mul/add/sqrt roundings, each
 /// bounded by `ε₆₄ ≈ 2.2·10⁻¹⁶` relative).
@@ -526,6 +732,43 @@ pub const CERT_PAD: f64 = 1e-9;
 /// certifies nothing and callers should stay on f64.
 pub fn f32_accum_slack(dim: usize) -> f64 {
     2.0 * (dim + CHECKPOINT_LANES) as f64 * f32::EPSILON as f64
+}
+
+/// Relative forward-error budget of the weighted q8 accumulation in
+/// [`dist2_q8w`]: the computed sum `S` and the exact `σ = Σ w_j·d_j²`
+/// satisfy `|S − σ| ≤ q8w_accum_slack(dim) · σ`.
+///
+/// Per term: the weight itself carries one rounding (`scale_j²`), the
+/// product `w_j·d_j²` another (`d_j²` is an exact integer in f64), and the
+/// additions contribute a Higham chain of at most `dim` roundings per lane
+/// plus the cross-lane reduction — `4·(dim + CHECKPOINT_LANES)·ε₆₄` covers
+/// all of it with headroom (stated with the full machine epsilon, twice
+/// the unit roundoff).
+pub fn q8w_accum_slack(dim: usize) -> f64 {
+    4.0 * (dim + CHECKPOINT_LANES) as f64 * f64::EPSILON
+}
+
+/// The abandon bound for a **permuted** f64 filter scan certifying against
+/// a pruning radius `bound`: inflates the radius by [`CERT_PAD`] so that a
+/// row abandoned on the energy-permuted accumulation provably has
+/// **computed natural-order** [`dist2`] `≥ bound` as well.
+///
+/// Permuting coordinates re-orders the four-lane accumulation, so the
+/// permuted sum and the canonical natural-order sum differ by a relative
+/// `γ = 2·(dim + CHECKPOINT_LANES)·ε₆₄` each against the exact value. A
+/// permuted checkpoint `S_p > bound·(1+CERT_PAD)` gives exact
+/// `σ ≥ S_p/(1+γ) > bound·(1+CERT_PAD)/(1+γ)` and therefore computed
+/// natural `D ≥ σ·(1−γ) > bound·(1+CERT_PAD)·(1−γ)/(1+γ) ≥ bound` as long
+/// as `CERT_PAD ≥ ~2γ` — true for dimensions up to ~10⁶. Callers re-rank
+/// every survivor with the natural-order kernel, so answers stay
+/// bit-identical to a natural scan while abandons fire on the
+/// highest-variance lanes first.
+pub fn order_prune_bound(bound: f64) -> f64 {
+    if bound.is_finite() {
+        bound * (1.0 + CERT_PAD)
+    } else {
+        bound
+    }
 }
 
 /// Overestimate of the displacement `‖v − m‖₂` between a row and its f32
@@ -566,6 +809,47 @@ pub fn displacement_norm_q8(v: &[f64], codes: &[u8], min: f64, scale: f64) -> f6
     (s.sqrt() + fudge) * (1.0 + CERT_PAD)
 }
 
+/// Per-dimension-grid counterpart of [`displacement_norm_q8`]: the
+/// reconstruction of lane `j` is `mins[j] + codes[j]·scales[j]`, each lane
+/// on its own grid. Degenerate lanes (`scales[j] = 0`) reconstruct to
+/// `mins[j]` exactly.
+pub fn displacement_norm_q8w(v: &[f64], codes: &[u8], mins: &[f64], scales: &[f64]) -> f64 {
+    debug_assert_eq!(v.len(), codes.len(), "dimension mismatch");
+    debug_assert_eq!(v.len(), mins.len(), "grid dimension mismatch");
+    debug_assert_eq!(v.len(), scales.len(), "grid dimension mismatch");
+    let mut s = 0.0f64;
+    let mut amax = 0.0f64;
+    for (j, (x, c)) in v.iter().zip(codes).enumerate() {
+        let r = mins[j] + *c as f64 * scales[j];
+        amax = amax.max(r.abs()).max(x.abs());
+        let d = x - r;
+        s += d * d;
+    }
+    let fudge = 8.0 * f64::EPSILON * amax * (v.len() as f64).sqrt();
+    (s.sqrt() + fudge) * (1.0 + CERT_PAD)
+}
+
+/// [`displacement_norm_q8w`] for the **query** side's wide i32 codes (see
+/// [`Q8W_CODE_CAP`]): identical math, but codes may lie outside
+/// `[0, 255]`, so an in-range-per-lane query reconstructs within half a
+/// grid step even when it falls outside the block's bounding box — this is
+/// what keeps the q8 prune threshold tight on narrow per-leaf grids.
+pub fn displacement_norm_q8w_query(v: &[f64], codes: &[i32], mins: &[f64], scales: &[f64]) -> f64 {
+    debug_assert_eq!(v.len(), codes.len(), "dimension mismatch");
+    debug_assert_eq!(v.len(), mins.len(), "grid dimension mismatch");
+    debug_assert_eq!(v.len(), scales.len(), "grid dimension mismatch");
+    let mut s = 0.0f64;
+    let mut amax = 0.0f64;
+    for (j, (x, c)) in v.iter().zip(codes).enumerate() {
+        let r = mins[j] + *c as f64 * scales[j];
+        amax = amax.max(r.abs()).max(x.abs());
+        let d = x - r;
+        s += d * d;
+    }
+    let fudge = 8.0 * f64::EPSILON * amax * (v.len() as f64).sqrt();
+    (s.sqrt() + fudge) * (1.0 + CERT_PAD)
+}
+
 /// Certified lower bound on the **exact** squared f64 distance `‖q−x‖²`
 /// from the f32 kernel sum `s = dist2_f32(q̂, x̂)` and displacement
 /// overestimates `rq ≥ ‖q−q̂‖`, `rx ≥ ‖x−x̂‖`.
@@ -589,6 +873,22 @@ pub fn lb2_from_q8(s: u64, scale: f64, rq: f64, rx: f64) -> f64 {
     // ‖q̂−x̂‖ = scale·√s exactly in the reals; deflate the two roundings.
     let d_hat = scale * (s as f64).sqrt() / (1.0 + CERT_PAD);
     let lb = (d_hat - rq - rx).max(0.0);
+    (lb * lb) * (1.0 - CERT_PAD)
+}
+
+/// Certified lower bound on the exact squared f64 distance from the
+/// weighted per-dimension q8 kernel sum `s = dist2_q8w(q̂, x̂, w)` with
+/// displacement overestimates `rq`, `rx` from [`displacement_norm_q8w`].
+///
+/// Mirrors [`lb2_from_f32`]: the kernel sum is inexact (weighted f64
+/// accumulation), so it is deflated by [`q8w_accum_slack`] before the
+/// triangle-inequality step. Non-finite sums certify nothing.
+pub fn lb2_from_q8w(s: f64, rq: f64, rx: f64, dim: usize) -> f64 {
+    if !s.is_finite() {
+        return 0.0;
+    }
+    let sigma = s / ((1.0 + q8w_accum_slack(dim)) * (1.0 + CERT_PAD));
+    let lb = (sigma.sqrt() * (1.0 - CERT_PAD) - rq - rx).max(0.0);
     (lb * lb) * (1.0 - CERT_PAD)
 }
 
@@ -621,6 +921,21 @@ pub fn q8_prune_threshold(bound: f64, rq: f64, rx: f64, scale: f64) -> f64 {
     }
     let w = ((bound * (1.0 + CERT_PAD)).sqrt() + rq + rx) / scale;
     (w * w) * (1.0 + CERT_PAD)
+}
+
+/// Phase-1 prune threshold for the per-dimension q8 tier: a row whose
+/// weighted kernel sum `S` satisfies `S ≥ q8w_prune_threshold(...)` is
+/// certified to have computed f64 `dist2 ≥ bound` (see
+/// [`q8w_row_prunable`]). Same derivation as [`f32_prune_threshold`], with
+/// [`q8w_accum_slack`] as the accumulation-error budget. The threshold is
+/// the kernel's abandon bound directly — no cast step is needed, the sum
+/// is already f64.
+pub fn q8w_prune_threshold(bound: f64, rq: f64, rx: f64, dim: usize) -> f64 {
+    if !bound.is_finite() {
+        return f64::INFINITY;
+    }
+    let w = (bound * (1.0 + CERT_PAD)).sqrt() + rq + rx;
+    (1.0 + q8w_accum_slack(dim)) * (w * w) * (1.0 + CERT_PAD)
 }
 
 /// The f32 bound to feed [`dist2_f32_bounded`] for a phase-1 threshold `t`
@@ -676,6 +991,18 @@ pub fn q8_row_prunable(s: Option<u64>, t: f64) -> bool {
     match s {
         None => true,
         Some(v) => v as f64 >= t,
+    }
+}
+
+/// The certified phase-1 decision for one weighted q8-tier row. `None` is
+/// certified because [`dist2_q8w_bounded_depth`] abandons on `sum > t`
+/// with monotone non-negative accumulation (and an overflowed sum implies
+/// an exact sum beyond any finite threshold); finite `Some` compares
+/// against `t` in f64 directly.
+pub fn q8w_row_prunable(s: Option<f64>, t: f64) -> bool {
+    match s {
+        None => true,
+        Some(v) => v.is_finite() && v >= t,
     }
 }
 
@@ -934,5 +1261,172 @@ mod tests {
             let lb = lb2_from_q8(dist2_q8(&ca, &cb), scale, rq, rx);
             assert!(lb <= exact, "q8 dim {dim}: lb {lb} > exact {exact}");
         }
+    }
+
+    #[test]
+    fn depth_variants_are_bit_identical_and_count_checkpoints() {
+        for dim in [1usize, 3, 4, 5, 8, 13, 16, 32] {
+            let (a, b) = vecs(dim);
+            // Survivors: same value, checkpoints = full chunks.
+            let (s, cp) = dist2_bounded_depth(&a, &b, f64::INFINITY);
+            assert_eq!(s.unwrap().to_bits(), dist2(&a, &b).to_bits(), "dim {dim}");
+            assert_eq!(cp, (dim / CHECKPOINT_LANES) as u64, "dim {dim}");
+            let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+            let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+            let (s32, cp32) = dist2_f32_bounded_depth(&a32, &b32, f32::INFINITY);
+            assert_eq!(s32.unwrap().to_bits(), dist2_f32(&a32, &b32).to_bits());
+            assert_eq!(cp32, (dim / CHECKPOINT_LANES) as u64);
+        }
+        // An abandon reports the checkpoint it fired at: uniform mass means
+        // the very first checkpoint clears a tiny bound.
+        let big = vec![1.0f64; 32];
+        let zero = vec![0.0f64; 32];
+        assert_eq!(dist2_bounded_depth(&big, &zero, 1.0), (None, 1));
+        // Mass only in the last chunk: every earlier checkpoint survives.
+        let mut late = vec![0.0f64; 32];
+        late[31] = 10.0;
+        assert_eq!(dist2_bounded_depth(&late, &zero, 1.0), (None, 8));
+    }
+
+    #[test]
+    fn q8w_kernel_matches_naive_weighted_sum() {
+        for dim in [1usize, 3, 4, 5, 8, 13, 16, 31] {
+            // Query codes are wide i32 and may leave [0, 255].
+            let a: Vec<i32> = (0..dim).map(|i| (i as i32 * 37 % 600) - 100).collect();
+            let b: Vec<u8> = (0..dim).map(|i| (i * 91 % 256) as u8).collect();
+            let w: Vec<f64> = (0..dim).map(|i| ((i * 7 % 5) as f64) * 1e-4).collect();
+            let naive: f64 = a
+                .iter()
+                .zip(&b)
+                .zip(&w)
+                .map(|((&x, &y), &wj)| {
+                    let d = ((x as i64 - y as i64).pow(2)) as f64;
+                    wj * d
+                })
+                .sum();
+            let got = dist2_q8w(&a, &b, &w);
+            assert!(
+                (got - naive).abs() <= 1e-12 * naive.max(1.0),
+                "dim {dim}: {got} vs {naive}"
+            );
+            // Unbounded survival is bit-identical to the plain kernel, and
+            // the checkpoint cadence matches the other tiers.
+            let (s, cp) = dist2_q8w_bounded_depth(&a, &b, &w, f64::INFINITY);
+            assert_eq!(s.unwrap().to_bits(), got.to_bits(), "dim {dim}");
+            assert_eq!(cp, (dim / CHECKPOINT_LANES) as u64);
+            assert_eq!(dist2_q8w_bounded(&a, &b, &w, f64::INFINITY), Some(got));
+        }
+        // Abandon fires at the checkpoint, never in the tail.
+        let big = vec![200i32; CHECKPOINT_LANES * 2];
+        let zero = vec![0u8; CHECKPOINT_LANES * 2];
+        let w = vec![1.0f64; CHECKPOINT_LANES * 2];
+        assert_eq!(dist2_q8w_bounded(&big, &zero, &w, 10.0), None);
+        let mut tq = vec![0i32; CHECKPOINT_LANES + 1];
+        tq[CHECKPOINT_LANES] = 200;
+        let w = vec![1.0f64; CHECKPOINT_LANES + 1];
+        assert_eq!(
+            dist2_q8w_bounded(&tq, &vec![0u8; tq.len()], &w, 10.0),
+            Some(40_000.0)
+        );
+        // Wide codes at the cap stay exact: d² = (2²⁵ + 255)² round-trips
+        // through f64 with no rounding.
+        let far = vec![Q8W_CODE_CAP];
+        let row = vec![255u8];
+        let d = Q8W_CODE_CAP as i64 - 255;
+        assert_eq!(dist2_q8w(&[-255i32], &row, &[1.0]), (510i64 * 510) as f64);
+        assert_eq!(dist2_q8w(&far, &row, &[1.0]), (d * d) as f64);
+    }
+
+    #[test]
+    fn q8w_lower_bounds_stay_below_exact_distances() {
+        for dim in [1usize, 4, 7, 16] {
+            let (mut a, mut bq) = vecs(dim);
+            // Per-lane grids spanning both vectors, one degenerate lane
+            // forced equal so its scale collapses to zero.
+            a[0] = 0.5;
+            bq[0] = 0.5;
+            let mins: Vec<f64> = (0..dim).map(|j| a[j].min(bq[j])).collect();
+            let maxs: Vec<f64> = (0..dim).map(|j| a[j].max(bq[j])).collect();
+            let scales: Vec<f64> = mins
+                .iter()
+                .zip(&maxs)
+                .map(|(&lo, &hi)| if hi > lo { (hi - lo) / 255.0 } else { 0.0 })
+                .collect();
+            let w: Vec<f64> = scales.iter().map(|&s| s * s).collect();
+            let code = |v: f64, j: usize| {
+                if scales[j] > 0.0 {
+                    (((v - mins[j]) / scales[j]).round().clamp(0.0, 255.0)) as u8
+                } else {
+                    0
+                }
+            };
+            let qcode = |v: f64, j: usize| -> i32 {
+                if scales[j] > 0.0 {
+                    ((v - mins[j]) / scales[j])
+                        .round()
+                        .clamp(-(Q8W_CODE_CAP as f64), Q8W_CODE_CAP as f64)
+                        as i32
+                } else {
+                    0
+                }
+            };
+            let ca: Vec<i32> = a.iter().enumerate().map(|(j, &v)| qcode(v, j)).collect();
+            let cb: Vec<u8> = bq.iter().enumerate().map(|(j, &v)| code(v, j)).collect();
+            let rq = displacement_norm_q8w_query(&a, &ca, &mins, &scales);
+            let rx = displacement_norm_q8w(&bq, &cb, &mins, &scales);
+            let exact = dist2(&a, &bq);
+            let lb = lb2_from_q8w(dist2_q8w(&ca, &cb, &w), rq, rx, dim);
+            assert!(lb <= exact, "q8w dim {dim}: lb {lb} > exact {exact}");
+            // The prune threshold is safe: a certified row really is ≥ the
+            // bound that produced the threshold.
+            let bound = exact * 0.5;
+            let t = q8w_prune_threshold(bound, rq, rx, dim);
+            let s = dist2_q8w(&ca, &cb, &w);
+            if q8w_row_prunable(Some(s), t) {
+                assert!(exact >= bound, "q8w dim {dim}: false prune");
+            }
+        }
+    }
+
+    /// Pins the tentpole's certification claim: the per-block radii, the
+    /// prune thresholds and the abandon logic are all **permutation
+    /// invariant** — the same multiset of coordinates in any lane order
+    /// yields valid certificates, because the radii are inflated
+    /// overestimates of order-independent real norms and the thresholds
+    /// only consume those radii plus the dimension. A row pruned on the
+    /// permuted layout is therefore provably `≥ bound` in natural order.
+    #[test]
+    fn certification_is_permutation_invariant() {
+        let dim = 16;
+        let (a, b) = vecs(dim);
+        // An "energy" permutation: reverse order (any permutation works).
+        let perm: Vec<usize> = (0..dim).rev().collect();
+        let pa: Vec<f64> = perm.iter().map(|&p| a[p]).collect();
+        let pb: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+        let natural = dist2(&a, &b);
+        let permuted = dist2(&pa, &pb);
+        // Not bit-identical in general — that is exactly why the energy
+        // scan is a certified *filter*, not a re-ordered answer path.
+        assert!((natural - permuted).abs() <= 1e-12 * natural.max(1.0));
+        // An abandon under the padded bound certifies the natural kernel
+        // value is ≥ the unpadded bound.
+        for frac in [0.1, 0.5, 0.9, 0.999] {
+            let bound = natural * frac;
+            if dist2_bounded(&pa, &pb, order_prune_bound(bound)).is_none() {
+                assert!(natural >= bound, "frac {frac}: false permuted prune");
+            }
+        }
+        // Infinite bounds pass through untouched (abandon disabled).
+        assert_eq!(order_prune_bound(f64::INFINITY), f64::INFINITY);
+        // f32 certification survives permutation: permuted mirrors +
+        // natural-order radii still lower-bound the exact distance.
+        let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+        let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+        let pa32: Vec<f32> = perm.iter().map(|&p| a32[p]).collect();
+        let pb32: Vec<f32> = perm.iter().map(|&p| b32[p]).collect();
+        let rq = displacement_norm_f32(&a, &a32);
+        let rx = displacement_norm_f32(&b, &b32);
+        let lb = lb2_from_f32(dist2_f32(&pa32, &pb32), rq, rx, dim);
+        assert!(lb <= natural, "permuted f32 lb {lb} > exact {natural}");
     }
 }

@@ -1,6 +1,6 @@
 //! Engine configuration.
 
-use parsim_index::{KnnAlgorithm, ScanTier, TreeVariant};
+use parsim_index::{KnnAlgorithm, ScanOrder, ScanTier, TreeVariant};
 use parsim_storage::DiskModel;
 
 /// How the quadrant split values are chosen.
@@ -32,6 +32,15 @@ pub struct EngineConfig {
     /// tiers return bit-identical answers; individual queries can override
     /// via [`crate::QueryOptions::with_tier`].
     pub tier: ScanTier,
+    /// Coordinate layout of leaf scans (default: [`ScanOrder::Natural`]).
+    /// [`ScanOrder::Energy`] stores leaf rows with coordinates permuted by
+    /// descending per-leaf variance so bounded scans abandon earlier; the
+    /// layout is recomputed on every bulk load and
+    /// [`crate::ParallelKnnEngine::reorganize`] rebuild. Answers stay
+    /// bit-identical (see `DESIGN.md`, "Scan order"); individual queries
+    /// can override the *scan-side* knob via
+    /// [`crate::QueryOptions::with_order`].
+    pub order: ScanOrder,
     /// Disk service-time model.
     pub disk_model: DiskModel,
 }
@@ -46,6 +55,7 @@ impl EngineConfig {
             algorithm: KnnAlgorithm::Rkv,
             splits: SplitStrategy::DataMedian,
             tier: ScanTier::F64,
+            order: ScanOrder::Natural,
             disk_model: DiskModel::hp_workstation_1997(),
         }
     }
@@ -62,6 +72,7 @@ mod tests {
         assert_eq!(c.algorithm, KnnAlgorithm::Rkv);
         assert_eq!(c.splits, SplitStrategy::DataMedian);
         assert_eq!(c.tier, ScanTier::F64);
+        assert_eq!(c.order, ScanOrder::Natural);
         assert!(matches!(c.variant, TreeVariant::XTree { .. }));
     }
 }

@@ -28,11 +28,12 @@ use parsim_decluster::replica::ReplicaRouting;
 use parsim_decluster::Declusterer;
 use parsim_geometry::{Point, QuadrantSplitter};
 use parsim_index::knn::{
-    forest_itinerary, forest_knn_traced_tiered, ForestCursor, Neighbor, ScanTier, SearchStats,
+    forest_itinerary, forest_knn_traced_ordered, ForestCursor, Neighbor, ScanTier, SearchStats,
     SharedBound,
 };
 use parsim_index::{
-    CachingSink, CoalescingSink, DiskSink, KnnAlgorithm, NodeSink, SpatialTree, TreeParams,
+    CachingSink, CoalescingSink, DiskSink, KnnAlgorithm, NodeSink, ScanOrder, SpatialTree,
+    TreeParams,
 };
 use parsim_storage::{DiskArray, DiskModel, FaultInjector, FaultKind, QueryCost};
 
@@ -172,6 +173,8 @@ pub(crate) struct DegradedState {
     /// Leaf-scan precision tier; rides in the state so primary and
     /// failover searches of one query always scan at the same tier.
     pub(crate) tier: ScanTier,
+    /// Scan-order knob; rides along for the same reason as the tier.
+    pub(crate) order: ScanOrder,
     pub(crate) bound: SharedBound,
     pub(crate) extra_time: Vec<Duration>,
     pub(crate) candidates: Vec<Vec<Neighbor>>,
@@ -193,11 +196,13 @@ impl DegradedState {
         timeout: Option<Duration>,
         retry: RetryPolicy,
         tier: ScanTier,
+        order: ScanOrder,
     ) -> Self {
         DegradedState {
             timeout,
             retry,
             tier,
+            order,
             bound: SharedBound::new(),
             extra_time: vec![Duration::ZERO; disks],
             candidates: vec![Vec::new(); disks],
@@ -253,10 +258,11 @@ impl EngineCore {
         query: &Point,
         k: usize,
         tier: ScanTier,
+        order: ScanOrder,
     ) -> (Vec<Neighbor>, Vec<SearchStats>) {
         let guards: Vec<_> = self.trees.iter().map(|t| t.read()).collect();
         let refs: Vec<&SpatialTree> = guards.iter().map(|g| &**g).collect();
-        forest_knn_traced_tiered(&refs, query, k, self.config.algorithm, tier)
+        forest_knn_traced_ordered(&refs, query, k, self.config.algorithm, tier, order)
     }
 
     /// The RKV itinerary of the current trees (see
@@ -287,10 +293,16 @@ impl EngineCore {
         k: usize,
         bound: &SharedBound,
         tier: ScanTier,
+        order: ScanOrder,
     ) -> (Vec<Neighbor>, SearchStats) {
-        self.trees[disk]
-            .read()
-            .knn_traced_tiered(query, k, KnnAlgorithm::Hs, Some(bound), tier)
+        self.trees[disk].read().knn_traced_ordered(
+            query,
+            k,
+            KnnAlgorithm::Hs,
+            Some(bound),
+            tier,
+            order,
+        )
     }
 
     /// The degraded primary step of one disk: skip it if hard-failed,
@@ -309,12 +321,13 @@ impl EngineCore {
             state.down.push(disk);
             return;
         }
-        let (cands, s) = self.trees[disk].read().knn_traced_tiered(
+        let (cands, s) = self.trees[disk].read().knn_traced_ordered(
             query,
             k,
             self.config.algorithm,
             Some(&state.bound),
             state.tier,
+            state.order,
         );
         stats[disk].merge(s);
         let mut alive = true;
@@ -385,12 +398,13 @@ impl EngineCore {
         let (cands, s) = {
             let mirrors = self.mirrors[d].read();
             let mirror = mirrors.get(&host).expect("planned failover host exists");
-            mirror.knn_traced_tiered(
+            mirror.knn_traced_ordered(
                 query,
                 k,
                 self.config.algorithm,
                 Some(&state.bound),
                 state.tier,
+                state.order,
             )
         };
         if matches!(faults.fault(host), Some(FaultKind::Flaky { .. })) {
@@ -521,7 +535,8 @@ impl EngineInner {
         let mut trees = Vec::with_capacity(disks);
         for (i, part) in partitions.into_iter().enumerate() {
             let params = TreeParams::for_dim(config.dim, config.variant)
-                .map_err(|e| EngineError::Internal(e.to_string()))?;
+                .map_err(|e| EngineError::Internal(e.to_string()))?
+                .with_scan_order(config.order);
             let mut tree = SpatialTree::bulk_load(params, part)
                 .map_err(|e| EngineError::Internal(e.to_string()))?
                 .with_disk(Arc::clone(array.disk(i)));
@@ -550,7 +565,8 @@ impl EngineInner {
             let mut per_host = BTreeMap::new();
             for (host, part) in parts {
                 let params = TreeParams::for_dim(config.dim, config.variant)
-                    .map_err(|e| EngineError::Internal(e.to_string()))?;
+                    .map_err(|e| EngineError::Internal(e.to_string()))?
+                    .with_scan_order(config.order);
                 let tree = SpatialTree::bulk_load(params, part)
                     .map_err(|e| EngineError::Internal(e.to_string()))?
                     .with_disk(Arc::clone(array.disk(host)));
@@ -599,6 +615,7 @@ impl EngineInner {
     ) -> Result<PendingQuery, EngineError> {
         let (timeout, retry) = self.resolve_policy(opts);
         let tier = opts.tier.unwrap_or(self.core.config.tier);
+        let order = opts.order.unwrap_or(self.core.config.order);
         let k = opts.k + overlay.as_ref().map_or(0, QueryOverlay::extra_k);
         let degraded = timeout.is_some() || self.core.array.faults().any_armed();
         let model = *self.core.array.model();
@@ -608,9 +625,9 @@ impl EngineInner {
         let Some(pool) = &self.pool else {
             // Scoped: answer now, return an already-complete handle.
             let answer = if degraded {
-                self.knn_degraded(query, k, timeout, &retry, tier)
+                self.knn_degraded(query, k, timeout, &retry, tier, order)
             } else {
-                Ok(self.knn_healthy(query, k, tier))
+                Ok(self.knn_healthy(query, k, tier, order))
             };
             if let Some(m) = &self.core.metrics {
                 match &answer {
@@ -630,7 +647,7 @@ impl EngineInner {
             (
                 0,
                 Stage::Degraded {
-                    state: DegradedState::new(n, timeout, retry, tier),
+                    state: DegradedState::new(n, timeout, retry, tier, order),
                     phase: Phase::Primaries { next: 0 },
                 },
             )
@@ -654,7 +671,7 @@ impl EngineInner {
                     (
                         first,
                         Stage::Rkv {
-                            cursor: ForestCursor::with_tier(k, tier),
+                            cursor: ForestCursor::with_tier_order(k, tier, order),
                             itinerary,
                             pos: 0,
                         },
@@ -690,6 +707,7 @@ impl EngineInner {
                 query: query.clone(),
                 k,
                 tier,
+                order,
                 stats: vec![SearchStats::default(); n],
                 start,
                 stage,
@@ -715,7 +733,13 @@ impl EngineInner {
 
     /// The scoped healthy fast path: one scoped thread per disk, shared
     /// pruning bound, exact per-query trace — the paper's Var. 3 search.
-    fn knn_healthy(&self, query: &Point, k: usize, tier: ScanTier) -> (Vec<Neighbor>, QueryTrace) {
+    fn knn_healthy(
+        &self,
+        query: &Point,
+        k: usize,
+        tier: ScanTier,
+        order: ScanOrder,
+    ) -> (Vec<Neighbor>, QueryTrace) {
         let algorithm = self.core.config.algorithm;
         let start = Instant::now();
         let shared = SharedBound::new();
@@ -729,8 +753,14 @@ impl EngineInner {
                 .iter()
                 .map(|tree| {
                     s.spawn(move || {
-                        tree.read()
-                            .knn_traced_tiered(query, k, algorithm, Some(shared), tier)
+                        tree.read().knn_traced_ordered(
+                            query,
+                            k,
+                            algorithm,
+                            Some(shared),
+                            tier,
+                            order,
+                        )
                     })
                 })
                 .collect();
@@ -751,6 +781,7 @@ impl EngineInner {
     /// [`EngineCore::degraded_failover`]), driven sequentially so the
     /// retry draws — and therefore the whole trace — are deterministic
     /// for a given injector seed.
+    #[allow(clippy::too_many_arguments)]
     fn knn_degraded(
         &self,
         query: &Point,
@@ -758,12 +789,13 @@ impl EngineInner {
         timeout: Option<Duration>,
         retry: &RetryPolicy,
         tier: ScanTier,
+        order: ScanOrder,
     ) -> Result<(Vec<Neighbor>, QueryTrace), EngineError> {
         let core = &self.core;
         let n = core.trees.len();
         let start = Instant::now();
         let mut stats = vec![SearchStats::default(); n];
-        let mut state = DegradedState::new(n, timeout, *retry, tier);
+        let mut state = DegradedState::new(n, timeout, *retry, tier, order);
         for disk in 0..n {
             core.degraded_primary(disk, query, k, &mut state, &mut stats);
         }
@@ -913,6 +945,10 @@ impl EngineShared {
         items.extend(live);
         items.sort_by_key(|&(_, item)| item);
         let total_points = items.len();
+        // The ids going into the new index, sorted (items is) — consulted
+        // by the journal replay below to drop tombstones for ids the
+        // rebuild already purged.
+        let new_ids: Vec<u64> = items.iter().map(|&(_, item)| item).collect();
 
         let replicated = replica_router.is_some();
         let built = (move || -> Result<EngineInner, EngineError> {
@@ -970,8 +1006,17 @@ impl EngineShared {
                         delta.apply_insert(point, item, disk);
                     }
                     DeltaOp::Remove(item) => {
-                        let d = Arc::clone(&inner.declusterer);
-                        delta.apply_remove(item, &|id, p| d.assign(id, p));
+                        // A journaled remove may target an id the rebuild
+                        // already purged (tombstoned before the build
+                        // began, re-removed during it). Replaying it would
+                        // lay a tombstone that masks nothing and
+                        // undercount `len()` until the next rebuild —
+                        // replay only when the id still exists, in the
+                        // new index or as a just-replayed buffered insert.
+                        if delta.contains_live(item) || new_ids.binary_search(&item).is_ok() {
+                            let d = Arc::clone(&inner.declusterer);
+                            delta.apply_remove(item, &|id, p| d.assign(id, p));
+                        }
                     }
                 }
             }
@@ -1123,10 +1168,9 @@ impl ParallelKnnEngine {
     }
 
     /// Total number of logically present points: main-index primaries
-    /// plus buffered inserts, minus tombstones. (A tombstone replayed
-    /// for an id that was already purged — possible only for a remove
-    /// re-removed across a rebuild swap — can undercount by one until
-    /// the next rebuild.)
+    /// plus buffered inserts, minus tombstones. Exact at every instant:
+    /// the rebuild's journal replay drops removes whose id the rebuild
+    /// already purged, so every tombstone masks a present point.
     pub fn len(&self) -> usize {
         let inner = self.shared.inner.read();
         let main: usize = inner.core.trees.iter().map(|t| t.read().len()).sum();
@@ -1464,6 +1508,7 @@ impl ParallelKnnEngine {
         }
         let (timeout, retry) = inner.resolve_policy(opts);
         let tier = opts.tier.unwrap_or(inner.core.config.tier);
+        let order = opts.order.unwrap_or(inner.core.config.order);
         let degraded = timeout.is_some() || inner.core.array.faults().any_armed();
         let model = *inner.core.array.model();
         let next = AtomicUsize::new(0);
@@ -1494,10 +1539,10 @@ impl ParallelKnnEngine {
                             let overlay = shared.overlay_for(&queries[i], opts.k);
                             let k = opts.k + overlay.as_ref().map_or(0, QueryOverlay::extra_k);
                             let answer = if degraded {
-                                inner_ref.knn_degraded(&queries[i], k, timeout, retry, tier)
+                                inner_ref.knn_degraded(&queries[i], k, timeout, retry, tier, order)
                             } else {
                                 let start = Instant::now();
-                                let (res, stats) = core.forest_search(&queries[i], k, tier);
+                                let (res, stats) = core.forest_search(&queries[i], k, tier, order);
                                 let trace = QueryTrace::from_stats(&stats, start.elapsed(), &model);
                                 Ok((res, trace))
                             };
@@ -2004,6 +2049,119 @@ mod tests {
         metered.knn(&q, 5).unwrap();
         let s = metered.metrics().expect("still enabled").snapshot();
         assert_eq!(s.counter_total("parsim_queries_started_total"), 2);
+    }
+
+    #[test]
+    fn a_remove_replayed_across_the_swap_does_not_undercount_len() {
+        // Regression: a remove journaled mid-rebuild for an id the rebuild
+        // already purged used to replay as a tombstone over nothing,
+        // undercounting len() by one until the next rebuild.
+        let pts = UniformGenerator::new(3).generate(40, 5);
+        let e = ParallelKnnEngine::builder(3)
+            .disks(2)
+            .ingest(IngestConfig::new(64))
+            .build(&pts)
+            .unwrap();
+        e.remove(7).unwrap();
+        assert_eq!(e.len(), 39);
+        let decl = e.declusterer();
+        let shared = Arc::clone(&e.shared);
+        // Pin the capture window open: the swap needs the inner write
+        // lock, so holding a read guard parks the rebuild right before
+        // its journal replay — however fast the build itself is.
+        let pin = e.shared.inner.read();
+        let rebuild = std::thread::spawn(move || EngineShared::rebuild(&shared).unwrap());
+        // Wait for the capture window to open (the rebuild only needs
+        // the delta lock to get there), then land the racing second
+        // remove exactly as `remove(7)` would.
+        loop {
+            let mut delta = e.shared.delta.lock();
+            if delta.capturing() {
+                delta.apply_remove(7, &|id, p| decl.assign(id, p));
+                break;
+            }
+            drop(delta);
+            std::thread::yield_now();
+        }
+        drop(pin);
+        rebuild.join().unwrap();
+        // The replay must drop the stale remove: 39 points, no tombstone.
+        assert_eq!(e.len(), 39);
+        assert_eq!(e.delta_size(), 0);
+        let (res, _) = e.knn(&pts[7], 1).unwrap();
+        assert!(res[0].item != 7);
+        // A remove racing the swap for an id the rebuild KEPT still lands.
+        e.remove(8).unwrap();
+        assert_eq!(e.len(), 38);
+        e.reorganize().unwrap();
+        assert_eq!(e.len(), 38);
+    }
+
+    #[test]
+    fn energy_scan_order_is_bit_identical_through_the_engine() {
+        use parsim_index::ScanOrder;
+        let pts = UniformGenerator::new(8).generate(2000, 17);
+        let nat = ParallelKnnEngine::builder(8).disks(8).build(&pts).unwrap();
+        let cfg = EngineConfig {
+            order: ScanOrder::Energy,
+            ..EngineConfig::paper_defaults(8)
+        };
+        let en = ParallelKnnEngine::builder(8)
+            .config(cfg)
+            .disks(8)
+            .build(&pts)
+            .unwrap();
+        assert_eq!(en.config().order, ScanOrder::Energy);
+        for q in UniformGenerator::new(8).generate(8, 18) {
+            for tier in [ScanTier::F64, ScanTier::F32, ScanTier::Q8] {
+                // Scoped batch at one worker: the only scoped path with
+                // deterministic work counters (the single-query path races
+                // per-disk threads on the shared bound).
+                let opts = QueryOptions::traced(10).with_tier(tier).with_workers(1);
+                let a = nat
+                    .query_batch(std::slice::from_ref(&q), &opts)
+                    .unwrap()
+                    .pop()
+                    .unwrap();
+                let b = en
+                    .query_batch(std::slice::from_ref(&q), &opts)
+                    .unwrap()
+                    .pop()
+                    .unwrap();
+                assert_eq!(a.neighbors.len(), b.neighbors.len());
+                for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+                    assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "{tier:?}");
+                    assert_eq!(x.item, y.item, "{tier:?}");
+                }
+                // Page traces match too: the permutation never changes
+                // which nodes are visited.
+                let (ta, tb) = (a.trace.unwrap(), b.trace.unwrap());
+                assert_eq!(ta.per_disk_pages, tb.per_disk_pages, "{tier:?}");
+            }
+        }
+        // The energy engine abandons rows on the f64 tier and surfaces
+        // checkpoint depth in the trace.
+        let q = Point::new(vec![0.5; 8]).unwrap();
+        let r = en
+            .query_batch(
+                std::slice::from_ref(&q),
+                &QueryOptions::traced(10)
+                    .with_order(ScanOrder::Energy)
+                    .with_workers(1),
+            )
+            .unwrap()
+            .pop()
+            .unwrap();
+        let t = r.trace.unwrap();
+        assert!(t.abandoned_rows > 0, "energy f64 filter never abandoned");
+        assert!(t.abandon_checkpoints >= t.abandoned_rows);
+        // Reorganize recomputes the energy layout; answers stay identical.
+        en.reorganize().unwrap();
+        for q in UniformGenerator::new(8).generate(4, 19) {
+            let a = nat.query(&q, &QueryOptions::new(10)).unwrap();
+            let b = en.query(&q, &QueryOptions::new(10)).unwrap();
+            assert_eq!(a.neighbors, b.neighbors);
+        }
     }
 
     #[test]

@@ -210,6 +210,13 @@ impl DeltaState {
     pub(crate) fn end_rebuild(&mut self) -> Vec<DeltaOp> {
         self.log.end_capture()
     }
+
+    /// True while a rebuild's journal-capture window is open. Used by
+    /// the swap-race regression test to land a remove inside the window.
+    #[cfg(test)]
+    pub(crate) fn capturing(&self) -> bool {
+        self.log.is_capturing()
+    }
 }
 
 /// The delta view a query merges into its main-index answer, snapshotted

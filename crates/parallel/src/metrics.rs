@@ -76,6 +76,16 @@ pub struct QueryTrace {
     /// also counts into [`QueryTrace::dist_evals`]). Zero on
     /// [`parsim_index::ScanTier::F64`].
     pub rerank_evals: u64,
+    /// Rows a bounded distance kernel abandoned mid-scan, on any tier
+    /// (a subset of [`QueryTrace::dist_evals_saved`]; lower-bound filters
+    /// that never start a kernel do not count here).
+    pub abandoned_rows: u64,
+    /// 4-coordinate checkpoints those abandoned rows executed before the
+    /// partial sum crossed the bound. The mean abandon depth in
+    /// coordinates is `4 × abandon_checkpoints / abandoned_rows` — the
+    /// figure the energy scan order ([`parsim_index::ScanOrder`]) is
+    /// designed to shrink.
+    pub abandon_checkpoints: u64,
     /// Measured wall-clock time of the query on the host.
     pub wall_time: Duration,
     /// Modeled parallel service time: all disks read concurrently, the
@@ -104,6 +114,8 @@ impl QueryTrace {
             dist_evals_saved: stats.iter().map(|s| s.dist_evals_saved).sum(),
             lb_evals: stats.iter().map(|s| s.lb_evals).sum(),
             rerank_evals: stats.iter().map(|s| s.rerank_evals).sum(),
+            abandoned_rows: stats.iter().map(|s| s.abandoned_rows).sum(),
+            abandon_checkpoints: stats.iter().map(|s| s.abandon_checkpoints).sum(),
             wall_time,
             modeled_parallel: model.service_time(max),
             modeled_sequential: model.service_time(total),

@@ -47,6 +47,8 @@ pub struct EngineMetrics {
     dist_evals_saved: Arc<Counter>,
     lb_evals: Arc<Counter>,
     rerank_evals: Arc<Counter>,
+    abandoned_rows: Arc<Counter>,
+    abandon_checkpoints: Arc<Counter>,
     cache_hits: Arc<Counter>,
     retries: Arc<Counter>,
     replica_pages: Arc<Counter>,
@@ -127,6 +129,16 @@ impl EngineMetrics {
         let rerank_evals = r.counter(
             "parsim_rerank_evals_total",
             "Phase-1 survivors re-ranked by the exact f64 batch kernel",
+            &[],
+        );
+        let abandoned_rows = r.counter(
+            "parsim_abandoned_rows_total",
+            "Rows abandoned mid-scan by a bounded distance kernel",
+            &[],
+        );
+        let abandon_checkpoints = r.counter(
+            "parsim_abandon_checkpoints_total",
+            "4-coordinate checkpoints executed by abandoned rows before the bound was crossed",
             &[],
         );
         let cache_hits = r.counter(
@@ -308,6 +320,8 @@ impl EngineMetrics {
             dist_evals_saved,
             lb_evals,
             rerank_evals,
+            abandoned_rows,
+            abandon_checkpoints,
             cache_hits,
             retries,
             replica_pages,
@@ -362,6 +376,8 @@ impl EngineMetrics {
         self.dist_evals_saved.add(trace.dist_evals_saved);
         self.lb_evals.add(trace.lb_evals);
         self.rerank_evals.add(trace.rerank_evals);
+        self.abandoned_rows.add(trace.abandoned_rows);
+        self.abandon_checkpoints.add(trace.abandon_checkpoints);
         self.cache_hits.add(trace.cache_hits);
         for (disk, &c) in trace.per_disk_coalesced.iter().enumerate() {
             if c > 0 {
@@ -464,6 +480,8 @@ mod tests {
             dist_evals_saved: 10,
             lb_evals: 25,
             rerank_evals: 15,
+            abandoned_rows: 6,
+            abandon_checkpoints: 9,
             wall_time: Duration::from_millis(1),
             modeled_parallel: model.service_time(max),
             modeled_sequential: Duration::ZERO,
@@ -490,6 +508,8 @@ mod tests {
         assert_eq!(s.counter_total("parsim_dist_evals_total"), 80);
         assert_eq!(s.counter_total("parsim_lb_evals_total"), 50);
         assert_eq!(s.counter_total("parsim_rerank_evals_total"), 30);
+        assert_eq!(s.counter_total("parsim_abandoned_rows_total"), 12);
+        assert_eq!(s.counter_total("parsim_abandon_checkpoints_total"), 18);
         assert_eq!(s.counter_total("parsim_query_cache_hits_total"), 4);
         assert_eq!(s.counter_total("parsim_queries_degraded_total"), 0);
         let h = s

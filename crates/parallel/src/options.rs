@@ -10,6 +10,7 @@
 use std::time::Duration;
 
 use parsim_index::knn::{Neighbor, ScanTier};
+use parsim_index::ScanOrder;
 use parsim_storage::QueryCost;
 
 use crate::metrics::QueryTrace;
@@ -134,6 +135,13 @@ pub struct QueryOptions {
     /// kernel work for certified low-precision lower-bound work (see
     /// `docs/TUNING.md`).
     pub tier: Option<ScanTier>,
+    /// Scan-order knob for this query; overrides the engine's
+    /// [`crate::EngineConfig::order`] when set. This only controls whether
+    /// the f64 tier runs the certified permuted filter on energy-laid-out
+    /// leaves — the physical layout is fixed at build/rebuild time by the
+    /// engine config, and leaves stored naturally scan naturally under
+    /// either setting. Answers are bit-identical either way.
+    pub order: Option<ScanOrder>,
 }
 
 impl QueryOptions {
@@ -147,6 +155,7 @@ impl QueryOptions {
             workers: None,
             deadline: None,
             tier: None,
+            order: None,
         }
     }
 
@@ -193,6 +202,12 @@ impl QueryOptions {
         self.tier = Some(tier);
         self
     }
+
+    /// Sets the leaf-scan order knob for this query.
+    pub fn with_order(mut self, order: ScanOrder) -> Self {
+        self.order = Some(order);
+        self
+    }
 }
 
 /// The answer to one query: the neighbors, the classic per-disk page cost,
@@ -228,11 +243,14 @@ mod tests {
             .with_workers(4)
             .with_deadline(Duration::from_millis(9))
             .with_tier(ScanTier::Q8)
+            .with_order(ScanOrder::Energy)
             .with_trace(true);
         assert_eq!(o.k, 5);
         assert!(o.trace);
         assert_eq!(o.tier, Some(ScanTier::Q8));
+        assert_eq!(o.order, Some(ScanOrder::Energy));
         assert_eq!(QueryOptions::new(3).tier, None);
+        assert_eq!(QueryOptions::new(3).order, None);
         assert_eq!(o.timeout, Some(Duration::from_millis(80)));
         assert_eq!(o.retry, Some(RetryPolicy::none()));
         assert_eq!(o.workers, Some(4));

@@ -29,6 +29,7 @@ use std::time::Instant;
 
 use parsim_geometry::Point;
 use parsim_index::knn::{ForestCursor, Neighbor, ScanTier, SearchStats, SharedBound};
+use parsim_index::ScanOrder;
 use parsim_storage::DiskModel;
 
 use crate::engine::{merge_candidates, DegradedState, EngineCore, TracedAnswer};
@@ -49,6 +50,8 @@ pub(crate) struct QueryTask {
     /// Leaf-scan precision tier (the RKV cursor and degraded state carry
     /// their own copy; this one feeds the HS per-disk searches).
     pub(crate) tier: ScanTier,
+    /// Scan-order knob, carried alongside the tier for the same reason.
+    pub(crate) order: ScanOrder,
     /// Per-disk work counters, accumulated as the task hops.
     pub(crate) stats: Vec<SearchStats>,
     /// Submission instant (the trace's wall time spans queueing too).
@@ -447,7 +450,8 @@ fn step(core: &EngineCore, disk: usize, mut task: Box<QueryTask>) -> Outcome {
                     forward = Some(*next);
                     break;
                 }
-                let (cands, s) = core.hs_visit(disk, &task.query, task.k, bound, task.tier);
+                let (cands, s) =
+                    core.hs_visit(disk, &task.query, task.k, bound, task.tier, task.order);
                 task.stats[disk].merge(s);
                 candidates[disk] = cands;
                 *next += 1;
