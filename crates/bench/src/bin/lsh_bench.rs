@@ -1,0 +1,45 @@
+//! Regenerates `BENCH_pr10.json` — the approximate-tier benchmark record
+//! (recall@10 vs modeled-QPS frontier of the declustered LSH backend
+//! against the exact engine, with the acceptance bar recall ≥ 0.9 at
+//! ≥ 2× exact QPS asserted in-measure). See EXPERIMENTS.md for the
+//! format.
+//!
+//! ```sh
+//! cargo run --release -p parsim-bench --bin lsh_bench -- BENCH_pr10.json
+//! cargo run --release -p parsim-bench --bin lsh_bench -- out.json --scale 0.5
+//! ```
+
+use parsim_bench::experiments::ext15;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut scale = 1.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --scale needs a number");
+                    std::process::exit(2);
+                });
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let path = path.unwrap_or_else(|| "BENCH_pr10.json".to_string());
+    let m = ext15::measure(scale);
+    let json = ext15::to_json(&m, scale);
+    std::fs::write(&path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    print!("{json}");
+    eprintln!("written to {path}");
+}

@@ -7,7 +7,7 @@ use super::*;
 
 #[test]
 fn dispatcher_covers_all_and_rejects_unknown() {
-    assert_eq!(ALL.len(), 26);
+    assert_eq!(ALL.len(), 27);
     assert!(run("nonsense", 1.0).is_none());
     assert!(run("fig99", 1.0).is_none());
 }
@@ -306,6 +306,55 @@ fn ext14_energy_order_abandons_earlier_and_stays_exact() {
     let report = run("ext14", 0.05).expect("ext14");
     assert_eq!(report.rows.len(), 18);
     assert!(report.notes[0].contains("abandon depth"));
+}
+
+#[test]
+fn ext15_frontier_is_sound_and_monotone_in_probes() {
+    let m = ext15::measure(0.05);
+    // 3 datasets x (1 exact + 4 probe widths). The 2x-at-recall-0.9
+    // acceptance bar is asserted inside measure() at benchmark scale
+    // (the committed BENCH_pr10.json); this smoke scale sits below the
+    // disk-bound threshold and checks the harness itself.
+    assert_eq!(m.rows.len(), 15);
+    for r in &m.rows {
+        assert!((0.0..=1.0).contains(&r.recall), "recall out of range");
+        assert!(r.modeled_qps > 0.0, "modeled QPS must be positive");
+        if r.mode == "exact" {
+            assert_eq!(r.probes, 0);
+            assert_eq!(r.lsh_probes, 0);
+            assert_eq!(r.lsh_candidates, 0);
+            assert!(r.recall >= 0.9, "{}: exact recall {}", r.dataset, r.recall);
+        } else {
+            // Every probe is attempted on every table for every query,
+            // and every unique candidate gets exactly one f64 kernel.
+            assert_eq!(r.lsh_probes, (m.queries * m.tables * r.probes) as u64);
+            assert_eq!(r.lsh_candidates, r.dist_evals);
+            assert!(r.empty_probe_frac <= 1.0);
+        }
+    }
+    // Mean recall never decreases as probes widen (pointwise monotonicity
+    // is pinned by prop_lsh; the aggregate inherits it).
+    for dataset in ["clustered", "correlated", "fourier"] {
+        let recalls: Vec<f64> = m
+            .rows
+            .iter()
+            .filter(|r| r.dataset == dataset && r.mode == "approx")
+            .map(|r| r.recall)
+            .collect();
+        assert!(
+            recalls.windows(2).all(|w| w[1] >= w[0]),
+            "{dataset}: recall not monotone in probes: {recalls:?}"
+        );
+    }
+    // The JSON record carries the schema and every cell.
+    let json = ext15::to_json(&m, 0.05);
+    assert!(json.contains("\"bench\": \"pr10-declustered-lsh-approximate-tier\""));
+    assert_eq!(json.matches("\"mode\": \"approx\"").count(), 12);
+    assert_eq!(json.matches("\"mode\": \"exact\"").count(), 3);
+    // And the tabulated report is well-formed.
+    let report = run("ext15", 0.05).expect("ext15");
+    assert_eq!(report.rows.len(), 15);
+    assert!(report.notes[1].contains("modeled_parallel"));
 }
 
 #[test]

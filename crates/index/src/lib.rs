@@ -32,6 +32,7 @@ pub mod gridfile;
 pub mod incremental;
 pub mod kdtree;
 pub mod knn;
+pub mod lsh;
 pub mod metric_search;
 pub mod node;
 pub mod params;
@@ -53,6 +54,7 @@ pub use knn::{
     forest_knn_traced_tiered, ForestCursor, KnnAlgorithm, LeafScanner, Neighbor, ScanTier,
     SearchStats, SharedBound,
 };
+pub use lsh::{LshConfig, LshTables};
 pub use node::energy_permutation;
 pub use params::{ScanOrder, TreeParams, TreeVariant};
 pub use persist::{PersistError, PersistedTree};

@@ -1,0 +1,334 @@
+//! Seeded random-projection (SimHash) locality-sensitive hashing.
+//!
+//! The approximate tier hashes every `VectorArena` row into `L`
+//! independent tables of `K`-bit signatures: bit `k` of table `t` is the
+//! sign of `g_{t,k} · (x − mean)`, where the `g_{t,k}` are seeded
+//! Gaussian hyperplanes and `mean` is the per-dimension dataset mean.
+//! Centering matters: the workspace's generators produce data in
+//! `[0, 1]^d`, where hyperplanes through the origin see almost every
+//! point on the same side and the signature collapses to a handful of
+//! buckets.
+//!
+//! Two properties are **by construction** here, because the parallel
+//! engine's recall tests lean on them:
+//!
+//! * **Table-prefix stability.** Table `t`'s hyperplanes come from an
+//!   RNG seeded by `mix(seed, t)`, independent of the total table count,
+//!   so an `L+1`-table index contains the first `L` tables verbatim and
+//!   the candidate set — hence recall@k — is monotone non-decreasing
+//!   in `L` for a fixed seed.
+//! * **Probe-prefix stability.** [`LshTables::probe_sequence`] orders
+//!   multi-probe perturbations by binary counting over the query's bit
+//!   positions sorted by ascending margin `|g·(x − mean)|`, so the
+//!   sequence for `probes = p` is a prefix of the sequence for `p + 1`
+//!   and recall is monotone in the probe count too.
+
+use parsim_geometry::Point;
+use rand::distr::StandardNormal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build-time configuration of the approximate tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LshConfig {
+    /// Number of independent hash tables (`L`). More tables raise recall
+    /// and index size linearly.
+    pub tables: usize,
+    /// Hyperplanes — signature bits — per table (`K`), at most 24.
+    /// More bits shrink buckets: higher precision, lower per-probe
+    /// recall.
+    pub hyperplanes: usize,
+    /// Seed for the Gaussian hyperplane draws. The whole structure is a
+    /// pure function of `(seed, tables, hyperplanes, data)`.
+    pub seed: u64,
+}
+
+impl LshConfig {
+    /// A reasonable starting point: 8 tables × 12 bits.
+    pub fn new(seed: u64) -> LshConfig {
+        LshConfig {
+            tables: 8,
+            hyperplanes: 12,
+            seed,
+        }
+    }
+
+    /// Sets the table count (`L`).
+    pub fn tables(mut self, tables: usize) -> LshConfig {
+        self.tables = tables;
+        self
+    }
+
+    /// Sets the hyperplane count per table (`K`).
+    pub fn hyperplanes(mut self, hyperplanes: usize) -> LshConfig {
+        self.hyperplanes = hyperplanes;
+        self
+    }
+}
+
+/// SplitMix64-style mix of the config seed with a table index, so each
+/// table's hyperplane stream is independent of the total table count.
+fn mix_seed(seed: u64, table: u64) -> u64 {
+    let mut z = seed ^ table.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One table's hyperplanes, row-major: `K` rows of `dim` coordinates.
+#[derive(Debug, Clone)]
+struct Table {
+    planes: Vec<f64>,
+}
+
+/// The fitted hash-function family: `L` tables of `K` seeded Gaussian
+/// hyperplanes plus the centering vector.
+#[derive(Debug, Clone)]
+pub struct LshTables {
+    dim: usize,
+    bits: usize,
+    tables: Vec<Table>,
+    mean: Vec<f64>,
+}
+
+impl LshTables {
+    /// Fits the family to a dataset: draws the seeded hyperplanes and
+    /// computes the per-dimension mean of `data` for centering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` or `hyperplanes` is zero, `hyperplanes > 24`,
+    /// or `dim` is zero.
+    pub fn fit<'a, I>(config: &LshConfig, dim: usize, data: I) -> LshTables
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        assert!(config.tables >= 1, "LshConfig.tables must be >= 1");
+        assert!(
+            (1..=24).contains(&config.hyperplanes),
+            "LshConfig.hyperplanes must be in 1..=24"
+        );
+        assert!(dim >= 1, "dim must be >= 1");
+        let mut mean = vec![0.0; dim];
+        let mut n = 0usize;
+        for row in data {
+            assert_eq!(row.len(), dim, "row dimensionality mismatch");
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += x;
+            }
+            n += 1;
+        }
+        if n > 0 {
+            for m in &mut mean {
+                *m /= n as f64;
+            }
+        }
+        let tables = (0..config.tables)
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, t as u64));
+                let planes = (0..config.hyperplanes * dim)
+                    .map(|_| rng.sample(StandardNormal))
+                    .collect();
+                Table { planes }
+            })
+            .collect();
+        LshTables {
+            dim,
+            bits: config.hyperplanes,
+            tables,
+            mean,
+        }
+    }
+
+    /// The dimensionality the family was fitted to.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Signature bits per table (`K`).
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Number of tables (`L`).
+    pub fn tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Per-bit projections of `row` under table `table`:
+    /// `g_{t,k} · (row − mean)` for each hyperplane `k`.
+    fn project(&self, table: usize, row: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(row.len(), self.dim);
+        let planes = &self.tables[table].planes;
+        (0..self.bits)
+            .map(|k| {
+                let g = &planes[k * self.dim..(k + 1) * self.dim];
+                g.iter()
+                    .zip(row)
+                    .zip(&self.mean)
+                    .map(|((&gi, &xi), &mi)| gi * (xi - mi))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// The `K`-bit signature of `row` under table `table`: bit `k` is set
+    /// iff the projection onto hyperplane `k` is non-negative.
+    pub fn signature(&self, table: usize, row: &[f64]) -> u32 {
+        self.project(table, row)
+            .iter()
+            .enumerate()
+            .fold(
+                0u32,
+                |sig, (k, &p)| {
+                    if p >= 0.0 {
+                        sig | (1 << k)
+                    } else {
+                        sig
+                    }
+                },
+            )
+    }
+
+    /// Convenience wrapper over [`LshTables::signature`] for a [`Point`].
+    pub fn signature_of(&self, table: usize, point: &Point) -> u32 {
+        self.signature(table, point.coords())
+    }
+
+    /// The first `probes` buckets to inspect in `table` for `query`, in
+    /// multi-probe order: the exact signature first, then perturbations
+    /// by binary counting over the bit positions sorted by ascending
+    /// margin `|projection|` (flipping the least certain bits first).
+    ///
+    /// The returned sequence for `probes = p` is a strict prefix of the
+    /// sequence for `probes = p + 1` (until all `2^K` buckets are
+    /// enumerated), which makes recall monotone in the probe count.
+    pub fn probe_sequence(&self, table: usize, query: &[f64], probes: usize) -> Vec<u32> {
+        let proj = self.project(table, query);
+        let sig = proj.iter().enumerate().fold(
+            0u32,
+            |s, (k, &p)| {
+                if p >= 0.0 {
+                    s | (1 << k)
+                } else {
+                    s
+                }
+            },
+        );
+        // Bit positions from least to most certain; ties broken by bit
+        // index so the order is a pure function of the projections.
+        let mut order: Vec<usize> = (0..self.bits).collect();
+        order.sort_by(|&a, &b| proj[a].abs().total_cmp(&proj[b].abs()).then(a.cmp(&b)));
+        let limit = probes.min(1usize << self.bits);
+        let mut out = Vec::with_capacity(limit);
+        // Counting i = 0, 1, 2, ... and mapping bit j of i to a flip of
+        // order[j] enumerates perturbation subsets smallest-margin-first;
+        // the enumeration order never depends on `probes`.
+        for i in 0..limit as u32 {
+            let mut flips = 0u32;
+            for (j, &pos) in order.iter().enumerate() {
+                if i & (1 << j) != 0 {
+                    flips |= 1 << pos;
+                }
+            }
+            out.push(sig ^ flips);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_rows(n: usize, dim: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| ((i * 31 + d * 17) % 100) as f64 / 100.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_is_deterministic_for_fixed_seed() {
+        let rows = grid_rows(200, 6);
+        let cfg = LshConfig::new(42).tables(4).hyperplanes(10);
+        let a = LshTables::fit(&cfg, 6, rows.iter().map(|r| r.as_slice()));
+        let b = LshTables::fit(&cfg, 6, rows.iter().map(|r| r.as_slice()));
+        for t in 0..4 {
+            for row in &rows {
+                assert_eq!(a.signature(t, row), b.signature(t, row));
+            }
+            assert_eq!(
+                a.probe_sequence(t, &rows[0], 8),
+                b.probe_sequence(t, &rows[0], 8)
+            );
+        }
+    }
+
+    #[test]
+    fn tables_are_a_prefix_of_larger_families() {
+        let rows = grid_rows(150, 5);
+        let small = LshConfig::new(7).tables(3).hyperplanes(8);
+        let large = LshConfig::new(7).tables(6).hyperplanes(8);
+        let a = LshTables::fit(&small, 5, rows.iter().map(|r| r.as_slice()));
+        let b = LshTables::fit(&large, 5, rows.iter().map(|r| r.as_slice()));
+        for t in 0..3 {
+            for row in &rows {
+                assert_eq!(a.signature(t, row), b.signature(t, row));
+            }
+        }
+    }
+
+    #[test]
+    fn probe_sequence_is_prefix_stable_and_unique() {
+        let rows = grid_rows(120, 4);
+        let cfg = LshConfig::new(3).tables(2).hyperplanes(6);
+        let tables = LshTables::fit(&cfg, 4, rows.iter().map(|r| r.as_slice()));
+        let q = &rows[17];
+        let full = tables.probe_sequence(0, q, 64);
+        assert_eq!(full.len(), 64);
+        let mut sorted = full.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64, "probe sequence must enumerate buckets");
+        assert_eq!(full[0], tables.signature(0, q));
+        for p in 1..=64 {
+            assert_eq!(tables.probe_sequence(0, q, p), full[..p].to_vec());
+        }
+        // Over-asking saturates at 2^K.
+        assert_eq!(tables.probe_sequence(0, q, 1000).len(), 64);
+    }
+
+    #[test]
+    fn signatures_spread_centered_data() {
+        // Without centering, [0,1]^d data collapses into few buckets;
+        // with it, nearby rows still collide but the family uses many
+        // buckets overall.
+        let rows = grid_rows(400, 8);
+        let cfg = LshConfig::new(9).tables(1).hyperplanes(10);
+        let tables = LshTables::fit(&cfg, 8, rows.iter().map(|r| r.as_slice()));
+        let mut sigs: Vec<u32> = rows.iter().map(|r| tables.signature(0, r)).collect();
+        sigs.sort_unstable();
+        sigs.dedup();
+        assert!(sigs.len() > 10, "only {} distinct buckets", sigs.len());
+    }
+
+    #[test]
+    fn nearby_points_collide_more_than_distant_ones() {
+        let cfg = LshConfig::new(5).tables(8).hyperplanes(8);
+        let rows = grid_rows(300, 6);
+        let tables = LshTables::fit(&cfg, 6, rows.iter().map(|r| r.as_slice()));
+        let base = vec![0.3; 6];
+        let near: Vec<f64> = base.iter().map(|x| x + 0.01).collect();
+        let far = vec![0.9; 6];
+        let collide = |a: &[f64], b: &[f64]| {
+            (0..8)
+                .filter(|&t| tables.signature(t, a) == tables.signature(t, b))
+                .count()
+        };
+        assert!(collide(&base, &near) > collide(&base, &far));
+    }
+}

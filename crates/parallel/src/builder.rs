@@ -23,7 +23,9 @@ use parsim_decluster::near_optimal::colors_required;
 use parsim_decluster::replica::{ChainedReplica, ReplicaRouting};
 use parsim_decluster::{BucketBased, Declusterer, NearOptimal, ReplicaDeclusterer};
 use parsim_geometry::{Point, QuadrantSplitter};
-use parsim_index::{KnnAlgorithm, ScanOrder, ScanTier, TreeVariant, DEFAULT_CACHE_SHARDS};
+use parsim_index::{
+    KnnAlgorithm, LshConfig, ScanOrder, ScanTier, TreeVariant, DEFAULT_CACHE_SHARDS,
+};
 use parsim_storage::DiskModel;
 
 use crate::config::{EngineConfig, SplitStrategy};
@@ -86,6 +88,7 @@ pub struct EngineBuilder {
     metrics: bool,
     admission: Option<AdmissionConfig>,
     ingest: Option<IngestConfig>,
+    lsh: Option<LshConfig>,
 }
 
 impl EngineBuilder {
@@ -103,6 +106,7 @@ impl EngineBuilder {
             metrics: false,
             admission: None,
             ingest: None,
+            lsh: None,
         }
     }
 
@@ -208,6 +212,20 @@ impl EngineBuilder {
     /// writes fail with [`EngineError::ReadOnly`].
     pub fn ingest(mut self, ingest: IngestConfig) -> Self {
         self.ingest = Some(ingest);
+        self
+    }
+
+    /// Attaches the approximate tier: seeded random-projection LSH
+    /// tables, fitted and declustered over the disks next to the exact
+    /// trees at bulk load (and re-fitted by every
+    /// [`crate::ParallelKnnEngine::reorganize`]). Exact-mode queries are
+    /// unaffected — answers stay bit-identical with or without this knob;
+    /// [`crate::QueryMode::Approx`] queries scan the hash buckets instead
+    /// of the trees. Without this knob, `Approx` queries fail with
+    /// [`EngineError::ApproxUnavailable`]. See `docs/TUNING.md` for
+    /// choosing table and probe counts.
+    pub fn approx(mut self, config: LshConfig) -> Self {
+        self.lsh = Some(config);
         self
     }
 
@@ -335,6 +353,7 @@ impl EngineBuilder {
             self.metrics,
             self.admission,
             self.ingest,
+            self.lsh,
             self.declusterer.is_some(),
         )
     }

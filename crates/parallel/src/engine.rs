@@ -32,17 +32,20 @@ use parsim_index::knn::{
     SharedBound,
 };
 use parsim_index::{
-    CachingSink, CoalescingSink, DiskSink, KnnAlgorithm, NodeSink, ScanOrder, SpatialTree,
-    TreeParams,
+    CachingSink, CoalescingSink, DiskSink, KnnAlgorithm, LshConfig, NodeSink, ScanOrder,
+    SpatialTree, TreeParams,
 };
 use parsim_storage::{DiskArray, DiskModel, FaultInjector, FaultKind, QueryCost};
 
 use crate::builder::{resolve_default_decluster, EngineBuilder};
 use crate::config::{EngineConfig, SplitStrategy};
 use crate::ingest::{DeltaOp, DeltaState, IngestConfig, QueryOverlay};
+use crate::lsh::{merge_unique_candidates, DiskProbes, LshCounters, LshRuntime};
 use crate::metrics::{DegradedInfo, QueryTrace};
 use crate::obs::EngineMetrics;
-use crate::options::{ExecutionMode, FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
+use crate::options::{
+    ExecutionMode, FaultPolicy, QueryMode, QueryOptions, QueryResult, RetryPolicy,
+};
 use crate::pool::{Completion, PendingQuery, Phase, QueryTask, Stage, WorkerPool};
 use crate::serve::AdmissionConfig;
 use crate::EngineError;
@@ -151,6 +154,11 @@ pub(crate) struct EngineCore {
     /// are touched only on failover, so caching them would let rare
     /// degraded queries evict the hot primary working set.
     pub(crate) mirrors: Vec<RwLock<BTreeMap<usize, SpatialTree>>>,
+    /// The approximate tier: the fitted LSH runtime, or `None` (the
+    /// default) for an exact-only engine. Built from the same items as
+    /// the trees at every bulk load, so index and LSH tier always agree
+    /// on the main-index contents.
+    pub(crate) lsh: Option<Arc<LshRuntime>>,
     /// The engine-wide metrics registry; `None` (the default) keeps the
     /// query path free of any additional atomic operations.
     pub(crate) metrics: Option<Arc<EngineMetrics>>,
@@ -488,6 +496,7 @@ impl EngineInner {
         execution: ExecutionMode,
         metrics: Option<Arc<EngineMetrics>>,
         admission: Option<AdmissionConfig>,
+        lsh_config: Option<LshConfig>,
         explicit_declusterer: bool,
     ) -> Result<EngineInner, EngineError> {
         if items.is_empty() {
@@ -507,6 +516,19 @@ impl EngineInner {
         if let Some(m) = &metrics {
             array.faults().set_metrics(m.fault_metrics());
         }
+
+        // The approximate tier fits its hash family and shards on the
+        // same item set the trees are about to bulk-load, before the
+        // partitioning below consumes it.
+        let lsh = lsh_config.map(|cfg| {
+            Arc::new(LshRuntime::build(
+                cfg,
+                config.dim,
+                &items,
+                disks,
+                replica_router.is_some(),
+            ))
+        });
 
         // Partition the items over the disks; with replication every
         // point also lands in the mirror partition its router picks.
@@ -580,6 +602,7 @@ impl EngineInner {
             array,
             trees: trees.into_iter().map(RwLock::new).collect(),
             mirrors: mirrors.into_iter().map(RwLock::new).collect(),
+            lsh,
             metrics: metrics.clone(),
             admission,
             coalescers,
@@ -619,6 +642,11 @@ impl EngineInner {
         let k = opts.k + overlay.as_ref().map_or(0, QueryOverlay::extra_k);
         let degraded = timeout.is_some() || self.core.array.faults().any_armed();
         let model = *self.core.array.model();
+        if let QueryMode::Approx { probes } = opts.mode {
+            return self.submit_approx(
+                query, opts, probes, k, degraded, timeout, &retry, wave, overlay,
+            );
+        }
         if let Some(m) = &self.core.metrics {
             m.record_start();
         }
@@ -806,6 +834,235 @@ impl EngineInner {
         core.assemble_degraded(state, k, &stats, start.elapsed())
     }
 
+    /// Dispatches one `Approx`-mode query: sequentially on a scoped
+    /// engine (and for degraded or trivial queries on a pooled one —
+    /// degraded failover needs the whole plan's outcome, so there is
+    /// nothing to pipeline), or as a [`Stage::Approx`] task traveling the
+    /// probe plan disk to disk on the healthy pooled path.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_approx(
+        &self,
+        query: &Point,
+        opts: &QueryOptions,
+        probes: usize,
+        k: usize,
+        degraded: bool,
+        timeout: Option<Duration>,
+        retry: &RetryPolicy,
+        wave: Option<u64>,
+        overlay: Option<QueryOverlay>,
+    ) -> Result<PendingQuery, EngineError> {
+        if self.core.lsh.is_none() {
+            return Err(EngineError::ApproxUnavailable);
+        }
+        let model = *self.core.array.model();
+        if let Some(m) = &self.core.metrics {
+            m.record_start();
+        }
+        let n = self.core.trees.len();
+        let pooled_healthy = self.pool.is_some() && !degraded && k > 0;
+        if !pooled_healthy {
+            let start = Instant::now();
+            let answer = if k == 0 {
+                let stats = vec![SearchStats::default(); n];
+                Ok((
+                    Vec::new(),
+                    QueryTrace::from_stats(&stats, start.elapsed(), &model),
+                ))
+            } else {
+                self.knn_approx(query, k, probes, degraded, timeout, retry)
+            };
+            if let Some(m) = &self.core.metrics {
+                match &answer {
+                    Ok((_, trace)) => m.record_query(trace, &model),
+                    Err(_) => m.record_failure(),
+                }
+            }
+            return Ok(PendingQuery::completed(answer, opts.trace, model).with_overlay(overlay));
+        }
+        let pool = self.pool.as_ref().expect("pooled_healthy implies a pool");
+        let lsh = self.core.lsh.as_ref().expect("checked above");
+        let plan = lsh.plan(query, probes);
+        let completion = Arc::new(Completion::new());
+        let pending =
+            PendingQuery::new(Arc::clone(&completion), opts.trace, model).with_overlay(overlay);
+        let first = plan[0].disk;
+        let deadline = opts
+            .deadline
+            .or(self.core.admission.and_then(|a| a.deadline));
+        let outcome = pool.submit(
+            first,
+            QueryTask {
+                query: query.clone(),
+                k,
+                tier: opts.tier.unwrap_or(self.core.config.tier),
+                order: opts.order.unwrap_or(self.core.config.order),
+                stats: vec![SearchStats::default(); n],
+                start: Instant::now(),
+                stage: Stage::Approx {
+                    plan,
+                    pos: 0,
+                    candidates: vec![Vec::new(); n],
+                    counters: LshCounters::default(),
+                },
+                completion,
+                wave: wave.unwrap_or_else(|| pool.next_wave()),
+                deadline_micros: deadline.map(|d| d.as_micros() as u64),
+                spent_micros: 0,
+                seq: 0,
+            },
+        );
+        match outcome {
+            Ok(()) => Ok(pending),
+            Err(e) => {
+                if let Some(m) = &self.core.metrics {
+                    m.record_shed_overloaded();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Sequential `Approx` execution (the reference implementation, also
+    /// the degraded path): scan the probe plan's buckets disk by disk,
+    /// failing lost disks over to their mirror shards exactly as the
+    /// exact tier's degraded loop fails trees over to mirror trees.
+    fn knn_approx(
+        &self,
+        query: &Point,
+        k: usize,
+        probes: usize,
+        degraded: bool,
+        timeout: Option<Duration>,
+        retry: &RetryPolicy,
+    ) -> Result<(Vec<Neighbor>, QueryTrace), EngineError> {
+        let core = &self.core;
+        let lsh = core.lsh.as_ref().expect("caller checked the LSH tier");
+        let n = core.trees.len();
+        let start = Instant::now();
+        let mut stats = vec![SearchStats::default(); n];
+        let mut counters = LshCounters::default();
+        let mut candidates: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        let plan = lsh.plan(query, probes.max(1));
+        if !degraded {
+            for dp in &plan {
+                candidates[dp.disk] = lsh.scan_disk(
+                    dp.disk,
+                    &dp.buckets,
+                    query,
+                    k,
+                    &mut stats[dp.disk],
+                    &mut counters,
+                );
+            }
+            let merged = merge_unique_candidates(candidates.iter().map(Vec::as_slice), k);
+            let mut trace = QueryTrace::from_stats(&stats, start.elapsed(), core.array.model());
+            trace.lsh_probes = counters.probes;
+            trace.lsh_candidates = counters.candidates;
+            trace.lsh_empty_probes = counters.empty_probes;
+            return Ok((merged, trace));
+        }
+        // Degraded: the same per-disk policy as the exact tier — a
+        // hard-failed disk is skipped, a flaky one replays its error
+        // stream under the retry policy, an over-budget one is abandoned
+        // (its pages stay charged, its answer is not trusted) — and every
+        // lost disk's probe targets are served from its mirror shard.
+        let faults = core.array.faults();
+        let model = core.array.model();
+        let mut extra_time = vec![Duration::ZERO; n];
+        let mut down: Vec<usize> = Vec::new();
+        let mut failed_over: Vec<usize> = Vec::new();
+        let mut retries_total = 0u64;
+        let mut replica_pages = 0u64;
+        let mut failover: Vec<&DiskProbes> = Vec::new();
+        for dp in &plan {
+            let disk = dp.disk;
+            if faults.is_failed(disk) {
+                down.push(disk);
+                failover.push(dp);
+                continue;
+            }
+            let mut local = SearchStats::default();
+            let cands = lsh.scan_disk(disk, &dp.buckets, query, k, &mut local, &mut counters);
+            stats[disk].merge(local);
+            let mut alive = true;
+            if matches!(faults.fault(disk), Some(FaultKind::Flaky { .. })) {
+                let (retries, extra, ok) =
+                    simulate_flaky_reads(faults, disk, local.pages, retry, model);
+                retries_total += retries;
+                extra_time[disk] += extra;
+                alive = ok;
+            }
+            if alive {
+                if let Some(budget) = timeout {
+                    let disk_time = faults
+                        .model_for(disk, model)
+                        .service_time(stats[disk].pages)
+                        + extra_time[disk];
+                    alive = disk_time <= budget;
+                }
+            }
+            if alive {
+                candidates[disk] = cands;
+            } else {
+                down.push(disk);
+                failover.push(dp);
+            }
+        }
+        for dp in failover {
+            let d = dp.disk;
+            let host = lsh
+                .mirror_host(d)
+                .ok_or(EngineError::BucketUnavailable { disk: d })?;
+            if faults.is_failed(host) {
+                return Err(EngineError::BucketUnavailable { disk: d });
+            }
+            let mut local = SearchStats::default();
+            let cands = lsh.scan_mirror(d, &dp.buckets, query, k, &mut local, &mut counters);
+            if matches!(faults.fault(host), Some(FaultKind::Flaky { .. })) {
+                let (retries, extra, ok) =
+                    simulate_flaky_reads(faults, host, local.pages, retry, model);
+                retries_total += retries;
+                extra_time[host] += extra;
+                if !ok {
+                    return Err(EngineError::BucketUnavailable { disk: d });
+                }
+            }
+            replica_pages += local.pages;
+            stats[host].merge(local);
+            candidates[host].extend(cands);
+            failed_over.push(d);
+        }
+        // The degraded critical path, fault-scaled exactly as
+        // `assemble_degraded` charges it for the exact tier.
+        let mut modeled_parallel = Duration::ZERO;
+        for (i, s) in stats.iter().enumerate() {
+            let mut t = faults.model_for(i, model).service_time(s.pages) + extra_time[i];
+            if down.contains(&i) {
+                if faults.is_failed(i) {
+                    t = Duration::ZERO;
+                } else if let Some(budget) = timeout {
+                    t = t.min(budget);
+                }
+            }
+            modeled_parallel = modeled_parallel.max(t);
+        }
+        let merged = merge_unique_candidates(candidates.iter().map(Vec::as_slice), k);
+        let mut trace = QueryTrace::from_stats(&stats, start.elapsed(), model);
+        let healthy_parallel = trace.modeled_parallel;
+        trace.modeled_parallel = modeled_parallel;
+        trace.degraded = Some(DegradedInfo {
+            failed_over,
+            retries: retries_total,
+            replica_pages,
+            added_latency: modeled_parallel.saturating_sub(healthy_parallel),
+        });
+        trace.lsh_probes = counters.probes;
+        trace.lsh_candidates = counters.candidates;
+        trace.lsh_empty_probes = counters.empty_probes;
+        Ok((merged, trace))
+    }
+
     fn resolve_policy(&self, opts: &QueryOptions) -> (Option<Duration>, RetryPolicy) {
         (
             opts.timeout.or(self.fault_policy.timeout),
@@ -917,6 +1174,9 @@ impl EngineShared {
                 inner.explicit_declusterer,
             )
         };
+        // The LSH config is part of the recipe: the rebuilt tier re-fits
+        // the same seeded family on the then-current data.
+        let lsh_config = old_core.lsh.as_ref().map(|l| l.config());
         let config = old_core.config;
         let admission = old_core.admission;
         let disks = old_core.array.len();
@@ -972,6 +1232,7 @@ impl EngineShared {
                 execution,
                 shared.metrics.clone(),
                 admission,
+                lsh_config,
                 explicit,
             )
         })();
@@ -1055,6 +1316,7 @@ impl ParallelKnnEngine {
         metrics: bool,
         admission: Option<AdmissionConfig>,
         ingest: Option<IngestConfig>,
+        lsh: Option<LshConfig>,
         explicit_declusterer: bool,
     ) -> Result<Self, EngineError> {
         let disks = declusterer.disks();
@@ -1071,6 +1333,7 @@ impl ParallelKnnEngine {
             execution,
             metrics.clone(),
             admission,
+            lsh,
             explicit_declusterer,
         )?;
         Ok(ParallelKnnEngine {
@@ -1147,6 +1410,37 @@ impl ParallelKnnEngine {
     /// The write-path configuration, or `None` for a read-only engine.
     pub fn ingest_config(&self) -> Option<IngestConfig> {
         self.shared.ingest
+    }
+
+    /// The approximate tier's build-time configuration, or `None` when
+    /// the engine was built without [`EngineBuilder::approx`]. Survives
+    /// [`ParallelKnnEngine::reorganize`]: the rebuilt tier re-fits the
+    /// same seeded family.
+    pub fn lsh_config(&self) -> Option<LshConfig> {
+        self.shared
+            .inner
+            .read()
+            .core
+            .lsh
+            .as_ref()
+            .map(|l| l.config())
+    }
+
+    /// A deterministic byte serialization of the LSH tier's bucket layout
+    /// (disks in order, buckets in `(table, signature)` order, rows as
+    /// item ids), or `None` without an LSH tier. Two engines built from
+    /// the same items and config — including across a
+    /// [`ParallelKnnEngine::reorganize`] of an unchanged engine — are
+    /// byte-identical here; the seeded-determinism regression test pins
+    /// exactly that.
+    pub fn lsh_layout_bytes(&self) -> Option<Vec<u8>> {
+        self.shared
+            .inner
+            .read()
+            .core
+            .lsh
+            .as_ref()
+            .map(|l| l.layout_bytes())
     }
 
     /// True if the engine keeps replica copies of every bucket.
@@ -1538,7 +1832,20 @@ impl ParallelKnnEngine {
                             }
                             let overlay = shared.overlay_for(&queries[i], opts.k);
                             let k = opts.k + overlay.as_ref().map_or(0, QueryOverlay::extra_k);
-                            let answer = if degraded {
+                            let answer = if let QueryMode::Approx { probes } = opts.mode {
+                                if core.lsh.is_none() {
+                                    Err(EngineError::ApproxUnavailable)
+                                } else {
+                                    inner_ref.knn_approx(
+                                        &queries[i],
+                                        k,
+                                        probes,
+                                        degraded,
+                                        timeout,
+                                        retry,
+                                    )
+                                }
+                            } else if degraded {
                                 inner_ref.knn_degraded(&queries[i], k, timeout, retry, tier, order)
                             } else {
                                 let start = Instant::now();

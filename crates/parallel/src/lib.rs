@@ -21,6 +21,7 @@ pub mod config;
 pub mod declustered;
 pub mod engine;
 pub mod ingest;
+pub mod lsh;
 pub mod metrics;
 pub mod obs;
 pub mod options;
@@ -36,8 +37,8 @@ pub use engine::{ArrayHandle, FaultsHandle, ParallelKnnEngine};
 pub use ingest::IngestConfig;
 pub use metrics::{run_knn_workload, run_traced_workload, DegradedInfo, QueryTrace, WorkloadCost};
 pub use obs::EngineMetrics;
-pub use options::{ExecutionMode, FaultPolicy, QueryOptions, QueryResult, RetryPolicy};
-pub use parsim_index::ScanTier;
+pub use options::{ExecutionMode, FaultPolicy, QueryMode, QueryOptions, QueryResult, RetryPolicy};
+pub use parsim_index::{LshConfig, ScanTier};
 pub use pool::PendingQuery;
 pub use sequential::SequentialEngine;
 pub use serve::AdmissionConfig;
@@ -89,6 +90,9 @@ pub enum EngineError {
         /// µs (always greater than the budget).
         spent_micros: u64,
     },
+    /// An `Approx`-mode query was submitted to an engine built without
+    /// [`EngineBuilder::approx`]: there is no LSH tier to serve it.
+    ApproxUnavailable,
     /// A write (`insert`/`remove`) was attempted on an engine built
     /// without [`EngineBuilder::ingest`]: there is no delta buffer to
     /// accept it.
@@ -134,6 +138,10 @@ impl std::fmt::Display for EngineError {
                 f,
                 "deadline exceeded: {spent_micros}µs modeled service consumed \
                  against a {budget_micros}µs budget"
+            ),
+            EngineError::ApproxUnavailable => write!(
+                f,
+                "no LSH tier: build the engine with .approx(LshConfig) to serve Approx queries"
             ),
             EngineError::ReadOnly => write!(
                 f,

@@ -86,6 +86,20 @@ pub struct QueryTrace {
     /// figure the energy scan order ([`parsim_index::ScanOrder`]) is
     /// designed to shrink.
     pub abandon_checkpoints: u64,
+    /// LSH buckets probed over all tables and disks. Zero on every
+    /// [`crate::QueryMode::Exact`] query.
+    #[serde(default)]
+    pub lsh_probes: u64,
+    /// Unique LSH candidate rows whose exact f64 distance was computed
+    /// (each also counts into [`QueryTrace::dist_evals`]). Zero in exact
+    /// mode.
+    #[serde(default)]
+    pub lsh_candidates: u64,
+    /// Probed LSH buckets that held no rows — the recall proxy: an
+    /// empty-probe share near 1 means the probe budget found nothing and
+    /// recall is likely suffering. Zero in exact mode.
+    #[serde(default)]
+    pub lsh_empty_probes: u64,
     /// Measured wall-clock time of the query on the host.
     pub wall_time: Duration,
     /// Modeled parallel service time: all disks read concurrently, the
@@ -116,6 +130,9 @@ impl QueryTrace {
             rerank_evals: stats.iter().map(|s| s.rerank_evals).sum(),
             abandoned_rows: stats.iter().map(|s| s.abandoned_rows).sum(),
             abandon_checkpoints: stats.iter().map(|s| s.abandon_checkpoints).sum(),
+            lsh_probes: 0,
+            lsh_candidates: 0,
+            lsh_empty_probes: 0,
             wall_time,
             modeled_parallel: model.service_time(max),
             modeled_sequential: model.service_time(total),

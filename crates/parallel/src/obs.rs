@@ -50,6 +50,9 @@ pub struct EngineMetrics {
     abandoned_rows: Arc<Counter>,
     abandon_checkpoints: Arc<Counter>,
     cache_hits: Arc<Counter>,
+    lsh_probes: Arc<Counter>,
+    lsh_candidates: Arc<Counter>,
+    lsh_empty_probes: Arc<Counter>,
     retries: Arc<Counter>,
     replica_pages: Arc<Counter>,
     shed_overloaded: Arc<Counter>,
@@ -144,6 +147,21 @@ impl EngineMetrics {
         let cache_hits = r.counter(
             "parsim_query_cache_hits_total",
             "Page requests absorbed by the per-disk caches during queries",
+            &[],
+        );
+        let lsh_probes = r.counter(
+            "parsim_lsh_probes_total",
+            "LSH buckets probed by Approx-mode queries, over all tables and disks",
+            &[],
+        );
+        let lsh_candidates = r.counter(
+            "parsim_lsh_candidates_total",
+            "Unique LSH candidate rows exactly re-ranked by Approx-mode queries",
+            &[],
+        );
+        let lsh_empty_probes = r.counter(
+            "parsim_lsh_empty_probes_total",
+            "Probed LSH buckets that held no rows (recall proxy: wasted probe budget)",
             &[],
         );
         let retries = r.counter(
@@ -323,6 +341,9 @@ impl EngineMetrics {
             abandoned_rows,
             abandon_checkpoints,
             cache_hits,
+            lsh_probes,
+            lsh_candidates,
+            lsh_empty_probes,
             retries,
             replica_pages,
             shed_overloaded,
@@ -379,6 +400,9 @@ impl EngineMetrics {
         self.abandoned_rows.add(trace.abandoned_rows);
         self.abandon_checkpoints.add(trace.abandon_checkpoints);
         self.cache_hits.add(trace.cache_hits);
+        self.lsh_probes.add(trace.lsh_probes);
+        self.lsh_candidates.add(trace.lsh_candidates);
+        self.lsh_empty_probes.add(trace.lsh_empty_probes);
         for (disk, &c) in trace.per_disk_coalesced.iter().enumerate() {
             if c > 0 {
                 self.coalesced[disk].add(c);
@@ -482,6 +506,9 @@ mod tests {
             rerank_evals: 15,
             abandoned_rows: 6,
             abandon_checkpoints: 9,
+            lsh_probes: 8,
+            lsh_candidates: 20,
+            lsh_empty_probes: 3,
             wall_time: Duration::from_millis(1),
             modeled_parallel: model.service_time(max),
             modeled_sequential: Duration::ZERO,
@@ -511,6 +538,9 @@ mod tests {
         assert_eq!(s.counter_total("parsim_abandoned_rows_total"), 12);
         assert_eq!(s.counter_total("parsim_abandon_checkpoints_total"), 18);
         assert_eq!(s.counter_total("parsim_query_cache_hits_total"), 4);
+        assert_eq!(s.counter_total("parsim_lsh_probes_total"), 16);
+        assert_eq!(s.counter_total("parsim_lsh_candidates_total"), 40);
+        assert_eq!(s.counter_total("parsim_lsh_empty_probes_total"), 6);
         assert_eq!(s.counter_total("parsim_queries_degraded_total"), 0);
         let h = s
             .histogram_with("parsim_query_latency_micros", &[])

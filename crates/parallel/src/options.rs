@@ -103,6 +103,32 @@ impl FaultPolicy {
     }
 }
 
+/// Per-query choice between the exact tree backbone and the approximate
+/// LSH tier.
+///
+/// [`QueryMode::Exact`] (the default) runs the X-tree search and returns
+/// the true k nearest neighbors — bit-identical whether or not the engine
+/// was built with an LSH config. [`QueryMode::Approx`] requires the
+/// engine to have been built with
+/// [`crate::EngineBuilder::approx`]; it scans the query's hash buckets
+/// instead of the trees, returning true dataset members with their true
+/// f64 distances, but possibly missing some of the real top-k. `probes`
+/// widens the search per table (multi-probe LSH): bucket 1 is the query's
+/// own signature, further probes flip the lowest-margin signature bits
+/// first. Recall is monotone non-decreasing in `probes` for a fixed
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Exact tree search (the default).
+    #[default]
+    Exact,
+    /// Approximate LSH search.
+    Approx {
+        /// Buckets probed per table, at least 1 (0 is treated as 1).
+        probes: usize,
+    },
+}
+
 /// Options of one k-NN query (or batch): the result count plus tracing,
 /// timeout, retry, and worker-pool knobs that were formerly spread over
 /// separate entry points.
@@ -142,6 +168,8 @@ pub struct QueryOptions {
     /// engine config, and leaves stored naturally scan naturally under
     /// either setting. Answers are bit-identical either way.
     pub order: Option<ScanOrder>,
+    /// Exact tree search or the approximate LSH tier (see [`QueryMode`]).
+    pub mode: QueryMode,
 }
 
 impl QueryOptions {
@@ -156,7 +184,14 @@ impl QueryOptions {
             deadline: None,
             tier: None,
             order: None,
+            mode: QueryMode::Exact,
         }
+    }
+
+    /// Options for an approximate k-NN query on the LSH tier with the
+    /// given multi-probe width.
+    pub fn approx(k: usize, probes: usize) -> Self {
+        QueryOptions::new(k).with_mode(QueryMode::Approx { probes })
     }
 
     /// Options for a traced k-NN query.
@@ -208,6 +243,12 @@ impl QueryOptions {
         self.order = Some(order);
         self
     }
+
+    /// Sets the query mode (exact tree search or approximate LSH).
+    pub fn with_mode(mut self, mode: QueryMode) -> Self {
+        self.mode = mode;
+        self
+    }
 }
 
 /// The answer to one query: the neighbors, the classic per-disk page cost,
@@ -247,6 +288,15 @@ mod tests {
             .with_trace(true);
         assert_eq!(o.k, 5);
         assert!(o.trace);
+        assert_eq!(o.mode, QueryMode::Exact);
+        let a = QueryOptions::approx(5, 3);
+        assert_eq!(a.mode, QueryMode::Approx { probes: 3 });
+        assert_eq!(
+            QueryOptions::new(2)
+                .with_mode(QueryMode::Approx { probes: 1 })
+                .mode,
+            QueryMode::Approx { probes: 1 }
+        );
         assert_eq!(o.tier, Some(ScanTier::Q8));
         assert_eq!(o.order, Some(ScanOrder::Energy));
         assert_eq!(QueryOptions::new(3).tier, None);

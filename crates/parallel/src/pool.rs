@@ -34,6 +34,7 @@ use parsim_storage::DiskModel;
 
 use crate::engine::{merge_candidates, DegradedState, EngineCore, TracedAnswer};
 use crate::ingest::QueryOverlay;
+use crate::lsh::{merge_unique_candidates, DiskProbes, LshCounters};
 use crate::metrics::QueryTrace;
 use crate::obs::EngineMetrics;
 use crate::options::QueryResult;
@@ -105,6 +106,22 @@ pub(crate) enum Stage {
         state: DegradedState,
         /// Which half of the itinerary the task is in.
         phase: Phase,
+    },
+    /// Healthy approximate execution: the query's LSH probe plan,
+    /// grouped by owning disk and visited in ascending disk order. Each
+    /// stop scans its buckets and keeps the disk-local top-k; the last
+    /// stop merges with cross-disk deduplication. (Degraded approximate
+    /// queries run sequentially — failover needs the whole plan's
+    /// outcome, so there is nothing to pipeline.)
+    Approx {
+        /// Probe targets grouped by owning disk, ascending.
+        plan: Vec<DiskProbes>,
+        /// Next plan entry.
+        pos: usize,
+        /// Per-disk candidate lists, merged at the last stop.
+        candidates: Vec<Vec<Neighbor>>,
+        /// LSH work counters, folded into the trace at completion.
+        counters: LshCounters,
     },
 }
 
@@ -457,6 +474,30 @@ fn step(core: &EngineCore, disk: usize, mut task: Box<QueryTask>) -> Outcome {
                 *next += 1;
             }
         }
+        Stage::Approx {
+            ref plan,
+            ref mut pos,
+            ref mut candidates,
+            ref mut counters,
+        } => {
+            while *pos < plan.len() {
+                let entry = &plan[*pos];
+                if entry.disk != disk {
+                    forward = Some(entry.disk);
+                    break;
+                }
+                let lsh = core.lsh.as_ref().expect("Approx stage needs the LSH tier");
+                candidates[disk] = lsh.scan_disk(
+                    disk,
+                    &entry.buckets,
+                    &task.query,
+                    task.k,
+                    &mut task.stats[disk],
+                    counters,
+                );
+                *pos += 1;
+            }
+        }
         Stage::Degraded {
             ref mut state,
             ref mut phase,
@@ -533,6 +574,18 @@ fn complete(core: &EngineCore, task: QueryTask) {
         Stage::Hs { candidates, .. } => {
             let merged = merge_candidates(candidates.iter().map(Vec::as_slice), k);
             let trace = QueryTrace::from_stats(&stats, wall, core.array.model());
+            Ok((merged, trace))
+        }
+        Stage::Approx {
+            candidates,
+            counters,
+            ..
+        } => {
+            let merged = merge_unique_candidates(candidates.iter().map(Vec::as_slice), k);
+            let mut trace = QueryTrace::from_stats(&stats, wall, core.array.model());
+            trace.lsh_probes = counters.probes;
+            trace.lsh_candidates = counters.candidates;
+            trace.lsh_empty_probes = counters.empty_probes;
             Ok((merged, trace))
         }
         Stage::Degraded { state, .. } => core.assemble_degraded(state, k, &stats, wall),

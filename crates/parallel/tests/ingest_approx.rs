@@ -1,0 +1,139 @@
+//! Ingest regression tests for the approximate tier: churn (interleaved
+//! inserts and removes) under `Approx`-mode queries must never surface a
+//! tombstoned id and never miss a delta-buffered point — the overlay
+//! merge is mode-independent. Also pins the typed
+//! [`EngineError::ApproxUnavailable`] rejection for engines built
+//! without the tier.
+
+use std::collections::HashSet;
+
+use parsim_datagen::{DataGenerator, UniformGenerator};
+use parsim_parallel::{
+    EngineError, ExecutionMode, IngestConfig, LshConfig, ParallelKnnEngine, QueryOptions,
+};
+
+const DIM: usize = 5;
+
+#[test]
+fn churn_under_approx_never_surfaces_tombstones_or_misses_delta_points() {
+    let pts = UniformGenerator::new(DIM).generate(600, 31);
+    let engine = ParallelKnnEngine::builder(DIM)
+        .disks(6)
+        .ingest(IngestConfig::new(512))
+        .approx(LshConfig::new(5).tables(6).hyperplanes(9))
+        .build(&pts)
+        .unwrap();
+    let extra = UniformGenerator::new(DIM).generate(120, 32);
+    let mut live_delta = Vec::new();
+    let mut tombstoned = HashSet::new();
+    for (i, p) in extra.iter().enumerate() {
+        let id = engine.insert(p.clone()).unwrap();
+        live_delta.push((id, p.clone()));
+        // Every third step removes a main-index point; every fourth
+        // removes an earlier buffered insert.
+        if i % 3 == 0 {
+            let victim = (i * 7 % 600) as u64;
+            engine.remove(victim).unwrap();
+            tombstoned.insert(victim);
+        }
+        if i % 4 == 0 && live_delta.len() > 1 {
+            let (id, _) = live_delta.remove(0);
+            engine.remove(id).unwrap();
+            tombstoned.insert(id);
+        }
+    }
+    let queries = UniformGenerator::new(DIM).generate(20, 33);
+    for probes in [1usize, 4] {
+        for q in &queries {
+            let res = engine.query(q, &QueryOptions::approx(10, probes)).unwrap();
+            for n in &res.neighbors {
+                assert!(
+                    !tombstoned.contains(&n.item),
+                    "tombstoned id {} surfaced by an Approx query",
+                    n.item
+                );
+            }
+        }
+        // Every live buffered point is found exactly where it sits.
+        for (id, p) in &live_delta {
+            let res = engine.query(p, &QueryOptions::approx(1, probes)).unwrap();
+            assert_eq!(res.neighbors[0].item, *id, "delta point missed");
+            assert_eq!(res.neighbors[0].dist, 0.0);
+        }
+    }
+    // Reorganize materializes the delta into the main index (and the
+    // rebuilt LSH shards); the same contracts hold afterwards.
+    engine.reorganize().unwrap();
+    assert_eq!(engine.delta_size(), 0);
+    for q in &queries {
+        let res = engine.query(q, &QueryOptions::approx(10, 2)).unwrap();
+        for n in &res.neighbors {
+            assert!(!tombstoned.contains(&n.item));
+        }
+    }
+    for (id, p) in &live_delta {
+        let res = engine.query(p, &QueryOptions::approx(1, 2)).unwrap();
+        assert_eq!(res.neighbors[0].item, *id);
+        assert_eq!(res.neighbors[0].dist, 0.0);
+    }
+}
+
+#[test]
+fn approx_without_the_tier_is_a_typed_rejection() {
+    let pts = UniformGenerator::new(DIM).generate(200, 41);
+    for mode in [ExecutionMode::Scoped, ExecutionMode::Pooled] {
+        let engine = ParallelKnnEngine::builder(DIM)
+            .disks(4)
+            .execution(mode)
+            .build(&pts)
+            .unwrap();
+        let q = &pts[0];
+        assert!(matches!(
+            engine.query(q, &QueryOptions::approx(5, 2)),
+            Err(EngineError::ApproxUnavailable)
+        ));
+        // Exact queries are untouched by the rejection path.
+        let (res, _) = engine.knn(q, 1).unwrap();
+        assert_eq!(res[0].dist, 0.0);
+        // The batch path surfaces the same typed error.
+        assert!(matches!(
+            engine.query_batch(std::slice::from_ref(q), &QueryOptions::approx(5, 2)),
+            Err(EngineError::ApproxUnavailable)
+        ));
+    }
+}
+
+#[test]
+fn approx_metrics_flow_through_the_registry() {
+    let pts = UniformGenerator::new(DIM).generate(500, 51);
+    let engine = ParallelKnnEngine::builder(DIM)
+        .disks(6)
+        .metrics(true)
+        .approx(LshConfig::new(9))
+        .build(&pts)
+        .unwrap();
+    let q = &pts[7];
+    let res = engine
+        .query(q, &QueryOptions::approx(5, 3).with_trace(true))
+        .unwrap();
+    let trace = res.trace.expect("trace requested");
+    assert!(trace.lsh_probes > 0, "probe counter never moved");
+    assert!(trace.lsh_candidates > 0, "candidate counter never moved");
+    let s = engine.metrics().expect("metrics on").snapshot();
+    assert_eq!(s.counter_total("parsim_lsh_probes_total"), trace.lsh_probes);
+    assert_eq!(
+        s.counter_total("parsim_lsh_candidates_total"),
+        trace.lsh_candidates
+    );
+    assert_eq!(
+        s.counter_total("parsim_lsh_empty_probes_total"),
+        trace.lsh_empty_probes
+    );
+    // An Exact query on the same engine leaves the LSH counters alone.
+    engine.knn(q, 5).unwrap();
+    let s2 = engine.metrics().unwrap().snapshot();
+    assert_eq!(
+        s2.counter_total("parsim_lsh_probes_total"),
+        trace.lsh_probes
+    );
+}

@@ -1,0 +1,78 @@
+//! Seeded-determinism regression tests of the approximate tier: the
+//! same `(LshConfig, items)` must produce byte-identical bucket
+//! assignments and identical Approx answer sets — across two fresh
+//! builds, and across a live `reorganize()` of an unchanged engine. A
+//! different seed must produce a different layout (the determinism is
+//! seeded, not degenerate).
+
+use parsim_datagen::{ClusteredGenerator, DataGenerator, UniformGenerator};
+use parsim_geometry::Point;
+use parsim_parallel::{LshConfig, ParallelKnnEngine, QueryOptions};
+
+const DIM: usize = 7;
+const DISKS: usize = 8;
+
+fn build(pts: &[Point], seed: u64) -> ParallelKnnEngine {
+    ParallelKnnEngine::builder(DIM)
+        .disks(DISKS)
+        .approx(LshConfig::new(seed).tables(6).hyperplanes(10))
+        .build(pts)
+        .unwrap()
+}
+
+fn approx_answers(e: &ParallelKnnEngine, queries: &[Point]) -> Vec<Vec<(u64, u64)>> {
+    queries
+        .iter()
+        .map(|q| {
+            e.query(q, &QueryOptions::approx(10, 3))
+                .unwrap()
+                .neighbors
+                .iter()
+                .map(|n| (n.item, n.dist.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn identical_seeds_give_byte_identical_layouts_and_answers() {
+    let pts = ClusteredGenerator::new(DIM, 6, 0.06).generate(1000, 42);
+    let queries = UniformGenerator::new(DIM).generate(8, 43);
+    let a = build(&pts, 7);
+    let b = build(&pts, 7);
+    let la = a.lsh_layout_bytes().expect("tier attached");
+    assert_eq!(la, b.lsh_layout_bytes().unwrap());
+    assert_eq!(approx_answers(&a, &queries), approx_answers(&b, &queries));
+    // A different seed draws different hyperplanes: layouts diverge.
+    let other = build(&pts, 8);
+    assert_ne!(la, other.lsh_layout_bytes().unwrap());
+    // An engine without the tier has no layout at all.
+    let plain = ParallelKnnEngine::builder(DIM)
+        .disks(DISKS)
+        .build(&pts)
+        .unwrap();
+    assert!(plain.lsh_layout_bytes().is_none());
+    assert!(plain.lsh_config().is_none());
+    assert_eq!(
+        a.lsh_config(),
+        Some(LshConfig::new(7).tables(6).hyperplanes(10))
+    );
+}
+
+#[test]
+fn reorganize_rebuilds_the_same_layout_for_unchanged_data() {
+    let pts = ClusteredGenerator::new(DIM, 6, 0.06).generate(800, 11);
+    let queries = UniformGenerator::new(DIM).generate(8, 12);
+    let e = build(&pts, 21);
+    let layout_before = e.lsh_layout_bytes().unwrap();
+    let answers_before = approx_answers(&e, &queries);
+    // Item ids and the config survive the swap, so the re-fitted family
+    // (same seed, same items) lands every row in the same bucket.
+    e.reorganize().unwrap();
+    assert_eq!(
+        e.lsh_config(),
+        Some(LshConfig::new(21).tables(6).hyperplanes(10))
+    );
+    assert_eq!(e.lsh_layout_bytes().unwrap(), layout_before);
+    assert_eq!(approx_answers(&e, &queries), answers_before);
+}

@@ -1,0 +1,196 @@
+//! Property tests of the approximate tier — the recall-proven harness.
+//!
+//! Three contracts pin the LSH backend to the engine's guarantees:
+//!
+//! 1. **Soundness.** Every `Approx` answer is a true member of
+//!    `index ∪ delta` carrying its true f64 distance — approximation may
+//!    *miss* neighbors, it may never invent points or mis-measure them.
+//!    Holds healthy and with a failed disk serving from mirror shards.
+//! 2. **Exact-mode isolation.** Attaching an LSH config leaves
+//!    `Exact`-mode answers bit-identical to an engine built without one,
+//!    scoped and pooled.
+//! 3. **Monotone recall.** For a fixed seed, recall@k never decreases
+//!    when tables are added (the seeded family is prefix-stable in the
+//!    table index) or when probes widen (the multi-probe sequence is
+//!    prefix-stable per table).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use parsim_datagen::{ClusteredGenerator, DataGenerator, UniformGenerator};
+use parsim_geometry::Point;
+use parsim_index::knn::brute_force_knn;
+use parsim_parallel::{ExecutionMode, IngestConfig, LshConfig, ParallelKnnEngine, QueryOptions};
+
+const DIM: usize = 6;
+const DISKS: usize = 8;
+const N: usize = 900;
+
+fn recall_at_k(
+    engine: &ParallelKnnEngine,
+    truth: &[(Point, u64)],
+    q: &Point,
+    k: usize,
+    probes: usize,
+) -> usize {
+    let want: Vec<u64> = brute_force_knn(truth, q, k)
+        .iter()
+        .map(|n| n.item)
+        .collect();
+    let got = engine.query(q, &QueryOptions::approx(k, probes)).unwrap();
+    got.neighbors
+        .iter()
+        .filter(|n| want.contains(&n.item))
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Soundness: every Approx answer is a real point of `index ∪ delta`
+    /// with its true f64 distance — on the healthy path and failed over
+    /// to mirror shards.
+    #[test]
+    fn approx_answers_are_true_members_with_true_distances(
+        seed in any::<u64>(),
+        k in 1usize..=10,
+        probes in 1usize..=6,
+    ) {
+        let pts = UniformGenerator::new(DIM).generate(N, seed);
+        let engine = ParallelKnnEngine::builder(DIM)
+            .disks(DISKS)
+            .replicas(1)
+            .ingest(IngestConfig::new(256))
+            .approx(LshConfig::new(seed ^ 0xA5))
+            .build(&pts)
+            .unwrap();
+        let mut members: HashMap<u64, Point> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, p.clone()))
+            .collect();
+        // Delta-buffered points are part of the answer set immediately.
+        for p in UniformGenerator::new(DIM).generate(40, seed.wrapping_add(9)) {
+            let id = engine.insert(p.clone()).unwrap();
+            members.insert(id, p);
+        }
+        let queries = UniformGenerator::new(DIM).generate(5, seed.wrapping_add(1));
+        for q in &queries {
+            let res = engine.query(q, &QueryOptions::approx(k, probes)).unwrap();
+            prop_assert!(res.neighbors.len() <= k);
+            for n in &res.neighbors {
+                let p = members.get(&n.item);
+                prop_assert!(p.is_some(), "item {} is not a dataset member", n.item);
+                let true_dist = p.unwrap().dist(q);
+                prop_assert_eq!(n.dist.to_bits(), true_dist.to_bits(),
+                    "item {} reported {} instead of its true distance {}",
+                    n.item, n.dist, true_dist);
+            }
+        }
+        // The delta overlay merges exactly in Approx mode too: a query
+        // sitting on a buffered point always surfaces it at distance 0.
+        let (delta_id, delta_point) = members
+            .iter()
+            .max_by_key(|(id, _)| **id)
+            .map(|(id, p)| (*id, p.clone()))
+            .unwrap();
+        let res = engine.query(&delta_point, &QueryOptions::approx(1, probes)).unwrap();
+        prop_assert_eq!(res.neighbors[0].item, delta_id);
+        prop_assert_eq!(res.neighbors[0].dist.to_bits(), 0f64.to_bits());
+        // Fail a disk: probes fail over to the mirror shards and the
+        // soundness contract must survive.
+        engine.faults().fail(0);
+        for q in &queries {
+            let res = engine.query(q, &QueryOptions::approx(k, probes)).unwrap();
+            for n in &res.neighbors {
+                let p = members.get(&n.item).expect("member survives failover");
+                prop_assert_eq!(n.dist.to_bits(), p.dist(q).to_bits());
+            }
+        }
+    }
+
+    /// Exact-mode isolation: an engine with an LSH tier attached answers
+    /// Exact queries bit-identically to one built without it.
+    #[test]
+    fn exact_answers_ignore_the_lsh_tier(
+        seed in any::<u64>(),
+        k in 1usize..=12,
+    ) {
+        let pts = UniformGenerator::new(DIM).generate(N, seed);
+        let plain = ParallelKnnEngine::builder(DIM).disks(DISKS).build(&pts).unwrap();
+        let with_lsh = ParallelKnnEngine::builder(DIM)
+            .disks(DISKS)
+            .approx(LshConfig::new(seed))
+            .build(&pts)
+            .unwrap();
+        let pooled_lsh = ParallelKnnEngine::builder(DIM)
+            .disks(DISKS)
+            .execution(ExecutionMode::Pooled)
+            .approx(LshConfig::new(seed))
+            .build(&pts)
+            .unwrap();
+        for q in UniformGenerator::new(DIM).generate(5, seed.wrapping_add(2)) {
+            let a = plain.query(&q, &QueryOptions::new(k)).unwrap();
+            let b = with_lsh.query(&q, &QueryOptions::new(k)).unwrap();
+            let c = pooled_lsh.query(&q, &QueryOptions::new(k)).unwrap();
+            prop_assert_eq!(a.neighbors.len(), b.neighbors.len());
+            for ((x, y), z) in a.neighbors.iter().zip(&b.neighbors).zip(&c.neighbors) {
+                prop_assert_eq!(x.item, y.item);
+                prop_assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                prop_assert_eq!(x.item, z.item);
+                prop_assert_eq!(x.dist.to_bits(), z.dist.to_bits());
+            }
+        }
+    }
+
+    /// Monotone recall on clustered data: for a fixed seed, recall@k is
+    /// non-decreasing in the table count and in the probe count —
+    /// pointwise per query, because the L+1-table family contains the
+    /// L-table family verbatim and the probe sequence is prefix-stable.
+    #[test]
+    fn recall_is_monotone_in_tables_and_probes(
+        seed in any::<u64>(),
+        k in 1usize..=10,
+    ) {
+        let pts = ClusteredGenerator::new(DIM, 8, 0.05).generate(N, seed);
+        let truth: Vec<(Point, u64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i as u64))
+            .collect();
+        let queries = ClusteredGenerator::new(DIM, 8, 0.05).generate(4, seed.wrapping_add(3));
+        let engines: Vec<ParallelKnnEngine> = [2usize, 4, 8]
+            .iter()
+            .map(|&tables| {
+                ParallelKnnEngine::builder(DIM)
+                    .disks(DISKS)
+                    .approx(LshConfig::new(seed).tables(tables).hyperplanes(10))
+                    .build(&pts)
+                    .unwrap()
+            })
+            .collect();
+        for q in &queries {
+            // Non-decreasing in probes, per engine.
+            for e in &engines {
+                let mut prev = 0;
+                for probes in [1usize, 2, 4, 8] {
+                    let r = recall_at_k(e, &truth, q, k, probes);
+                    prop_assert!(r >= prev,
+                        "recall dropped {prev} -> {r} when probes widened to {probes}");
+                    prev = r;
+                }
+            }
+            // Non-decreasing in tables, per probe width.
+            for probes in [1usize, 4] {
+                let mut prev = 0;
+                for e in &engines {
+                    let r = recall_at_k(e, &truth, q, k, probes);
+                    prop_assert!(r >= prev,
+                        "recall dropped {prev} -> {r} when tables grew");
+                    prev = r;
+                }
+            }
+        }
+    }
+}

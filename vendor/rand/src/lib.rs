@@ -135,9 +135,76 @@ pub trait Rng: RngCore {
     fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
         range.sample_single(self)
     }
+
+    /// Draws one value from an explicit distribution (`rand`'s
+    /// `Rng::sample`).
+    fn sample<T, D: distr::Distribution<T>>(&mut self, dist: D) -> T {
+        dist.sample(self)
+    }
 }
 
 impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Non-uniform distributions (stand-in for `rand::distr` /
+/// `rand_distr`).
+pub mod distr {
+    use super::RngCore;
+
+    /// Types that produce values of `T` from a source of randomness.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard normal distribution N(0, 1) over `f64`.
+    ///
+    /// Sampled by the Box–Muller transform: two uniform draws per pair of
+    /// normals, with the second normal discarded so the draw count per
+    /// sample is constant (two `next_u64` words) — fixed-seed streams stay
+    /// reproducible regardless of how callers interleave other draws.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct StandardNormal;
+
+    impl Distribution<f64> for StandardNormal {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // u1 in (0, 1]: avoids ln(0) without a rejection loop, keeping
+            // the draw count deterministic.
+            let u1 = 1.0 - <f64 as super::Standard>::sample(rng);
+            let u2 = <f64 as super::Standard>::sample(rng);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            r * theta.cos()
+        }
+    }
+
+    /// The normal distribution N(mean, std_dev²) over `f64`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal {
+        mean: f64,
+        std_dev: f64,
+    }
+
+    impl Normal {
+        /// Creates a normal distribution.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `std_dev` is negative or not finite.
+        pub fn new(mean: f64, std_dev: f64) -> Normal {
+            assert!(
+                std_dev.is_finite() && std_dev >= 0.0,
+                "std_dev must be finite and non-negative, got {std_dev}"
+            );
+            Normal { mean, std_dev }
+        }
+    }
+
+    impl Distribution<f64> for Normal {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            self.mean + self.std_dev * StandardNormal.sample(rng)
+        }
+    }
+}
 
 /// The concrete generators.
 pub mod rngs {
@@ -245,6 +312,58 @@ mod tests {
         assert_eq!((lo_seen, hi_seen), (-60, 60));
         assert_eq!(rng.random_range(i64::MIN..=i64::MIN), i64::MIN);
         assert_eq!(rng.random_range(-5i8..=-5), -5);
+    }
+
+    #[test]
+    fn normal_sampling_is_deterministic_for_fixed_seed() {
+        use super::distr::{Normal, StandardNormal};
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..256 {
+            let x: f64 = a.sample(StandardNormal);
+            let y: f64 = b.sample(StandardNormal);
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let n = Normal::new(3.0, 0.25);
+        let x = a.sample(n);
+        let y = b.sample(n);
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        use super::distr::{Normal, StandardNormal};
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 50_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x: f64 = rng.sample(StandardNormal);
+            assert!(x.is_finite());
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+
+        let shifted = Normal::new(-2.0, 3.0);
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.sample(shifted);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!((mean + 2.0).abs() < 0.06, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.4, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "std_dev must be finite")]
+    fn normal_rejects_negative_std_dev() {
+        let _ = super::distr::Normal::new(0.0, -1.0);
     }
 
     #[test]
